@@ -1,0 +1,101 @@
+// E8 companion — statistically sound end-to-end latency of the full wire
+// protocol (outsource once, measure Lookup) as document size and verify
+// mode scale. google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/outsource.h"
+#include "core/query_session.h"
+#include "xml/xml_generator.h"
+
+namespace polysse {
+namespace {
+
+struct Deployment {
+  XmlNode doc;
+  FpDeployment dep;
+  std::string rare_tag;
+};
+
+Deployment& SharedDeployment(size_t n) {
+  static std::map<size_t, std::unique_ptr<Deployment>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    XmlGeneratorOptions gen;
+    gen.num_nodes = n;
+    gen.tag_alphabet = 16;
+    gen.zipf_s = 1.0;
+    gen.seed = n;
+    XmlNode doc = GenerateXmlTree(gen);
+    DeterministicPrf seed = DeterministicPrf::FromString("scaling");
+    auto dep = OutsourceFp(doc, seed).value();
+    auto holder = std::make_unique<Deployment>(
+        Deployment{std::move(doc), std::move(dep), ""});
+    holder->rare_tag = holder->doc.DistinctTags().back();
+    it = cache.emplace(n, std::move(holder)).first;
+  }
+  return *it->second;
+}
+
+void BM_LookupVerified(benchmark::State& state) {
+  Deployment& d = SharedDeployment(static_cast<size_t>(state.range(0)));
+  QuerySession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
+  for (auto _ : state) {
+    auto r = session.Lookup(d.rare_tag, VerifyMode::kVerified);
+    if (!r.ok()) state.SkipWithError("lookup failed");
+    benchmark::DoNotOptimize(r);
+  }
+  auto r = session.Lookup(d.rare_tag, VerifyMode::kVerified).value();
+  state.counters["visited_frac"] = r.stats.VisitedFraction();
+  state.counters["bytes_down"] = static_cast<double>(r.stats.transport.bytes_down);
+}
+BENCHMARK(BM_LookupVerified)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_LookupOptimistic(benchmark::State& state) {
+  Deployment& d = SharedDeployment(static_cast<size_t>(state.range(0)));
+  QuerySession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
+  for (auto _ : state) {
+    auto r = session.Lookup(d.rare_tag, VerifyMode::kOptimistic);
+    if (!r.ok()) state.SkipWithError("lookup failed");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LookupOptimistic)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_XPathAllAtOnce(benchmark::State& state) {
+  Deployment& d = SharedDeployment(static_cast<size_t>(state.range(0)));
+  QuerySession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
+  auto tags = d.doc.DistinctTags();
+  auto query =
+      XPathQuery::Parse("//" + tags[0] + "//" + tags[1 % tags.size()]).value();
+  for (auto _ : state) {
+    auto r = session.EvaluateXPath(query, XPathStrategy::kAllAtOnce,
+                                   VerifyMode::kVerified);
+    if (!r.ok()) state.SkipWithError("xpath failed");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_XPathAllAtOnce)->Arg(1000)->Arg(10000);
+
+void BM_OutsourceFp(benchmark::State& state) {
+  XmlGeneratorOptions gen;
+  gen.num_nodes = static_cast<size_t>(state.range(0));
+  gen.tag_alphabet = 16;
+  gen.seed = 5;
+  XmlNode doc = GenerateXmlTree(gen);
+  DeterministicPrf seed = DeterministicPrf::FromString("out-bench");
+  for (auto _ : state) {
+    auto dep = OutsourceFp(doc, seed);
+    if (!dep.ok()) state.SkipWithError("outsource failed");
+    benchmark::DoNotOptimize(dep);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OutsourceFp)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace polysse
+
+BENCHMARK_MAIN();

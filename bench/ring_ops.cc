@@ -1,0 +1,171 @@
+// E13 — microbenchmarks of the ring kernels every experiment sits on:
+// element multiply / evaluate / share / SolveTag in both rings, BigInt
+// arithmetic, and the PRF share derivation. google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "bigint/bigint.h"
+#include "core/sharing.h"
+#include "crypto/prf.h"
+#include "ring/fp_cyclotomic_ring.h"
+#include "ring/z_quotient_ring.h"
+
+namespace polysse {
+namespace {
+
+// ----------------------------------------------------------- F_p ring --
+
+void BM_FpRingMul(benchmark::State& state) {
+  const uint64_t p = static_cast<uint64_t>(state.range(0));
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(p).value();
+  ChaChaRng rng = ChaChaRng::FromString("fpmul");
+  FpPoly a = ring.Random(rng);
+  FpPoly b = ring.Random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Mul(a, b));
+  }
+  state.SetLabel("p=" + std::to_string(p));
+}
+BENCHMARK(BM_FpRingMul)->Arg(11)->Arg(101)->Arg(1009);
+
+void BM_FpRingEval(benchmark::State& state) {
+  const uint64_t p = static_cast<uint64_t>(state.range(0));
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(p).value();
+  ChaChaRng rng = ChaChaRng::FromString("fpeval");
+  FpPoly a = ring.Random(rng);
+  uint64_t e = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.EvalAt(a, e).value());
+    e = e % (p - 1) + 1;
+  }
+}
+BENCHMARK(BM_FpRingEval)->Arg(11)->Arg(101)->Arg(1009)->Arg(65537);
+
+void BM_FpSolveTag(benchmark::State& state) {
+  const uint64_t p = static_cast<uint64_t>(state.range(0));
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(p).value();
+  FpPoly g = ring.One();
+  for (uint64_t t = 1; t <= 6; ++t) g = ring.Mul(g, ring.XMinus(t).value());
+  FpPoly f = ring.Mul(ring.XMinus(7).value(), g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.SolveTag(f, g).value());
+  }
+}
+BENCHMARK(BM_FpSolveTag)->Arg(11)->Arg(101)->Arg(1009);
+
+void BM_FpShareDerive(benchmark::State& state) {
+  const uint64_t p = static_cast<uint64_t>(state.range(0));
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(p).value();
+  DeterministicPrf prf = DeterministicPrf::FromString("derive");
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DeriveClientShare(ring, prf, "0/1/" + std::to_string(i++ % 64), {}));
+  }
+  state.SetLabel("seed-only client cost per node");
+}
+BENCHMARK(BM_FpShareDerive)->Arg(11)->Arg(101)->Arg(1009);
+
+// ------------------------------------------------------------- Z ring --
+
+ZPoly ChainProduct(const ZQuotientRing& ring, int factors) {
+  ZPoly acc = ring.One();
+  for (int i = 0; i < factors; ++i) {
+    acc = ring.Mul(acc, ring.XMinus(2 + (i % 40)).value());
+  }
+  return acc;
+}
+
+void BM_ZRingMulAfterChain(benchmark::State& state) {
+  // Multiplying residues whose coefficients grew from `range` linear
+  // factors — the §5 coefficient-growth cost in action.
+  ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+  ZPoly a = ChainProduct(ring, static_cast<int>(state.range(0)));
+  ZPoly b = ChainProduct(ring, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Mul(a, b));
+  }
+  state.SetLabel("coeff_bits~" + std::to_string(a.MaxCoeffBits()));
+}
+BENCHMARK(BM_ZRingMulAfterChain)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ZRingEval(benchmark::State& state) {
+  ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+  ZPoly a = ChainProduct(ring, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.EvalAt(a, 6).value());
+  }
+}
+BENCHMARK(BM_ZRingEval)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ZSolveTag(benchmark::State& state) {
+  ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+  ZPoly g = ChainProduct(ring, static_cast<int>(state.range(0)));
+  ZPoly f = ring.Mul(ring.XMinus(9).value(), g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.SolveTag(f, g).value());
+  }
+}
+BENCHMARK(BM_ZSolveTag)->Arg(8)->Arg(64)->Arg(512);
+
+// -------------------------------------------------------------- BigInt --
+
+BigInt RandomBig(int limbs, const char* seed) {
+  ChaChaRng rng = ChaChaRng::FromString(seed);
+  std::vector<uint8_t> bytes(limbs * 8);
+  rng.Fill(bytes);
+  return BigInt::FromLittleEndianBytes(bytes);
+}
+
+void BM_BigIntMul(benchmark::State& state) {
+  BigInt a = RandomBig(static_cast<int>(state.range(0)), "a");
+  BigInt b = RandomBig(static_cast<int>(state.range(0)), "b");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " limbs");
+}
+BENCHMARK(BM_BigIntMul)->Arg(2)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BigIntDivRem(benchmark::State& state) {
+  BigInt a = RandomBig(static_cast<int>(state.range(0)) * 2, "num");
+  BigInt b = RandomBig(static_cast<int>(state.range(0)), "den");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.DivRem(b));
+  }
+}
+BENCHMARK(BM_BigIntDivRem)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_BigIntModU64(benchmark::State& state) {
+  BigInt a = RandomBig(static_cast<int>(state.range(0)), "mod");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.ModU64(1000003));
+  }
+}
+BENCHMARK(BM_BigIntModU64)->Arg(2)->Arg(16)->Arg(64);
+
+// ---------------------------------------------------------------- PRF --
+
+void BM_PrfStream(benchmark::State& state) {
+  DeterministicPrf prf = DeterministicPrf::FromString("bench");
+  int i = 0;
+  for (auto _ : state) {
+    ChaChaRng rng = prf.Stream("label/" + std::to_string(i++ % 1024));
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_PrfStream);
+
+void BM_Sha256Block(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256Block)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace polysse
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// E7 — the §5 storage analysis, measured against the paper's analytic
+// orders:  plaintext n log p;  F_p ring n(p-1) log p;  Z/r ring
+// n(d+1) log(p^n) = n^2 (d+1) log p.
+//
+// The table reports measured server bytes (actual serialized share trees)
+// next to the model predictions, plus the fitted growth exponent of the
+// Z-ring coefficients — the paper's claim is that coefficient bit-length
+// grows ~linearly in n, making total storage quadratic.
+#include <cmath>
+#include <cstdio>
+
+#include "core/outsource.h"
+#include "core/storage_model.h"
+#include "xml/xml_generator.h"
+
+int main() {
+  using namespace polysse;
+  std::printf("=== E7 / section 5: storage costs ===\n\n");
+  std::printf("%s\n", StorageReportHeader().c_str());
+
+  DeterministicPrf seed = DeterministicPrf::FromString("storage-bench");
+  std::vector<double> z_measured, z_nodes;
+
+  for (size_t n : {15u, 63u, 255u, 1023u}) {
+    XmlGeneratorOptions gen;
+    gen.num_nodes = n;
+    gen.tag_alphabet = 8;
+    gen.max_fanout = 4;
+    gen.seed = 7;
+    XmlNode doc = GenerateXmlTree(gen);
+
+    for (uint64_t p : {11ull, 101ull}) {
+      FpOutsourceOptions fopt;
+      fopt.p = p;
+      auto dep = OutsourceFp(doc, seed, fopt);
+      if (!dep.ok()) continue;
+      StorageReport r = MeasureStorage(dep->ring, doc, dep->server);
+      char label[32];
+      std::snprintf(label, sizeof(label), "Fp p=%llu",
+                    static_cast<unsigned long long>(p));
+      std::printf("%s\n", StorageReportRow(r, label).c_str());
+    }
+    for (int d : {2, 4}) {
+      ZOutsourceOptions zopt;
+      // x^2+1 and x^4+x^3+x^2+x+1 (both irreducible over Z).
+      zopt.r = d == 2 ? ZPoly({1, 0, 1}) : ZPoly({1, 1, 1, 1, 1});
+      zopt.coeff_bits = 128;
+      auto dep = OutsourceZ(doc, seed, zopt);
+      if (!dep.ok()) {
+        std::printf("Z d=%d n=%zu: %s\n", d, n,
+                    dep.status().ToString().c_str());
+        continue;
+      }
+      StorageReport r = MeasureStorage(dep->ring, doc, dep->server, 11);
+      char label[32];
+      std::snprintf(label, sizeof(label), "Z[x]/r d=%d", d);
+      std::printf("%s\n", StorageReportRow(r, label).c_str());
+      if (d == 2) {
+        z_measured.push_back(static_cast<double>(r.server_measured_bytes));
+        z_nodes.push_back(static_cast<double>(n));
+      }
+    }
+    std::printf("\n");
+  }
+
+  auto fit_exponent = [](const std::vector<double>& xs,
+                         const std::vector<double>& ys) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      double x = std::log(xs[i]);
+      double y = std::log(ys[i]);
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+    }
+    double k = static_cast<double>(xs.size());
+    return (k * sxy - sx * sy) / (k * sxx - sx * sx);
+  };
+
+  if (z_nodes.size() >= 2) {
+    std::printf("Z-ring growth on random trees: n^%.2f — only the root's "
+                "coefficients reach the paper's n log p bits; interior "
+                "nodes stay small, so totals grow ~n log n.\n",
+                fit_exponent(z_nodes, z_measured));
+  }
+
+  // The paper's n^2 bound is tight on degenerate path-shaped trees, where
+  // EVERY suffix node aggregates a long factor chain.
+  std::printf("\n--- worst case: path-shaped documents (every node one "
+              "child) ---\n");
+  std::vector<double> path_nodes, path_measured;
+  for (size_t n : {16u, 64u, 256u, 1024u}) {
+    XmlNode path_doc("t0");
+    XmlNode* cur = &path_doc;
+    for (size_t i = 1; i < n; ++i)
+      cur = &cur->AddChild("t" + std::to_string(i % 8));
+    ZOutsourceOptions zopt;
+    zopt.coeff_bits = 64;  // small share floor so data growth dominates
+    auto dep = OutsourceZ(path_doc, seed, zopt);
+    if (!dep.ok()) continue;
+    StorageReport r = MeasureStorage(dep->ring, path_doc, dep->server, 11);
+    std::printf("%s\n", StorageReportRow(r, "Z path-tree").c_str());
+    path_nodes.push_back(static_cast<double>(n));
+    path_measured.push_back(static_cast<double>(r.server_measured_bytes));
+  }
+  if (path_nodes.size() >= 2) {
+    std::printf("Z-ring growth on path trees: n^%.2f (paper model: n^2 from "
+                "n(d+1) log(p^n))\n",
+                fit_exponent(path_nodes, path_measured));
+  }
+
+  std::printf("\nshape check (paper): Fp storage is ~(p-1)x plaintext and "
+              "linear in n; Z/r storage is superlinear — n^2 in the paper's "
+              "worst case (path trees), ~n log n on bushy documents.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Secure multi-party computation demos from paper §3 and §4.2:
+//   1. anonymous sum vote and veto vote with no trusted third party;
+//   2. k-of-n multi-server outsourcing where any t servers answer a query
+//      and t-1 servers learn nothing.
+//
+//   $ ./multi_server_voting
+#include <cstdio>
+
+#include "core/multi_server.h"
+#include "core/poly_tree.h"
+#include "mpc/voting.h"
+#include "xml/xml_generator.h"
+
+int main() {
+  using namespace polysse;
+
+  // ---------------------------------------------------- §3 voting demo --
+  auto field = PrimeField::Create(101).value();
+  ChaChaRng rng = ChaChaRng::FromString("election-2004");
+
+  std::vector<uint64_t> votes = {1, 0, 1, 1, 0, 1, 0};
+  auto sum = RunSumVote(field, votes, /*threshold=*/4, rng);
+  if (!sum.ok()) {
+    std::fprintf(stderr, "%s\n", sum.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sum vote: %zu voters, tally = %llu in favour "
+              "(%d share messages; no party saw another's vote)\n",
+              votes.size(), static_cast<unsigned long long>(sum->tally),
+              sum->messages_sent);
+
+  auto veto_pass = RunVetoVote(field, {1, 1, 1, 1, 1}, /*threshold=*/1, rng);
+  auto veto_fail = RunVetoVote(field, {1, 1, 0, 1, 1}, /*threshold=*/1, rng);
+  if (veto_pass.ok() && veto_fail.ok()) {
+    std::printf("veto vote: unanimous run -> %llu (passed), one dissent -> "
+                "%llu (vetoed)\n",
+                static_cast<unsigned long long>(veto_pass->tally),
+                static_cast<unsigned long long>(veto_fail->tally));
+  }
+
+  // ------------------------------------- §4.2 multi-server extension --
+  XmlNode doc = MakeMedicalRecordsDocument(10, 7);
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(101).value();
+  DeterministicPrf prf = DeterministicPrf::FromString("multi-server");
+  TagMap::Options mopt;
+  mopt.max_value = ring.MaxTagValue();
+  TagMap map = TagMap::Build(doc.DistinctTags(), mopt, prf).value();
+  auto data = BuildPolyTree(ring, map, doc).value();
+
+  ChaChaRng ms_rng = ChaChaRng::FromString("shamir-servers");
+  const int t = 3, n = 5;
+  auto ms = ShamirMultiServer::Setup(ring, data, t, n, ms_rng);
+  if (!ms.ok()) {
+    std::fprintf(stderr, "%s\n", ms.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nShamir multi-server: document of %zu nodes split across %d "
+              "servers, threshold %d\n", data.size(), n, t);
+
+  uint64_t e = map.Value("prescription").value();
+  std::printf("query point e = map(prescription) = %llu\n",
+              static_cast<unsigned long long>(e));
+  // Any t servers reconstruct the root evaluation; compare subsets.
+  for (std::vector<int> subset : {std::vector<int>{0, 1, 2},
+                                  std::vector<int>{1, 3, 4},
+                                  std::vector<int>{0, 2, 4}}) {
+    std::vector<uint64_t> evals;
+    for (int s : subset) evals.push_back(ms->ServerEval(s, 0, e).value());
+    uint64_t combined = ms->CombineEvals(subset, evals).value();
+    std::printf("  servers {%d,%d,%d} -> root evaluation %llu%s\n",
+                subset[0], subset[1], subset[2],
+                static_cast<unsigned long long>(combined),
+                combined == ring.EvalAt(data.nodes[0].poly, e).value()
+                    ? " (correct)" : " (WRONG)");
+  }
+  // t-1 servers see only random-looking points.
+  std::printf("  any %d servers alone hold Shamir shares that are "
+              "information-theoretically independent of the data\n", t - 1);
+  return 0;
+}

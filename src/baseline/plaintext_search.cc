@@ -1,0 +1,24 @@
+#include "baseline/plaintext_search.h"
+
+namespace polysse {
+
+BaselineResult PlaintextLookup(const XmlNode& root,
+                               const std::string& tagname) {
+  BaselineResult out;
+  root.Preorder([&](const XmlNode& n, const std::vector<int>& path) {
+    ++out.stats.nodes_scanned;
+    if (n.name() == tagname) out.match_paths.push_back(PathToString(path));
+  });
+  return out;
+}
+
+BaselineResult PlaintextXPath(const XmlNode& root, const XPathQuery& query) {
+  BaselineResult out;
+  out.stats.nodes_scanned = root.SubtreeSize();
+  for (const auto& p : EvalXPathPaths(root, query)) {
+    out.match_paths.push_back(PathToString(p));
+  }
+  return out;
+}
+
+}  // namespace polysse

@@ -1,0 +1,36 @@
+// Baseline 0: plaintext search over the unencrypted document — the lower
+// bound every encrypted scheme is compared against (experiment E11).
+#ifndef POLYSSE_BASELINE_PLAINTEXT_SEARCH_H_
+#define POLYSSE_BASELINE_PLAINTEXT_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/xml_node.h"
+#include "xpath/xpath.h"
+
+namespace polysse {
+
+/// Cost counters shared by all baselines so E11 rows are comparable.
+struct BaselineStats {
+  size_t nodes_scanned = 0;
+  size_t bytes_up = 0;
+  size_t bytes_down = 0;
+  size_t crypto_ops = 0;  ///< HMAC/decrypt operations, where applicable
+};
+
+/// Result of a baseline query.
+struct BaselineResult {
+  std::vector<std::string> match_paths;
+  BaselineStats stats;
+};
+
+/// Walks the whole tree (no index) and returns elements with `tagname`.
+BaselineResult PlaintextLookup(const XmlNode& root, const std::string& tagname);
+
+/// Full XPath via the reference evaluator, with node accounting.
+BaselineResult PlaintextXPath(const XmlNode& root, const XPathQuery& query);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_BASELINE_PLAINTEXT_SEARCH_H_

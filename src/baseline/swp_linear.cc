@@ -1,0 +1,66 @@
+#include "baseline/swp_linear.h"
+
+#include "crypto/sha256.h"
+
+namespace polysse {
+
+namespace {
+std::array<uint8_t, 32> TokenFor(std::span<const uint8_t, 32> trapdoor,
+                                 std::span<const uint8_t, 32> salt) {
+  return HmacSha256(std::span<const uint8_t>(trapdoor.data(), trapdoor.size()),
+                    std::span<const uint8_t>(salt.data(), salt.size()));
+}
+}  // namespace
+
+std::vector<std::string> SwpLinearServer::Search(
+    std::span<const uint8_t, 32> trapdoor, BaselineStats* stats) const {
+  std::vector<std::string> matches;
+  for (const Entry& entry : entries_) {
+    ++stats->nodes_scanned;
+    ++stats->crypto_ops;
+    if (TokenFor(trapdoor, entry.salt) == entry.token) {
+      matches.push_back(entry.path);
+    }
+  }
+  return matches;
+}
+
+size_t SwpLinearServer::PersistedBytes() const {
+  size_t bytes = 0;
+  for (const Entry& e : entries_) bytes += 64 + e.path.size() + 1;
+  return bytes;
+}
+
+SwpLinearServer SwpLinearClient::Outsource(const XmlNode& root) const {
+  std::vector<SwpLinearServer::Entry> entries;
+  ChaChaRng salt_rng = prf_.Stream("swp/salts");
+  root.Preorder([&](const XmlNode& n, const std::vector<int>& path) {
+    SwpLinearServer::Entry entry;
+    salt_rng.Fill(entry.salt);
+    entry.token = TokenFor(Trapdoor(n.name()), entry.salt);
+    entry.path = PathToString(path);
+    entries.push_back(std::move(entry));
+  });
+  return SwpLinearServer(std::move(entries));
+}
+
+std::array<uint8_t, 32> SwpLinearClient::Trapdoor(
+    const std::string& tagname) const {
+  return HmacSha256(std::span<const uint8_t>(prf_.seed().data(),
+                                             prf_.seed().size()),
+                    std::span<const uint8_t>(
+                        reinterpret_cast<const uint8_t*>(tagname.data()),
+                        tagname.size()));
+}
+
+BaselineResult SwpLinearClient::Lookup(const SwpLinearServer& server,
+                                       const std::string& tagname) const {
+  BaselineResult out;
+  out.stats.bytes_up = 32;  // the trapdoor
+  out.match_paths = server.Search(Trapdoor(tagname), &out.stats);
+  for (const std::string& p : out.match_paths)
+    out.stats.bytes_down += p.size() + 1;
+  return out;
+}
+
+}  // namespace polysse

@@ -1,0 +1,72 @@
+// Baseline 2: a sequential-scan searchable-encryption scheme in the spirit
+// of Song-Wagner-Perrig [paper ref 2] — the prior art the paper positions
+// its tree index against. Every element's tag is stored as a salted keyed
+// token; a query hands the server a per-tag trapdoor and the server scans
+// ALL n entries (no pruning possible). Like SWP, the scheme leaks the match
+// pattern to the server; unlike polysse, queries cost Theta(n) server work.
+//
+// DESIGN.md substitution note: any correct linear-scan SSE reproduces the
+// comparison shape (tree pruning vs full scan); this one keeps SWP's
+// essential structure (keyed pseudorandom tokens, per-position salt,
+// trapdoor search) without the stream-cipher XOR layering that only matters
+// for SWP's incremental-update story.
+#ifndef POLYSSE_BASELINE_SWP_LINEAR_H_
+#define POLYSSE_BASELINE_SWP_LINEAR_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "baseline/plaintext_search.h"
+#include "crypto/prf.h"
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace polysse {
+
+/// Server-side encrypted store: one token per element, preorder.
+class SwpLinearServer {
+ public:
+  struct Entry {
+    std::array<uint8_t, 32> salt;
+    std::array<uint8_t, 32> token;  ///< HMAC(trapdoor(tag), salt)
+    std::string path;               ///< structure is not hidden (as in polysse)
+  };
+
+  explicit SwpLinearServer(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+
+  /// Scans every entry against the trapdoor; returns matching paths.
+  /// `stats` accumulates scan work.
+  std::vector<std::string> Search(std::span<const uint8_t, 32> trapdoor,
+                                  BaselineStats* stats) const;
+
+  size_t size() const { return entries_.size(); }
+  size_t PersistedBytes() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Client-side key holder.
+class SwpLinearClient {
+ public:
+  explicit SwpLinearClient(DeterministicPrf prf) : prf_(std::move(prf)) {}
+
+  /// Builds the encrypted store for a document.
+  SwpLinearServer Outsource(const XmlNode& root) const;
+
+  /// Trapdoor for one tag: HMAC(master, "swp/" + tag).
+  std::array<uint8_t, 32> Trapdoor(const std::string& tagname) const;
+
+  /// Full query round trip against `server` with byte accounting.
+  BaselineResult Lookup(const SwpLinearServer& server,
+                        const std::string& tagname) const;
+
+ private:
+  DeterministicPrf prf_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_BASELINE_SWP_LINEAR_H_

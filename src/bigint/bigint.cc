@@ -1,0 +1,560 @@
+#include "bigint/bigint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace polysse {
+
+using u128 = unsigned __int128;
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) sign_ = 0;
+  POLYSSE_DCHECK(sign_ != 0 || limbs_.empty());
+}
+
+BigInt::BigInt(int64_t v) {
+  if (v == 0) return;
+  sign_ = v < 0 ? -1 : 1;
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t mag = v < 0 ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  limbs_.push_back(mag);
+}
+
+BigInt BigInt::FromUInt64(uint64_t v) {
+  BigInt out;
+  if (v != 0) {
+    out.sign_ = 1;
+    out.limbs_.push_back(v);
+  }
+  return out;
+}
+
+BigInt BigInt::FromLittleEndianBytes(std::span<const uint8_t> bytes,
+                                     bool negative) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    out.limbs_[i / 8] |= static_cast<uint64_t>(bytes[i]) << (8 * (i % 8));
+  }
+  out.sign_ = negative ? -1 : 1;
+  out.Normalize();
+  return out;
+}
+
+std::vector<uint8_t> BigInt::ToLittleEndianBytes() const {
+  std::vector<uint8_t> out;
+  out.reserve(limbs_.size() * 8);
+  for (uint64_t limb : limbs_) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(limb >> (8 * i)));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+size_t BigInt::BitLength() const {
+  if (is_zero()) return 0;
+  return (limbs_.size() - 1) * 64 + (64 - std::countl_zero(limbs_.back()));
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() > 1) return false;
+  if (limbs_.empty()) return true;
+  uint64_t mag = limbs_[0];
+  if (sign_ > 0) return mag <= static_cast<uint64_t>(INT64_MAX);
+  return mag <= static_cast<uint64_t>(INT64_MAX) + 1;  // INT64_MIN magnitude.
+}
+
+Result<int64_t> BigInt::ToInt64() const {
+  if (!FitsInt64()) return Status::OutOfRange("BigInt does not fit in int64_t");
+  if (is_zero()) return int64_t{0};
+  if (sign_ > 0) return static_cast<int64_t>(limbs_[0]);
+  return static_cast<int64_t>(~limbs_[0] + 1);
+}
+
+double BigInt::ToDouble() const {
+  double mag = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    mag = mag * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+  }
+  return sign_ < 0 ? -mag : mag;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  out.sign_ = -out.sign_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  if (out.sign_ < 0) out.sign_ = 1;
+  return out;
+}
+
+int BigInt::CompareMag(const Limbs& a, const Limbs& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& rhs) const {
+  if (sign_ != rhs.sign_) return sign_ < rhs.sign_ ? -1 : 1;
+  int mag = CompareMag(limbs_, rhs.limbs_);
+  return sign_ >= 0 ? mag : -mag;
+}
+
+BigInt::Limbs BigInt::AddMag(const Limbs& a, const Limbs& b) {
+  const Limbs& hi = a.size() >= b.size() ? a : b;
+  const Limbs& lo = a.size() >= b.size() ? b : a;
+  Limbs out;
+  out.reserve(hi.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < hi.size(); ++i) {
+    u128 sum = static_cast<u128>(hi[i]) + (i < lo.size() ? lo[i] : 0) + carry;
+    out.push_back(static_cast<uint64_t>(sum));
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  if (carry) out.push_back(carry);
+  return out;
+}
+
+BigInt::Limbs BigInt::SubMag(const Limbs& a, const Limbs& b) {
+  POLYSSE_DCHECK(CompareMag(a, b) >= 0);
+  Limbs out(a.size(), 0);
+  u128 borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    u128 bi = (i < b.size() ? b[i] : 0);
+    u128 ai = a[i];
+    if (ai >= bi + borrow) {
+      out[i] = static_cast<uint64_t>(ai - bi - borrow);
+      borrow = 0;
+    } else {
+      out[i] = static_cast<uint64_t>((static_cast<u128>(1) << 64) + ai - bi - borrow);
+      borrow = 1;
+    }
+  }
+  POLYSSE_DCHECK(borrow == 0);
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+BigInt::Limbs BigInt::MulSchoolbook(const Limbs& a, const Limbs& b) {
+  if (a.empty() || b.empty()) return {};
+  Limbs out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      u128 cur = static_cast<u128>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out[i + b.size()] += carry;
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+namespace {
+// Adds b into a starting at limb offset `shift` (a grows as needed).
+void AddInPlace(std::vector<uint64_t>* a, const std::vector<uint64_t>& b,
+                size_t shift) {
+  if (b.empty()) return;
+  if (a->size() < b.size() + shift) a->resize(b.size() + shift, 0);
+  uint64_t carry = 0;
+  size_t i = 0;
+  for (; i < b.size(); ++i) {
+    unsigned __int128 sum =
+        static_cast<unsigned __int128>((*a)[i + shift]) + b[i] + carry;
+    (*a)[i + shift] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  while (carry) {
+    if (i + shift >= a->size()) a->push_back(0);
+    unsigned __int128 sum = static_cast<unsigned __int128>((*a)[i + shift]) + carry;
+    (*a)[i + shift] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+    ++i;
+  }
+}
+}  // namespace
+
+BigInt::Limbs BigInt::MulKaratsuba(const Limbs& a, const Limbs& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return MulSchoolbook(a, b);
+  }
+  const size_t half = std::max(a.size(), b.size()) / 2;
+  auto split = [half](const Limbs& v) {
+    Limbs lo(v.begin(), v.begin() + std::min(half, v.size()));
+    Limbs hi(v.size() > half ? Limbs(v.begin() + half, v.end()) : Limbs{});
+    while (!lo.empty() && lo.back() == 0) lo.pop_back();
+    while (!hi.empty() && hi.back() == 0) hi.pop_back();
+    return std::pair<Limbs, Limbs>{std::move(lo), std::move(hi)};
+  };
+  auto [a0, a1] = split(a);
+  auto [b0, b1] = split(b);
+
+  Limbs z0 = MulKaratsuba(a0, b0);
+  Limbs z2 = MulKaratsuba(a1, b1);
+  Limbs a01 = AddMag(a0, a1);
+  Limbs b01 = AddMag(b0, b1);
+  Limbs z1 = MulKaratsuba(a01, b01);   // (a0+a1)(b0+b1)
+  z1 = SubMag(z1, z0);
+  z1 = SubMag(z1, z2);
+
+  Limbs out = z0;
+  AddInPlace(&out, z1, half);
+  AddInPlace(&out, z2, 2 * half);
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+BigInt::Limbs BigInt::MulMag(const Limbs& a, const Limbs& b) {
+  return MulKaratsuba(a, b);
+}
+
+BigInt::Limbs BigInt::ShiftLeftMag(const Limbs& a, size_t bits) {
+  if (a.empty()) return {};
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
+  Limbs out(limb_shift, 0);
+  if (bit_shift == 0) {
+    out.insert(out.end(), a.begin(), a.end());
+    return out;
+  }
+  uint64_t carry = 0;
+  for (uint64_t limb : a) {
+    out.push_back((limb << bit_shift) | carry);
+    carry = limb >> (64 - bit_shift);
+  }
+  if (carry) out.push_back(carry);
+  return out;
+}
+
+BigInt::Limbs BigInt::ShiftRightMag(const Limbs& a, size_t bits) {
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
+  if (limb_shift >= a.size()) return {};
+  Limbs out(a.begin() + limb_shift, a.end());
+  if (bit_shift != 0) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      uint64_t hi = (i + 1 < out.size()) ? out[i + 1] : 0;
+      out[i] = (out[i] >> bit_shift) | (hi << (64 - bit_shift));
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::pair<BigInt::Limbs, BigInt::Limbs> BigInt::DivRemMag(const Limbs& u_in,
+                                                          const Limbs& v_in) {
+  POLYSSE_CHECK(!v_in.empty());
+  if (CompareMag(u_in, v_in) < 0) return {{}, u_in};
+
+  // Single-limb divisor: simple 128/64 short division.
+  if (v_in.size() == 1) {
+    const uint64_t d = v_in[0];
+    Limbs q(u_in.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = u_in.size(); i-- > 0;) {
+      u128 cur = (static_cast<u128>(rem) << 64) | u_in[i];
+      q[i] = static_cast<uint64_t>(cur / d);
+      rem = static_cast<uint64_t>(cur % d);
+    }
+    while (!q.empty() && q.back() == 0) q.pop_back();
+    Limbs r;
+    if (rem) r.push_back(rem);
+    return {std::move(q), std::move(r)};
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D. Normalize so the divisor's top bit is set.
+  const size_t n = v_in.size();
+  const size_t shift = std::countl_zero(v_in.back());
+  Limbs v = ShiftLeftMag(v_in, shift);
+  Limbs u = ShiftLeftMag(u_in, shift);
+  u.resize(std::max(u.size(), u_in.size() + 1), 0);  // room for u[m+n].
+  const size_t m = u.size() - n;
+
+  Limbs q(m, 0);
+  const u128 kBase = static_cast<u128>(1) << 64;
+
+  for (size_t j = m; j-- > 0;) {
+    // D3: estimate the quotient digit. Capping at B-1 when the top limbs are
+    // equal keeps qhat*v[n-2] inside 128 bits (Knuth's exact formulation).
+    u128 numer = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat, rhat;
+    if (u[j + n] == v[n - 1]) {
+      qhat = kBase - 1;
+      rhat = numer - qhat * v[n - 1];
+    } else {
+      qhat = numer / v[n - 1];
+      rhat = numer % v[n - 1];
+    }
+    while (rhat < kBase &&
+           qhat * v[n - 2] > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+    }
+
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      u128 prod = qhat * v[i] + carry;
+      carry = prod >> 64;
+      uint64_t plo = static_cast<uint64_t>(prod);
+      u128 sub = static_cast<u128>(u[i + j]) - plo - borrow;
+      u[i + j] = static_cast<uint64_t>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+    u128 sub = static_cast<u128>(u[j + n]) - carry - borrow;
+    u[j + n] = static_cast<uint64_t>(sub);
+    bool negative = (sub >> 64) != 0;
+
+    if (negative) {
+      // qhat was one too large: add v back.
+      --qhat;
+      u128 c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        u128 sum = static_cast<u128>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<uint64_t>(sum);
+        c = sum >> 64;
+      }
+      u[j + n] = static_cast<uint64_t>(u[j + n] + c);
+    }
+    q[j] = static_cast<uint64_t>(qhat);
+  }
+
+  while (!q.empty() && q.back() == 0) q.pop_back();
+  Limbs r(u.begin(), u.begin() + n);
+  while (!r.empty() && r.back() == 0) r.pop_back();
+  r = ShiftRightMag(r, shift);
+  return {std::move(q), std::move(r)};
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  if (is_zero()) return rhs;
+  if (rhs.is_zero()) return *this;
+  if (sign_ == rhs.sign_) return BigInt(sign_, AddMag(limbs_, rhs.limbs_));
+  int cmp = CompareMag(limbs_, rhs.limbs_);
+  if (cmp == 0) return BigInt();
+  if (cmp > 0) return BigInt(sign_, SubMag(limbs_, rhs.limbs_));
+  return BigInt(rhs.sign_, SubMag(rhs.limbs_, limbs_));
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  if (is_zero() || rhs.is_zero()) return BigInt();
+  return BigInt(sign_ * rhs.sign_, MulMag(limbs_, rhs.limbs_));
+}
+
+std::pair<BigInt, BigInt> BigInt::DivRem(const BigInt& divisor) const {
+  POLYSSE_CHECK(!divisor.is_zero());
+  auto [qm, rm] = DivRemMag(limbs_, divisor.limbs_);
+  BigInt q(sign_ * divisor.sign_, std::move(qm));
+  BigInt r(sign_, std::move(rm));  // Remainder keeps the dividend's sign.
+  return {std::move(q), std::move(r)};
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const { return DivRem(rhs).first; }
+BigInt BigInt::operator%(const BigInt& rhs) const { return DivRem(rhs).second; }
+
+Result<BigInt> BigInt::DivExact(const BigInt& divisor) const {
+  if (divisor.is_zero()) return Status::InvalidArgument("DivExact by zero");
+  auto [q, r] = DivRem(divisor);
+  if (!r.is_zero())
+    return Status::Internal("DivExact: division left remainder " + r.ToString());
+  return q;
+}
+
+BigInt BigInt::EuclideanMod(const BigInt& m) const {
+  POLYSSE_CHECK(!m.is_zero());
+  BigInt r = *this % m;
+  if (r.is_negative()) r += m.Abs();
+  return r;
+}
+
+uint64_t BigInt::ModU64(uint64_t m) const {
+  POLYSSE_CHECK(m != 0);
+  u128 rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 64) | limbs_[i]) % m;
+  }
+  uint64_t r = static_cast<uint64_t>(rem);
+  if (sign_ < 0 && r != 0) r = m - r;
+  return r;
+}
+
+BigInt BigInt::operator<<(size_t bits) const {
+  if (is_zero()) return BigInt();
+  return BigInt(sign_, ShiftLeftMag(limbs_, bits));
+}
+
+BigInt BigInt::operator>>(size_t bits) const {
+  if (is_zero()) return BigInt();
+  return BigInt(sign_, ShiftRightMag(limbs_, bits));
+}
+
+BigInt BigInt::Pow(uint64_t exp) const {
+  BigInt base = *this;
+  BigInt out(1);
+  while (exp > 0) {
+    if (exp & 1) out *= base;
+    exp >>= 1;
+    if (exp) base *= base;
+  }
+  return out;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+Result<BigInt> BigInt::FromString(std::string_view s) {
+  bool negative = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    negative = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) return Status::InvalidArgument("empty number literal");
+
+  BigInt out;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+    if (s.empty()) return Status::InvalidArgument("empty hex literal");
+    for (char c : s) {
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else return Status::InvalidArgument("invalid hex digit");
+      out = (out << 4) + BigInt(digit);
+    }
+  } else {
+    // Consume 19 decimal digits at a time (10^19 < 2^64).
+    constexpr uint64_t kChunkPow[20] = {
+        1ull,
+        10ull,
+        100ull,
+        1000ull,
+        10000ull,
+        100000ull,
+        1000000ull,
+        10000000ull,
+        100000000ull,
+        1000000000ull,
+        10000000000ull,
+        100000000000ull,
+        1000000000000ull,
+        10000000000000ull,
+        100000000000000ull,
+        1000000000000000ull,
+        10000000000000000ull,
+        100000000000000000ull,
+        1000000000000000000ull,
+        10000000000000000000ull};
+    size_t i = 0;
+    while (i < s.size()) {
+      size_t take = std::min<size_t>(19, s.size() - i);
+      uint64_t chunk = 0;
+      for (size_t k = 0; k < take; ++k) {
+        char c = s[i + k];
+        if (c < '0' || c > '9')
+          return Status::InvalidArgument("invalid decimal digit");
+        chunk = chunk * 10 + static_cast<uint64_t>(c - '0');
+      }
+      out = out * BigInt::FromUInt64(kChunkPow[take]) + BigInt::FromUInt64(chunk);
+      i += take;
+    }
+  }
+  if (negative && !out.is_zero()) out.sign_ = -1;
+  return out;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Peel 19 decimal digits at a time by dividing by 10^19.
+  constexpr uint64_t kChunk = 10000000000000000000ull;
+  Limbs mag = limbs_;
+  std::vector<uint64_t> chunks;
+  while (!mag.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = mag.size(); i-- > 0;) {
+      u128 cur = (static_cast<u128>(rem) << 64) | mag[i];
+      mag[i] = static_cast<uint64_t>(cur / kChunk);
+      rem = static_cast<uint64_t>(cur % kChunk);
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    chunks.push_back(rem);
+  }
+  std::string out;
+  if (sign_ < 0) out.push_back('-');
+  out += std::to_string(chunks.back());
+  for (size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(19 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+std::string BigInt::ToHexString() const {
+  if (is_zero()) return "0x0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  if (sign_ < 0) out.push_back('-');
+  out += "0x";
+  bool leading = true;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 15; nib >= 0; --nib) {
+      int d = static_cast<int>((limbs_[i] >> (4 * nib)) & 0xF);
+      if (leading && d == 0) continue;
+      leading = false;
+      out.push_back(kDigits[d]);
+    }
+  }
+  return out;
+}
+
+void BigInt::Serialize(ByteWriter* out) const {
+  out->PutU8(sign_ == 0 ? 0 : (sign_ > 0 ? 1 : 2));
+  std::vector<uint8_t> mag = ToLittleEndianBytes();
+  out->PutLengthPrefixed(mag);
+}
+
+Result<BigInt> BigInt::Deserialize(ByteReader* in) {
+  ASSIGN_OR_RETURN(uint8_t sign_byte, in->GetU8());
+  if (sign_byte > 2) return Status::Corruption("BigInt: bad sign byte");
+  ASSIGN_OR_RETURN(std::vector<uint8_t> mag, in->GetLengthPrefixed());
+  BigInt out = FromLittleEndianBytes(mag, sign_byte == 2);
+  if (sign_byte == 0 && !out.is_zero())
+    return Status::Corruption("BigInt: zero sign with nonzero magnitude");
+  if (sign_byte != 0 && out.is_zero())
+    return Status::Corruption("BigInt: nonzero sign with zero magnitude");
+  return out;
+}
+
+size_t BigInt::SerializedSize() const {
+  ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToString();
+}
+
+}  // namespace polysse

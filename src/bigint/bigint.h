@@ -1,0 +1,147 @@
+// Arbitrary-precision signed integers, written from scratch for the
+// Z[x]/(r(x)) ring of Brinkman et al. (the offline build has no GMP/NTL).
+//
+// Representation: sign-magnitude. Limbs are uint64_t, little-endian,
+// normalized (no high zero limbs; zero has an empty limb vector).
+// Multiplication uses schoolbook below kKaratsubaThreshold limbs and
+// Karatsuba above; division is Knuth's Algorithm D.
+#ifndef POLYSSE_BIGINT_BIGINT_H_
+#define POLYSSE_BIGINT_BIGINT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace polysse {
+
+/// Signed arbitrary-precision integer.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// Implicit from machine integers, mirroring built-in numeric conversions.
+  BigInt(int64_t v);   // NOLINT(runtime/explicit)
+  BigInt(int v) : BigInt(static_cast<int64_t>(v)) {}  // NOLINT(runtime/explicit)
+
+  static BigInt FromUInt64(uint64_t v);
+  /// Parses decimal with optional leading '-', or hex with "0x" prefix.
+  static Result<BigInt> FromString(std::string_view s);
+
+  /// Builds from a little-endian magnitude byte string (used by the PRF-based
+  /// share generator). `negative` is ignored when the magnitude is zero.
+  static BigInt FromLittleEndianBytes(std::span<const uint8_t> bytes,
+                                      bool negative = false);
+
+  bool is_zero() const { return sign_ == 0; }
+  bool is_negative() const { return sign_ < 0; }
+  bool is_one() const { return sign_ == 1 && limbs_.size() == 1 && limbs_[0] == 1; }
+  /// -1, 0 or +1.
+  int sign() const { return sign_; }
+
+  /// Number of significant bits of |*this| (0 for zero).
+  size_t BitLength() const;
+  /// True iff the value fits in int64_t.
+  bool FitsInt64() const;
+  /// Checked narrowing; OutOfRange when |*this| exceeds int64 range.
+  Result<int64_t> ToInt64() const;
+  /// Closest double (may overflow to +/-inf for huge values).
+  double ToDouble() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& rhs) const;
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  /// Quotient truncated toward zero (C++ semantics).
+  BigInt operator/(const BigInt& rhs) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& rhs) const;
+
+  BigInt& operator+=(const BigInt& rhs) { return *this = *this + rhs; }
+  BigInt& operator-=(const BigInt& rhs) { return *this = *this - rhs; }
+  BigInt& operator*=(const BigInt& rhs) { return *this = *this * rhs; }
+  BigInt& operator/=(const BigInt& rhs) { return *this = *this / rhs; }
+  BigInt& operator%=(const BigInt& rhs) { return *this = *this % rhs; }
+
+  /// Truncated quotient and remainder in one pass. CHECK-fails on divide by 0.
+  std::pair<BigInt, BigInt> DivRem(const BigInt& divisor) const;
+  /// Quotient when the division is known exact; Internal error otherwise.
+  /// Used by Theorem-2 tag reconstruction, where inexactness means a
+  /// corrupt or cheating server.
+  Result<BigInt> DivExact(const BigInt& divisor) const;
+  /// Non-negative remainder: result in [0, |m|). CHECK-fails on m == 0.
+  BigInt EuclideanMod(const BigInt& m) const;
+  /// Fast path of EuclideanMod for word-sized moduli.
+  uint64_t ModU64(uint64_t m) const;
+
+  BigInt operator<<(size_t bits) const;
+  BigInt operator>>(size_t bits) const;
+
+  /// |this|^exp (exp >= 0); Pow(0) == 1 including 0^0 by convention.
+  BigInt Pow(uint64_t exp) const;
+
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  int Compare(const BigInt& rhs) const;
+  bool operator==(const BigInt& rhs) const { return Compare(rhs) == 0; }
+  bool operator!=(const BigInt& rhs) const { return Compare(rhs) != 0; }
+  bool operator<(const BigInt& rhs) const { return Compare(rhs) < 0; }
+  bool operator<=(const BigInt& rhs) const { return Compare(rhs) <= 0; }
+  bool operator>(const BigInt& rhs) const { return Compare(rhs) > 0; }
+  bool operator>=(const BigInt& rhs) const { return Compare(rhs) >= 0; }
+
+  /// Decimal, with leading '-' when negative.
+  std::string ToString() const;
+  /// Lowercase hex with "0x" prefix (and '-' when negative).
+  std::string ToHexString() const;
+
+  /// Minimal little-endian magnitude bytes (empty for zero).
+  std::vector<uint8_t> ToLittleEndianBytes() const;
+
+  /// Wire format: sign byte (0/1/2 for 0/+/-) + length-prefixed magnitude.
+  void Serialize(ByteWriter* out) const;
+  static Result<BigInt> Deserialize(ByteReader* in);
+  /// Serialized size in bytes, for the E7 storage accounting.
+  size_t SerializedSize() const;
+
+ private:
+  using Limbs = std::vector<uint64_t>;
+
+  static constexpr size_t kKaratsubaThreshold = 24;
+
+  BigInt(int sign, Limbs limbs) : sign_(sign), limbs_(std::move(limbs)) {
+    Normalize();
+  }
+
+  void Normalize();
+
+  // Magnitude helpers; operate on normalized limb vectors.
+  static int CompareMag(const Limbs& a, const Limbs& b);
+  static Limbs AddMag(const Limbs& a, const Limbs& b);
+  /// Requires |a| >= |b|.
+  static Limbs SubMag(const Limbs& a, const Limbs& b);
+  static Limbs MulMag(const Limbs& a, const Limbs& b);
+  static Limbs MulSchoolbook(const Limbs& a, const Limbs& b);
+  static Limbs MulKaratsuba(const Limbs& a, const Limbs& b);
+  /// Knuth Algorithm D; returns {quotient, remainder} magnitudes.
+  static std::pair<Limbs, Limbs> DivRemMag(const Limbs& u, const Limbs& v);
+  static Limbs ShiftLeftMag(const Limbs& a, size_t bits);
+  static Limbs ShiftRightMag(const Limbs& a, size_t bits);
+
+  int sign_ = 0;   // -1, 0, +1; 0 iff limbs_ empty.
+  Limbs limbs_;
+};
+
+/// Streams ToString(); convenience for logging and gtest failure messages.
+std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_BIGINT_BIGINT_H_

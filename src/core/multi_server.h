@@ -1,0 +1,117 @@
+// The multi-server extension sketched at the end of §4.2: "this can easily
+// be extended to a model with multiple servers, in which the client together
+// with k out of n servers (or any other access structure) can reconstruct
+// the shared secret polynomial."
+//
+// Two instantiations:
+//  * AdditiveMultiServer — client + k servers, all of them needed
+//    (k+1-of-k+1 additive sharing; generalizes the 2-party scheme).
+//  * ShamirMultiServer — pure t-of-n over the F_p ring: every coefficient is
+//    Shamir-shared, so any t servers reconstruct evaluations by Lagrange
+//    interpolation and t-1 servers learn nothing. The client holds no share
+//    at all (only the tag map).
+#ifndef POLYSSE_CORE_MULTI_SERVER_H_
+#define POLYSSE_CORE_MULTI_SERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/poly_tree.h"
+#include "core/sharing.h"
+#include "mpc/shamir.h"
+#include "ring/fp_cyclotomic_ring.h"
+
+namespace polysse {
+
+/// Additive client + k-server split: data = client + sum_i server_i.
+/// Servers 0..k-2 are PRF-derived (forgettable, like the client share);
+/// the last server absorbs the difference.
+template <typename Ring>
+Result<std::vector<PolyTree<Ring>>> SplitSharesAcrossServers(
+    const Ring& ring, const PolyTree<Ring>& data,
+    const DeterministicPrf& client_prf, int num_servers,
+    const ShareSplitOptions& options = {}) {
+  if (num_servers < 1)
+    return Status::InvalidArgument("need at least one server");
+  std::vector<PolyTree<Ring>> servers(num_servers);
+  for (int s = 0; s < num_servers; ++s)
+    servers[s].nodes.reserve(data.size());
+
+  for (const auto& node : data.nodes) {
+    // The client share is derived exactly as in the 2-party scheme, so a
+    // seed-only ClientContext works unchanged against multi-server stores.
+    typename Ring::Elem acc =
+        DeriveClientShare(ring, client_prf, node.path, options);
+    for (int s = 0; s < num_servers; ++s) {
+      typename Ring::Elem poly = ring.Zero();
+      if (s + 1 < num_servers) {
+        ChaChaRng rng = client_prf.Stream("server" + std::to_string(s) + "/" +
+                                          node.path);
+        poly = RandomShare(ring, rng, options);
+        acc = ring.Add(acc, poly);
+      } else {
+        poly = ring.Sub(node.poly, acc);
+      }
+      servers[s].nodes.push_back(typename PolyTree<Ring>::Node{
+          std::move(poly), 0, node.parent, node.children, node.path,
+          node.subtree_size});
+    }
+  }
+  return servers;
+}
+
+/// Combines the client's own evaluation with one evaluation per server.
+inline uint64_t CombineAdditiveEvals(uint64_t modulus, uint64_t client_eval,
+                                     const std::vector<uint64_t>& server_evals) {
+  unsigned __int128 sum = client_eval % modulus;
+  for (uint64_t v : server_evals) sum += v % modulus;
+  return static_cast<uint64_t>(sum % modulus);
+}
+
+/// Pure t-of-n Shamir sharing of an F_p polynomial tree.
+class ShamirMultiServer {
+ public:
+  /// One server's view: a tree of share polynomials (same shape as data).
+  struct ServerShareTree {
+    /// share_polys[node][j] = Shamir share (at this server's x) of the
+    /// node polynomial's j-th coefficient — equivalently a polynomial whose
+    /// evaluation at e is this server's share of f(e).
+    std::vector<std::vector<uint64_t>> node_coeff_shares;
+    uint64_t x = 0;  ///< this server's Shamir evaluation point
+  };
+
+  /// Splits `data` across n servers with reconstruction threshold t.
+  static Result<ShamirMultiServer> Setup(const FpCyclotomicRing& ring,
+                                         const PolyTree<FpCyclotomicRing>& data,
+                                         int threshold, int num_servers,
+                                         ChaChaRng& rng);
+
+  int threshold() const { return threshold_; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Server s evaluates its share of node `id` at point e (mod p).
+  Result<uint64_t> ServerEval(int server, int node_id, uint64_t e) const;
+
+  /// Client-side: Lagrange-combines evaluations from any >= t servers.
+  /// `server_ids` are 0-based server indices aligned with `evals`.
+  Result<uint64_t> CombineEvals(const std::vector<int>& server_ids,
+                                const std::vector<uint64_t>& evals) const;
+
+  /// Convenience for tests/benches: true combined evaluation of node `id` at
+  /// e using the first `threshold` servers.
+  Result<uint64_t> Eval(int node_id, uint64_t e) const;
+
+ private:
+  ShamirMultiServer(const FpCyclotomicRing& ring, int threshold)
+      : ring_(ring), threshold_(threshold) {}
+
+  FpCyclotomicRing ring_;
+  int threshold_;
+  size_t num_nodes_ = 0;
+  std::vector<ServerShareTree> servers_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_MULTI_SERVER_H_

@@ -1,0 +1,69 @@
+// One-call outsourcing: XML document in, {client secret state, server store}
+// out. This is the library's front door — see examples/quickstart.cpp.
+#ifndef POLYSSE_CORE_OUTSOURCE_H_
+#define POLYSSE_CORE_OUTSOURCE_H_
+
+#include <cstdint>
+
+#include "core/client_context.h"
+#include "core/server_store.h"
+#include "crypto/prf.h"
+#include "poly/z_poly.h"
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace polysse {
+
+/// Configuration of an F_p[x]/(x^{p-1}-1) deployment.
+struct FpOutsourceOptions {
+  /// Field modulus; 0 auto-selects the smallest safe prime for the
+  /// document's tag alphabet (PrimeForAlphabet).
+  uint64_t p = 0;
+  /// Keyed-random mapping hides tag structure; sequential is for debugging.
+  TagMap::Options::Assignment assignment =
+      TagMap::Options::Assignment::kKeyedRandom;
+};
+
+/// A complete 2-party deployment over the F_p ring.
+struct FpDeployment {
+  FpCyclotomicRing ring;
+  ClientContext<FpCyclotomicRing> client;
+  ServerStore<FpCyclotomicRing> server;
+};
+
+/// Builds tag map, polynomial tree and share split for `document`; the
+/// client side is seed-only (thin) — it can answer queries with nothing but
+/// `seed` and the returned tag map.
+Result<FpDeployment> OutsourceFp(const XmlNode& document,
+                                 const DeterministicPrf& seed,
+                                 const FpOutsourceOptions& options = {});
+
+/// Configuration of a Z[x]/(r(x)) deployment.
+struct ZOutsourceOptions {
+  /// Monic irreducible modulus; default x^2 + 1 (the paper's running
+  /// example).
+  ZPoly r = ZPoly({1, 0, 1});
+  /// Client-share coefficient width (statistical hiding margin).
+  size_t coeff_bits = 256;
+  /// Restrict tag values to points where r(t) is prime and large enough to
+  /// rule out evaluation-filter false positives (recommended; see
+  /// ZQuotientRing::SafeTagValues).
+  bool safe_tag_values = true;
+  /// Highest candidate tag value considered when building the map.
+  uint64_t max_tag_value = 4096;
+};
+
+/// A complete 2-party deployment over the Z[x]/(r) ring.
+struct ZDeployment {
+  ZQuotientRing ring;
+  ClientContext<ZQuotientRing> client;
+  ServerStore<ZQuotientRing> server;
+};
+
+Result<ZDeployment> OutsourceZ(const XmlNode& document,
+                               const DeterministicPrf& seed,
+                               const ZOutsourceOptions& options = {});
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_OUTSOURCE_H_

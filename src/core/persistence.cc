@@ -1,0 +1,180 @@
+#include "core/persistence.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace polysse {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'S', 'S', 'E'};
+constexpr uint8_t kFormatVersion = 1;
+
+void WriteHeader(StoredRingKind kind, ByteWriter* out) {
+  out->PutBytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(kMagic), 4));
+  out->PutU8(kFormatVersion);
+  out->PutU8(static_cast<uint8_t>(kind));
+}
+
+Result<StoredRingKind> ReadHeader(ByteReader* in) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> magic, in->GetBytes(4));
+  if (std::memcmp(magic.data(), kMagic, 4) != 0)
+    return Status::Corruption("not a polysse store (bad magic)");
+  ASSIGN_OR_RETURN(uint8_t version, in->GetU8());
+  if (version != kFormatVersion)
+    return Status::Corruption("unsupported store format version " +
+                              std::to_string(version));
+  ASSIGN_OR_RETURN(uint8_t kind, in->GetU8());
+  if (kind != 1 && kind != 2)
+    return Status::Corruption("unknown ring kind in store header");
+  return static_cast<StoredRingKind>(kind);
+}
+
+template <typename Ring>
+void SaveTree(const Ring& ring, const PolyTree<Ring>& tree, ByteWriter* out) {
+  out->PutVarint64(tree.size());
+  for (const auto& node : tree.nodes) {
+    out->PutVarintSigned64(node.parent);
+    ring.Serialize(node.poly, out);
+  }
+}
+
+/// Rebuilds children / path / subtree_size from parent pointers. Parents
+/// must precede children (preorder), which Save guarantees.
+template <typename Ring>
+Result<PolyTree<Ring>> LoadTree(const Ring& ring, ByteReader* in) {
+  ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
+  if (n == 0) return Status::Corruption("store with zero nodes");
+  if (n > (1ull << 28)) return Status::Corruption("absurd node count");
+  PolyTree<Ring> tree;
+  tree.nodes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(int64_t parent, in->GetVarintSigned64());
+    ASSIGN_OR_RETURN(typename Ring::Elem poly, ring.Deserialize(in));
+    if (i == 0) {
+      if (parent != -1) return Status::Corruption("root must have parent -1");
+    } else if (parent < 0 || static_cast<uint64_t>(parent) >= i) {
+      return Status::Corruption("node parent out of preorder range");
+    }
+    tree.nodes.push_back(typename PolyTree<Ring>::Node{
+        std::move(poly), 0, static_cast<int>(parent), {}, "", 1});
+    if (i > 0) {
+      auto& parent_node = tree.nodes[parent];
+      int child_index = static_cast<int>(parent_node.children.size());
+      parent_node.children.push_back(static_cast<int>(i));
+      tree.nodes[i].path = parent_node.path.empty()
+                               ? std::to_string(child_index)
+                               : parent_node.path + "/" +
+                                     std::to_string(child_index);
+    }
+  }
+  // Subtree sizes bottom-up (children have larger indices in preorder).
+  for (size_t i = tree.nodes.size(); i-- > 0;) {
+    int sum = 1;
+    for (int c : tree.nodes[i].children) sum += tree.nodes[c].subtree_size;
+    tree.nodes[i].subtree_size = sum;
+  }
+  return tree;
+}
+
+}  // namespace
+
+void SaveServerStore(const ServerStore<FpCyclotomicRing>& store,
+                     ByteWriter* out) {
+  WriteHeader(StoredRingKind::kFpCyclotomic, out);
+  out->PutVarint64(store.ring().p());
+  SaveTree(store.ring(), store.tree(), out);
+}
+
+void SaveServerStore(const ServerStore<ZQuotientRing>& store,
+                     ByteWriter* out) {
+  WriteHeader(StoredRingKind::kZQuotient, out);
+  store.ring().modulus().Serialize(out);
+  SaveTree(store.ring(), store.tree(), out);
+}
+
+Result<StoredRingKind> PeekStoredRingKind(std::span<const uint8_t> bytes) {
+  ByteReader reader(bytes);
+  return ReadHeader(&reader);
+}
+
+Result<ServerStore<FpCyclotomicRing>> LoadFpServerStore(ByteReader* in) {
+  ASSIGN_OR_RETURN(StoredRingKind kind, ReadHeader(in));
+  if (kind != StoredRingKind::kFpCyclotomic)
+    return Status::InvalidArgument("store holds a Z-ring tree; use "
+                                   "LoadZServerStore");
+  ASSIGN_OR_RETURN(uint64_t p, in->GetVarint64());
+  ASSIGN_OR_RETURN(FpCyclotomicRing ring, FpCyclotomicRing::Create(p));
+  ASSIGN_OR_RETURN(PolyTree<FpCyclotomicRing> tree, LoadTree(ring, in));
+  return ServerStore<FpCyclotomicRing>(ring, std::move(tree));
+}
+
+Result<ServerStore<ZQuotientRing>> LoadZServerStore(ByteReader* in) {
+  ASSIGN_OR_RETURN(StoredRingKind kind, ReadHeader(in));
+  if (kind != StoredRingKind::kZQuotient)
+    return Status::InvalidArgument("store holds an Fp-ring tree; use "
+                                   "LoadFpServerStore");
+  ASSIGN_OR_RETURN(ZPoly r, ZPoly::Deserialize(in));
+  ASSIGN_OR_RETURN(ZQuotientRing ring, ZQuotientRing::Create(std::move(r)));
+  ASSIGN_OR_RETURN(PolyTree<ZQuotientRing> tree, LoadTree(ring, in));
+  return ServerStore<ZQuotientRing>(ring, std::move(tree));
+}
+
+void ClientSecretFile::Serialize(ByteWriter* out) const {
+  out->PutString("PKEY");
+  out->PutU8(kFormatVersion);
+  out->PutBytes(std::span<const uint8_t>(seed.data(), seed.size()));
+  out->PutVarint64(z_coeff_bits);
+  tag_map.Serialize(out);
+}
+
+Result<ClientSecretFile> ClientSecretFile::Deserialize(ByteReader* in) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> magic, in->GetBytes(4));
+  if (std::memcmp(magic.data(), "PKEY", 4) != 0)
+    return Status::Corruption("not a polysse client key file");
+  ASSIGN_OR_RETURN(uint8_t version, in->GetU8());
+  if (version != kFormatVersion)
+    return Status::Corruption("unsupported key file version");
+  ClientSecretFile out;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> seed_bytes,
+                   in->GetBytes(DeterministicPrf::kSeedSize));
+  std::copy(seed_bytes.begin(), seed_bytes.end(), out.seed.begin());
+  ASSIGN_OR_RETURN(uint64_t bits, in->GetVarint64());
+  if (bits == 0 || bits > (1ull << 20))
+    return Status::Corruption("implausible z_coeff_bits");
+  out.z_coeff_bits = bits;
+  ASSIGN_OR_RETURN(out.tag_map, TagMap::Deserialize(in));
+  return out;
+}
+
+Status WriteFileBytes(const std::string& path,
+                      std::span<const uint8_t> bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size())
+    return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot stat: " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) return Status::Internal("short read from " + path);
+  return bytes;
+}
+
+}  // namespace polysse

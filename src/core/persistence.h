@@ -1,0 +1,59 @@
+// On-disk persistence for deployments: the server's share store (one file
+// the hosting provider keeps) and the client's secret state (seed + tag
+// map — a few hundred bytes, per §4.2's thin-client design).
+//
+// Share-tree wire format (versioned):
+//   magic "PSSE" | format u8 | ring header | node count |
+//   per node: parent varint-signed | ring-serialized polynomial
+// Children lists, paths and subtree sizes are reconstructed from the
+// parent pointers on load, so the format stays minimal.
+#ifndef POLYSSE_CORE_PERSISTENCE_H_
+#define POLYSSE_CORE_PERSISTENCE_H_
+
+#include <string>
+
+#include "core/server_store.h"
+#include "core/tag_map.h"
+#include "crypto/prf.h"
+#include "ring/fp_cyclotomic_ring.h"
+#include "ring/z_quotient_ring.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace polysse {
+
+/// Which ring a serialized store uses (part of the header).
+enum class StoredRingKind : uint8_t {
+  kFpCyclotomic = 1,
+  kZQuotient = 2,
+};
+
+/// Serializes a server store (ring parameters + share tree).
+void SaveServerStore(const ServerStore<FpCyclotomicRing>& store,
+                     ByteWriter* out);
+void SaveServerStore(const ServerStore<ZQuotientRing>& store, ByteWriter* out);
+
+/// Peeks at the header to learn the ring kind without consuming the reader.
+Result<StoredRingKind> PeekStoredRingKind(std::span<const uint8_t> bytes);
+
+/// Loads a store saved by the matching SaveServerStore overload.
+Result<ServerStore<FpCyclotomicRing>> LoadFpServerStore(ByteReader* in);
+Result<ServerStore<ZQuotientRing>> LoadZServerStore(ByteReader* in);
+
+/// Client secret state: master seed + private tag map (+ split options).
+struct ClientSecretFile {
+  std::array<uint8_t, DeterministicPrf::kSeedSize> seed{};
+  TagMap tag_map;
+  size_t z_coeff_bits = 256;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<ClientSecretFile> Deserialize(ByteReader* in);
+};
+
+/// Convenience file I/O (whole-file read/write).
+Status WriteFileBytes(const std::string& path, std::span<const uint8_t> bytes);
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_PERSISTENCE_H_

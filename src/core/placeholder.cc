@@ -1,0 +1,5 @@
+namespace polysse {
+namespace {
+int core_placeholder = 0;
+}
+}

@@ -1,0 +1,41 @@
+#include "core/poly_tree.h"
+
+namespace polysse {
+
+namespace {
+
+Result<int> BuildUnreducedRec(const TagMap& tag_map, const XmlNode& xml,
+                              int parent, const std::string& path,
+                              UnreducedPolyTree* out) {
+  ASSIGN_OR_RETURN(uint64_t tag_value, tag_map.Value(xml.name()));
+  const int id = static_cast<int>(out->nodes.size());
+  out->nodes.emplace_back();
+  out->nodes[id].tag_value = tag_value;
+  out->nodes[id].parent = parent;
+  out->nodes[id].path = path;
+
+  ZPoly poly = ZPoly::XMinus(BigInt::FromUInt64(tag_value));
+  for (size_t i = 0; i < xml.children().size(); ++i) {
+    std::string child_path =
+        path.empty() ? std::to_string(i) : path + "/" + std::to_string(i);
+    ASSIGN_OR_RETURN(int child_id,
+                     BuildUnreducedRec(tag_map, xml.children()[i], id,
+                                       child_path, out));
+    out->nodes[id].children.push_back(child_id);
+    poly = poly * out->nodes[child_id].poly;
+  }
+  out->nodes[id].poly = std::move(poly);
+  return id;
+}
+
+}  // namespace
+
+Result<UnreducedPolyTree> BuildUnreducedPolyTree(const TagMap& tag_map,
+                                                 const XmlNode& xml_root) {
+  UnreducedPolyTree out;
+  out.nodes.reserve(xml_root.SubtreeSize());
+  RETURN_IF_ERROR(BuildUnreducedRec(tag_map, xml_root, -1, "", &out).status());
+  return out;
+}
+
+}  // namespace polysse

@@ -1,0 +1,126 @@
+// The tree-of-polynomials representation of paper §4.1: leaves become
+// (x - map(name)); an interior node is (x - map(name)) * prod(children),
+// reduced in the chosen ring. Templated over the two rings of the paper
+// (FpCyclotomicRing, ZQuotientRing).
+#ifndef POLYSSE_CORE_POLY_TREE_H_
+#define POLYSSE_CORE_POLY_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tag_map.h"
+#include "poly/z_poly.h"
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace polysse {
+
+/// Flat preorder tree of ring elements; index 0 is the document root.
+template <typename Ring>
+struct PolyTree {
+  struct Node {
+    typename Ring::Elem poly;
+    /// Mapped tag value; kept on the *plaintext-side* artifact for debugging
+    /// and tests (the server share derived from this never carries it).
+    uint64_t tag_value = 0;
+    int parent = -1;
+    std::vector<int> children;
+    /// Child-index path from the root, e.g. "0/2" ("" for the root). This is
+    /// the node identity used to key PRF-derived client shares.
+    std::string path;
+    /// Number of nodes in this node's subtree (== true polynomial degree).
+    int subtree_size = 1;
+  };
+
+  std::vector<Node> nodes;
+  size_t size() const { return nodes.size(); }
+};
+
+namespace internal {
+
+template <typename Ring>
+Result<int> BuildPolyTreeRec(const Ring& ring, const TagMap& tag_map,
+                             const XmlNode& xml, int parent,
+                             const std::string& path, PolyTree<Ring>* out) {
+  ASSIGN_OR_RETURN(uint64_t tag_value, tag_map.Value(xml.name()));
+  ASSIGN_OR_RETURN(typename Ring::Elem self_factor, ring.XMinus(tag_value));
+
+  const int id = static_cast<int>(out->nodes.size());
+  out->nodes.push_back(typename PolyTree<Ring>::Node{
+      ring.Zero(), tag_value, parent, {}, path, 1});
+
+  typename Ring::Elem poly = std::move(self_factor);
+  int subtree = 1;
+  for (size_t i = 0; i < xml.children().size(); ++i) {
+    std::string child_path =
+        path.empty() ? std::to_string(i) : path + "/" + std::to_string(i);
+    ASSIGN_OR_RETURN(int child_id,
+                     BuildPolyTreeRec(ring, tag_map, xml.children()[i], id,
+                                      child_path, out));
+    out->nodes[id].children.push_back(child_id);
+    poly = ring.Mul(poly, out->nodes[child_id].poly);
+    subtree += out->nodes[child_id].subtree_size;
+  }
+  out->nodes[id].poly = std::move(poly);
+  out->nodes[id].subtree_size = subtree;
+  return id;
+}
+
+}  // namespace internal
+
+/// Builds the reduced polynomial tree for an XML document. Every tag of the
+/// document must be present in `tag_map`.
+template <typename Ring>
+Result<PolyTree<Ring>> BuildPolyTree(const Ring& ring, const TagMap& tag_map,
+                                     const XmlNode& xml_root) {
+  PolyTree<Ring> out;
+  out.nodes.reserve(xml_root.SubtreeSize());
+  RETURN_IF_ERROR(
+      internal::BuildPolyTreeRec(ring, tag_map, xml_root, -1, "", &out)
+          .status());
+  return out;
+}
+
+/// The *non-reduced* representation of Fig. 1(c): plain Z[x] products, no
+/// quotient. Degrees equal subtree sizes; used for the figure bench and as
+/// a ground-truth oracle in tests.
+struct UnreducedPolyTree {
+  struct Node {
+    ZPoly poly;
+    uint64_t tag_value = 0;
+    int parent = -1;
+    std::vector<int> children;
+    std::string path;
+  };
+  std::vector<Node> nodes;
+  size_t size() const { return nodes.size(); }
+};
+
+Result<UnreducedPolyTree> BuildUnreducedPolyTree(const TagMap& tag_map,
+                                                 const XmlNode& xml_root);
+
+/// Theorems 1 & 2: recovers a node's mapped tag value from its polynomial
+/// and its children's polynomials. Exercises the ring's SolveTag, which
+/// verifies every coefficient equation of Eq. (3).
+template <typename Ring>
+Result<uint64_t> RecoverTagValue(
+    const Ring& ring, const typename Ring::Elem& node_poly,
+    const std::vector<typename Ring::Elem>& child_polys) {
+  typename Ring::Elem g = ring.One();
+  for (const auto& c : child_polys) g = ring.Mul(g, c);
+  return ring.SolveTag(node_poly, g);
+}
+
+/// Convenience overload resolving children from the tree layout.
+template <typename Ring>
+Result<uint64_t> RecoverTagValue(const Ring& ring, const PolyTree<Ring>& tree,
+                                 int node_id) {
+  std::vector<typename Ring::Elem> children;
+  for (int c : tree.nodes[node_id].children)
+    children.push_back(tree.nodes[c].poly);
+  return RecoverTagValue(ring, tree.nodes[node_id].poly, children);
+}
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_POLY_TREE_H_

@@ -1,0 +1,120 @@
+#include "core/protocol.h"
+
+namespace polysse {
+
+namespace {
+constexpr uint64_t kMaxVectorLen = 1ull << 24;  // wire sanity bound
+
+Status BadLen(const char* what) {
+  return Status::Corruption(std::string("absurd vector length in ") + what);
+}
+}  // namespace
+
+void EvalRequest::Serialize(ByteWriter* out) const {
+  out->PutVarint64(points.size());
+  for (uint64_t p : points) out->PutVarint64(p);
+  out->PutVarint64(node_ids.size());
+  for (int32_t id : node_ids) out->PutVarint64(static_cast<uint32_t>(id));
+}
+
+Result<EvalRequest> EvalRequest::Deserialize(ByteReader* in) {
+  EvalRequest out;
+  ASSIGN_OR_RETURN(uint64_t np, in->GetVarint64());
+  if (np > kMaxVectorLen) return BadLen("EvalRequest.points");
+  out.points.resize(np);
+  for (uint64_t i = 0; i < np; ++i) {
+    ASSIGN_OR_RETURN(out.points[i], in->GetVarint64());
+  }
+  ASSIGN_OR_RETURN(uint64_t nn, in->GetVarint64());
+  if (nn > kMaxVectorLen) return BadLen("EvalRequest.node_ids");
+  out.node_ids.resize(nn);
+  for (uint64_t i = 0; i < nn; ++i) {
+    ASSIGN_OR_RETURN(uint64_t id, in->GetVarint64());
+    out.node_ids[i] = static_cast<int32_t>(id);
+  }
+  return out;
+}
+
+void EvalResponse::Serialize(ByteWriter* out) const {
+  out->PutVarint64(entries.size());
+  for (const EvalEntry& e : entries) {
+    out->PutVarint64(static_cast<uint32_t>(e.node_id));
+    out->PutVarint64(e.values.size());
+    for (uint64_t v : e.values) out->PutVarint64(v);
+    out->PutVarint64(e.children.size());
+    for (int32_t c : e.children) out->PutVarint64(static_cast<uint32_t>(c));
+    out->PutVarint64(static_cast<uint32_t>(e.subtree_size));
+  }
+}
+
+Result<EvalResponse> EvalResponse::Deserialize(ByteReader* in) {
+  EvalResponse out;
+  ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
+  if (n > kMaxVectorLen) return BadLen("EvalResponse.entries");
+  out.entries.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    EvalEntry& e = out.entries[i];
+    ASSIGN_OR_RETURN(uint64_t id, in->GetVarint64());
+    e.node_id = static_cast<int32_t>(id);
+    ASSIGN_OR_RETURN(uint64_t nv, in->GetVarint64());
+    if (nv > kMaxVectorLen) return BadLen("EvalEntry.values");
+    e.values.resize(nv);
+    for (uint64_t k = 0; k < nv; ++k) {
+      ASSIGN_OR_RETURN(e.values[k], in->GetVarint64());
+    }
+    ASSIGN_OR_RETURN(uint64_t nc, in->GetVarint64());
+    if (nc > kMaxVectorLen) return BadLen("EvalEntry.children");
+    e.children.resize(nc);
+    for (uint64_t k = 0; k < nc; ++k) {
+      ASSIGN_OR_RETURN(uint64_t c, in->GetVarint64());
+      e.children[k] = static_cast<int32_t>(c);
+    }
+    ASSIGN_OR_RETURN(uint64_t ss, in->GetVarint64());
+    e.subtree_size = static_cast<int32_t>(ss);
+  }
+  return out;
+}
+
+void FetchRequest::Serialize(ByteWriter* out) const {
+  out->PutU8(static_cast<uint8_t>(mode));
+  out->PutVarint64(node_ids.size());
+  for (int32_t id : node_ids) out->PutVarint64(static_cast<uint32_t>(id));
+}
+
+Result<FetchRequest> FetchRequest::Deserialize(ByteReader* in) {
+  FetchRequest out;
+  ASSIGN_OR_RETURN(uint8_t mode, in->GetU8());
+  if (mode > 1) return Status::Corruption("FetchRequest: unknown mode");
+  out.mode = static_cast<FetchMode>(mode);
+  ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
+  if (n > kMaxVectorLen) return BadLen("FetchRequest.node_ids");
+  out.node_ids.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(uint64_t id, in->GetVarint64());
+    out.node_ids[i] = static_cast<int32_t>(id);
+  }
+  return out;
+}
+
+void FetchResponse::Serialize(ByteWriter* out) const {
+  out->PutVarint64(entries.size());
+  for (const FetchEntry& e : entries) {
+    out->PutVarint64(static_cast<uint32_t>(e.node_id));
+    out->PutLengthPrefixed(e.payload);
+  }
+}
+
+Result<FetchResponse> FetchResponse::Deserialize(ByteReader* in) {
+  FetchResponse out;
+  ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
+  if (n > kMaxVectorLen) return BadLen("FetchResponse.entries");
+  out.entries.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(uint64_t id, in->GetVarint64());
+    out.entries[i].node_id = static_cast<int32_t>(id);
+    ASSIGN_OR_RETURN(out.entries[i].payload, in->GetLengthPrefixed());
+  }
+  return out;
+}
+
+}  // namespace polysse

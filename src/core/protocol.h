@@ -1,0 +1,121 @@
+// Wire protocol between the thin client and the untrusted server (§4.3).
+// Every message is actually serialized/deserialized — even though both ends
+// run in one process — so the byte counters report real wire costs and the
+// codecs are exercised on every query.
+//
+// Message flow for one lookup:
+//   C -> S  EvalRequest  {points, node_ids}      (points = map(tag) values)
+//   S -> C  EvalResponse {id, values[], children, subtree_size}
+//   ... repeated per BFS round; pruned branches are simply never requested,
+//       which is how the server "stops evaluating polynomials" (§4.3) ...
+//   C -> S  FetchRequest {mode, node_ids}        (verification phase)
+//   S -> C  FetchResponse{id, payload}           (full share or const coeff)
+#ifndef POLYSSE_CORE_PROTOCOL_H_
+#define POLYSSE_CORE_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace polysse {
+
+/// Client asks the server to evaluate its share of `node_ids` at `points`.
+struct EvalRequest {
+  std::vector<uint64_t> points;
+  std::vector<int32_t> node_ids;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<EvalRequest> Deserialize(ByteReader* in);
+};
+
+/// Per-node evaluation results plus the structure info the client needs to
+/// continue the walk (the server knows the tree shape; the client may not).
+struct EvalEntry {
+  int32_t node_id = 0;
+  /// Aligned with EvalRequest::points.
+  std::vector<uint64_t> values;
+  std::vector<int32_t> children;
+  /// Node count of the subtree == true polynomial degree; lets the client
+  /// decide wrap-freeness for the trusted const-only mode.
+  int32_t subtree_size = 0;
+};
+
+struct EvalResponse {
+  std::vector<EvalEntry> entries;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<EvalResponse> Deserialize(ByteReader* in);
+};
+
+/// What the verification phase transfers per node.
+enum class FetchMode : uint8_t {
+  kFull = 0,       ///< complete share polynomial (enables Eq. 3 checking)
+  kConstOnly = 1,  ///< constant coefficient only (paper's trusted mode)
+};
+
+struct FetchRequest {
+  FetchMode mode = FetchMode::kFull;
+  std::vector<int32_t> node_ids;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<FetchRequest> Deserialize(ByteReader* in);
+};
+
+struct FetchEntry {
+  int32_t node_id = 0;
+  /// Ring-serialized element (kFull) or scalar (kConstOnly).
+  std::vector<uint8_t> payload;
+};
+
+struct FetchResponse {
+  std::vector<FetchEntry> entries;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<FetchResponse> Deserialize(ByteReader* in);
+};
+
+/// Byte/message counters for one direction pair.
+struct TransportCounters {
+  size_t bytes_up = 0;    ///< client -> server
+  size_t bytes_down = 0;  ///< server -> client
+  size_t messages_up = 0;
+  size_t messages_down = 0;
+
+  void Add(const TransportCounters& o) {
+    bytes_up += o.bytes_up;
+    bytes_down += o.bytes_down;
+    messages_up += o.messages_up;
+    messages_down += o.messages_down;
+  }
+};
+
+/// Everything a query run reports; the currency of experiments E8-E11.
+struct QueryStats {
+  size_t total_server_nodes = 0;
+  size_t nodes_visited = 0;   ///< distinct nodes the server evaluated
+  size_t server_evals = 0;    ///< (node, point) evaluations at the server
+  size_t client_evals = 0;    ///< (node, point) evaluations at the client
+  size_t client_share_derivations = 0;  ///< PRF-derived share polynomials
+  size_t rounds = 0;          ///< BFS round trips
+  size_t zero_candidates = 0; ///< nodes whose combined evaluation was 0
+  size_t reconstructions = 0; ///< Theorem 1/2 tag recoveries performed
+  size_t polys_fetched_full = 0;
+  size_t consts_fetched = 0;
+  size_t trusted_fallbacks = 0;  ///< const-only requests that needed full
+  size_t false_positives_removed = 0;  ///< eval-filter hits rejected by t != e
+  TransportCounters transport;
+
+  /// Fraction of the server tree touched (the §5 "small portion" claim).
+  double VisitedFraction() const {
+    return total_server_nodes == 0
+               ? 0.0
+               : static_cast<double>(nodes_visited) /
+                     static_cast<double>(total_server_nodes);
+  }
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_PROTOCOL_H_

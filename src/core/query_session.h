@@ -1,0 +1,660 @@
+// The query protocol of §4.3, client side. One QuerySession drives lookups
+// against one ServerStore through the serialized wire protocol:
+//
+//  * Element lookup //tag: top-down BFS; each round the server evaluates the
+//    frontier's share polynomials at e = map(tag), the client adds its own
+//    share evaluations, and only nodes whose combined value is 0 are
+//    expanded — dead branches are pruned without the server ever touching
+//    them (the paper's "smart index").
+//  * Answer determination: a zero node with no zero child is a definite
+//    match; other zero nodes are disambiguated by reconstructing the node's
+//    tag via Theorems 1/2 (which simultaneously verifies an untrusted
+//    server's answers through the Eq. 3 coefficient checks).
+//  * Advanced XPath //a/b//c (paper §4.3 "Advanced Querying"): left-to-right
+//    stepping, or the paper's preferred all-at-once strategy that filters
+//    every branch against the whole query's point set in a single pass.
+#ifndef POLYSSE_CORE_QUERY_SESSION_H_
+#define POLYSSE_CORE_QUERY_SESSION_H_
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/client_context.h"
+#include "core/protocol.h"
+#include "core/server_store.h"
+#include "xpath/xpath.h"
+
+namespace polysse {
+
+/// How much the client trusts the server (paper §4.3, discussion of Eq. 3).
+enum class VerifyMode {
+  /// No reconstruction: definite answers are zero nodes without zero
+  /// children. Cheapest; cannot detect a cheating server, and in the
+  /// Z[x]/(r) ring the evaluation filter may let false positives through.
+  kOptimistic,
+  /// Reconstruct every candidate's tag with full share polynomials and check
+  /// all coefficient equations (Eq. 3) — rejects cheating servers.
+  kVerified,
+  /// The paper's trusted-server optimization: transfer only constant
+  /// coefficients ("only the last equation is enough"), falling back to a
+  /// full fetch for nodes whose true polynomial wraps the ring.
+  kTrustedConstOnly,
+};
+
+/// §4.3 advanced-query evaluation order.
+enum class XPathStrategy {
+  kLeftToRight,  ///< evaluate steps one by one
+  kAllAtOnce,    ///< filter branches against all query points simultaneously
+};
+
+/// One query answer.
+struct MatchedNode {
+  int32_t node_id = 0;
+  std::string path;  ///< child-index path, e.g. "0/2" ("" = root)
+
+  bool operator==(const MatchedNode& o) const {
+    return node_id == o.node_id && path == o.path;
+  }
+};
+
+/// Result of a lookup or XPath evaluation.
+struct LookupResult {
+  /// Confirmed matches in document order.
+  std::vector<MatchedNode> matches;
+  /// kOptimistic only: zero nodes that *may* additionally match (the paper's
+  /// "may or may not represent correct answers").
+  std::vector<MatchedNode> possible;
+  QueryStats stats;
+};
+
+/// Result of a batched multi-tag lookup: one entry per requested tag, plus
+/// the shared protocol cost (a single BFS walk answers all tags at once via
+/// multi-point evaluation requests).
+struct MultiLookupResult {
+  std::vector<LookupResult> per_tag;  ///< aligned with the request order
+  QueryStats stats;                   ///< aggregate cost of the shared walk
+};
+
+template <typename Ring>
+class QuerySession {
+ public:
+  QuerySession(ClientContext<Ring>* client, ServerStore<Ring>* server)
+      : client_(client), server_(server) {}
+
+  /// Element lookup //tagname. An unmapped tag short-circuits to an empty
+  /// result without contacting the server (the map is client-private).
+  Result<LookupResult> Lookup(std::string_view tagname, VerifyMode mode) {
+    BeginQuery();
+    LookupResult result;
+    auto e_or = client_->tag_map().Value(tagname);
+    if (!e_or.ok()) {
+      FinishStats(&result.stats);
+      return result;
+    }
+    const uint64_t e = *e_or;
+    RETURN_IF_ERROR(client_->ring().QueryModulus(e).status());
+
+    ASSIGN_OR_RETURN(std::vector<int32_t> zeros, PrunedDescend({0}, {e}));
+    for (int32_t z : zeros) {
+      ASSIGN_OR_RETURN(bool definite, HasNoZeroChild(z, e));
+      if (mode == VerifyMode::kOptimistic) {
+        if (definite) {
+          result.matches.push_back({z, info_[z].path});
+        } else {
+          result.possible.push_back({z, info_[z].path});
+        }
+        continue;
+      }
+      ASSIGN_OR_RETURN(uint64_t t, ReconstructTag(z, mode));
+      if (t == e) {
+        result.matches.push_back({z, info_[z].path});
+      } else if (definite) {
+        // The evaluation filter said "match" but the tag differs: a Z-ring
+        // false positive (or a cheating server, which kVerified rejects
+        // earlier inside SolveTag).
+        ++stats_.false_positives_removed;
+      }
+    }
+    SortMatches(&result.matches);
+    SortMatches(&result.possible);
+    FinishStats(&result.stats);
+    return result;
+  }
+
+  /// Batched element lookup: answers several //tag queries with ONE pruned
+  /// walk. The frontier descends wherever *any* requested point vanishes,
+  /// and every eval request carries all points, so the per-tag marginal
+  /// cost is a word per node instead of a full round. Unmapped tags yield
+  /// empty entries.
+  Result<MultiLookupResult> LookupMany(const std::vector<std::string>& tags,
+                                       VerifyMode mode) {
+    BeginQuery();
+    MultiLookupResult out;
+    out.per_tag.resize(tags.size());
+
+    // Map the tags; deduplicate points (repeated tags share work).
+    std::vector<uint64_t> points;
+    std::vector<int> tag_point(tags.size(), -1);  // index into `points`
+    for (size_t i = 0; i < tags.size(); ++i) {
+      auto e_or = client_->tag_map().Value(tags[i]);
+      if (!e_or.ok()) continue;
+      RETURN_IF_ERROR(client_->ring().QueryModulus(*e_or).status());
+      auto it = std::find(points.begin(), points.end(), *e_or);
+      if (it == points.end()) {
+        tag_point[i] = static_cast<int>(points.size());
+        points.push_back(*e_or);
+      } else {
+        tag_point[i] = static_cast<int>(it - points.begin());
+      }
+    }
+    if (points.empty()) {
+      FinishStats(&out.stats);
+      return out;
+    }
+
+    // Shared BFS: expand while ANY point vanishes.
+    std::vector<int32_t> frontier = {0};
+    std::unordered_set<int32_t> seen(frontier.begin(), frontier.end());
+    std::vector<std::vector<int32_t>> zeros_per_point(points.size());
+    while (!frontier.empty()) {
+      RETURN_IF_ERROR(EnsureEvals(frontier, points));
+      std::vector<int32_t> next;
+      for (int32_t id : frontier) {
+        bool any_zero = false;
+        for (size_t k = 0; k < points.size(); ++k) {
+          if (combined_evals_.at({id, points[k]}) == 0) {
+            zeros_per_point[k].push_back(id);
+            any_zero = true;
+          }
+        }
+        if (!any_zero) continue;
+        for (int32_t c : info_[id].children) {
+          if (seen.insert(c).second) next.push_back(c);
+        }
+      }
+      frontier = std::move(next);
+    }
+
+    // Resolve answers per tag, sharing the fetch/reconstruction caches.
+    for (size_t i = 0; i < tags.size(); ++i) {
+      if (tag_point[i] < 0) continue;  // unmapped
+      const uint64_t e = points[tag_point[i]];
+      for (int32_t z : zeros_per_point[tag_point[i]]) {
+        ASSIGN_OR_RETURN(bool definite, HasNoZeroChild(z, e));
+        if (mode == VerifyMode::kOptimistic) {
+          if (definite) {
+            out.per_tag[i].matches.push_back({z, info_[z].path});
+          } else {
+            out.per_tag[i].possible.push_back({z, info_[z].path});
+          }
+          continue;
+        }
+        ASSIGN_OR_RETURN(uint64_t t, ReconstructTag(z, mode));
+        if (t == e) {
+          out.per_tag[i].matches.push_back({z, info_[z].path});
+        } else if (definite) {
+          ++stats_.false_positives_removed;
+        }
+      }
+      SortMatches(&out.per_tag[i].matches);
+      SortMatches(&out.per_tag[i].possible);
+    }
+    FinishStats(&out.stats);
+    for (auto& r : out.per_tag) r.stats = out.stats;  // shared-cost view
+    return out;
+  }
+
+  /// Advanced XPath query (§4.3). kOptimistic is promoted to kVerified —
+  /// multi-step navigation needs exact tag identification at every step.
+  Result<LookupResult> EvaluateXPath(const XPathQuery& query,
+                                     XPathStrategy strategy, VerifyMode mode) {
+    BeginQuery();
+    if (mode == VerifyMode::kOptimistic) mode = VerifyMode::kVerified;
+    LookupResult result;
+
+    std::vector<uint64_t> points(query.steps().size());
+    for (size_t i = 0; i < query.steps().size(); ++i) {
+      auto e_or = client_->tag_map().Value(query.steps()[i].name);
+      if (!e_or.ok()) {
+        FinishStats(&result.stats);
+        return result;  // unmapped name can never match
+      }
+      points[i] = *e_or;
+      RETURN_IF_ERROR(client_->ring().QueryModulus(points[i]).status());
+    }
+
+    std::set<int32_t> final_ids;
+    if (strategy == XPathStrategy::kLeftToRight) {
+      RETURN_IF_ERROR(RunLeftToRight(query, points, mode, &final_ids));
+    } else {
+      std::set<std::pair<int32_t, size_t>> memo;
+      RETURN_IF_ERROR(
+          RunAllAtOnce(query, points, mode, kVirtualRoot, 0, &memo, &final_ids));
+    }
+    for (int32_t id : final_ids) result.matches.push_back({id, info_[id].path});
+    SortMatches(&result.matches);
+    FinishStats(&result.stats);
+    return result;
+  }
+
+  /// Stats of the most recent query.
+  const QueryStats& last_stats() const { return stats_; }
+
+ private:
+  using Elem = typename Ring::Elem;
+  using Scalar = typename Ring::Scalar;
+
+  static constexpr int32_t kVirtualRoot = -1;
+
+  /// Client-side picture of a server node, learned from EvalResponses.
+  struct NodeInfo {
+    std::string path;
+    std::vector<int32_t> children;
+    int32_t subtree_size = 0;
+    bool known = false;
+  };
+
+  void BeginQuery() {
+    stats_ = QueryStats();
+    stats_.total_server_nodes = server_->size();
+    server_stats_before_ = server_->stats();
+    info_.clear();
+    info_[0].path = "";  // the root's path is known a priori
+    combined_evals_.clear();
+    combined_polys_.clear();
+    combined_consts_.clear();
+    client_shares_.clear();
+    visited_.clear();
+  }
+
+  void FinishStats(QueryStats* out) {
+    const auto& after = server_->stats();
+    stats_.server_evals = after.evals - server_stats_before_.evals;
+    stats_.nodes_visited = visited_.size();
+    *out = stats_;
+  }
+
+  static void SortMatches(std::vector<MatchedNode>* v) {
+    std::sort(v->begin(), v->end(),
+              [](const MatchedNode& a, const MatchedNode& b) {
+                return a.node_id < b.node_id;  // preorder == document order
+              });
+  }
+
+  // ------------------------------------------------------------- transport
+
+  Result<EvalResponse> SendEval(const EvalRequest& req) {
+    ByteWriter up;
+    req.Serialize(&up);
+    stats_.transport.bytes_up += up.size();
+    ++stats_.transport.messages_up;
+    ByteReader up_r(up.span());
+    ASSIGN_OR_RETURN(EvalRequest decoded, EvalRequest::Deserialize(&up_r));
+    ASSIGN_OR_RETURN(EvalResponse resp, server_->HandleEval(decoded));
+    ByteWriter down;
+    resp.Serialize(&down);
+    stats_.transport.bytes_down += down.size();
+    ++stats_.transport.messages_down;
+    ByteReader down_r(down.span());
+    return EvalResponse::Deserialize(&down_r);
+  }
+
+  Result<FetchResponse> SendFetch(const FetchRequest& req) {
+    ByteWriter up;
+    req.Serialize(&up);
+    stats_.transport.bytes_up += up.size();
+    ++stats_.transport.messages_up;
+    ByteReader up_r(up.span());
+    ASSIGN_OR_RETURN(FetchRequest decoded, FetchRequest::Deserialize(&up_r));
+    ASSIGN_OR_RETURN(FetchResponse resp, server_->HandleFetch(decoded));
+    ByteWriter down;
+    resp.Serialize(&down);
+    stats_.transport.bytes_down += down.size();
+    ++stats_.transport.messages_down;
+    ByteReader down_r(down.span());
+    return FetchResponse::Deserialize(&down_r);
+  }
+
+  // ------------------------------------------------------ combined evals
+
+  Result<const Elem*> ClientShare(int32_t id) {
+    auto it = client_shares_.find(id);
+    if (it == client_shares_.end()) {
+      ASSIGN_OR_RETURN(Elem share, client_->ShareForPath(info_[id].path));
+      ++stats_.client_share_derivations;
+      it = client_shares_.emplace(id, std::move(share)).first;
+    }
+    return &it->second;
+  }
+
+  /// Requests server evaluations for any (id, point) not yet cached, then
+  /// combines with client share evaluations. All ids must have known paths
+  /// (the root, or discovered via a parent's EvalEntry).
+  Status EnsureEvals(const std::vector<int32_t>& ids,
+                     const std::vector<uint64_t>& points) {
+    std::vector<int32_t> need;
+    for (int32_t id : ids) {
+      bool missing = !info_[id].known;
+      for (uint64_t e : points) {
+        if (!combined_evals_.count({id, e})) missing = true;
+      }
+      if (missing) need.push_back(id);
+    }
+    if (need.empty()) return Status::Ok();
+
+    EvalRequest req;
+    req.points = points;
+    req.node_ids = need;
+    ASSIGN_OR_RETURN(EvalResponse resp, SendEval(req));
+    if (resp.entries.size() != need.size())
+      return Status::Corruption("server returned wrong entry count");
+    ++stats_.rounds;
+
+    for (const EvalEntry& entry : resp.entries) {
+      visited_.insert(entry.node_id);
+      NodeInfo& info = info_[entry.node_id];
+      if (!info.known) {
+        info.children = entry.children;
+        info.subtree_size = entry.subtree_size;
+        info.known = true;
+        for (size_t i = 0; i < entry.children.size(); ++i) {
+          NodeInfo& child = info_[entry.children[i]];
+          if (child.path.empty() && entry.children[i] != 0) {
+            child.path = info.path.empty()
+                             ? std::to_string(i)
+                             : info.path + "/" + std::to_string(i);
+          }
+        }
+      }
+      if (entry.values.size() != points.size())
+        return Status::Corruption("server returned wrong value count");
+      ASSIGN_OR_RETURN(const Elem* share, ClientShare(entry.node_id));
+      for (size_t k = 0; k < points.size(); ++k) {
+        const uint64_t e = points[k];
+        ASSIGN_OR_RETURN(uint64_t m, client_->ring().QueryModulus(e));
+        if (entry.values[k] >= m)
+          return Status::Corruption("server evaluation outside Z_m");
+        ASSIGN_OR_RETURN(uint64_t cv, client_->ring().EvalAt(*share, e));
+        ++stats_.client_evals;
+        uint64_t sum = entry.values[k] + cv >= m ? entry.values[k] + cv - m
+                                                 : entry.values[k] + cv;
+        combined_evals_[{entry.node_id, e}] = sum;
+        if (sum == 0) ++stats_.zero_candidates;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<uint64_t> CombinedEval(int32_t id, uint64_t e) {
+    RETURN_IF_ERROR(EnsureEvals({id}, {e}));
+    return combined_evals_.at({id, e});
+  }
+
+  /// BFS from `roots` keeping only nodes whose combined evaluation vanishes
+  /// at *all* points; returns those nodes (the paper's alive region).
+  Result<std::vector<int32_t>> PrunedDescend(std::vector<int32_t> roots,
+                                             const std::vector<uint64_t>& points) {
+    std::vector<int32_t> alive;
+    std::vector<int32_t> frontier = std::move(roots);
+    std::unordered_set<int32_t> seen(frontier.begin(), frontier.end());
+    while (!frontier.empty()) {
+      RETURN_IF_ERROR(EnsureEvals(frontier, points));
+      std::vector<int32_t> next;
+      for (int32_t id : frontier) {
+        bool all_zero = true;
+        for (uint64_t e : points) {
+          if (combined_evals_.at({id, e}) != 0) {
+            all_zero = false;
+            break;
+          }
+        }
+        if (!all_zero) continue;  // dead branch: never expanded (pruning)
+        alive.push_back(id);
+        for (int32_t c : info_[id].children) {
+          if (seen.insert(c).second) next.push_back(c);
+        }
+      }
+      frontier = std::move(next);
+    }
+    return alive;
+  }
+
+  /// True when no child of `z` evaluates to zero at e — the paper's
+  /// "zero element without zero sub element" definite-answer test.
+  Result<bool> HasNoZeroChild(int32_t z, uint64_t e) {
+    RETURN_IF_ERROR(EnsureEvals({z}, {e}));
+    const std::vector<int32_t>& children = info_[z].children;
+    if (children.empty()) return true;
+    RETURN_IF_ERROR(EnsureEvals(children, {e}));
+    for (int32_t c : children) {
+      if (combined_evals_.at({c, e}) == 0) return false;
+    }
+    return true;
+  }
+
+  // -------------------------------------------------------- reconstruction
+
+  Result<const Elem*> FetchCombinedPoly(int32_t id) {
+    auto it = combined_polys_.find(id);
+    if (it != combined_polys_.end()) return &it->second;
+    FetchRequest req;
+    req.mode = FetchMode::kFull;
+    req.node_ids = {id};
+    ASSIGN_OR_RETURN(FetchResponse resp, SendFetch(req));
+    if (resp.entries.size() != 1 || resp.entries[0].node_id != id)
+      return Status::Corruption("bad fetch response");
+    ++stats_.polys_fetched_full;
+    ByteReader r(resp.entries[0].payload);
+    ASSIGN_OR_RETURN(Elem server_part, client_->ring().Deserialize(&r));
+    ASSIGN_OR_RETURN(const Elem* share, ClientShare(id));
+    Elem combined = client_->ring().Add(*share, server_part);
+    return &combined_polys_.emplace(id, std::move(combined)).first->second;
+  }
+
+  Result<const Scalar*> FetchCombinedConst(int32_t id) {
+    auto it = combined_consts_.find(id);
+    if (it != combined_consts_.end()) return &it->second;
+    FetchRequest req;
+    req.mode = FetchMode::kConstOnly;
+    req.node_ids = {id};
+    ASSIGN_OR_RETURN(FetchResponse resp, SendFetch(req));
+    if (resp.entries.size() != 1 || resp.entries[0].node_id != id)
+      return Status::Corruption("bad fetch response");
+    ++stats_.consts_fetched;
+    ByteReader r(resp.entries[0].payload);
+    ASSIGN_OR_RETURN(Scalar server_c0, client_->ring().DeserializeScalar(&r));
+    ASSIGN_OR_RETURN(const Elem* share, ClientShare(id));
+    Scalar combined = client_->ring().AddScalars(
+        client_->ring().ConstTerm(*share), server_c0);
+    return &combined_consts_.emplace(id, std::move(combined)).first->second;
+  }
+
+  /// Theorem 1/2 tag recovery for node `id` ("reconstruct the non-shared
+  /// polynomials of both the element and all its direct children").
+  Result<uint64_t> ReconstructTag(int32_t id, VerifyMode mode) {
+    RETURN_IF_ERROR(EnsureStructure(id));
+    ++stats_.reconstructions;
+    const Ring& ring = client_->ring();
+
+    if (mode == VerifyMode::kTrustedConstOnly) {
+      // Wrap-free nodes satisfy f_0 = -t * g_0 with g_0 the plain product of
+      // the children's constant terms; wrapped nodes need the full Eq. 2.
+      const bool wrap_free =
+          info_[id].subtree_size <= MaxResidueDegree(ring);
+      if (wrap_free) {
+        ASSIGN_OR_RETURN(const Scalar* f0, FetchCombinedConst(id));
+        Scalar f0_copy = *f0;  // later fetches may rehash the cache
+        Scalar g0 = ring.OneScalar();
+        for (int32_t c : info_[id].children) {
+          ASSIGN_OR_RETURN(const Scalar* c0, FetchCombinedConst(c));
+          g0 = ring.MulScalars(g0, *c0);
+        }
+        auto t = ring.SolveTagTrusted(f0_copy, g0);
+        if (t.ok()) return *t;
+        // g_0 not invertible or inconsistent: fall back to a full fetch.
+      }
+      ++stats_.trusted_fallbacks;
+      // fall through to the full reconstruction below
+    }
+
+    ASSIGN_OR_RETURN(const Elem* f_ptr, FetchCombinedPoly(id));
+    Elem f = *f_ptr;  // copy: subsequent fetches may invalidate the pointer
+    Elem g = ring.One();
+    for (int32_t c : info_[id].children) {
+      ASSIGN_OR_RETURN(const Elem* q, FetchCombinedPoly(c));
+      g = ring.Mul(g, *q);
+    }
+    return ring.SolveTag(f, g);
+  }
+
+  /// Structure (children / subtree size) without caring about values: reuse
+  /// the eval path with the node's own cheap point when unknown.
+  Status EnsureStructure(int32_t id) {
+    if (info_[id].known) return Status::Ok();
+    // Any valid point works; use 1 if the ring accepts it, else 2.
+    uint64_t probe = client_->ring().QueryModulus(1).ok() ? 1 : 2;
+    return EnsureEvals({id}, {probe});
+  }
+
+  static size_t MaxResidueDegree(const FpCyclotomicRing& ring) {
+    return ring.DenseCoeffCount() - 1;  // p - 2
+  }
+  static size_t MaxResidueDegree(const ZQuotientRing& ring) {
+    return static_cast<size_t>(ring.degree()) - 1;  // deg r - 1
+  }
+
+  /// Tag-equality test used by XPath stepping: does node `id` carry exactly
+  /// tag point `e`?
+  Result<bool> NodeTagEquals(int32_t id, uint64_t e, VerifyMode mode) {
+    ASSIGN_OR_RETURN(uint64_t v, CombinedEval(id, e));
+    if (v != 0) return false;  // (x - e) not among the factors
+    // Cheap certificate: zero with no zero child means the node itself
+    // matches (in F_p exactly; Z-ring FPs are caught by reconstruction
+    // below only in verified/trusted modes — XPath always runs those).
+    ASSIGN_OR_RETURN(bool definite, HasNoZeroChild(id, e));
+    if (definite && std::is_same_v<Ring, FpCyclotomicRing>) return true;
+    ASSIGN_OR_RETURN(uint64_t t, ReconstructTag(id, mode));
+    if (definite && t != e) ++stats_.false_positives_removed;
+    return t == e;
+  }
+
+  // ----------------------------------------------------------- strategies
+
+  Status RunLeftToRight(const XPathQuery& query,
+                        const std::vector<uint64_t>& points, VerifyMode mode,
+                        std::set<int32_t>* out) {
+    std::vector<int32_t> contexts = {kVirtualRoot};
+    for (size_t i = 0; i < query.steps().size(); ++i) {
+      const XPathStep& step = query.steps()[i];
+      const uint64_t e = points[i];
+      std::set<int32_t> next;
+      for (int32_t ctx : contexts) {
+        std::vector<int32_t> roots;
+        if (ctx == kVirtualRoot) {
+          roots = {0};
+        } else {
+          RETURN_IF_ERROR(EnsureStructure(ctx));
+          roots.assign(info_[ctx].children.begin(), info_[ctx].children.end());
+        }
+        if (step.axis == XPathStep::Axis::kChild) {
+          for (int32_t cand : roots) {
+            ASSIGN_OR_RETURN(bool match, NodeTagEquals(cand, e, mode));
+            if (match) next.insert(cand);
+          }
+        } else {
+          ASSIGN_OR_RETURN(std::vector<int32_t> zeros,
+                           PrunedDescend(roots, {e}));
+          for (int32_t z : zeros) {
+            ASSIGN_OR_RETURN(bool match, NodeTagEquals(z, e, mode));
+            if (match) next.insert(z);
+          }
+        }
+      }
+      contexts.assign(next.begin(), next.end());
+      if (contexts.empty()) break;
+    }
+    for (int32_t id : contexts) out->insert(id);
+    return Status::Ok();
+  }
+
+  Status RunAllAtOnce(const XPathQuery& query,
+                      const std::vector<uint64_t>& points, VerifyMode mode,
+                      int32_t ctx, size_t step_index,
+                      std::set<std::pair<int32_t, size_t>>* memo,
+                      std::set<int32_t>* out) {
+    if (!memo->insert({ctx, step_index}).second) return Status::Ok();
+    if (step_index == query.steps().size()) {
+      out->insert(ctx);
+      return Status::Ok();
+    }
+    const XPathStep& step = query.steps()[step_index];
+    const uint64_t e = points[step_index];
+
+    // Distinct points of the query suffix: every one must vanish on a branch
+    // for it to possibly contain a full match ("a single query can find all
+    // elements that contain a, b, c, d and e").
+    std::vector<uint64_t> suffix_points;
+    for (size_t k = step_index; k < points.size(); ++k) {
+      if (std::find(suffix_points.begin(), suffix_points.end(), points[k]) ==
+          suffix_points.end())
+        suffix_points.push_back(points[k]);
+    }
+
+    std::vector<int32_t> roots;
+    if (ctx == kVirtualRoot) {
+      roots = {0};
+    } else {
+      RETURN_IF_ERROR(EnsureStructure(ctx));
+      roots.assign(info_[ctx].children.begin(), info_[ctx].children.end());
+    }
+
+    if (step.axis == XPathStep::Axis::kChild) {
+      for (int32_t cand : roots) {
+        RETURN_IF_ERROR(EnsureEvals({cand}, suffix_points));
+        bool all_zero = true;
+        for (uint64_t pt : suffix_points) {
+          if (combined_evals_.at({cand, pt}) != 0) {
+            all_zero = false;
+            break;
+          }
+        }
+        if (!all_zero) continue;
+        ASSIGN_OR_RETURN(bool match, NodeTagEquals(cand, e, mode));
+        if (match)
+          RETURN_IF_ERROR(
+              RunAllAtOnce(query, points, mode, cand, step_index + 1, memo, out));
+      }
+    } else {
+      ASSIGN_OR_RETURN(std::vector<int32_t> zeros,
+                       PrunedDescend(roots, suffix_points));
+      for (int32_t z : zeros) {
+        ASSIGN_OR_RETURN(bool match, NodeTagEquals(z, e, mode));
+        if (match)
+          RETURN_IF_ERROR(
+              RunAllAtOnce(query, points, mode, z, step_index + 1, memo, out));
+      }
+    }
+    return Status::Ok();
+  }
+
+  ClientContext<Ring>* client_;
+  ServerStore<Ring>* server_;
+
+  QueryStats stats_;
+  typename ServerStore<Ring>::Stats server_stats_before_;
+  std::unordered_map<int32_t, NodeInfo> info_;
+  std::map<std::pair<int32_t, uint64_t>, uint64_t> combined_evals_;
+  std::unordered_map<int32_t, Elem> combined_polys_;
+  std::unordered_map<int32_t, Scalar> combined_consts_;
+  std::unordered_map<int32_t, Elem> client_shares_;
+  std::unordered_set<int32_t> visited_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_QUERY_SESSION_H_

@@ -1,0 +1,121 @@
+// The untrusted server of §4.2/§4.3. It stores one share tree — random-
+// looking polynomials plus tree shape — and answers evaluation and fetch
+// requests. It never sees tag values, queries (only evaluation points),
+// or results.
+#ifndef POLYSSE_CORE_SERVER_STORE_H_
+#define POLYSSE_CORE_SERVER_STORE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/poly_tree.h"
+#include "core/protocol.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace polysse {
+
+/// Server-side state and protocol handlers. Ring is FpCyclotomicRing or
+/// ZQuotientRing.
+template <typename Ring>
+class ServerStore {
+ public:
+  /// Work counters (server-side cost model for E8/E9).
+  struct Stats {
+    size_t eval_requests = 0;
+    size_t evals = 0;  ///< (node, point) polynomial evaluations
+    size_t fetch_requests = 0;
+    size_t polys_served_full = 0;
+    size_t consts_served = 0;
+  };
+
+  ServerStore(const Ring& ring, PolyTree<Ring> share_tree)
+      : ring_(ring), tree_(std::move(share_tree)) {}
+
+  size_t size() const { return tree_.size(); }
+  const Ring& ring() const { return ring_; }
+  /// Exposed for tests and storage measurement; a real deployment would of
+  /// course not share this object with the client.
+  const PolyTree<Ring>& tree() const { return tree_; }
+  /// Fault injection for cheating-server tests ONLY.
+  PolyTree<Ring>& mutable_tree_for_testing() { return tree_; }
+
+  /// Evaluates the stored share of each requested node at each point.
+  Result<EvalResponse> HandleEval(const EvalRequest& req) {
+    ++stats_.eval_requests;
+    EvalResponse resp;
+    resp.entries.reserve(req.node_ids.size());
+    for (int32_t id : req.node_ids) {
+      RETURN_IF_ERROR(CheckId(id));
+      const auto& node = tree_.nodes[id];
+      EvalEntry entry;
+      entry.node_id = id;
+      entry.values.reserve(req.points.size());
+      for (uint64_t e : req.points) {
+        ASSIGN_OR_RETURN(uint64_t v, ring_.EvalAt(node.poly, e));
+        entry.values.push_back(v);
+        ++stats_.evals;
+      }
+      entry.children.assign(node.children.begin(), node.children.end());
+      entry.subtree_size = node.subtree_size;
+      resp.entries.push_back(std::move(entry));
+    }
+    return resp;
+  }
+
+  /// Serves share polynomials (full) or their constant coefficients.
+  Result<FetchResponse> HandleFetch(const FetchRequest& req) {
+    ++stats_.fetch_requests;
+    FetchResponse resp;
+    resp.entries.reserve(req.node_ids.size());
+    for (int32_t id : req.node_ids) {
+      RETURN_IF_ERROR(CheckId(id));
+      FetchEntry entry;
+      entry.node_id = id;
+      ByteWriter w;
+      if (req.mode == FetchMode::kFull) {
+        ring_.Serialize(tree_.nodes[id].poly, &w);
+        ++stats_.polys_served_full;
+      } else {
+        ring_.SerializeScalar(ring_.ConstTerm(tree_.nodes[id].poly), &w);
+        ++stats_.consts_served;
+      }
+      entry.payload = w.Take();
+      resp.entries.push_back(std::move(entry));
+    }
+    return resp;
+  }
+
+  /// Bytes the server persists: every share polynomial plus the tree shape
+  /// (parent + child count as varints). This is the measured side of the
+  /// §5 storage comparison (E7).
+  size_t PersistedBytes() const {
+    ByteWriter w;
+    w.PutVarint64(tree_.size());
+    for (const auto& node : tree_.nodes) {
+      w.PutVarintSigned64(node.parent);
+      w.PutVarint64(node.children.size());
+      ring_.Serialize(node.poly, &w);
+    }
+    return w.size();
+  }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  Status CheckId(int32_t id) const {
+    if (id < 0 || static_cast<size_t>(id) >= tree_.size())
+      return Status::InvalidArgument("node id " + std::to_string(id) +
+                                     " out of range");
+    return Status::Ok();
+  }
+
+  Ring ring_;
+  PolyTree<Ring> tree_;
+  Stats stats_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_SERVER_STORE_H_

@@ -1,0 +1,104 @@
+#include "core/storage_model.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "xml/xml_writer.h"
+
+namespace polysse {
+
+namespace {
+double Log2(uint64_t v) { return std::log2(static_cast<double>(v)); }
+
+size_t BitsToBytes(double bits) {
+  return static_cast<size_t>(std::ceil(bits / 8.0));
+}
+}  // namespace
+
+size_t PlaintextModelBytes(size_t n, uint64_t p) {
+  return BitsToBytes(static_cast<double>(n) * Log2(p));
+}
+
+size_t FpRingModelBytes(size_t n, uint64_t p) {
+  return BitsToBytes(static_cast<double>(n) * static_cast<double>(p - 1) *
+                     Log2(p));
+}
+
+size_t ZRingModelBytes(size_t n, uint64_t p, size_t deg_r) {
+  // n (d+1) log(p^n) = n^2 (d+1) log p. The paper counts d+1 stored
+  // coefficients per node (degree < deg r plus one slot); coefficients can
+  // reach ~ log(p^n) bits because a node polynomial is a product of up to n
+  // linear factors with roots < p.
+  return BitsToBytes(static_cast<double>(n) * static_cast<double>(n) *
+                     static_cast<double>(deg_r + 1) * Log2(p));
+}
+
+namespace {
+template <typename Ring>
+void FillCommon(const XmlNode& xml, const ServerStore<Ring>& server,
+                uint64_t p, StorageReport* r) {
+  r->n_nodes = server.size();
+  r->p = p;
+  XmlWriteOptions compact;
+  compact.indent = 0;
+  r->plaintext_xml_bytes = WriteXml(xml, compact).size();
+  r->plaintext_model_bytes = PlaintextModelBytes(r->n_nodes, p);
+  r->server_measured_bytes = server.PersistedBytes();
+  r->blowup_measured = r->plaintext_xml_bytes == 0
+                           ? 0
+                           : static_cast<double>(r->server_measured_bytes) /
+                                 static_cast<double>(r->plaintext_xml_bytes);
+}
+}  // namespace
+
+StorageReport MeasureStorage(const FpCyclotomicRing& ring, const XmlNode& xml,
+                             const ServerStore<FpCyclotomicRing>& server) {
+  StorageReport r;
+  FillCommon(xml, server, ring.p(), &r);
+  r.ring_degree = ring.DenseCoeffCount();
+  r.server_model_bytes = FpRingModelBytes(r.n_nodes, ring.p());
+  r.blowup_model = r.plaintext_model_bytes == 0
+                       ? 0
+                       : static_cast<double>(r.server_model_bytes) /
+                             static_cast<double>(r.plaintext_model_bytes);
+  return r;
+}
+
+StorageReport MeasureStorage(const ZQuotientRing& ring, const XmlNode& xml,
+                             const ServerStore<ZQuotientRing>& server,
+                             uint64_t p_equivalent) {
+  StorageReport r;
+  FillCommon(xml, server, p_equivalent, &r);
+  r.ring_degree = static_cast<size_t>(ring.degree());
+  r.server_model_bytes =
+      ZRingModelBytes(r.n_nodes, p_equivalent, r.ring_degree);
+  r.blowup_model = r.plaintext_model_bytes == 0
+                       ? 0
+                       : static_cast<double>(r.server_model_bytes) /
+                             static_cast<double>(r.plaintext_model_bytes);
+  for (const auto& node : server.tree().nodes) {
+    r.max_coeff_bits = std::max(r.max_coeff_bits, node.poly.MaxCoeffBits());
+  }
+  return r;
+}
+
+std::string StorageReportHeader() {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-14s %8s %6s %6s %12s %12s %12s %12s %10s",
+                "config", "nodes", "p", "deg", "xml_bytes", "measured",
+                "model", "coeffbits", "blowup");
+  return buf;
+}
+
+std::string StorageReportRow(const StorageReport& r, const std::string& label) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s %8zu %6llu %6zu %12zu %12zu %12zu %12zu %10.1f",
+                label.c_str(), r.n_nodes,
+                static_cast<unsigned long long>(r.p), r.ring_degree,
+                r.plaintext_xml_bytes, r.server_measured_bytes,
+                r.server_model_bytes, r.max_coeff_bits, r.blowup_measured);
+  return buf;
+}
+
+}  // namespace polysse

@@ -1,0 +1,56 @@
+// The §5 storage cost analysis, measured and analytic (experiment E7):
+//   plaintext            O(n log p)
+//   F_p[x]/(x^{p-1}-1)   n (p-1) log p
+//   Z[x]/(r(x))          n (d+1) log(p^n) = n^2 (d+1) log p   (coefficient
+//                        growth with tree size n), d = deg r
+#ifndef POLYSSE_CORE_STORAGE_MODEL_H_
+#define POLYSSE_CORE_STORAGE_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/poly_tree.h"
+#include "core/server_store.h"
+#include "ring/fp_cyclotomic_ring.h"
+#include "ring/z_quotient_ring.h"
+#include "xml/xml_node.h"
+
+namespace polysse {
+
+/// One storage measurement row.
+struct StorageReport {
+  size_t n_nodes = 0;
+  uint64_t p = 0;          ///< alphabet modulus (tag-value space bound)
+  size_t ring_degree = 0;  ///< p-1 for the F_p ring; deg r for the Z ring
+
+  size_t plaintext_xml_bytes = 0;    ///< compact serialized XML
+  size_t plaintext_model_bytes = 0;  ///< ceil(n log2 p / 8) (§5 baseline)
+
+  size_t server_measured_bytes = 0;  ///< actual serialized server share tree
+  size_t server_model_bytes = 0;     ///< the §5 analytic prediction
+  size_t max_coeff_bits = 0;         ///< Z ring: observed coefficient growth
+  double blowup_measured = 0;        ///< measured / plaintext_xml
+  double blowup_model = 0;           ///< model / plaintext_model
+};
+
+/// Analytic §5 predictions, in bytes.
+size_t PlaintextModelBytes(size_t n, uint64_t p);
+size_t FpRingModelBytes(size_t n, uint64_t p);
+size_t ZRingModelBytes(size_t n, uint64_t p, size_t deg_r);
+
+/// Measures an F_p-ring deployment.
+StorageReport MeasureStorage(const FpCyclotomicRing& ring, const XmlNode& xml,
+                             const ServerStore<FpCyclotomicRing>& server);
+/// Measures a Z[x]/(r)-ring deployment.
+StorageReport MeasureStorage(const ZQuotientRing& ring, const XmlNode& xml,
+                             const ServerStore<ZQuotientRing>& server,
+                             uint64_t p_equivalent);
+
+/// Formats a report as an aligned table row (see bench/storage_costs).
+std::string StorageReportRow(const StorageReport& r, const std::string& label);
+std::string StorageReportHeader();
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_STORAGE_MODEL_H_

@@ -1,0 +1,73 @@
+// The private mapping function map: tagnames -> {1..max} of paper §4.1
+// (Fig. 1(b)). The mapping must stay client-side: the server sees only
+// evaluation points, so a private map keeps queries confidential (§4.3).
+#ifndef POLYSSE_CORE_TAG_MAP_H_
+#define POLYSSE_CORE_TAG_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/prf.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace polysse {
+
+/// Injective tagname -> value map with keyed-random or sequential assignment.
+class TagMap {
+ public:
+  /// An empty map (placeholder for deserialization targets).
+  TagMap() = default;
+
+  struct Options {
+    /// Values are drawn from {1..max_value}. For the F_p ring the safe
+    /// bound is p-2 (Lemma 3 excludes p-1; 0 is reserved).
+    uint64_t max_value = 0;
+    /// kKeyedRandom draws a pseudorandom injection from the PRF (the
+    /// production setting: hides tag-to-point structure). kSequential
+    /// assigns 1, 2, 3, ... in the given tag order (figure reproduction).
+    enum class Assignment { kKeyedRandom, kSequential } assignment =
+        Assignment::kKeyedRandom;
+    /// Optional whitelist of usable values (e.g. ZQuotientRing::SafeTagValues
+    /// output); when non-empty, values come only from here.
+    std::vector<uint64_t> allowed_values;
+  };
+
+  /// Builds a map for `tags` (duplicates rejected).
+  static Result<TagMap> Build(const std::vector<std::string>& tags,
+                              const Options& options,
+                              const DeterministicPrf& prf);
+
+  /// Builds from explicit pairs — used to reproduce Fig. 1(b) verbatim.
+  static Result<TagMap> FromExplicit(
+      const std::vector<std::pair<std::string, uint64_t>>& pairs);
+
+  /// NotFound for unmapped tags (the client then knows the answer is empty
+  /// without contacting the server).
+  Result<uint64_t> Value(std::string_view tag) const;
+  /// NotFound for unassigned values.
+  Result<std::string> Tag(uint64_t value) const;
+  bool Contains(std::string_view tag) const;
+
+  size_t size() const { return to_value_.size(); }
+  uint64_t max_value() const { return max_value_; }
+  /// Entries sorted by value (deterministic iteration for tests/figures).
+  std::vector<std::pair<std::string, uint64_t>> Entries() const;
+
+  /// Client-side persistence (the map is part of the client secret state).
+  void Serialize(ByteWriter* out) const;
+  static Result<TagMap> Deserialize(ByteReader* in);
+  size_t SerializedSize() const;
+
+ private:
+  uint64_t max_value_ = 0;
+  std::unordered_map<std::string, uint64_t> to_value_;
+  std::unordered_map<uint64_t, std::string> to_tag_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_TAG_MAP_H_

@@ -1,0 +1,110 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+#include "util/check.h"
+
+namespace polysse {
+
+namespace {
+
+inline uint32_t RotL(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = RotL(d, 16);
+  c += d; b ^= c; b = RotL(b, 12);
+  a += b; d ^= a; d = RotL(d, 8);
+  c += d; b ^= c; b = RotL(b, 7);
+}
+
+inline uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const uint8_t, kKeySize> key,
+                   std::span<const uint8_t, kNonceSize> nonce,
+                   uint32_t counter)
+    : block_pos_(kBlockSize) {
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = LoadLE32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = LoadLE32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::RefillBlock() {
+  uint32_t x[16];
+  std::memcpy(x, state_, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = x[i] + state_[i];
+    block_[4 * i] = static_cast<uint8_t>(v);
+    block_[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    block_[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    block_[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+  ++state_[12];  // 32-bit block counter per RFC 8439.
+  block_pos_ = 0;
+}
+
+void ChaCha20::XorStream(std::span<uint8_t> data) {
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (block_pos_ == kBlockSize) RefillBlock();
+    data[i] ^= block_[block_pos_++];
+  }
+}
+
+std::vector<uint8_t> ChaCha20::Process(std::span<const uint8_t> data) {
+  std::vector<uint8_t> out(data.begin(), data.end());
+  XorStream(out);
+  return out;
+}
+
+ChaChaRng::ChaChaRng(std::span<const uint8_t, ChaCha20::kKeySize> key)
+    : cipher_(key, std::array<uint8_t, ChaCha20::kNonceSize>{}, 0) {}
+
+ChaChaRng ChaChaRng::FromString(std::string_view seed) {
+  auto digest = Sha256::Hash(seed);
+  return ChaChaRng(std::span<const uint8_t, ChaCha20::kKeySize>(digest));
+}
+
+uint64_t ChaChaRng::NextU64() {
+  uint8_t buf[8] = {0};
+  cipher_.XorStream(buf);  // keystream XOR zeros == keystream
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ChaChaRng::NextBelow(uint64_t bound) {
+  POLYSSE_CHECK(bound > 0);
+  const uint64_t zone = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= zone);
+  return v % bound;
+}
+
+void ChaChaRng::Fill(std::span<uint8_t> out) {
+  std::memset(out.data(), 0, out.size());
+  cipher_.XorStream(out);
+}
+
+}  // namespace polysse

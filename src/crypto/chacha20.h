@@ -1,0 +1,63 @@
+// ChaCha20 stream cipher (RFC 8439). Serves two roles here:
+//  * the "random sequence generator" of paper §4.2 — the client keeps only a
+//    seed and re-derives its share polynomials deterministically;
+//  * the payload cipher of the content-store extension (src/index).
+#ifndef POLYSSE_CRYPTO_CHACHA20_H_
+#define POLYSSE_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace polysse {
+
+/// Raw ChaCha20 keystream / XOR cipher.
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kBlockSize = 64;
+
+  ChaCha20(std::span<const uint8_t, kKeySize> key,
+           std::span<const uint8_t, kNonceSize> nonce, uint32_t counter = 0);
+
+  /// XORs the keystream into `data` in place (encrypt == decrypt).
+  void XorStream(std::span<uint8_t> data);
+
+  /// Convenience: returns data ^ keystream without mutating the input.
+  std::vector<uint8_t> Process(std::span<const uint8_t> data);
+
+ private:
+  void RefillBlock();
+
+  uint32_t state_[16];
+  uint8_t block_[kBlockSize];
+  size_t block_pos_;
+};
+
+/// Deterministic uniform random stream backed by ChaCha20; the library's
+/// only randomness primitive, so every experiment replays bit-identically
+/// from its seed.
+class ChaChaRng {
+ public:
+  explicit ChaChaRng(std::span<const uint8_t, ChaCha20::kKeySize> key);
+  /// Seeds from an arbitrary label by hashing (convenience for tests).
+  static ChaChaRng FromString(std::string_view seed);
+
+  uint64_t NextU64();
+  /// Uniform in [0, bound) by rejection sampling; bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+  void Fill(std::span<uint8_t> out);
+
+  /// Adapter so the RNG can be passed where a `() -> uint64_t` is expected.
+  uint64_t operator()() { return NextU64(); }
+
+ private:
+  ChaCha20 cipher_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CRYPTO_CHACHA20_H_

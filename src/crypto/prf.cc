@@ -1,0 +1,28 @@
+#include "crypto/prf.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace polysse {
+
+std::array<uint8_t, DeterministicPrf::kSeedSize> RandomSeed() {
+  std::array<uint8_t, DeterministicPrf::kSeedSize> seed{};
+  std::FILE* urandom = std::fopen("/dev/urandom", "rb");
+  if (urandom != nullptr) {
+    size_t got = std::fread(seed.data(), 1, seed.size(), urandom);
+    std::fclose(urandom);
+    if (got == seed.size()) return seed;
+  }
+  // Fallback entropy (containers without /dev/urandom): clock + address bits,
+  // whitened through SHA-256. Not suitable for real deployments; examples only.
+  auto now = std::chrono::high_resolution_clock::now().time_since_epoch().count();
+  auto addr = reinterpret_cast<uintptr_t>(&seed);
+  Sha256 h;
+  h.Update(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&now),
+                                    sizeof(now)));
+  h.Update(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&addr),
+                                    sizeof(addr)));
+  return h.Finish();
+}
+
+}  // namespace polysse

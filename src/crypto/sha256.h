@@ -1,0 +1,51 @@
+// SHA-256 (FIPS 180-4), written from scratch for the offline build.
+// Used by HMAC, the keyed tag map, and the content-index extensions.
+#ifndef POLYSSE_CRYPTO_SHA256_H_
+#define POLYSSE_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace polysse {
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(std::span<const uint8_t> data);
+  void Update(std::string_view s) {
+    Update(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+  /// Finalizes and returns the digest; the object must be Reset() for reuse.
+  std::array<uint8_t, kDigestSize> Finish();
+
+  /// One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Hash(std::span<const uint8_t> data);
+  static std::array<uint8_t, kDigestSize> Hash(std::string_view s);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_;
+};
+
+/// HMAC-SHA-256 (RFC 2104).
+std::array<uint8_t, Sha256::kDigestSize> HmacSha256(
+    std::span<const uint8_t> key, std::span<const uint8_t> message);
+std::array<uint8_t, Sha256::kDigestSize> HmacSha256(std::string_view key,
+                                                    std::string_view message);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CRYPTO_SHA256_H_

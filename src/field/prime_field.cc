@@ -1,0 +1,21 @@
+#include "field/prime_field.h"
+
+#include "nt/primes.h"
+
+namespace polysse {
+
+Result<PrimeField> PrimeField::Create(uint64_t p) {
+  if (p >= (1ull << 63))
+    return Status::InvalidArgument("PrimeField: modulus must be below 2^63");
+  if (!IsPrime(p))
+    return Status::InvalidArgument("PrimeField: modulus " + std::to_string(p) +
+                                   " is not prime");
+  return PrimeField(p);
+}
+
+Result<uint64_t> PrimeField::Div(uint64_t a, uint64_t b) const {
+  ASSIGN_OR_RETURN(uint64_t inv, Inv(b));
+  return Mul(a, inv);
+}
+
+}  // namespace polysse

@@ -1,0 +1,67 @@
+// F_p for word-sized prime p. Elements are plain uint64_t in [0, p);
+// a PrimeField instance carries the modulus and the operations.
+#ifndef POLYSSE_FIELD_PRIME_FIELD_H_
+#define POLYSSE_FIELD_PRIME_FIELD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nt/modular.h"
+#include "util/status.h"
+
+namespace polysse {
+
+/// The field F_p. Copyable value type; all ops are O(1) word arithmetic.
+class PrimeField {
+ public:
+  /// Validates primality and the word-modulus bound p < 2^63.
+  static Result<PrimeField> Create(uint64_t p);
+
+  uint64_t modulus() const { return p_; }
+
+  /// Canonical representative of a signed integer.
+  uint64_t FromInt64(int64_t v) const {
+    int64_t r = v % static_cast<int64_t>(p_);
+    if (r < 0) r += static_cast<int64_t>(p_);
+    return static_cast<uint64_t>(r);
+  }
+  /// Canonical representative of an unsigned integer.
+  uint64_t FromUInt64(uint64_t v) const { return v % p_; }
+
+  uint64_t Add(uint64_t a, uint64_t b) const { return AddMod(a, b, p_); }
+  uint64_t Sub(uint64_t a, uint64_t b) const { return SubMod(a, b, p_); }
+  uint64_t Mul(uint64_t a, uint64_t b) const { return MulMod(a, b, p_); }
+  uint64_t Neg(uint64_t a) const { return a == 0 ? 0 : p_ - a; }
+  uint64_t Pow(uint64_t a, uint64_t e) const { return PowMod(a, e, p_); }
+  /// InvalidArgument for zero.
+  Result<uint64_t> Inv(uint64_t a) const { return InvMod(a, p_); }
+  /// a / b; InvalidArgument when b == 0.
+  Result<uint64_t> Div(uint64_t a, uint64_t b) const;
+
+  bool IsCanonical(uint64_t a) const { return a < p_; }
+
+  /// Uniform element from rejection sampling over a 64-bit source.
+  /// `next_u64` must return independent uniform 64-bit words.
+  template <typename Rng>
+  uint64_t Uniform(Rng&& next_u64) const {
+    // Rejection zone keeps the distribution exactly uniform.
+    const uint64_t zone = UINT64_MAX - UINT64_MAX % p_;
+    uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= zone);
+    return v % p_;
+  }
+
+  bool operator==(const PrimeField& other) const { return p_ == other.p_; }
+
+ private:
+  explicit PrimeField(uint64_t p) : p_(p) {}
+
+  uint64_t p_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_FIELD_PRIME_FIELD_H_

@@ -1,0 +1,164 @@
+#include "index/data_poly_index.h"
+
+#include <cctype>
+
+namespace polysse {
+
+std::vector<std::string> TokenizeWords(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+uint64_t ContentSearchService::HashWord(const std::string& word) const {
+  // Keyed, non-invertible (the §6 trade-off), into {1..p-2}.
+  uint64_t h = prf_.ValueU64("wordhash/" + word);
+  return 1 + h % (ring_.p() - 2);
+}
+
+Result<ContentSearchService> ContentSearchService::Build(
+    const XmlNode& document, const DeterministicPrf& seed) {
+  return Build(document, seed, Options{});
+}
+
+Result<ContentSearchService> ContentSearchService::Build(
+    const XmlNode& document, const DeterministicPrf& seed,
+    const Options& options) {
+  ASSIGN_OR_RETURN(FpCyclotomicRing ring,
+                   FpCyclotomicRing::Create(options.p));
+  PayloadCodec codec(seed);
+  PayloadStore payloads = codec.Encrypt(document);
+
+  ContentSearchService service(ring, seed, std::move(payloads), codec, {});
+
+  // First pass: per-node structural info + own-word polynomials; second
+  // pass (bottom-up over preorder indices) aggregates subtrees.
+  struct Temp {
+    FpPoly own;
+    std::vector<int> children;
+    std::string path;
+    int parent;
+  };
+  std::vector<Temp> temp;
+  std::vector<int> stack;  // preorder parents
+  {
+    std::vector<const XmlNode*> order;
+    std::vector<int> parents;
+    // Manual preorder with parent tracking.
+    struct Frame {
+      const XmlNode* node;
+      int parent;
+      std::string path;
+    };
+    std::vector<Frame> work{{&document, -1, ""}};
+    while (!work.empty()) {
+      Frame f = work.back();
+      work.pop_back();
+      int id = static_cast<int>(temp.size());
+      FpPoly own = FpPoly::One(ring.field());
+      for (const std::string& w : TokenizeWords(f.node->text())) {
+        own = own * FpPoly::XMinus(ring.field(),
+                                   service.HashWord(w));
+      }
+      temp.push_back({ring.Reduce(own), {}, f.path, f.parent});
+      if (f.parent >= 0) temp[f.parent].children.push_back(id);
+      // Push children in reverse so preorder comes out left-to-right.
+      for (size_t i = f.node->children().size(); i-- > 0;) {
+        std::string child_path = f.path.empty()
+                                     ? std::to_string(i)
+                                     : f.path + "/" + std::to_string(i);
+        work.push_back({&f.node->children()[i], id, child_path});
+      }
+    }
+  }
+  // Bottom-up aggregation: preorder guarantees children have larger ids.
+  std::vector<FpPoly> agg(temp.size(), FpPoly::Zero(ring.field()));
+  for (size_t i = temp.size(); i-- > 0;) {
+    FpPoly acc = temp[i].own;
+    for (int c : temp[i].children) acc = ring.Mul(acc, agg[c]);
+    agg[i] = std::move(acc);
+  }
+
+  // Share: the client part matches the data polynomial's degree (documented
+  // leak: subtree word counts; the dense alternative costs p-1 coefficients
+  // per node, which the §6 sketch does not pay either).
+  std::vector<SharedContentNode> nodes;
+  nodes.reserve(temp.size());
+  for (size_t i = 0; i < temp.size(); ++i) {
+    ChaChaRng rng = seed.Stream("content-share/" + temp[i].path);
+    std::vector<int64_t> coeffs(agg[i].coeffs().size(), 0);
+    for (auto& c : coeffs)
+      c = static_cast<int64_t>(ring.field().Uniform(rng));
+    FpPoly client_part(ring.field(), std::move(coeffs));
+    FpPoly server_part = ring.Sub(agg[i], client_part);
+    nodes.push_back({temp[i].path, std::move(client_part),
+                     std::move(server_part), temp[i].children});
+  }
+  service.nodes_ = std::move(nodes);
+  return service;
+}
+
+Result<ContentSearchService::QueryResult> ContentSearchService::Search(
+    const std::string& word) const {
+  QueryResult out;
+  if (nodes_.empty()) return out;
+  // Normalize exactly like indexing did, so "QUICK" and "quick" agree.
+  std::vector<std::string> tokens = TokenizeWords(word);
+  const std::string needle = tokens.empty() ? word : tokens[0];
+  const uint64_t e = HashWord(needle);
+
+  // Pruned BFS over the shared content tree.
+  std::vector<int> frontier = {0};
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (int id : frontier) {
+      ++out.stats.nodes_evaluated;
+      ASSIGN_OR_RETURN(uint64_t sv, ring_.EvalAt(nodes_[id].server_part, e));
+      ASSIGN_OR_RETURN(uint64_t cv, ring_.EvalAt(nodes_[id].client_part, e));
+      out.stats.bytes_down += 8;  // the server's evaluation value
+      if ((sv + cv) % ring_.p() != 0) continue;  // dead branch
+      ++out.stats.candidates;
+      // Verify against the node's own decrypted payload.
+      ASSIGN_OR_RETURN(const PayloadStore::Entry* entry,
+                       payloads_.Get(static_cast<size_t>(id)));
+      out.stats.bytes_down += entry->ciphertext.size();
+      ++out.stats.payloads_fetched;
+      ASSIGN_OR_RETURN(std::string text, codec_.Decrypt(*entry));
+      bool present = false;
+      for (const std::string& w : TokenizeWords(text)) {
+        if (w == needle) {
+          present = true;
+          break;
+        }
+      }
+      if (present) {
+        out.match_paths.push_back(nodes_[id].path);
+      } else {
+        ++out.stats.false_positives_removed;  // ancestor or hash collision
+      }
+      for (int c : nodes_[id].children) next.push_back(c);
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+size_t ContentSearchService::ServerIndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& node : nodes_) {
+    bytes += node.server_part.SerializedSize() + node.path.size();
+  }
+  return bytes;
+}
+
+}  // namespace polysse

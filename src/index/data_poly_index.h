@@ -1,0 +1,100 @@
+// The §6 sketch, implemented: "We can use a hash function to map the data to
+// an element of Z_p, but in that case the mapping function is no longer
+// invertible. In this case the data polynomials can be used as an index to
+// the encrypted data."
+//
+// Every element's text is tokenized into words; each word is hashed with a
+// keyed PRF into {1..p-2}; a node's *content polynomial* is
+// prod_w (x - h(w)) over F_p[x]/(x^{p-1}-1) (constant 1 when no text), and
+// the tree is additively shared exactly like the tag tree. A word query
+// evaluates the shared content polynomials at h(word) — zeros are candidate
+// nodes, with hash-collision false positives resolved by decrypting the
+// candidates' payloads (PayloadStore) and checking the word for real.
+#ifndef POLYSSE_INDEX_DATA_POLY_INDEX_H_
+#define POLYSSE_INDEX_DATA_POLY_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "core/sharing.h"
+#include "crypto/prf.h"
+#include "index/payload_store.h"
+#include "ring/fp_cyclotomic_ring.h"
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace polysse {
+
+/// Splits text into lowercase word tokens (alnum runs).
+std::vector<std::string> TokenizeWords(const std::string& text);
+
+/// A complete content-search deployment (index + encrypted payloads).
+class ContentSearchService {
+ public:
+  struct Options {
+    /// Field for the content polynomials. Large p makes hash collisions
+    /// rare; p = 65537 keeps dense polynomials affordable only for tiny
+    /// vocabularies, so content polys are stored sparse (they have one
+    /// factor per distinct word, not p-1 coefficients).
+    uint64_t p = 65537;
+  };
+
+  struct QueryStatsC {
+    size_t nodes_evaluated = 0;
+    size_t candidates = 0;
+    size_t payloads_fetched = 0;
+    size_t false_positives_removed = 0;
+    size_t bytes_down = 0;
+  };
+
+  struct QueryResult {
+    /// Paths of elements whose text contains the word (verified).
+    std::vector<std::string> match_paths;
+    QueryStatsC stats;
+  };
+
+  /// Builds the index+payload deployment for a document.
+  static Result<ContentSearchService> Build(const XmlNode& document,
+                                            const DeterministicPrf& seed,
+                                            const Options& options);
+  static Result<ContentSearchService> Build(const XmlNode& document,
+                                            const DeterministicPrf& seed);
+
+  /// Word lookup: evaluation filter over the shared content polynomials,
+  /// then payload decryption to eliminate hash collisions.
+  Result<QueryResult> Search(const std::string& word) const;
+
+  /// Keyed word hash into {1..p-2} (NOT invertible — the §6 point).
+  uint64_t HashWord(const std::string& word) const;
+
+  size_t ServerIndexBytes() const;
+  size_t ServerPayloadBytes() const { return payloads_.PersistedBytes(); }
+
+ private:
+  struct SharedContentNode {
+    std::string path;
+    FpPoly client_part;
+    FpPoly server_part;
+    /// Subtree aggregate (like the tag tree): enables pruned descent.
+    std::vector<int> children;
+  };
+
+  ContentSearchService(FpCyclotomicRing ring, DeterministicPrf prf,
+                       PayloadStore payloads, PayloadCodec codec,
+                       std::vector<SharedContentNode> nodes)
+      : ring_(std::move(ring)),
+        prf_(std::move(prf)),
+        payloads_(std::move(payloads)),
+        codec_(std::move(codec)),
+        nodes_(std::move(nodes)) {}
+
+  FpCyclotomicRing ring_;
+  DeterministicPrf prf_;
+  PayloadStore payloads_;
+  PayloadCodec codec_;
+  std::vector<SharedContentNode> nodes_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_INDEX_DATA_POLY_INDEX_H_

@@ -1,0 +1,49 @@
+#include "index/payload_store.h"
+
+namespace polysse {
+
+Result<const PayloadStore::Entry*> PayloadStore::Get(size_t node_id) const {
+  if (node_id >= entries_.size())
+    return Status::InvalidArgument("payload id out of range");
+  return &entries_[node_id];
+}
+
+size_t PayloadStore::PersistedBytes() const {
+  size_t bytes = 0;
+  for (const Entry& e : entries_) bytes += e.ciphertext.size() + e.path.size();
+  return bytes;
+}
+
+ChaCha20 PayloadCodec::CipherFor(const std::string& path) const {
+  auto key = HmacSha256(
+      std::span<const uint8_t>(prf_.seed().data(), prf_.seed().size()),
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(("payload/" + path).data()),
+          path.size() + 8));
+  return ChaCha20(std::span<const uint8_t, 32>(key),
+                  std::array<uint8_t, ChaCha20::kNonceSize>{});
+}
+
+PayloadStore PayloadCodec::Encrypt(const XmlNode& root) const {
+  std::vector<PayloadStore::Entry> entries;
+  root.Preorder([&](const XmlNode& n, const std::vector<int>& path) {
+    PayloadStore::Entry entry;
+    entry.path = PathToString(path);
+    if (!n.text().empty()) {
+      ChaCha20 cipher = CipherFor(entry.path);
+      entry.ciphertext = cipher.Process(std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(n.text().data()), n.text().size()));
+    }
+    entries.push_back(std::move(entry));
+  });
+  return PayloadStore(std::move(entries));
+}
+
+Result<std::string> PayloadCodec::Decrypt(
+    const PayloadStore::Entry& entry) const {
+  ChaCha20 cipher = CipherFor(entry.path);
+  std::vector<uint8_t> plain = cipher.Process(entry.ciphertext);
+  return std::string(plain.begin(), plain.end());
+}
+
+}  // namespace polysse

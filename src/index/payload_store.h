@@ -1,0 +1,56 @@
+// Encrypted payload store — the "actual data between the tags" that §6
+// leaves as future work. Each element's text is ChaCha20-encrypted under a
+// per-node key derived from the client seed and the node path; the server
+// stores only ciphertext and serves it by node id.
+#ifndef POLYSSE_INDEX_PAYLOAD_STORE_H_
+#define POLYSSE_INDEX_PAYLOAD_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "crypto/prf.h"
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace polysse {
+
+/// Server-side ciphertext store, addressed by preorder node id.
+class PayloadStore {
+ public:
+  struct Entry {
+    std::string path;
+    std::vector<uint8_t> ciphertext;
+  };
+
+  explicit PayloadStore(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+
+  size_t size() const { return entries_.size(); }
+  Result<const Entry*> Get(size_t node_id) const;
+  size_t PersistedBytes() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Client-side encryptor/decryptor.
+class PayloadCodec {
+ public:
+  explicit PayloadCodec(DeterministicPrf prf) : prf_(std::move(prf)) {}
+
+  /// Encrypts every element's text (empty text -> empty ciphertext), in
+  /// preorder, so ids align with PolyTree / ServerStore node ids.
+  PayloadStore Encrypt(const XmlNode& root) const;
+
+  /// Decrypts one entry fetched from the server.
+  Result<std::string> Decrypt(const PayloadStore::Entry& entry) const;
+
+ private:
+  ChaCha20 CipherFor(const std::string& path) const;
+
+  DeterministicPrf prf_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_INDEX_PAYLOAD_STORE_H_

@@ -1,0 +1,52 @@
+#include "index/secure_document.h"
+
+namespace polysse {
+
+Result<std::unique_ptr<SecureDocumentService>> SecureDocumentService::Outsource(
+    const XmlNode& document, const DeterministicPrf& seed,
+    const FpOutsourceOptions& options) {
+  ASSIGN_OR_RETURN(FpDeployment deployment,
+                   OutsourceFp(document, seed, options));
+  PayloadCodec codec(seed);
+  PayloadStore payloads = codec.Encrypt(document);
+  // Not make_unique: the constructor is private.
+  return std::unique_ptr<SecureDocumentService>(new SecureDocumentService(
+      std::move(deployment), std::move(payloads), std::move(codec)));
+}
+
+Result<std::vector<ContentMatch>> SecureDocumentService::ResolveContent(
+    const std::vector<MatchedNode>& matches) {
+  std::vector<ContentMatch> out;
+  out.reserve(matches.size());
+  last_payload_bytes_ = 0;
+  for (const MatchedNode& m : matches) {
+    // Payload ids are preorder node ids, identical to the share tree's.
+    ASSIGN_OR_RETURN(const PayloadStore::Entry* entry,
+                     payloads_.Get(static_cast<size_t>(m.node_id)));
+    if (entry->path != m.path)
+      return Status::Internal("payload/structure id misalignment at " +
+                              m.path);
+    last_payload_bytes_ += entry->ciphertext.size();
+    ASSIGN_OR_RETURN(std::string text, codec_.Decrypt(*entry));
+    out.push_back({m.path, std::move(text)});
+  }
+  return out;
+}
+
+Result<std::vector<ContentMatch>> SecureDocumentService::Query(
+    const std::string& xpath, XPathStrategy strategy, VerifyMode mode) {
+  ASSIGN_OR_RETURN(XPathQuery query, XPathQuery::Parse(xpath));
+  ASSIGN_OR_RETURN(LookupResult result,
+                   session_.EvaluateXPath(query, strategy, mode));
+  last_stats_ = result.stats;
+  return ResolveContent(result.matches);
+}
+
+Result<std::vector<ContentMatch>> SecureDocumentService::Lookup(
+    const std::string& tagname, VerifyMode mode) {
+  ASSIGN_OR_RETURN(LookupResult result, session_.Lookup(tagname, mode));
+  last_stats_ = result.stats;
+  return ResolveContent(result.matches);
+}
+
+}  // namespace polysse

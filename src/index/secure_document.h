@@ -1,0 +1,83 @@
+// Facade joining the paper's structural index (core) with the §6 encrypted
+// content layer (index/payload_store): one object that outsources a whole
+// document and answers "give me the decrypted text of every element
+// matching this XPath" — the API a downstream application actually wants.
+#ifndef POLYSSE_INDEX_SECURE_DOCUMENT_H_
+#define POLYSSE_INDEX_SECURE_DOCUMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/outsource.h"
+#include "core/query_session.h"
+#include "index/payload_store.h"
+
+namespace polysse {
+
+/// One matched element with its decrypted text.
+struct ContentMatch {
+  std::string path;
+  std::string text;
+};
+
+/// A complete outsourced document: structural share tree + encrypted
+/// payloads + thin-client state, with a query API that spans both layers.
+/// Pinned in memory (the internal session holds pointers across members),
+/// hence created behind a unique_ptr.
+class SecureDocumentService {
+ public:
+  /// Outsources structure (F_p ring) and content in one pass.
+  static Result<std::unique_ptr<SecureDocumentService>> Outsource(
+      const XmlNode& document, const DeterministicPrf& seed,
+      const FpOutsourceOptions& options = {});
+
+  SecureDocumentService(const SecureDocumentService&) = delete;
+  SecureDocumentService& operator=(const SecureDocumentService&) = delete;
+
+  /// XPath over the encrypted structure, then decrypt the matched elements'
+  /// payloads. The server learns evaluation points and which ciphertexts
+  /// were fetched — never tags, text, or the query.
+  Result<std::vector<ContentMatch>> Query(
+      const std::string& xpath,
+      XPathStrategy strategy = XPathStrategy::kAllAtOnce,
+      VerifyMode mode = VerifyMode::kVerified);
+
+  /// Single-tag variant of Query.
+  Result<std::vector<ContentMatch>> Lookup(
+      const std::string& tagname, VerifyMode mode = VerifyMode::kVerified);
+
+  /// Stats of the most recent structural query.
+  const QueryStats& last_stats() const { return last_stats_; }
+  /// Bytes of encrypted payloads fetched by the most recent query.
+  size_t last_payload_bytes() const { return last_payload_bytes_; }
+
+  size_t server_structure_bytes() const { return server_.PersistedBytes(); }
+  size_t server_payload_bytes() const { return payloads_.PersistedBytes(); }
+
+ private:
+  SecureDocumentService(FpDeployment deployment, PayloadStore payloads,
+                        PayloadCodec codec)
+      : ring_(deployment.ring),
+        client_(std::move(deployment.client)),
+        server_(std::move(deployment.server)),
+        payloads_(std::move(payloads)),
+        codec_(std::move(codec)),
+        session_(&client_, &server_) {}
+
+  Result<std::vector<ContentMatch>> ResolveContent(
+      const std::vector<MatchedNode>& matches);
+
+  FpCyclotomicRing ring_;
+  ClientContext<FpCyclotomicRing> client_;
+  ServerStore<FpCyclotomicRing> server_;
+  PayloadStore payloads_;
+  PayloadCodec codec_;
+  QuerySession<FpCyclotomicRing> session_;
+  QueryStats last_stats_;
+  size_t last_payload_bytes_ = 0;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_INDEX_SECURE_DOCUMENT_H_

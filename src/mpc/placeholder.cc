@@ -1,0 +1,5 @@
+namespace polysse {
+namespace {
+int mpc_placeholder = 0;
+}
+}

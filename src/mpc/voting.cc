@@ -1,0 +1,165 @@
+#include "mpc/voting.h"
+
+#include <algorithm>
+
+namespace polysse {
+
+namespace {
+
+/// Phase 1 of both protocols: party i shares votes[i]; the returned matrix
+/// has received[j][i] = share of vote i held by party j (at x = j+1).
+Result<std::vector<std::vector<ShamirShare>>> DistributeShares(
+    const ShamirScheme& scheme, const std::vector<uint64_t>& votes,
+    ChaChaRng& rng, int* messages) {
+  const int n = static_cast<int>(votes.size());
+  std::vector<std::vector<ShamirShare>> received(n);
+  for (int i = 0; i < n; ++i) {
+    if (votes[i] > 1)
+      return Status::InvalidArgument("votes must be 0 or 1");
+    std::vector<ShamirShare> shares = scheme.Share(votes[i], rng);
+    for (int j = 0; j < n; ++j) {
+      received[j].push_back(shares[j]);
+      if (i != j) ++*messages;  // own share stays local
+    }
+  }
+  return received;
+}
+
+}  // namespace
+
+Result<VoteOutcome> RunSumVote(const PrimeField& field,
+                               const std::vector<uint64_t>& votes,
+                               int threshold, ChaChaRng& rng) {
+  const int n = static_cast<int>(votes.size());
+  if (n == 0) return Status::InvalidArgument("no voters");
+  ASSIGN_OR_RETURN(ShamirScheme scheme,
+                   ShamirScheme::Create(field, threshold, n));
+  VoteOutcome outcome;
+  ASSIGN_OR_RETURN(auto received,
+                   DistributeShares(scheme, votes, rng, &outcome.messages_sent));
+
+  // Phase 2: each party locally sums its received shares — a share of the
+  // tally polynomial h = sum_i g_i at its own x.
+  std::vector<ShamirShare> tally_shares(n);
+  for (int j = 0; j < n; ++j) {
+    ShamirShare acc = received[j][0];
+    for (int i = 1; i < n; ++i) {
+      ASSIGN_OR_RETURN(acc, scheme.AddShares(acc, received[j][i]));
+    }
+    tally_shares[j] = acc;
+  }
+
+  // Any `threshold` parties reconstruct h(0) = sum of votes.
+  std::vector<ShamirShare> subset(tally_shares.begin(),
+                                  tally_shares.begin() + threshold);
+  outcome.messages_sent += threshold - 1;  // shares sent to the reconstructor
+  ASSIGN_OR_RETURN(outcome.tally, scheme.Reconstruct(std::move(subset)));
+  return outcome;
+}
+
+Result<VoteOutcome> RunVetoVote(const PrimeField& field,
+                                const std::vector<uint64_t>& votes,
+                                int threshold, ChaChaRng& rng) {
+  const int n = static_cast<int>(votes.size());
+  if (n == 0) return Status::InvalidArgument("no voters");
+  // Multiplying k shares yields hidden degree k*(threshold-1); all n
+  // evaluation points must still determine it.
+  const int product_degree = n * (threshold - 1);
+  if (product_degree >= n)
+    return Status::InvalidArgument(
+        "veto vote with " + std::to_string(n) + " parties and threshold " +
+        std::to_string(threshold) +
+        " exceeds the degree budget (k(t-1) must stay below n); lower the "
+        "threshold or add parties");
+  ASSIGN_OR_RETURN(ShamirScheme scheme,
+                   ShamirScheme::Create(field, threshold, n));
+  VoteOutcome outcome;
+  ASSIGN_OR_RETURN(auto received,
+                   DistributeShares(scheme, votes, rng, &outcome.messages_sent));
+
+  // Phase 2: pointwise product of all received shares.
+  std::vector<ShamirShare> prod_shares(n);
+  for (int j = 0; j < n; ++j) {
+    ShamirShare acc = received[j][0];
+    for (int i = 1; i < n; ++i) {
+      ASSIGN_OR_RETURN(acc, scheme.MulShares(acc, received[j][i]));
+    }
+    prod_shares[j] = acc;
+  }
+
+  // The product polynomial has degree product_degree, so reconstruction
+  // needs product_degree+1 points: interpolate directly.
+  ASSIGN_OR_RETURN(ShamirScheme wide,
+                   ShamirScheme::Create(field, product_degree + 1, n));
+  outcome.messages_sent += product_degree;  // shares sent to the reconstructor
+  ASSIGN_OR_RETURN(outcome.tally, wide.Reconstruct(prod_shares));
+  return outcome;
+}
+
+bool CoalitionLearnsAnyVote(const PrimeField& field,
+                            const std::vector<uint64_t>& votes, int threshold,
+                            const std::vector<int>& coalition,
+                            ChaChaRng& rng) {
+  const int n = static_cast<int>(votes.size());
+  auto scheme = ShamirScheme::Create(field, threshold, n);
+  if (!scheme.ok()) return false;
+  if (static_cast<int>(coalition.size()) >= threshold) return true;
+
+  // The coalition's view of honest party i is coalition.size() points of a
+  // uniformly random degree-(t-1) polynomial with g(0) = votes[i]. With
+  // fewer than t points, *every* candidate secret is exactly equally
+  // consistent: for each candidate s there is the same number of polynomials
+  // through the observed points and (0, s). We verify that counting argument
+  // computationally for a small field by brute force.
+  if (field.modulus() > 64) return false;  // brute force only for tiny fields
+
+  int messages = 0;
+  auto received = DistributeShares(*scheme, votes, rng, &messages);
+  if (!received.ok()) return false;
+
+  for (int victim = 0; victim < n; ++victim) {
+    if (std::find(coalition.begin(), coalition.end(), victim) !=
+        coalition.end())
+      continue;
+    // Observed points of g_victim.
+    std::vector<ShamirShare> view;
+    for (int member : coalition) view.push_back((*received)[member][victim]);
+    // Count consistent polynomials per candidate secret.
+    std::vector<uint64_t> counts(field.modulus(), 0);
+    const uint64_t p = field.modulus();
+    const int free_coeffs = threshold - 1;
+    // Enumerate all degree-(t-1) polynomials (p^(t-1) of them per secret).
+    uint64_t total = 1;
+    for (int i = 0; i < free_coeffs; ++i) total *= p;
+    for (uint64_t secret = 0; secret < p; ++secret) {
+      for (uint64_t mask = 0; mask < total; ++mask) {
+        // coefficients from mask digits base p
+        uint64_t m = mask;
+        std::vector<uint64_t> coeffs{secret};
+        for (int i = 0; i < free_coeffs; ++i) {
+          coeffs.push_back(m % p);
+          m /= p;
+        }
+        bool consistent = true;
+        for (const ShamirShare& pt : view) {
+          uint64_t acc = 0;
+          for (int i = static_cast<int>(coeffs.size()) - 1; i >= 0; --i)
+            acc = field.Add(field.Mul(acc, pt.x), coeffs[i]);
+          if (acc != pt.y) {
+            consistent = false;
+            break;
+          }
+        }
+        if (consistent) ++counts[secret];
+      }
+    }
+    // If any secret is more consistent than another, the coalition learned
+    // something.
+    for (uint64_t s = 1; s < p; ++s) {
+      if (counts[s] != counts[0]) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace polysse

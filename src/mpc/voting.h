@@ -1,0 +1,52 @@
+// The anonymous voting example of paper §3: n parties evaluate
+// f(x_1..x_n) = sum x_i (majority vote) or prod x_i (veto vote) without any
+// party learning another's input and with no trusted third party.
+//
+// This is an in-process simulation with explicit per-party state, so tests
+// can check both correctness (the tally) and privacy (what a coalition of
+// fewer than `threshold` parties can see).
+#ifndef POLYSSE_MPC_VOTING_H_
+#define POLYSSE_MPC_VOTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/shamir.h"
+#include "util/status.h"
+
+namespace polysse {
+
+/// Result of a completed vote.
+struct VoteOutcome {
+  uint64_t tally = 0;      ///< sum of votes (sum protocol) or product (veto).
+  int messages_sent = 0;   ///< total point-to-point share transfers.
+};
+
+/// Runs the §3 sum protocol: each party shares its vote with a degree
+/// (threshold-1) polynomial, parties locally sum the shares they received,
+/// and any `threshold` parties reconstruct the tally.
+///
+/// votes[i] in {0, 1}; threshold <= n.
+Result<VoteOutcome> RunSumVote(const PrimeField& field,
+                               const std::vector<uint64_t>& votes,
+                               int threshold, ChaChaRng& rng);
+
+/// Runs the §3 veto protocol f = prod x_i via pointwise share multiplication.
+/// Each multiplication doubles the hidden degree, so k parties with
+/// threshold t need (k)(t-1)+1 <= n; Create fails otherwise. A tally of 1
+/// means nobody vetoed (all voted 1).
+Result<VoteOutcome> RunVetoVote(const PrimeField& field,
+                                const std::vector<uint64_t>& votes,
+                                int threshold, ChaChaRng& rng);
+
+/// What a curious coalition observes in a sum vote: every share sent *to*
+/// coalition members. Returns true when the coalition (size < threshold)
+/// can already determine some honest party's vote — used by privacy tests,
+/// must always come back false.
+bool CoalitionLearnsAnyVote(const PrimeField& field,
+                            const std::vector<uint64_t>& votes, int threshold,
+                            const std::vector<int>& coalition, ChaChaRng& rng);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_MPC_VOTING_H_

@@ -1,0 +1,73 @@
+#include "nt/modular.h"
+
+#include "util/check.h"
+
+namespace polysse {
+
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  POLYSSE_DCHECK(m != 0);
+  return static_cast<uint64_t>(static_cast<unsigned __int128>(a) * b % m);
+}
+
+uint64_t AddMod(uint64_t a, uint64_t b, uint64_t m) {
+  POLYSSE_DCHECK(a < m && b < m);
+  uint64_t s = a + b;
+  if (s < a || s >= m) s -= m;
+  return s;
+}
+
+uint64_t SubMod(uint64_t a, uint64_t b, uint64_t m) {
+  POLYSSE_DCHECK(a < m && b < m);
+  return a >= b ? a - b : a + (m - b);
+}
+
+uint64_t PowMod(uint64_t a, uint64_t e, uint64_t m) {
+  POLYSSE_DCHECK(m != 0);
+  if (m == 1) return 0;
+  uint64_t base = a % m;
+  uint64_t acc = 1;
+  while (e > 0) {
+    if (e & 1) acc = MulMod(acc, base, m);
+    e >>= 1;
+    if (e) base = MulMod(base, base, m);
+  }
+  return acc;
+}
+
+ExtGcdResult ExtGcd(int64_t a, int64_t b) {
+  // Iterative extended Euclid keeping (x, y) for both rows.
+  int64_t old_r = a, r = b;
+  int64_t old_x = 1, x = 0;
+  int64_t old_y = 0, y = 1;
+  while (r != 0) {
+    int64_t q = old_r / r;
+    int64_t t;
+    t = old_r - q * r; old_r = r; r = t;
+    t = old_x - q * x; old_x = x; x = t;
+    t = old_y - q * y; old_y = y; y = t;
+  }
+  if (old_r < 0) {
+    old_r = -old_r;
+    old_x = -old_x;
+    old_y = -old_y;
+  }
+  return {old_r, old_x, old_y};
+}
+
+Result<uint64_t> InvMod(uint64_t a, uint64_t m) {
+  if (m == 0) return Status::InvalidArgument("InvMod: zero modulus");
+  if (m == 1) return Status::InvalidArgument("InvMod: modulus one");
+  a %= m;
+  if (a == 0) return Status::InvalidArgument("InvMod: zero has no inverse");
+  // m < 2^63 is assumed library-wide for word moduli, so the signed
+  // extended Euclid below cannot overflow.
+  POLYSSE_DCHECK(m < (1ull << 63));
+  ExtGcdResult e = ExtGcd(static_cast<int64_t>(a), static_cast<int64_t>(m));
+  if (e.g != 1)
+    return Status::InvalidArgument("InvMod: argument not coprime to modulus");
+  int64_t x = e.x % static_cast<int64_t>(m);
+  if (x < 0) x += static_cast<int64_t>(m);
+  return static_cast<uint64_t>(x);
+}
+
+}  // namespace polysse

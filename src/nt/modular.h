@@ -1,0 +1,38 @@
+// Word-sized modular arithmetic: the kernels under PrimeField and the
+// F_p[x]/(x^{p-1}-1) ring. All routines are branch-free of UB for any
+// modulus 1 < m < 2^63.
+#ifndef POLYSSE_NT_MODULAR_H_
+#define POLYSSE_NT_MODULAR_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace polysse {
+
+/// (a * b) mod m via 128-bit intermediate.
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m);
+
+/// (a + b) mod m without overflow (a, b already reduced).
+uint64_t AddMod(uint64_t a, uint64_t b, uint64_t m);
+
+/// (a - b) mod m (a, b already reduced).
+uint64_t SubMod(uint64_t a, uint64_t b, uint64_t m);
+
+/// a^e mod m by square-and-multiply. 0^0 == 1.
+uint64_t PowMod(uint64_t a, uint64_t e, uint64_t m);
+
+/// Extended gcd: returns g = gcd(a, b) and Bezout x, y with a*x + b*y = g.
+struct ExtGcdResult {
+  int64_t g;
+  int64_t x;
+  int64_t y;
+};
+ExtGcdResult ExtGcd(int64_t a, int64_t b);
+
+/// Multiplicative inverse of a modulo m; InvalidArgument when gcd(a,m) != 1.
+Result<uint64_t> InvMod(uint64_t a, uint64_t m);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_NT_MODULAR_H_

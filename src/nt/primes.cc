@@ -1,0 +1,61 @@
+#include "nt/primes.h"
+
+#include "nt/modular.h"
+#include "util/check.h"
+
+namespace polysse {
+
+namespace {
+
+// One Miller-Rabin round; n-1 = d * 2^s with d odd. Returns true if `a`
+// proves n composite.
+bool WitnessesComposite(uint64_t a, uint64_t d, int s, uint64_t n) {
+  uint64_t x = PowMod(a % n, d, n);
+  if (x == 0 || x == 1 || x == n - 1) return false;
+  for (int i = 1; i < s; ++i) {
+    x = MulMod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  uint64_t d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // This witness set is deterministic for all n < 3.3e24 (Sorenson-Webster),
+  // so in particular for every 64-bit n.
+  for (uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    if (WitnessesComposite(a, d, s, n)) return false;
+  }
+  return true;
+}
+
+uint64_t NextPrime(uint64_t n) {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  while (!IsPrime(n)) {
+    POLYSSE_CHECK(n < (1ull << 63));  // library-wide word-modulus bound
+    n += 2;
+  }
+  return n;
+}
+
+uint64_t PrimeForAlphabet(uint64_t distinct_tags) {
+  // Need {1..p-2} to hold `distinct_tags` values: p >= distinct_tags + 2.
+  return NextPrime(distinct_tags + 2);
+}
+
+}  // namespace polysse

@@ -1,0 +1,24 @@
+// Primality testing and prime generation. The field modulus p doubles as the
+// tag-alphabet size bound in the paper (tags map into {1..p-2}), so callers
+// routinely ask for "the smallest prime above my alphabet size".
+#ifndef POLYSSE_NT_PRIMES_H_
+#define POLYSSE_NT_PRIMES_H_
+
+#include <cstdint>
+
+namespace polysse {
+
+/// Deterministic Miller-Rabin, exact for all 64-bit inputs
+/// (fixed witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}).
+bool IsPrime(uint64_t n);
+
+/// Smallest prime >= n (n <= 2^63 expected; CHECK-fails past that).
+uint64_t NextPrime(uint64_t n);
+
+/// Smallest prime p such that an alphabet of `distinct_tags` tag names fits
+/// into {1, .., p-2} (the paper excludes 0 and p-1 as mapped values).
+uint64_t PrimeForAlphabet(uint64_t distinct_tags);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_NT_PRIMES_H_

@@ -1,0 +1,280 @@
+#include "poly/fp_poly.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace polysse {
+
+FpPoly::FpPoly(const PrimeField& field, std::vector<int64_t> coeffs)
+    : field_(field) {
+  coeffs_.reserve(coeffs.size());
+  for (int64_t c : coeffs) coeffs_.push_back(field_.FromInt64(c));
+  Normalize();
+}
+
+FpPoly FpPoly::Constant(const PrimeField& field, uint64_t c) {
+  return FpPoly(field, std::vector<uint64_t>{field.FromUInt64(c)});
+}
+
+FpPoly FpPoly::Monomial(const PrimeField& field, uint64_t c, size_t d) {
+  std::vector<uint64_t> coeffs(d + 1, 0);
+  coeffs[d] = field.FromUInt64(c);
+  return FpPoly(field, std::move(coeffs));
+}
+
+FpPoly FpPoly::XMinus(const PrimeField& field, uint64_t root) {
+  return FpPoly(field,
+                std::vector<uint64_t>{field.Neg(field.FromUInt64(root)), 1});
+}
+
+FpPoly FpPoly::operator+(const FpPoly& rhs) const {
+  POLYSSE_DCHECK(field_ == rhs.field_);
+  std::vector<uint64_t> out(std::max(coeffs_.size(), rhs.coeffs_.size()), 0);
+  for (size_t i = 0; i < out.size(); ++i)
+    out[i] = field_.Add(coeff(i), rhs.coeff(i));
+  return FpPoly(field_, std::move(out));
+}
+
+FpPoly FpPoly::operator-(const FpPoly& rhs) const {
+  POLYSSE_DCHECK(field_ == rhs.field_);
+  std::vector<uint64_t> out(std::max(coeffs_.size(), rhs.coeffs_.size()), 0);
+  for (size_t i = 0; i < out.size(); ++i)
+    out[i] = field_.Sub(coeff(i), rhs.coeff(i));
+  return FpPoly(field_, std::move(out));
+}
+
+FpPoly FpPoly::operator*(const FpPoly& rhs) const {
+  POLYSSE_DCHECK(field_ == rhs.field_);
+  if (IsZero() || rhs.IsZero()) return Zero(field_);
+  std::vector<uint64_t> out(coeffs_.size() + rhs.coeffs_.size() - 1, 0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0) continue;
+    for (size_t j = 0; j < rhs.coeffs_.size(); ++j) {
+      out[i + j] = field_.Add(out[i + j], field_.Mul(coeffs_[i], rhs.coeffs_[j]));
+    }
+  }
+  return FpPoly(field_, std::move(out));
+}
+
+FpPoly FpPoly::operator-() const {
+  std::vector<uint64_t> out(coeffs_.size());
+  for (size_t i = 0; i < coeffs_.size(); ++i) out[i] = field_.Neg(coeffs_[i]);
+  return FpPoly(field_, std::move(out));
+}
+
+FpPoly FpPoly::ScalarMul(uint64_t s) const {
+  s = field_.FromUInt64(s);
+  std::vector<uint64_t> out(coeffs_.size());
+  for (size_t i = 0; i < coeffs_.size(); ++i) out[i] = field_.Mul(coeffs_[i], s);
+  return FpPoly(field_, std::move(out));
+}
+
+FpPoly FpPoly::ShiftUp(size_t k) const {
+  if (IsZero()) return *this;
+  std::vector<uint64_t> out(coeffs_.size() + k, 0);
+  std::copy(coeffs_.begin(), coeffs_.end(), out.begin() + k);
+  return FpPoly(field_, std::move(out));
+}
+
+bool FpPoly::operator==(const FpPoly& rhs) const {
+  return field_ == rhs.field_ && coeffs_ == rhs.coeffs_;
+}
+
+uint64_t FpPoly::Eval(uint64_t x) const {
+  x = field_.FromUInt64(x);
+  uint64_t acc = 0;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = field_.Add(field_.Mul(acc, x), coeffs_[i]);
+  }
+  return acc;
+}
+
+Result<std::pair<FpPoly, FpPoly>> FpPoly::DivRem(const FpPoly& divisor) const {
+  POLYSSE_DCHECK(field_ == divisor.field_);
+  if (divisor.IsZero())
+    return Status::InvalidArgument("FpPoly::DivRem: division by zero polynomial");
+  if (degree() < divisor.degree())
+    return std::pair<FpPoly, FpPoly>{Zero(field_), *this};
+
+  ASSIGN_OR_RETURN(uint64_t lead_inv, field_.Inv(divisor.LeadingCoeff()));
+  std::vector<uint64_t> rem = coeffs_;
+  const int dq = degree() - divisor.degree();
+  std::vector<uint64_t> quot(dq + 1, 0);
+  for (int k = dq; k >= 0; --k) {
+    uint64_t factor =
+        field_.Mul(rem[k + divisor.degree()], lead_inv);
+    quot[k] = factor;
+    if (factor == 0) continue;
+    for (int i = 0; i <= divisor.degree(); ++i) {
+      rem[k + i] =
+          field_.Sub(rem[k + i], field_.Mul(factor, divisor.coeff(i)));
+    }
+  }
+  return std::pair<FpPoly, FpPoly>{FpPoly(field_, std::move(quot)),
+                                   FpPoly(field_, std::move(rem))};
+}
+
+Result<FpPoly> FpPoly::Mod(const FpPoly& divisor) const {
+  ASSIGN_OR_RETURN(auto qr, DivRem(divisor));
+  return std::move(qr.second);
+}
+
+FpPoly FpPoly::Monic() const {
+  if (IsZero()) return *this;
+  auto inv = field_.Inv(LeadingCoeff());
+  POLYSSE_CHECK(inv.ok());  // nonzero leading coeff in a field is invertible
+  return ScalarMul(*inv);
+}
+
+FpPoly FpPoly::Gcd(FpPoly a, FpPoly b) {
+  while (!b.IsZero()) {
+    auto rem = a.Mod(b);
+    POLYSSE_CHECK(rem.ok());  // b nonzero here
+    a = std::move(b);
+    b = std::move(*rem);
+  }
+  return a.Monic();
+}
+
+Result<FpPoly> FpPoly::Interpolate(
+    const PrimeField& field,
+    const std::vector<std::pair<uint64_t, uint64_t>>& points) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      if (field.FromUInt64(points[i].first) == field.FromUInt64(points[j].first))
+        return Status::InvalidArgument("Interpolate: duplicate x coordinate");
+    }
+  }
+  FpPoly acc = Zero(field);
+  for (size_t i = 0; i < points.size(); ++i) {
+    // Lagrange basis L_i = prod_{j != i} (x - x_j) / (x_i - x_j).
+    FpPoly basis = One(field);
+    uint64_t denom = 1;
+    uint64_t xi = field.FromUInt64(points[i].first);
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      uint64_t xj = field.FromUInt64(points[j].first);
+      basis = basis * XMinus(field, xj);
+      denom = field.Mul(denom, field.Sub(xi, xj));
+    }
+    ASSIGN_OR_RETURN(uint64_t denom_inv, field.Inv(denom));
+    acc = acc + basis.ScalarMul(
+                    field.Mul(field.FromUInt64(points[i].second), denom_inv));
+  }
+  return acc;
+}
+
+Result<FpPoly> MulMod(const FpPoly& a, const FpPoly& b, const FpPoly& m) {
+  return (a * b).Mod(m);
+}
+
+Result<FpPoly> PowMod(const FpPoly& base, uint64_t e, const FpPoly& m) {
+  ASSIGN_OR_RETURN(FpPoly acc_base, base.Mod(m));
+  FpPoly acc = FpPoly::One(base.field());
+  while (e > 0) {
+    if (e & 1) {
+      ASSIGN_OR_RETURN(acc, MulMod(acc, acc_base, m));
+    }
+    e >>= 1;
+    if (e) {
+      ASSIGN_OR_RETURN(acc_base, MulMod(acc_base, acc_base, m));
+    }
+  }
+  return acc;
+}
+
+bool FpPoly::IsIrreducible() const {
+  // Rabin's test: f of degree n is irreducible over F_p iff
+  //   x^{p^n} == x (mod f), and
+  //   gcd(x^{p^{n/q}} - x, f) == 1 for every prime q | n.
+  const int n = degree();
+  if (n <= 0) return false;
+  if (n == 1) return true;
+  const uint64_t p = field_.modulus();
+  const FpPoly x = Monomial(field_, 1, 1);
+
+  // Distinct prime factors of n (n is small: it is a polynomial degree).
+  std::vector<int> prime_factors;
+  int m = n;
+  for (int q = 2; q * q <= m; ++q) {
+    if (m % q == 0) {
+      prime_factors.push_back(q);
+      while (m % q == 0) m /= q;
+    }
+  }
+  if (m > 1) prime_factors.push_back(m);
+
+  // x^{p^k} mod f by repeated Frobenius power.
+  auto frobenius_power = [&](int k) -> Result<FpPoly> {
+    FpPoly acc = x;
+    for (int i = 0; i < k; ++i) {
+      ASSIGN_OR_RETURN(acc, PowMod(acc, p, *this));
+    }
+    return acc;
+  };
+
+  auto xpn = frobenius_power(n);
+  if (!xpn.ok()) return false;
+  if (!(*xpn == x.Mod(*this).value_or(x))) return false;
+
+  for (int q : prime_factors) {
+    auto xpk = frobenius_power(n / q);
+    if (!xpk.ok()) return false;
+    FpPoly g = Gcd(*this, *xpk - x);
+    if (g.degree() != 0) return false;
+  }
+  return true;
+}
+
+void FpPoly::Serialize(ByteWriter* out) const {
+  out->PutVarint64(coeffs_.size());
+  for (uint64_t c : coeffs_) out->PutVarint64(c);
+}
+
+Result<FpPoly> FpPoly::Deserialize(const PrimeField& field, ByteReader* in) {
+  ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
+  if (n > (1ull << 32))
+    return Status::Corruption("FpPoly: absurd coefficient count");
+  std::vector<uint64_t> coeffs(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(coeffs[i], in->GetVarint64());
+    if (!field.IsCanonical(coeffs[i]))
+      return Status::Corruption("FpPoly: coefficient outside field");
+  }
+  return FpPoly(field, std::move(coeffs));
+}
+
+size_t FpPoly::SerializedSize() const {
+  ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+std::string FpPoly::ToString() const {
+  if (IsZero()) return "0";
+  std::string out;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    uint64_t c = coeffs_[i];
+    if (c == 0) continue;
+    if (!out.empty()) out += " + ";
+    if (i == 0) {
+      out += std::to_string(c);
+    } else {
+      if (c != 1) out += std::to_string(c);
+      out += "x";
+      if (i > 1) {
+        out += "^";
+        out += std::to_string(i);
+      }
+    }
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const FpPoly& p) {
+  return os << p.ToString();
+}
+
+}  // namespace polysse

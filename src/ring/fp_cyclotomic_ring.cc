@@ -1,0 +1,107 @@
+#include "ring/fp_cyclotomic_ring.h"
+
+#include "util/check.h"
+
+namespace polysse {
+
+Result<FpCyclotomicRing> FpCyclotomicRing::Create(uint64_t p) {
+  ASSIGN_OR_RETURN(PrimeField field, PrimeField::Create(p));
+  if (p < 3)
+    return Status::InvalidArgument(
+        "FpCyclotomicRing: p must be >= 3 so that a tag alphabet exists");
+  return FpCyclotomicRing(field);
+}
+
+Result<FpPoly> FpCyclotomicRing::XMinus(uint64_t t) const {
+  if (field_.FromUInt64(t) == 0)
+    return Status::InvalidArgument(
+        "tag value 0 is reserved: x does not divide x^{p-1}-1, so evaluation "
+        "at 0 would be undefined on residues");
+  // Note: t == p-1 is *representable* (the paper's own Fig. 1 maps name->4
+  // with p=5) but unsafe in general — Lemma 3's zero-divisor guard is
+  // enforced by TagMap, which callers can relax for figure reproduction.
+  return FpPoly::XMinus(field_, t);
+}
+
+FpPoly FpCyclotomicRing::Reduce(const FpPoly& a) const {
+  const size_t n = DenseCoeffCount();
+  if (a.degree() < static_cast<int>(n)) return a;
+  std::vector<int64_t> folded(n, 0);
+  for (size_t i = 0; i < a.coeffs().size(); ++i) {
+    size_t slot = i % n;
+    folded[slot] = static_cast<int64_t>(
+        field_.Add(static_cast<uint64_t>(folded[slot]), a.coeff(i)));
+  }
+  return FpPoly(field_, std::move(folded));
+}
+
+Result<uint64_t> FpCyclotomicRing::QueryModulus(uint64_t e) const {
+  if (field_.FromUInt64(e) == 0)
+    return Status::InvalidArgument(
+        "evaluation point 0 is undefined in F_p[x]/(x^{p-1}-1)");
+  return field_.modulus();
+}
+
+Result<uint64_t> FpCyclotomicRing::EvalAt(const Elem& a, uint64_t e) const {
+  RETURN_IF_ERROR(QueryModulus(e).status());
+  return a.Eval(e);
+}
+
+Result<uint64_t> FpCyclotomicRing::SolveTag(const Elem& f, const Elem& g) const {
+  if (g.IsZero())
+    return Status::VerificationFailed(
+        "SolveTag: children product is zero — impossible for well-formed data "
+        "(Lemma 3)");
+  // f = (x - t) g  <=>  t * g = x*g - f   (Eq. 2).
+  const Elem xg = Mul(FpPoly::Monomial(field_, 1, 1), g);
+  const Elem h = Sub(xg, f);
+  // Solve t from the first index where g is nonzero, then check every
+  // remaining equation of Eq. (3).
+  size_t pivot = 0;
+  while (pivot < g.coeffs().size() && g.coeff(pivot) == 0) ++pivot;
+  POLYSSE_DCHECK(pivot < g.coeffs().size());
+  ASSIGN_OR_RETURN(uint64_t ginv, field_.Inv(g.coeff(pivot)));
+  const uint64_t t = field_.Mul(h.coeff(pivot), ginv);
+  if (!Equal(g.ScalarMul(t), h))
+    return Status::VerificationFailed(
+        "SolveTag: coefficient equations inconsistent — server answer rejected");
+  if (t == 0)
+    return Status::VerificationFailed(
+        "SolveTag: reconstructed tag value 0 is outside the tag alphabet");
+  return t;
+}
+
+Result<uint64_t> FpCyclotomicRing::SolveTagTrusted(Scalar f0, Scalar g0) const {
+  if (g0 == 0)
+    return Status::InvalidArgument(
+        "SolveTagTrusted: constant coefficient of children product is zero; "
+        "full reconstruction required");
+  // Wrap-free case of Eq. (3)'s last equation: f_0 = -t * g_0.
+  ASSIGN_OR_RETURN(uint64_t g0_inv, field_.Inv(g0));
+  uint64_t t = field_.Mul(field_.Neg(field_.FromUInt64(f0)), g0_inv);
+  if (t == 0)
+    return Status::VerificationFailed("SolveTagTrusted: tag resolved to 0");
+  return t;
+}
+
+Result<FpCyclotomicRing::Scalar> FpCyclotomicRing::DeserializeScalar(
+    ByteReader* in) const {
+  ASSIGN_OR_RETURN(uint64_t v, in->GetVarint64());
+  if (!field_.IsCanonical(v))
+    return Status::Corruption("scalar outside field");
+  return v;
+}
+
+Result<FpPoly> FpCyclotomicRing::Deserialize(ByteReader* in) const {
+  ASSIGN_OR_RETURN(FpPoly p, FpPoly::Deserialize(field_, in));
+  if (p.degree() >= static_cast<int>(DenseCoeffCount()))
+    return Status::Corruption("ring element degree exceeds p-2");
+  return p;
+}
+
+size_t FpCyclotomicRing::DenseModelBytes() const {
+  size_t bits_per_coeff = 64 - __builtin_clzll(field_.modulus());
+  return DenseCoeffCount() * ((bits_per_coeff + 7) / 8);
+}
+
+}  // namespace polysse

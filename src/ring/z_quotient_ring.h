@@ -1,0 +1,133 @@
+// The ring R_r = Z[x]/(r(x)) of paper §4.1 (second variant), r monic
+// irreducible. Degrees stay below deg r but integer coefficients grow with
+// the tree — the n^2 (d+1) log p storage term of §5, which is why this ring
+// rides on the BigInt substrate.
+//
+// Query-time evaluation at a point e happens modulo m = r(e) (Fig. 6:
+// "everything is calculated modulo r(2) = 5"): for any residue f = F mod r,
+// f(e) = F(e) (mod r(e)), so a vanishing true polynomial shows up as 0 mod m.
+// When r(e) is composite or <= the tag-difference bound, the evaluation
+// filter can produce false positives; SafeTagValues() below picks mapping
+// points that provably avoid them, and the verification pass (Theorem 2)
+// removes any that remain.
+#ifndef POLYSSE_RING_Z_QUOTIENT_RING_H_
+#define POLYSSE_RING_Z_QUOTIENT_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poly/z_poly.h"
+#include "util/status.h"
+
+namespace polysse {
+
+/// Z[x]/(r(x)) for monic irreducible r.
+class ZQuotientRing {
+ public:
+  using Elem = ZPoly;
+
+  /// r must be monic of degree >= 1 and verifiably irreducible
+  /// (check skipped when `trust_irreducible` is set — for exotic moduli
+  /// whose irreducibility was established elsewhere).
+  static Result<ZQuotientRing> Create(ZPoly r, bool trust_irreducible = false);
+
+  const ZPoly& modulus() const { return r_; }
+  int degree() const { return r_.degree(); }
+
+  Elem Zero() const { return ZPoly::Zero(); }
+  Elem One() const { return ZPoly::One(); }
+  /// The linear tag factor (x - t), t >= 1.
+  Result<Elem> XMinus(uint64_t t) const;
+
+  /// Canonical representative: remainder mod r.
+  Result<Elem> Reduce(const ZPoly& a) const { return a.ModMonic(r_); }
+
+  Elem Add(const Elem& a, const Elem& b) const { return a + b; }
+  Elem Sub(const Elem& a, const Elem& b) const { return a - b; }
+  Elem Neg(const Elem& a) const { return -a; }
+  Elem Mul(const Elem& a, const Elem& b) const;
+
+  bool IsZero(const Elem& a) const { return a.IsZero(); }
+  bool Equal(const Elem& a, const Elem& b) const { return a == b; }
+
+  /// r(e), the modulus query evaluations are taken in. InvalidArgument when
+  /// r(e) < 2 or it does not fit in 64 bits.
+  Result<uint64_t> QueryModulus(uint64_t e) const;
+  /// f(e) mod r(e).
+  Result<uint64_t> EvalAt(const Elem& a, uint64_t e) const;
+
+  /// Ring element with `deg r` uniform coefficients of `coeff_bits` bits.
+  /// NOTE (documented limitation reproduced from the paper): additive shares
+  /// over Z cannot be perfectly hiding; coeff_bits sets the statistical
+  /// hiding margin relative to the data's coefficient growth.
+  template <typename Rng>
+  Elem Random(Rng&& next_u64, size_t coeff_bits = 128) const {
+    std::vector<BigInt> coeffs;
+    coeffs.reserve(degree());
+    const size_t words = (coeff_bits + 63) / 64;
+    for (int i = 0; i < degree(); ++i) {
+      std::vector<uint8_t> bytes(words * 8);
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t v = next_u64();
+        for (int b = 0; b < 8; ++b)
+          bytes[w * 8 + b] = static_cast<uint8_t>(v >> (8 * b));
+      }
+      // Trim to the exact bit count.
+      const size_t drop = words * 64 - coeff_bits;
+      if (drop > 0) {
+        size_t last = bytes.size() - 1;
+        size_t whole = drop / 8;
+        for (size_t k = 0; k < whole; ++k) bytes[last - k] = 0;
+        if (drop % 8) bytes[last - whole] &= (0xFF >> (drop % 8));
+      }
+      coeffs.push_back(BigInt::FromLittleEndianBytes(bytes));
+    }
+    return ZPoly(std::move(coeffs));
+  }
+
+  /// Theorem 2: the unique t with f = (x - t) * g in Z[x]/(r). Exact integer
+  /// division; verifies all coefficient equations (Eq. 3). VerificationFailed
+  /// when inconsistent (corrupt or cheating server).
+  Result<uint64_t> SolveTag(const Elem& f, const Elem& g) const;
+
+  /// Scalar type of coefficients (used by the trusted constant-only mode).
+  using Scalar = BigInt;
+  Scalar ConstTerm(const Elem& a) const { return a.coeff(0); }
+  Scalar AddScalars(const Scalar& a, const Scalar& b) const { return a + b; }
+  Scalar MulScalars(const Scalar& a, const Scalar& b) const { return a * b; }
+  Scalar OneScalar() const { return BigInt(1); }
+  void SerializeScalar(const Scalar& s, ByteWriter* out) const {
+    s.Serialize(out);
+  }
+  Result<Scalar> DeserializeScalar(ByteReader* in) const {
+    return BigInt::Deserialize(in);
+  }
+
+  /// Trusted-server constant-only reconstruction ("only the last equation"):
+  /// valid when the node's true polynomial does not wrap the ring
+  /// (subtree_size <= deg r - 1), in which case f_0 = -t * g_0 exactly over
+  /// Z. No Eq. 3 checking — trusts the server.
+  Result<uint64_t> SolveTagTrusted(const BigInt& f0, const BigInt& g0) const;
+
+  /// Tag values t in [1, limit] that make the evaluation filter sound:
+  /// r(t) prime and r(t) > max_tag_distance (so no product of nonzero
+  /// in-range differences can vanish mod r(t)).
+  std::vector<uint64_t> SafeTagValues(uint64_t limit,
+                                      uint64_t max_tag_distance) const;
+
+  void Serialize(const Elem& a, ByteWriter* out) const { a.Serialize(out); }
+  Result<Elem> Deserialize(ByteReader* in) const;
+  size_t SerializedSize(const Elem& a) const { return a.SerializedSize(); }
+
+  std::string ToString(const Elem& a) const { return a.ToString(); }
+
+ private:
+  explicit ZQuotientRing(ZPoly r) : r_(std::move(r)) {}
+
+  ZPoly r_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_RING_Z_QUOTIENT_RING_H_

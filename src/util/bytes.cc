@@ -1,0 +1,84 @@
+#include "util/bytes.h"
+
+namespace polysse {
+
+namespace {
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("truncated input reading ") + what);
+}
+}  // namespace
+
+void ByteWriter::PutVarint64(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutVarintSigned64(int64_t v) {
+  // Zig-zag: maps small-magnitude signed values to small unsigned values.
+  PutVarint64((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+}
+
+Result<uint64_t> ByteReader::GetLittleEndian(int n) {
+  if (remaining() < static_cast<size_t>(n)) return Truncated("fixed int");
+  uint64_t v = 0;
+  for (int i = 0; i < n; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += n;
+  return v;
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  ASSIGN_OR_RETURN(uint64_t v, GetLittleEndian(1));
+  return static_cast<uint8_t>(v);
+}
+Result<uint16_t> ByteReader::GetU16() {
+  ASSIGN_OR_RETURN(uint64_t v, GetLittleEndian(2));
+  return static_cast<uint16_t>(v);
+}
+Result<uint32_t> ByteReader::GetU32() {
+  ASSIGN_OR_RETURN(uint64_t v, GetLittleEndian(4));
+  return static_cast<uint32_t>(v);
+}
+Result<uint64_t> ByteReader::GetU64() { return GetLittleEndian(8); }
+
+Result<uint64_t> ByteReader::GetVarint64() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (AtEnd()) return Truncated("varint");
+    uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical 10-byte encodings that overflow 64 bits.
+      if (shift == 63 && byte > 1) return Status::Corruption("varint overflows 64 bits");
+      return v;
+    }
+  }
+  return Status::Corruption("varint longer than 10 bytes");
+}
+
+Result<int64_t> ByteReader::GetVarintSigned64() {
+  ASSIGN_OR_RETURN(uint64_t z, GetVarint64());
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+Result<std::vector<uint8_t>> ByteReader::GetBytes(size_t n) {
+  if (remaining() < n) return Truncated("raw bytes");
+  std::vector<uint8_t> out(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::vector<uint8_t>> ByteReader::GetLengthPrefixed() {
+  ASSIGN_OR_RETURN(uint64_t n, GetVarint64());
+  if (n > remaining()) return Truncated("length-prefixed bytes");
+  return GetBytes(n);
+}
+
+Result<std::string> ByteReader::GetLengthPrefixedString() {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, GetLengthPrefixed());
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace polysse

@@ -1,0 +1,26 @@
+// Internal invariant checks. CHECK aborts in all builds (used for programmer
+// errors that must never ship); DCHECK compiles out of release builds.
+#ifndef POLYSSE_UTIL_CHECK_H_
+#define POLYSSE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define POLYSSE_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                   \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define POLYSSE_DCHECK(cond) POLYSSE_CHECK(cond)
+#else
+#define POLYSSE_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // POLYSSE_UTIL_CHECK_H_

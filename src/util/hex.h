@@ -1,0 +1,23 @@
+// Hex encoding helpers (test vectors, debugging, key fingerprints).
+#ifndef POLYSSE_UTIL_HEX_H_
+#define POLYSSE_UTIL_HEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace polysse {
+
+/// Lowercase hex of `bytes`.
+std::string ToHex(std::span<const uint8_t> bytes);
+
+/// Parses hex (upper or lower case, even length, no separators).
+Result<std::vector<uint8_t>> FromHex(std::string_view hex);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_UTIL_HEX_H_

@@ -1,0 +1,157 @@
+// polysse: error model. Errors cross the public API as Status / Result<T>
+// (RocksDB-style); no exceptions are thrown by library code.
+#ifndef POLYSSE_UTIL_STATUS_H_
+#define POLYSSE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace polysse {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kCorruption = 4,          ///< Malformed serialized bytes or wire message.
+  kFailedPrecondition = 5,  ///< Call sequencing / configuration error.
+  kVerificationFailed = 6,  ///< Untrusted-server answer failed Eq. (3) checks.
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a short stable name, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status VerificationFailed(std::string msg) {
+    return Status(StatusCode::kVerificationFailed, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status holder. Exactly one of the two is present.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — enables `return value;` in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK Status — enables `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Status::Ok() when a value is present.
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  /// value() on an error is a programming bug; fail loudly in every build
+  /// mode rather than dereferencing an empty optional.
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() called on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;  // Ok iff value_ present.
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller: `RETURN_IF_ERROR(DoThing());`
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::polysse::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Unwraps a Result<T> into `lhs` or propagates its error.
+#define ASSIGN_OR_RETURN(lhs, expr)             \
+  auto POLYSSE_CONCAT_(res_, __LINE__) = (expr);            \
+  if (!POLYSSE_CONCAT_(res_, __LINE__).ok())                \
+    return POLYSSE_CONCAT_(res_, __LINE__).status();        \
+  lhs = std::move(POLYSSE_CONCAT_(res_, __LINE__)).value()
+
+#define POLYSSE_CONCAT_IMPL_(a, b) a##b
+#define POLYSSE_CONCAT_(a, b) POLYSSE_CONCAT_IMPL_(a, b)
+
+}  // namespace polysse
+
+#endif  // POLYSSE_UTIL_STATUS_H_

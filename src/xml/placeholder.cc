@@ -1,0 +1,5 @@
+namespace polysse {
+namespace {
+int xml_placeholder = 0;
+}
+}

@@ -1,0 +1,148 @@
+#include "xml/xml_generator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace polysse {
+
+namespace {
+
+/// Zipf sampler over {0..k-1} with exponent s (s == 0 degenerates to uniform).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t k, double s) : cdf_(k) {
+    double total = 0;
+    for (size_t i = 0; i < k; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& v : cdf_) v /= total;
+  }
+
+  size_t Sample(ChaChaRng& rng) const {
+    double u = static_cast<double>(rng.NextU64()) /
+               static_cast<double>(UINT64_MAX);
+    // cdf_ is sorted; linear scan is fine for the alphabet sizes we sweep.
+    for (size_t i = 0; i < cdf_.size(); ++i) {
+      if (u <= cdf_[i]) return i;
+    }
+    return cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+std::string RandomWord(ChaChaRng& rng) {
+  static const char* kWords[] = {"alpha", "bravo",  "carol", "delta",
+                                 "echo",  "fox",    "golf",  "hotel",
+                                 "india", "juliet", "kilo",  "lima"};
+  return kWords[rng.NextBelow(sizeof(kWords) / sizeof(kWords[0]))];
+}
+
+}  // namespace
+
+XmlNode GenerateXmlTree(const XmlGeneratorOptions& options) {
+  POLYSSE_CHECK(options.num_nodes >= 1);
+  POLYSSE_CHECK(options.tag_alphabet >= 1);
+  POLYSSE_CHECK(options.max_fanout >= 1);
+
+  uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    seed_bytes[i] = static_cast<uint8_t>(options.seed >> (8 * i));
+  ChaChaRng rng = ChaChaRng::FromString(
+      std::string("xmlgen/") +
+      std::string(reinterpret_cast<char*>(seed_bytes), 8));
+  ZipfSampler zipf(options.tag_alphabet, options.zipf_s);
+
+  auto tag_name = [&](size_t i) { return "tag" + std::to_string(i); };
+
+  XmlNode root(tag_name(zipf.Sample(rng)));
+  size_t remaining = options.num_nodes - 1;
+
+  // Grow by repeatedly attaching children to a random frontier node whose
+  // fan-out budget is not exhausted. Pointers into a vector-owned tree would
+  // dangle on reallocation, so the frontier stores child-index paths.
+  std::vector<std::vector<int>> frontier = {{}};
+  auto node_at = [&](const std::vector<int>& path) -> XmlNode* {
+    XmlNode* cur = &root;
+    for (int idx : path) cur = &cur->children()[idx];
+    return cur;
+  };
+
+  while (remaining > 0) {
+    size_t pick = rng.NextBelow(frontier.size());
+    std::vector<int> path = frontier[pick];
+    XmlNode* parent = node_at(path);
+    XmlNode& child = parent->AddChild(tag_name(zipf.Sample(rng)));
+    if (options.with_text && rng.NextBelow(2) == 0) {
+      child.set_text(RandomWord(rng) + " " + RandomWord(rng));
+    }
+    std::vector<int> child_path = path;
+    child_path.push_back(static_cast<int>(parent->children().size() - 1));
+    frontier.push_back(std::move(child_path));
+    if (parent->children().size() >=
+        1 + rng.NextBelow(static_cast<uint64_t>(options.max_fanout))) {
+      frontier.erase(frontier.begin() + static_cast<long>(pick));
+    }
+    --remaining;
+  }
+  return root;
+}
+
+XmlNode MakeFig1Document() {
+  XmlNode customers("customers");
+  XmlNode client1("client");
+  client1.AddChild("name").set_text("John");
+  XmlNode client2("client");
+  client2.AddChild("name").set_text("Pete");
+  customers.AddChild(std::move(client1));
+  customers.AddChild(std::move(client2));
+  return customers;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Fig1TagMapping() {
+  return {{"order", 1}, {"client", 2}, {"customers", 3}, {"name", 4}};
+}
+
+XmlNode MakeMedicalRecordsDocument(size_t num_patients, uint64_t seed) {
+  uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    seed_bytes[i] = static_cast<uint8_t>(seed >> (8 * i));
+  ChaChaRng rng = ChaChaRng::FromString(
+      std::string("medgen/") +
+      std::string(reinterpret_cast<char*>(seed_bytes), 8));
+
+  XmlNode hospital("hospital");
+  for (size_t i = 0; i < num_patients; ++i) {
+    XmlNode patient("patient");
+    patient.AddChild("name").set_text(RandomWord(rng));
+    patient.AddChild("dob").set_text("19" + std::to_string(50 + rng.NextBelow(50)));
+    XmlNode record("record");
+    record.AddChild("diagnosis").set_text(RandomWord(rng));
+    if (rng.NextBelow(2) == 0) {
+      XmlNode rx("prescription");
+      rx.AddChild("drug").set_text(RandomWord(rng));
+      rx.AddChild("dose").set_text(std::to_string(1 + rng.NextBelow(500)) + "mg");
+      record.AddChild(std::move(rx));
+    }
+    if (rng.NextBelow(3) == 0) {
+      XmlNode lab("lab");
+      lab.AddChild("test").set_text(RandomWord(rng));
+      lab.AddChild("result").set_text(RandomWord(rng));
+      record.AddChild(std::move(lab));
+    }
+    patient.AddChild(std::move(record));
+    if (rng.NextBelow(4) == 0) {
+      XmlNode ins("insurance");
+      ins.AddChild("provider").set_text(RandomWord(rng));
+      patient.AddChild(std::move(ins));
+    }
+    hospital.AddChild(std::move(patient));
+  }
+  return hospital;
+}
+
+}  // namespace polysse

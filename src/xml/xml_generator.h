@@ -1,0 +1,48 @@
+// Synthetic XML workload generator (DESIGN.md substitution: the paper names
+// no corpus, so experiments sweep tree shape/alphabet parameters directly).
+// Also builds the paper's exact Figure 1 document.
+#ifndef POLYSSE_XML_XML_GENERATOR_H_
+#define POLYSSE_XML_XML_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/chacha20.h"
+#include "xml/xml_node.h"
+
+namespace polysse {
+
+/// Parameters of the random-tree generator.
+struct XmlGeneratorOptions {
+  /// Target element count; the generator lands exactly on this.
+  size_t num_nodes = 100;
+  /// Maximum children per node (actual fan-out is uniform in [1, max]).
+  int max_fanout = 4;
+  /// Number of distinct tag names ("tag0".."tagK-1").
+  size_t tag_alphabet = 10;
+  /// Zipf skew for tag selection; 0 = uniform, >0 favors low tag indices
+  /// (real XML vocabularies are heavily skewed).
+  double zipf_s = 0.0;
+  /// When true, leaves get short random text payloads (for content indexes).
+  bool with_text = false;
+  uint64_t seed = 1;
+};
+
+/// Generates a random element tree with exactly `options.num_nodes` nodes.
+XmlNode GenerateXmlTree(const XmlGeneratorOptions& options);
+
+/// The 5-node document of paper Fig. 1(a):
+/// customers( client(name), client(name) ).
+XmlNode MakeFig1Document();
+
+/// The paper's Fig. 1(b) mapping rendered as tag list in value order:
+/// order->1, client->2, customers->3, name->4.
+std::vector<std::pair<std::string, uint64_t>> Fig1TagMapping();
+
+/// A realistic "hospital records" document with depth-4 structure and a
+/// 12-name vocabulary; used by examples and integration tests.
+XmlNode MakeMedicalRecordsDocument(size_t num_patients, uint64_t seed);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_XML_XML_GENERATOR_H_

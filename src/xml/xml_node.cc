@@ -1,0 +1,98 @@
+#include "xml/xml_node.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace polysse {
+
+const std::string* XmlNode::FindAttribute(std::string_view name) const {
+  for (const XmlAttribute& a : attributes_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const XmlNode& c : children_) n += c.SubtreeSize();
+  return n;
+}
+
+size_t XmlNode::Height() const {
+  size_t best = 0;
+  for (const XmlNode& c : children_) best = std::max(best, c.Height());
+  return best + 1;
+}
+
+namespace {
+void CollectTags(const XmlNode& node, std::unordered_set<std::string>* seen,
+                 std::vector<std::string>* out) {
+  if (seen->insert(node.name()).second) out->push_back(node.name());
+  for (const XmlNode& c : node.children()) CollectTags(c, seen, out);
+}
+
+void PreorderImpl(
+    const XmlNode& node, std::vector<int>& path,
+    const std::function<void(const XmlNode&, const std::vector<int>&)>& fn) {
+  fn(node, path);
+  for (size_t i = 0; i < node.children().size(); ++i) {
+    path.push_back(static_cast<int>(i));
+    PreorderImpl(node.children()[i], path, fn);
+    path.pop_back();
+  }
+}
+}  // namespace
+
+std::vector<std::string> XmlNode::DistinctTags() const {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  CollectTags(*this, &seen, &out);
+  return out;
+}
+
+size_t XmlNode::DistinctTagCount() const { return DistinctTags().size(); }
+
+void XmlNode::Preorder(
+    const std::function<void(const XmlNode&, const std::vector<int>&)>& fn)
+    const {
+  std::vector<int> path;
+  PreorderImpl(*this, path, fn);
+}
+
+const XmlNode* XmlNode::AtPath(const std::vector<int>& path) const {
+  const XmlNode* cur = this;
+  for (int idx : path) {
+    if (idx < 0 || static_cast<size_t>(idx) >= cur->children_.size())
+      return nullptr;
+    cur = &cur->children_[idx];
+  }
+  return cur;
+}
+
+bool XmlNode::operator==(const XmlNode& other) const {
+  if (name_ != other.name_ || text_ != other.text_ ||
+      children_.size() != other.children_.size() ||
+      attributes_.size() != other.attributes_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].value != other.attributes_[i].value)
+      return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!(children_[i] == other.children_[i])) return false;
+  }
+  return true;
+}
+
+std::string PathToString(const std::vector<int>& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i) out += '/';
+    out += std::to_string(path[i]);
+  }
+  return out;
+}
+
+}  // namespace polysse

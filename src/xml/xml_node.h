@@ -1,0 +1,81 @@
+// Value-semantics XML DOM. The paper's data model is a tree of tag names
+// (Fig. 1); attributes/text are carried along for the content-index
+// extensions but do not participate in the polynomial representation.
+#ifndef POLYSSE_XML_XML_NODE_H_
+#define POLYSSE_XML_XML_NODE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace polysse {
+
+/// A single attribute.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// An element node owning its subtree by value.
+class XmlNode {
+ public:
+  XmlNode() = default;
+  explicit XmlNode(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+  void AddAttribute(std::string name, std::string value) {
+    attributes_.push_back({std::move(name), std::move(value)});
+  }
+  /// nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  const std::vector<XmlNode>& children() const { return children_; }
+  std::vector<XmlNode>& children() { return children_; }
+  /// Appends a child and returns a reference to it (for fluent building).
+  XmlNode& AddChild(XmlNode child) {
+    children_.push_back(std::move(child));
+    return children_.back();
+  }
+  XmlNode& AddChild(std::string name) { return AddChild(XmlNode(std::move(name))); }
+
+  bool IsLeaf() const { return children_.empty(); }
+  /// Total number of element nodes in this subtree (including *this).
+  size_t SubtreeSize() const;
+  /// Longest root-to-leaf element count (1 for a leaf).
+  size_t Height() const;
+  /// Number of distinct tag names in the subtree.
+  size_t DistinctTagCount() const;
+  /// All distinct tag names, in first-seen preorder.
+  std::vector<std::string> DistinctTags() const;
+
+  /// Preorder visit; the callback receives each node and its child-index
+  /// path from *this* node (empty path for the subtree root).
+  void Preorder(
+      const std::function<void(const XmlNode&, const std::vector<int>&)>& fn)
+      const;
+
+  /// Follows a child-index path; nullptr when out of range.
+  const XmlNode* AtPath(const std::vector<int>& path) const;
+
+  bool operator==(const XmlNode& other) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<XmlAttribute> attributes_;
+  std::vector<XmlNode> children_;
+};
+
+/// Renders a child-index path as "0/2/1" ("" for the root).
+std::string PathToString(const std::vector<int>& path);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_XML_XML_NODE_H_

@@ -1,0 +1,250 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace polysse {
+
+namespace {
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view in) : in_(in) {}
+
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char PeekAt(size_t ahead) const {
+    return pos_ + ahead < in_.size() ? in_[pos_ + ahead] : '\0';
+  }
+  void Advance() {
+    if (in_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    Advance();
+    return true;
+  }
+  bool ConsumePrefix(std::string_view prefix) {
+    if (in_.substr(pos_).substr(0, prefix.size()) != prefix) return false;
+    for (size_t i = 0; i < prefix.size(); ++i) Advance();
+    return true;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+  }
+  /// Advances until `stop` appears; false when input ends first.
+  bool SkipUntil(std::string_view stop) {
+    while (pos_ + stop.size() <= in_.size()) {
+      if (in_.substr(pos_, stop.size()) == stop) {
+        for (size_t i = 0; i < stop.size(); ++i) Advance();
+        return true;
+      }
+      Advance();
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("XML parse error at line " +
+                                   std::to_string(line_) + ": " + what);
+  }
+
+  size_t pos() const { return pos_; }
+  std::string_view input() const { return in_; }
+
+ private:
+  std::string_view in_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+Result<std::string> ParseName(Cursor* cur) {
+  if (cur->AtEnd() || !IsNameStart(cur->Peek()))
+    return cur->Error("expected name");
+  std::string name;
+  while (!cur->AtEnd() && IsNameChar(cur->Peek())) {
+    name.push_back(cur->Peek());
+    cur->Advance();
+  }
+  return name;
+}
+
+Result<std::string> DecodeEntities(Cursor* cur, std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out.push_back(raw[i]);
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos)
+      return cur->Error("unterminated entity reference");
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "lt") out.push_back('<');
+    else if (ent == "gt") out.push_back('>');
+    else if (ent == "amp") out.push_back('&');
+    else if (ent == "quot") out.push_back('"');
+    else if (ent == "apos") out.push_back('\'');
+    else if (!ent.empty() && ent[0] == '#') {
+      int code = 0;
+      bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      for (size_t k = hex ? 2 : 1; k < ent.size(); ++k) {
+        char c = ent[k];
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (hex && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (hex && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else return cur->Error("bad character reference");
+        code = code * (hex ? 16 : 10) + digit;
+        if (code > 0x10FFFF) return cur->Error("character reference out of range");
+      }
+      // Encode as UTF-8.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      return cur->Error("unknown entity &" + std::string(ent) + ";");
+    }
+    i = semi;
+  }
+  return out;
+}
+
+Status ParseAttributes(Cursor* cur, XmlNode* node) {
+  while (true) {
+    cur->SkipWhitespace();
+    if (cur->AtEnd()) return cur->Error("unexpected end inside tag");
+    char c = cur->Peek();
+    if (c == '>' || c == '/' || c == '?') return Status::Ok();
+    ASSIGN_OR_RETURN(std::string name, ParseName(cur));
+    cur->SkipWhitespace();
+    if (!cur->Consume('=')) return cur->Error("expected '=' after attribute name");
+    cur->SkipWhitespace();
+    char quote = cur->AtEnd() ? '\0' : cur->Peek();
+    if (quote != '"' && quote != '\'')
+      return cur->Error("expected quoted attribute value");
+    cur->Advance();
+    std::string raw;
+    while (!cur->AtEnd() && cur->Peek() != quote) {
+      raw.push_back(cur->Peek());
+      cur->Advance();
+    }
+    if (!cur->Consume(quote)) return cur->Error("unterminated attribute value");
+    ASSIGN_OR_RETURN(std::string value, DecodeEntities(cur, raw));
+    node->AddAttribute(std::move(name), std::move(value));
+  }
+}
+
+// Skips comments/PIs/DOCTYPE between markup. Returns error on malformed input.
+Status SkipMisc(Cursor* cur) {
+  while (true) {
+    cur->SkipWhitespace();
+    if (cur->ConsumePrefix("<!--")) {
+      if (!cur->SkipUntil("-->")) return cur->Error("unterminated comment");
+    } else if (cur->ConsumePrefix("<?")) {
+      if (!cur->SkipUntil("?>")) return cur->Error("unterminated processing instruction");
+    } else if (cur->ConsumePrefix("<!DOCTYPE")) {
+      if (!cur->SkipUntil(">")) return cur->Error("unterminated DOCTYPE");
+    } else {
+      return Status::Ok();
+    }
+  }
+}
+
+Result<XmlNode> ParseElement(Cursor* cur, int depth) {
+  if (depth > 512) return cur->Error("nesting deeper than 512");
+  if (!cur->Consume('<')) return cur->Error("expected '<'");
+  ASSIGN_OR_RETURN(std::string name, ParseName(cur));
+  XmlNode node(std::move(name));
+  RETURN_IF_ERROR(ParseAttributes(cur, &node));
+  if (cur->ConsumePrefix("/>")) return node;
+  if (!cur->Consume('>')) return cur->Error("expected '>'");
+
+  std::string text;
+  while (true) {
+    if (cur->AtEnd())
+      return cur->Error("unexpected end inside <" + node.name() + ">");
+    if (cur->Peek() == '<') {
+      if (cur->ConsumePrefix("</")) {
+        ASSIGN_OR_RETURN(std::string close, ParseName(cur));
+        if (close != node.name())
+          return cur->Error("mismatched closing tag </" + close +
+                            "> for <" + node.name() + ">");
+        cur->SkipWhitespace();
+        if (!cur->Consume('>')) return cur->Error("expected '>' in closing tag");
+        break;
+      }
+      if (cur->ConsumePrefix("<!--")) {
+        if (!cur->SkipUntil("-->")) return cur->Error("unterminated comment");
+        continue;
+      }
+      if (cur->ConsumePrefix("<![CDATA[")) {
+        size_t start = cur->pos();
+        if (!cur->SkipUntil("]]>")) return cur->Error("unterminated CDATA");
+        text.append(cur->input().substr(start, cur->pos() - 3 - start));
+        continue;
+      }
+      if (cur->ConsumePrefix("<?")) {
+        if (!cur->SkipUntil("?>")) return cur->Error("unterminated PI");
+        continue;
+      }
+      ASSIGN_OR_RETURN(XmlNode child, ParseElement(cur, depth + 1));
+      node.AddChild(std::move(child));
+    } else {
+      size_t start = cur->pos();
+      while (!cur->AtEnd() && cur->Peek() != '<') cur->Advance();
+      ASSIGN_OR_RETURN(
+          std::string decoded,
+          DecodeEntities(cur, cur->input().substr(start, cur->pos() - start)));
+      text += decoded;
+    }
+  }
+
+  // Trim pure-formatting whitespace.
+  size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) {
+    text.clear();
+  } else {
+    size_t last = text.find_last_not_of(" \t\r\n");
+    text = text.substr(first, last - first + 1);
+  }
+  node.set_text(std::move(text));
+  return node;
+}
+
+}  // namespace
+
+Result<XmlNode> ParseXml(std::string_view input) {
+  Cursor cur(input);
+  RETURN_IF_ERROR(SkipMisc(&cur));
+  if (cur.AtEnd()) return cur.Error("no root element");
+  ASSIGN_OR_RETURN(XmlNode root, ParseElement(&cur, 0));
+  RETURN_IF_ERROR(SkipMisc(&cur));
+  if (!cur.AtEnd()) return cur.Error("trailing content after root element");
+  return root;
+}
+
+}  // namespace polysse

@@ -1,0 +1,19 @@
+// Recursive-descent XML parser covering the subset the library needs:
+// declaration, comments, DOCTYPE (skipped), elements, attributes, text with
+// the five predefined entities, CDATA. Not a validating parser.
+#ifndef POLYSSE_XML_XML_PARSER_H_
+#define POLYSSE_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace polysse {
+
+/// Parses a document and returns its root element.
+Result<XmlNode> ParseXml(std::string_view input);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_XML_XML_PARSER_H_

@@ -1,0 +1,67 @@
+#include "xml/xml_writer.h"
+
+namespace polysse {
+
+namespace {
+
+void EscapeInto(std::string_view raw, bool attribute, std::string* out) {
+  for (char c : raw) {
+    switch (c) {
+      case '<': *out += "&lt;"; break;
+      case '>': *out += "&gt;"; break;
+      case '&': *out += "&amp;"; break;
+      case '"':
+        if (attribute) *out += "&quot;";
+        else out->push_back(c);
+        break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+void WriteNode(const XmlNode& node, const XmlWriteOptions& opt, int depth,
+               std::string* out) {
+  const bool pretty = opt.indent > 0;
+  if (pretty) out->append(static_cast<size_t>(depth) * opt.indent, ' ');
+  *out += '<';
+  *out += node.name();
+  for (const XmlAttribute& a : node.attributes()) {
+    *out += ' ';
+    *out += a.name;
+    *out += "=\"";
+    EscapeInto(a.value, /*attribute=*/true, out);
+    *out += '"';
+  }
+  if (node.children().empty() && node.text().empty()) {
+    *out += "/>";
+    if (pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  if (!node.text().empty()) {
+    EscapeInto(node.text(), /*attribute=*/false, out);
+  }
+  if (!node.children().empty()) {
+    if (pretty) *out += '\n';
+    for (const XmlNode& c : node.children()) WriteNode(c, opt, depth + 1, out);
+    if (pretty) out->append(static_cast<size_t>(depth) * opt.indent, ' ');
+  }
+  *out += "</";
+  *out += node.name();
+  *out += '>';
+  if (pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.indent > 0) out += '\n';
+  }
+  WriteNode(node, options, 0, &out);
+  return out;
+}
+
+}  // namespace polysse

@@ -1,0 +1,24 @@
+// XML serializer. Round-trips the DOM produced by ParseXml and is the
+// baseline "plaintext storage" measurement of experiment E7.
+#ifndef POLYSSE_XML_XML_WRITER_H_
+#define POLYSSE_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/xml_node.h"
+
+namespace polysse {
+
+struct XmlWriteOptions {
+  /// Pretty-print with this indent width; 0 writes compact one-line output.
+  int indent = 2;
+  /// Emit the <?xml version="1.0"?> declaration.
+  bool declaration = false;
+};
+
+/// Serializes the subtree rooted at `node`.
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options = {});
+
+}  // namespace polysse
+
+#endif  // POLYSSE_XML_XML_WRITER_H_

@@ -1,0 +1,5 @@
+namespace polysse {
+namespace {
+int xpath_placeholder = 0;
+}
+}

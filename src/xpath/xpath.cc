@@ -1,0 +1,146 @@
+#include "xpath/xpath.h"
+
+#include <algorithm>
+#include <set>
+
+namespace polysse {
+
+Result<XPathQuery> XPathQuery::Parse(std::string_view expr) {
+  XPathQuery out;
+  size_t pos = 0;
+  if (expr.empty()) return Status::InvalidArgument("empty XPath expression");
+  while (pos < expr.size()) {
+    XPathStep step;
+    if (expr.substr(pos, 2) == "//") {
+      step.axis = XPathStep::Axis::kDescendant;
+      pos += 2;
+    } else if (expr[pos] == '/') {
+      step.axis = XPathStep::Axis::kChild;
+      pos += 1;
+    } else if (pos == 0) {
+      return Status::InvalidArgument("XPath must start with '/' or '//'");
+    } else {
+      return Status::InvalidArgument("expected '/' or '//' at offset " +
+                                     std::to_string(pos));
+    }
+    size_t start = pos;
+    while (pos < expr.size() && expr[pos] != '/') ++pos;
+    std::string name(expr.substr(start, pos - start));
+    if (name.empty())
+      return Status::InvalidArgument("empty step name at offset " +
+                                     std::to_string(start));
+    for (char c : name) {
+      if (c == '[' || c == ']' || c == '@' || c == '*')
+        return Status::Unimplemented(
+            "only plain tag-name steps are supported (got '" + name + "')");
+    }
+    step.name = std::move(name);
+    out.steps_.push_back(std::move(step));
+  }
+  return out;
+}
+
+XPathQuery XPathQuery::FromSteps(std::vector<XPathStep> steps) {
+  XPathQuery out;
+  out.steps_ = std::move(steps);
+  return out;
+}
+
+std::vector<std::string> XPathQuery::DistinctNames() const {
+  std::vector<std::string> out;
+  for (const XPathStep& s : steps_) {
+    if (std::find(out.begin(), out.end(), s.name) == out.end())
+      out.push_back(s.name);
+  }
+  return out;
+}
+
+std::string XPathQuery::ToString() const {
+  std::string out;
+  for (const XPathStep& s : steps_) {
+    out += s.axis == XPathStep::Axis::kDescendant ? "//" : "/";
+    out += s.name;
+  }
+  return out;
+}
+
+namespace {
+
+struct PathLess {
+  bool operator()(const std::vector<int>& a, const std::vector<int>& b) const {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+  }
+};
+
+void CollectDescendantsOrSelf(const XmlNode& node, std::vector<int>& path,
+                              const std::string& name,
+                              std::set<std::vector<int>, PathLess>* out) {
+  if (node.name() == name) out->insert(path);
+  for (size_t i = 0; i < node.children().size(); ++i) {
+    path.push_back(static_cast<int>(i));
+    CollectDescendantsOrSelf(node.children()[i], path, name, out);
+    path.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> EvalXPathPaths(const XmlNode& root,
+                                             const XPathQuery& query) {
+  // Context set of paths; starts as the virtual document root, represented
+  // by a sentinel "parent of root". We model contexts as paths to nodes, with
+  // a boolean for the initial virtual context.
+  std::set<std::vector<int>, PathLess> contexts;
+  bool at_virtual_root = true;
+
+  for (const XPathStep& step : query.steps()) {
+    std::set<std::vector<int>, PathLess> next;
+    if (at_virtual_root) {
+      if (step.axis == XPathStep::Axis::kChild) {
+        // Children of the virtual root: just the document root element.
+        if (root.name() == step.name) next.insert(std::vector<int>{});
+      } else {
+        std::vector<int> path;
+        CollectDescendantsOrSelf(root, path, step.name, &next);
+      }
+      at_virtual_root = false;
+    } else {
+      for (const std::vector<int>& ctx_path : contexts) {
+        const XmlNode* ctx = root.AtPath(ctx_path);
+        if (ctx == nullptr) continue;
+        if (step.axis == XPathStep::Axis::kChild) {
+          for (size_t i = 0; i < ctx->children().size(); ++i) {
+            if (ctx->children()[i].name() == step.name) {
+              std::vector<int> p = ctx_path;
+              p.push_back(static_cast<int>(i));
+              next.insert(std::move(p));
+            }
+          }
+        } else {
+          // Descendants (strictly below the context node).
+          for (size_t i = 0; i < ctx->children().size(); ++i) {
+            std::vector<int> p = ctx_path;
+            p.push_back(static_cast<int>(i));
+            CollectDescendantsOrSelf(ctx->children()[i], p, step.name, &next);
+            p.pop_back();
+          }
+        }
+      }
+    }
+    contexts = std::move(next);
+    if (contexts.empty()) break;
+  }
+  return {contexts.begin(), contexts.end()};
+}
+
+std::vector<const XmlNode*> EvalXPath(const XmlNode& root,
+                                      const XPathQuery& query) {
+  std::vector<const XmlNode*> out;
+  for (const std::vector<int>& path : EvalXPathPaths(root, query)) {
+    const XmlNode* n = root.AtPath(path);
+    if (n != nullptr) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace polysse

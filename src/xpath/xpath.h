@@ -1,0 +1,59 @@
+// The XPath fragment the paper queries with (§4.3): child (/) and
+// descendant-or-self (//) axes over tag names, e.g. //a/b//c/d/e.
+// Parsing yields a step list; EvalXPath is the *plaintext* reference
+// evaluator used as the correctness oracle for the encrypted engine.
+#ifndef POLYSSE_XPATH_XPATH_H_
+#define POLYSSE_XPATH_XPATH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace polysse {
+
+/// One location step.
+struct XPathStep {
+  enum class Axis {
+    kChild,       ///< "/name"
+    kDescendant,  ///< "//name" (descendant-or-self of the context's children)
+  };
+  Axis axis;
+  std::string name;
+
+  bool operator==(const XPathStep& o) const {
+    return axis == o.axis && name == o.name;
+  }
+};
+
+/// A parsed query.
+class XPathQuery {
+ public:
+  /// Accepts expressions of the form ("/"|"//") name (("/"|"//") name)*.
+  static Result<XPathQuery> Parse(std::string_view expr);
+  /// Builds from explicit steps (used by generators in tests/benches).
+  static XPathQuery FromSteps(std::vector<XPathStep> steps);
+
+  const std::vector<XPathStep>& steps() const { return steps_; }
+  /// Distinct tag names mentioned by the query.
+  std::vector<std::string> DistinctNames() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<XPathStep> steps_;
+};
+
+/// Plaintext evaluation; returns matches in document order without
+/// duplicates. The virtual document root sits *above* `root`, so the
+/// query /customers selects `root` itself when the name matches.
+std::vector<const XmlNode*> EvalXPath(const XmlNode& root,
+                                      const XPathQuery& query);
+
+/// Same matches as child-index paths from `root` ("" = root itself).
+std::vector<std::vector<int>> EvalXPathPaths(const XmlNode& root,
+                                             const XPathQuery& query);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_XPATH_XPATH_H_

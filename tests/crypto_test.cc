@@ -1,0 +1,205 @@
+// Known-answer tests (FIPS/RFC vectors) and behavioural tests for the crypto
+// substrate: SHA-256, HMAC-SHA-256, ChaCha20, the deterministic PRF.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "crypto/chacha20.h"
+#include "crypto/prf.h"
+#include "crypto/sha256.h"
+#include "util/hex.h"
+
+namespace polysse {
+namespace {
+
+std::string HexDigest(const std::array<uint8_t, 32>& d) {
+  return ToHex(std::span<const uint8_t>(d.data(), d.size()));
+}
+
+// ------------------------------------------------------------- SHA-256 --
+
+TEST(Sha256Test, Fips180EmptyString) {
+  EXPECT_EQ(HexDigest(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Fips180Abc) {
+  EXPECT_EQ(HexDigest(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, Fips180TwoBlocks) {
+  EXPECT_EQ(
+      HexDigest(Sha256::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexDigest(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(HexDigest(h.Finish()), HexDigest(Sha256::Hash(msg))) << split;
+  }
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // 55/56/64 bytes exercise the padding branches.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    std::string msg(len, 'x');
+    Sha256 a;
+    a.Update(msg);
+    auto one = a.Finish();
+    Sha256 b;
+    for (char c : msg) b.Update(std::string(1, c));
+    EXPECT_EQ(HexDigest(one), HexDigest(b.Finish())) << len;
+  }
+}
+
+// -------------------------------------------------------- HMAC-SHA-256 --
+
+TEST(HmacTest, Rfc4231Case1) {
+  std::vector<uint8_t> key(20, 0x0b);
+  std::string msg = "Hi There";
+  auto mac = HmacSha256(
+      key, std::span<const uint8_t>(
+               reinterpret_cast<const uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(ToHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(ToHex(HmacSha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  std::vector<uint8_t> key(20, 0xaa);
+  std::vector<uint8_t> data(50, 0xdd);
+  EXPECT_EQ(ToHex(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  std::vector<uint8_t> key(131, 0xaa);
+  std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  EXPECT_EQ(ToHex(HmacSha256(key, std::span<const uint8_t>(
+                                      reinterpret_cast<const uint8_t*>(msg.data()),
+                                      msg.size()))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  EXPECT_NE(ToHex(HmacSha256("key1", "msg")), ToHex(HmacSha256("key2", "msg")));
+  EXPECT_NE(ToHex(HmacSha256("key", "msg1")), ToHex(HmacSha256("key", "msg2")));
+}
+
+// ------------------------------------------------------------ ChaCha20 --
+
+TEST(ChaCha20Test, Rfc8439KeystreamVector) {
+  // RFC 8439 section 2.4.2 test vector: key 00..1f, nonce 00..00 4a 00..00,
+  // counter 1, plaintext "Ladies and Gentlemen...".
+  std::array<uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i);
+  std::array<uint8_t, 12> nonce = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  ChaCha20 cipher(key, nonce, 1);
+  auto ct = cipher.Process(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(plaintext.data()), plaintext.size()));
+  EXPECT_EQ(ToHex(std::span<const uint8_t>(ct.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+  // Tail of the RFC ciphertext: ...0b bf 74 a3 5b e6 b4 0b 8e ed f2 78 5e 42 87 4d.
+  EXPECT_EQ(ToHex(std::span<const uint8_t>(ct.data() + ct.size() - 16, 16)),
+            "0bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20Test, EncryptDecryptRoundTrip) {
+  std::array<uint8_t, 32> key{};
+  key[0] = 7;
+  std::array<uint8_t, 12> nonce{};
+  std::vector<uint8_t> msg(1000);
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<uint8_t>(i * 31);
+  ChaCha20 enc(key, nonce);
+  auto ct = enc.Process(msg);
+  EXPECT_NE(ct, msg);
+  ChaCha20 dec(key, nonce);
+  EXPECT_EQ(dec.Process(ct), msg);
+}
+
+TEST(ChaChaRngTest, DeterministicAndSeedSensitive) {
+  ChaChaRng a = ChaChaRng::FromString("seed");
+  ChaChaRng b = ChaChaRng::FromString("seed");
+  ChaChaRng c = ChaChaRng::FromString("seed2");
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    if (va != c.NextU64()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ChaChaRngTest, NextBelowInRangeAndCoversValues) {
+  ChaChaRng rng = ChaChaRng::FromString("range");
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.NextBelow(10);
+    ASSERT_LT(v, 10u);
+    ++seen[v];
+  }
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(ChaChaRngTest, FillProducesKeystream) {
+  ChaChaRng rng = ChaChaRng::FromString("fill");
+  std::vector<uint8_t> buf(64, 0xFF);
+  rng.Fill(buf);
+  // Keystream is overwhelmingly unlikely to be all-0xFF or all-zero.
+  bool all_same = true;
+  for (uint8_t b : buf) all_same &= (b == buf[0]);
+  EXPECT_FALSE(all_same);
+}
+
+// ----------------------------------------------------------------- PRF --
+
+TEST(PrfTest, StreamsAreDeterministicPerLabel) {
+  DeterministicPrf prf = DeterministicPrf::FromString("master");
+  ChaChaRng s1 = prf.Stream("label/a");
+  ChaChaRng s2 = prf.Stream("label/a");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(s1.NextU64(), s2.NextU64());
+}
+
+TEST(PrfTest, LabelsAreIndependent) {
+  DeterministicPrf prf = DeterministicPrf::FromString("master");
+  EXPECT_NE(prf.ValueU64("a"), prf.ValueU64("b"));
+  EXPECT_NE(prf.ValueU64("share/0"), prf.ValueU64("share/00"));
+  EXPECT_NE(prf.ValueU64("share/0/1"), prf.ValueU64("share/01"));
+}
+
+TEST(PrfTest, SeedsAreIndependent) {
+  DeterministicPrf a = DeterministicPrf::FromString("master-a");
+  DeterministicPrf b = DeterministicPrf::FromString("master-b");
+  EXPECT_NE(a.ValueU64("x"), b.ValueU64("x"));
+}
+
+TEST(PrfTest, RandomSeedProducesDistinctSeeds) {
+  auto s1 = RandomSeed();
+  auto s2 = RandomSeed();
+  EXPECT_NE(ToHex(std::span<const uint8_t>(s1.data(), s1.size())),
+            ToHex(std::span<const uint8_t>(s2.data(), s2.size())));
+}
+
+}  // namespace
+}  // namespace polysse

@@ -1,0 +1,87 @@
+// Unit + property tests for PrimeField.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "field/prime_field.h"
+
+namespace polysse {
+namespace {
+
+TEST(PrimeFieldTest, CreateValidatesPrimality) {
+  EXPECT_TRUE(PrimeField::Create(5).ok());
+  EXPECT_TRUE(PrimeField::Create(2).ok());
+  EXPECT_FALSE(PrimeField::Create(1).ok());
+  EXPECT_FALSE(PrimeField::Create(0).ok());
+  EXPECT_FALSE(PrimeField::Create(4).ok());
+  EXPECT_FALSE(PrimeField::Create(561).ok());  // Carmichael
+}
+
+TEST(PrimeFieldTest, CreateRejectsHugeModulus) {
+  EXPECT_FALSE(PrimeField::Create(18446744073709551557ull).ok());  // >= 2^63
+}
+
+TEST(PrimeFieldTest, FromInt64Canonicalizes) {
+  PrimeField f = PrimeField::Create(7).value();
+  EXPECT_EQ(f.FromInt64(-1), 6u);
+  EXPECT_EQ(f.FromInt64(-7), 0u);
+  EXPECT_EQ(f.FromInt64(-8), 6u);
+  EXPECT_EQ(f.FromInt64(15), 1u);
+  EXPECT_EQ(f.FromInt64(0), 0u);
+}
+
+TEST(PrimeFieldTest, DivInverseRoundTrip) {
+  PrimeField f = PrimeField::Create(97).value();
+  for (uint64_t a = 1; a < 97; ++a) {
+    uint64_t inv = f.Inv(a).value();
+    EXPECT_EQ(f.Mul(a, inv), 1u);
+    EXPECT_EQ(f.Div(5, a).value(), f.Mul(5, inv));
+  }
+  EXPECT_FALSE(f.Inv(0).ok());
+  EXPECT_FALSE(f.Div(3, 0).ok());
+}
+
+TEST(PrimeFieldTest, UniformSamplesAreCanonical) {
+  PrimeField f = PrimeField::Create(11).value();
+  std::mt19937_64 rng(99);
+  std::vector<int> histogram(11, 0);
+  for (int i = 0; i < 11000; ++i) {
+    uint64_t v = f.Uniform([&] { return rng(); });
+    ASSERT_LT(v, 11u);
+    ++histogram[v];
+  }
+  // Loose sanity: every residue shows up (p(all present) ~ 1 for 11k draws).
+  for (int count : histogram) EXPECT_GT(count, 0);
+}
+
+// Field axioms over several primes, random operands.
+class FieldAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FieldAxioms, RingAndFieldLaws) {
+  PrimeField f = PrimeField::Create(GetParam()).value();
+  std::mt19937_64 rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    uint64_t a = f.FromUInt64(rng());
+    uint64_t b = f.FromUInt64(rng());
+    uint64_t c = f.FromUInt64(rng());
+    EXPECT_EQ(f.Add(a, b), f.Add(b, a));
+    EXPECT_EQ(f.Mul(a, b), f.Mul(b, a));
+    EXPECT_EQ(f.Add(f.Add(a, b), c), f.Add(a, f.Add(b, c)));
+    EXPECT_EQ(f.Mul(f.Mul(a, b), c), f.Mul(a, f.Mul(b, c)));
+    EXPECT_EQ(f.Mul(a, f.Add(b, c)), f.Add(f.Mul(a, b), f.Mul(a, c)));
+    EXPECT_EQ(f.Add(a, f.Neg(a)), 0u);
+    EXPECT_EQ(f.Sub(a, b), f.Add(a, f.Neg(b)));
+    if (a != 0) {
+      EXPECT_EQ(f.Mul(a, f.Inv(a).value()), 1u);
+      // Fermat: a^(p-1) = 1.
+      EXPECT_EQ(f.Pow(a, f.modulus() - 1), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, FieldAxioms,
+                         ::testing::Values(2, 3, 5, 7, 97, 65537, 1000000007ull,
+                                           2305843009213693951ull));
+
+}  // namespace
+}  // namespace polysse

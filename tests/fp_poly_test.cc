@@ -1,0 +1,225 @@
+// Unit + property tests for FpPoly: arithmetic, division, interpolation,
+// irreducibility.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "poly/fp_poly.h"
+
+namespace polysse {
+namespace {
+
+PrimeField F(uint64_t p) { return PrimeField::Create(p).value(); }
+
+FpPoly RandomPoly(const PrimeField& f, std::mt19937_64& rng, int max_deg) {
+  std::vector<int64_t> coeffs(1 + rng() % (max_deg + 1));
+  for (auto& c : coeffs) c = static_cast<int64_t>(rng() % f.modulus());
+  return FpPoly(f, std::move(coeffs));
+}
+
+TEST(FpPolyTest, ZeroProperties) {
+  PrimeField f = F(5);
+  FpPoly z = FpPoly::Zero(f);
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.degree(), -1);
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_EQ(z.Eval(3), 0u);
+}
+
+TEST(FpPolyTest, ConstructionReducesCoefficients) {
+  PrimeField f = F(5);
+  FpPoly p(f, {7, -1, 10});  // = 2 + 4x (x^2 coeff 10 = 0 drops)
+  EXPECT_EQ(p.degree(), 1);
+  EXPECT_EQ(p.coeff(0), 2u);
+  EXPECT_EQ(p.coeff(1), 4u);
+}
+
+TEST(FpPolyTest, XMinusMatchesPaperLeaf) {
+  // Fig. 2(a): leaf "name" (mapped to 4) is x + 1 in F_5.
+  PrimeField f = F(5);
+  FpPoly leaf = FpPoly::XMinus(f, 4);
+  EXPECT_EQ(leaf.ToString(), "x + 1");
+  EXPECT_EQ(leaf.Eval(4), 0u);
+}
+
+TEST(FpPolyTest, ClientNodeMatchesPaper) {
+  // Fig. 2(a): client = (x-2)(x-4) = x^2 + 4x + 3 in F_5.
+  PrimeField f = F(5);
+  FpPoly client = FpPoly::XMinus(f, 2) * FpPoly::XMinus(f, 4);
+  EXPECT_EQ(client.ToString(), "x^2 + 4x + 3");
+  EXPECT_EQ(client.Eval(2), 0u);
+  EXPECT_EQ(client.Eval(4), 0u);
+  EXPECT_NE(client.Eval(1), 0u);
+}
+
+TEST(FpPolyTest, EvalHorner) {
+  PrimeField f = F(97);
+  FpPoly p(f, {1, 2, 3});  // 1 + 2x + 3x^2
+  EXPECT_EQ(p.Eval(0), 1u);
+  EXPECT_EQ(p.Eval(1), 6u);
+  EXPECT_EQ(p.Eval(10), (1 + 20 + 300) % 97);
+}
+
+TEST(FpPolyTest, AddSubCancel) {
+  PrimeField f = F(13);
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    FpPoly a = RandomPoly(f, rng, 8);
+    FpPoly b = RandomPoly(f, rng, 8);
+    EXPECT_EQ(a + b - b, a);
+    EXPECT_EQ(a - a, FpPoly::Zero(f));
+    EXPECT_EQ(-(-a), a);
+  }
+}
+
+TEST(FpPolyTest, MulDegreeAndCommutativity) {
+  PrimeField f = F(101);
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 100; ++i) {
+    FpPoly a = RandomPoly(f, rng, 6);
+    FpPoly b = RandomPoly(f, rng, 6);
+    FpPoly ab = a * b;
+    EXPECT_EQ(ab, b * a);
+    if (!a.IsZero() && !b.IsZero()) {
+      EXPECT_EQ(ab.degree(), a.degree() + b.degree());  // field: no zero divisors
+    }
+    // Evaluation homomorphism.
+    for (uint64_t x : {0ull, 1ull, 57ull}) {
+      EXPECT_EQ(ab.Eval(x), f.Mul(a.Eval(x), b.Eval(x)));
+    }
+  }
+}
+
+TEST(FpPolyTest, ScalarMulAndShift) {
+  PrimeField f = F(7);
+  FpPoly p(f, {1, 2});
+  EXPECT_EQ(p.ScalarMul(3), FpPoly(f, {3, 6}));
+  EXPECT_EQ(p.ShiftUp(2), FpPoly(f, {0, 0, 1, 2}));
+  EXPECT_EQ(FpPoly::Zero(f).ShiftUp(3), FpPoly::Zero(f));
+}
+
+TEST(FpPolyTest, DivRemIdentity) {
+  PrimeField f = F(31);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    FpPoly a = RandomPoly(f, rng, 10);
+    FpPoly b = RandomPoly(f, rng, 5);
+    if (b.IsZero()) {
+      EXPECT_FALSE(a.DivRem(b).ok());
+      continue;
+    }
+    auto [q, r] = a.DivRem(b).value();
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.degree(), b.degree());
+  }
+}
+
+TEST(FpPolyTest, DivisionByLinearFactorIsExact) {
+  PrimeField f = F(11);
+  FpPoly p = FpPoly::XMinus(f, 3) * FpPoly::XMinus(f, 7) * FpPoly::XMinus(f, 7);
+  auto [q, r] = p.DivRem(FpPoly::XMinus(f, 7)).value();
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(q, FpPoly::XMinus(f, 3) * FpPoly::XMinus(f, 7));
+}
+
+TEST(FpPolyTest, GcdOfProducts) {
+  PrimeField f = F(13);
+  FpPoly a = FpPoly::XMinus(f, 2) * FpPoly::XMinus(f, 3);
+  FpPoly b = FpPoly::XMinus(f, 3) * FpPoly::XMinus(f, 5);
+  EXPECT_EQ(FpPoly::Gcd(a, b), FpPoly::XMinus(f, 3));
+  EXPECT_EQ(FpPoly::Gcd(a, FpPoly::Zero(f)), a.Monic());
+}
+
+TEST(FpPolyTest, InterpolateRecoversPolynomial) {
+  PrimeField f = F(97);
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 50; ++i) {
+    FpPoly p = RandomPoly(f, rng, 6);
+    std::vector<std::pair<uint64_t, uint64_t>> points;
+    for (uint64_t x = 0; x <= static_cast<uint64_t>(p.degree() < 0 ? 0 : p.degree()); ++x) {
+      points.emplace_back(x, p.Eval(x));
+    }
+    auto q = FpPoly::Interpolate(f, points);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(*q, p);
+  }
+}
+
+TEST(FpPolyTest, InterpolateRejectsDuplicateX) {
+  PrimeField f = F(7);
+  auto r = FpPoly::Interpolate(f, {{1, 2}, {1, 3}});
+  EXPECT_FALSE(r.ok());
+  // Duplicate after canonicalization too: 1 and 8 are the same mod 7.
+  EXPECT_FALSE(FpPoly::Interpolate(f, {{1, 2}, {8, 3}}).ok());
+}
+
+TEST(FpPolyTest, MulModPowMod) {
+  PrimeField f = F(5);
+  FpPoly m(f, {1, 0, 1});  // x^2 + 1 (irreducible mod 5? 2^2=4=-1 -> x^2+1 has root 2! reducible)
+  FpPoly x(f, {0, 1});
+  auto x2 = PowMod(x, 2, m).value();
+  EXPECT_EQ(x2, FpPoly(f, {-1}));  // x^2 = -1 mod (x^2+1)
+  auto x4 = PowMod(x, 4, m).value();
+  EXPECT_EQ(x4, FpPoly::One(f));
+}
+
+TEST(FpPolyTest, IrreducibilityKnownCases) {
+  // x^2 + 1 over F_p: irreducible iff p = 3 mod 4.
+  for (uint64_t p : {3ull, 7ull, 11ull, 19ull}) {
+    PrimeField f = F(p);
+    EXPECT_TRUE(FpPoly(f, {1, 0, 1}).IsIrreducible()) << p;
+  }
+  for (uint64_t p : {5ull, 13ull, 17ull}) {
+    PrimeField f = F(p);
+    EXPECT_FALSE(FpPoly(f, {1, 0, 1}).IsIrreducible()) << p;
+  }
+  // Linear polynomials are irreducible; constants are not.
+  PrimeField f5 = F(5);
+  EXPECT_TRUE(FpPoly::XMinus(f5, 2).IsIrreducible());
+  EXPECT_FALSE(FpPoly::Constant(f5, 3).IsIrreducible());
+  // x^2 - 2 over F_5: 2 is not a QR mod 5 -> irreducible.
+  EXPECT_TRUE(FpPoly(f5, {-2, 0, 1}).IsIrreducible());
+  // Products are reducible.
+  EXPECT_FALSE((FpPoly::XMinus(f5, 1) * FpPoly::XMinus(f5, 2)).IsIrreducible());
+}
+
+TEST(FpPolyTest, IrreducibleCubicOverF2) {
+  PrimeField f2 = F(2);
+  EXPECT_TRUE(FpPoly(f2, {1, 1, 0, 1}).IsIrreducible());   // x^3+x+1
+  EXPECT_TRUE(FpPoly(f2, {1, 0, 1, 1}).IsIrreducible());   // x^3+x^2+1
+  EXPECT_FALSE(FpPoly(f2, {1, 0, 0, 1}).IsIrreducible());  // x^3+1=(x+1)(...)
+}
+
+TEST(FpPolyTest, SerializeRoundTrip) {
+  PrimeField f = F(65537);
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 50; ++i) {
+    FpPoly p = RandomPoly(f, rng, 12);
+    ByteWriter w;
+    p.Serialize(&w);
+    ByteReader r(w.span());
+    auto back = FpPoly::Deserialize(f, &r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, p);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(FpPolyTest, DeserializeRejectsOutOfField) {
+  PrimeField f = F(5);
+  ByteWriter w;
+  w.PutVarint64(1);
+  w.PutVarint64(7);  // not canonical mod 5
+  ByteReader r(w.span());
+  EXPECT_FALSE(FpPoly::Deserialize(f, &r).ok());
+}
+
+TEST(FpPolyTest, ToStringMatchesFigureStyle) {
+  PrimeField f = F(5);
+  EXPECT_EQ(FpPoly(f, {3, 3, 3, 3}).ToString(), "3x^3 + 3x^2 + 3x + 3");
+  EXPECT_EQ(FpPoly(f, {0, 1}).ToString(), "x");
+  EXPECT_EQ(FpPoly(f, {2, 0, 1}).ToString(), "x^2 + 2");
+}
+
+}  // namespace
+}  // namespace polysse

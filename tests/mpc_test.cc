@@ -1,0 +1,199 @@
+// Tests for the MPC substrate: Shamir sharing, additive sharing, and the
+// paper's §3 anonymous voting protocols (correctness + privacy).
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+#include "mpc/shamir.h"
+#include "mpc/voting.h"
+
+namespace polysse {
+namespace {
+
+PrimeField F(uint64_t p) { return PrimeField::Create(p).value(); }
+
+TEST(ShamirTest, CreateValidates) {
+  PrimeField f = F(97);
+  EXPECT_TRUE(ShamirScheme::Create(f, 3, 5).ok());
+  EXPECT_FALSE(ShamirScheme::Create(f, 0, 5).ok());
+  EXPECT_FALSE(ShamirScheme::Create(f, 6, 5).ok());
+  EXPECT_FALSE(ShamirScheme::Create(F(5), 2, 5).ok());  // n >= p
+}
+
+TEST(ShamirTest, ShareReconstructRoundTrip) {
+  PrimeField f = F(1000003);
+  ChaChaRng rng = ChaChaRng::FromString("shamir");
+  for (int t = 1; t <= 5; ++t) {
+    ShamirScheme scheme = ShamirScheme::Create(f, t, 7).value();
+    for (uint64_t secret : {0ull, 1ull, 999999ull, 123456ull}) {
+      auto shares = scheme.Share(secret, rng);
+      ASSERT_EQ(shares.size(), 7u);
+      // Any t shares reconstruct (try a few subsets).
+      std::vector<ShamirShare> subset(shares.begin(), shares.begin() + t);
+      EXPECT_EQ(scheme.Reconstruct(subset).value(), secret);
+      std::vector<ShamirShare> tail(shares.end() - t, shares.end());
+      EXPECT_EQ(scheme.Reconstruct(tail).value(), secret);
+      // All shares also reconstruct.
+      EXPECT_EQ(scheme.Reconstruct(shares).value(), secret);
+    }
+  }
+}
+
+TEST(ShamirTest, TooFewSharesRejected) {
+  PrimeField f = F(101);
+  ShamirScheme scheme = ShamirScheme::Create(f, 3, 5).value();
+  ChaChaRng rng = ChaChaRng::FromString("few");
+  auto shares = scheme.Share(42, rng);
+  std::vector<ShamirShare> two(shares.begin(), shares.begin() + 2);
+  EXPECT_FALSE(scheme.Reconstruct(two).ok());
+}
+
+TEST(ShamirTest, DuplicateAndInvalidSharesRejected) {
+  PrimeField f = F(101);
+  ShamirScheme scheme = ShamirScheme::Create(f, 2, 4).value();
+  ChaChaRng rng = ChaChaRng::FromString("dup");
+  auto shares = scheme.Share(9, rng);
+  EXPECT_FALSE(scheme.Reconstruct({shares[0], shares[0]}).ok());
+  EXPECT_FALSE(scheme.Reconstruct({{0, 5}, shares[1]}).ok());
+}
+
+TEST(ShamirTest, ThresholdMinusOneSharesLookUniform) {
+  // Statistical check: with t-1 shares, the induced distribution over a
+  // fixed share coordinate is (near) uniform regardless of the secret.
+  PrimeField f = F(11);
+  ShamirScheme scheme = ShamirScheme::Create(f, 2, 3).value();
+  ChaChaRng rng = ChaChaRng::FromString("hiding");
+  std::vector<int> hist0(11, 0), hist7(11, 0);
+  for (int i = 0; i < 4400; ++i) {
+    ++hist0[scheme.Share(0, rng)[0].y];
+    ++hist7[scheme.Share(7, rng)[0].y];
+  }
+  for (int v = 0; v < 11; ++v) {
+    EXPECT_GT(hist0[v], 200);  // each residue ~400 expected
+    EXPECT_GT(hist7[v], 200);
+  }
+}
+
+TEST(ShamirTest, ReconstructCheckedDetectsBadShare) {
+  PrimeField f = F(101);
+  ShamirScheme scheme = ShamirScheme::Create(f, 2, 4).value();
+  ChaChaRng rng = ChaChaRng::FromString("cheat");
+  auto shares = scheme.Share(55, rng);
+  EXPECT_EQ(scheme.ReconstructChecked(shares).value(), 55u);
+  shares[3].y = f.Add(shares[3].y, 1);  // cheating party
+  auto r = scheme.ReconstructChecked(shares);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kVerificationFailed);
+}
+
+TEST(ShamirTest, LinearityOfShares) {
+  PrimeField f = F(1009);
+  ShamirScheme scheme = ShamirScheme::Create(f, 3, 5).value();
+  ChaChaRng rng = ChaChaRng::FromString("lin");
+  auto sa = scheme.Share(100, rng);
+  auto sb = scheme.Share(23, rng);
+  std::vector<ShamirShare> sum(5);
+  for (int i = 0; i < 5; ++i)
+    sum[i] = scheme.AddShares(sa[i], sb[i]).value();
+  EXPECT_EQ(scheme.Reconstruct(sum).value(), 123u);
+  EXPECT_FALSE(scheme.AddShares(sa[0], sb[1]).ok());  // different x
+}
+
+TEST(ShamirTest, MultiplicationDoublesDegree) {
+  PrimeField f = F(1009);
+  // t=2 (degree 1); product has degree 2, needs 3 shares.
+  ShamirScheme scheme = ShamirScheme::Create(f, 2, 5).value();
+  ChaChaRng rng = ChaChaRng::FromString("mul");
+  auto sa = scheme.Share(12, rng);
+  auto sb = scheme.Share(34, rng);
+  std::vector<ShamirShare> prod(5);
+  for (int i = 0; i < 5; ++i)
+    prod[i] = scheme.MulShares(sa[i], sb[i]).value();
+  ShamirScheme wide = ShamirScheme::Create(f, 3, 5).value();
+  EXPECT_EQ(wide.Reconstruct(prod).value(), 12u * 34u % 1009u);
+}
+
+TEST(AdditiveTest, SplitReconstruct) {
+  PrimeField f = F(101);
+  AdditiveSharing sharing(f);
+  ChaChaRng rng = ChaChaRng::FromString("add");
+  for (int n : {1, 2, 5, 10}) {
+    for (uint64_t secret : {0ull, 1ull, 100ull}) {
+      auto shares = sharing.Split(secret, n, rng);
+      ASSERT_EQ(shares.size(), static_cast<size_t>(n));
+      EXPECT_EQ(sharing.Reconstruct(shares), secret);
+    }
+  }
+}
+
+TEST(AdditiveTest, SharesChangeEachCall) {
+  PrimeField f = F(1000003);
+  AdditiveSharing sharing(f);
+  ChaChaRng rng = ChaChaRng::FromString("fresh");
+  auto s1 = sharing.Split(5, 2, rng);
+  auto s2 = sharing.Split(5, 2, rng);
+  EXPECT_NE(s1, s2);
+}
+
+// --------------------------------------------------------------- voting --
+
+TEST(VotingTest, SumVoteTalliesCorrectly) {
+  PrimeField f = F(101);
+  ChaChaRng rng = ChaChaRng::FromString("vote");
+  for (auto votes : std::vector<std::vector<uint64_t>>{
+           {1, 0, 1, 1, 0}, {0, 0, 0}, {1, 1, 1, 1}, {1}}) {
+    auto outcome = RunSumVote(f, votes, /*threshold=*/std::max<int>(1, votes.size() / 2), rng);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    uint64_t expected = 0;
+    for (uint64_t v : votes) expected += v;
+    EXPECT_EQ(outcome->tally, expected);
+    if (votes.size() > 1) EXPECT_GT(outcome->messages_sent, 0);
+  }
+}
+
+TEST(VotingTest, SumVoteRejectsInvalidVote) {
+  PrimeField f = F(101);
+  ChaChaRng rng = ChaChaRng::FromString("bad");
+  EXPECT_FALSE(RunSumVote(f, {0, 2, 1}, 2, rng).ok());
+  EXPECT_FALSE(RunSumVote(f, {}, 1, rng).ok());
+}
+
+TEST(VotingTest, VetoVoteSemantics) {
+  PrimeField f = F(101);
+  ChaChaRng rng = ChaChaRng::FromString("veto");
+  // threshold 1 keeps product degree at 0 (k*(t-1) = 0 < n): allowed.
+  auto pass = RunVetoVote(f, {1, 1, 1, 1}, 1, rng);
+  ASSERT_TRUE(pass.ok()) << pass.status().ToString();
+  EXPECT_EQ(pass->tally, 1u);  // nobody vetoed
+  auto vetoed = RunVetoVote(f, {1, 0, 1, 1}, 1, rng);
+  ASSERT_TRUE(vetoed.ok());
+  EXPECT_EQ(vetoed->tally, 0u);
+}
+
+TEST(VotingTest, VetoVoteDegreeBudgetEnforced) {
+  PrimeField f = F(101);
+  ChaChaRng rng = ChaChaRng::FromString("deg");
+  // 4 parties, threshold 2: product degree 4*(2-1) = 4 >= 4 parties.
+  auto r = RunVetoVote(f, {1, 1, 1, 1}, 2, rng);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(VotingTest, CoalitionBelowThresholdLearnsNothing) {
+  // Exhaustive counting argument over a tiny field: a coalition of size
+  // t-1 sees every candidate secret as exactly equally likely.
+  PrimeField f = F(7);
+  ChaChaRng rng = ChaChaRng::FromString("priv");
+  EXPECT_FALSE(CoalitionLearnsAnyVote(f, {1, 0, 1}, /*threshold=*/2,
+                                      /*coalition=*/{0}, rng));
+  EXPECT_FALSE(CoalitionLearnsAnyVote(f, {1, 0, 1, 1}, /*threshold=*/3,
+                                      /*coalition=*/{1, 2}, rng));
+}
+
+TEST(VotingTest, CoalitionAtThresholdLearns) {
+  PrimeField f = F(7);
+  ChaChaRng rng = ChaChaRng::FromString("priv2");
+  EXPECT_TRUE(CoalitionLearnsAnyVote(f, {1, 0, 1}, /*threshold=*/2,
+                                     /*coalition=*/{0, 1}, rng));
+}
+
+}  // namespace
+}  // namespace polysse

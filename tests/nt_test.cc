@@ -1,0 +1,176 @@
+// Unit tests for src/nt: modular kernels, extended gcd, Miller-Rabin.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "nt/modular.h"
+#include "nt/primes.h"
+
+namespace polysse {
+namespace {
+
+TEST(ModularTest, MulModLargeOperands) {
+  const uint64_t m = (1ull << 61) - 1;  // Mersenne prime
+  EXPECT_EQ(MulMod(m - 1, m - 1, m), 1u);  // (-1)*(-1) = 1
+  EXPECT_EQ(MulMod(0, m - 1, m), 0u);
+  EXPECT_EQ(MulMod(2, m - 1, m), m - 2);
+}
+
+TEST(ModularTest, AddSubMod) {
+  const uint64_t m = 101;
+  EXPECT_EQ(AddMod(100, 100, m), 99u);
+  EXPECT_EQ(AddMod(0, 0, m), 0u);
+  EXPECT_EQ(SubMod(0, 1, m), 100u);
+  EXPECT_EQ(SubMod(50, 50, m), 0u);
+}
+
+TEST(ModularTest, AddModNoOverflowNearWordMax) {
+  const uint64_t m = (1ull << 62) + 11;
+  EXPECT_EQ(AddMod(m - 1, m - 1, m), m - 2);
+}
+
+TEST(ModularTest, PowModKnownValues) {
+  EXPECT_EQ(PowMod(2, 10, 1000000007), 1024u);
+  EXPECT_EQ(PowMod(5, 0, 97), 1u);
+  EXPECT_EQ(PowMod(0, 0, 97), 1u);  // convention
+  EXPECT_EQ(PowMod(7, 1, 97), 7u);
+  EXPECT_EQ(PowMod(123, 456, 1), 0u);  // mod 1 collapses
+}
+
+TEST(ModularTest, PowModFermatLittleTheorem) {
+  // a^(p-1) == 1 mod p — the identity behind Lemma 1 of the paper.
+  for (uint64_t p : {5ull, 97ull, 1000000007ull, (1ull << 61) - 1}) {
+    for (uint64_t a : {2ull, 3ull, 7ull, 1234567ull}) {
+      EXPECT_EQ(PowMod(a % p == 0 ? a + 1 : a, p - 1, p), 1u)
+          << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(ModularTest, PowModMatchesNaive) {
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    uint64_t m = 2 + rng() % 10000;
+    uint64_t a = rng() % m;
+    uint64_t e = rng() % 64;
+    uint64_t naive = 1 % m;
+    for (uint64_t i = 0; i < e; ++i) naive = naive * a % m;
+    EXPECT_EQ(PowMod(a, e, m), naive);
+  }
+}
+
+TEST(ModularTest, ExtGcdBezout) {
+  std::mt19937_64 rng(11);
+  for (int iter = 0; iter < 500; ++iter) {
+    int64_t a = static_cast<int64_t>(rng() % 1000000) - 500000;
+    int64_t b = static_cast<int64_t>(rng() % 1000000) - 500000;
+    ExtGcdResult e = ExtGcd(a, b);
+    EXPECT_GE(e.g, 0);
+    EXPECT_EQ(a * e.x + b * e.y, e.g);
+    if (a != 0) EXPECT_EQ(a % e.g, 0);
+    if (b != 0) EXPECT_EQ(b % e.g, 0);
+  }
+}
+
+TEST(ModularTest, ExtGcdEdges) {
+  EXPECT_EQ(ExtGcd(0, 0).g, 0);
+  EXPECT_EQ(ExtGcd(0, 7).g, 7);
+  EXPECT_EQ(ExtGcd(7, 0).g, 7);
+  EXPECT_EQ(ExtGcd(-4, 6).g, 2);
+}
+
+TEST(ModularTest, InvModCorrect) {
+  for (uint64_t m : {5ull, 97ull, 65537ull, 1000000007ull}) {
+    for (uint64_t a = 1; a < std::min<uint64_t>(m, 50); ++a) {
+      auto inv = InvMod(a, m);
+      ASSERT_TRUE(inv.ok());
+      EXPECT_EQ(MulMod(a, *inv, m), 1u) << a << " mod " << m;
+    }
+  }
+}
+
+TEST(ModularTest, InvModRejectsNonCoprime) {
+  EXPECT_FALSE(InvMod(6, 9).ok());
+  EXPECT_FALSE(InvMod(0, 7).ok());
+  EXPECT_FALSE(InvMod(3, 1).ok());
+  EXPECT_FALSE(InvMod(3, 0).ok());
+}
+
+TEST(PrimesTest, SmallValues) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(5));
+  EXPECT_FALSE(IsPrime(1000000));
+  EXPECT_TRUE(IsPrime(1000003));
+}
+
+TEST(PrimesTest, CarmichaelNumbersRejected) {
+  // Fermat pseudoprimes that fool a^(n-1) tests; Miller-Rabin must not.
+  for (uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull,
+                     8911ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(IsPrime(c)) << c;
+  }
+}
+
+TEST(PrimesTest, LargeKnownPrimes) {
+  EXPECT_TRUE(IsPrime((1ull << 61) - 1));       // Mersenne
+  EXPECT_TRUE(IsPrime(2305843009213693951ull));  // same, spelled out
+  EXPECT_TRUE(IsPrime(18446744073709551557ull)); // largest 64-bit prime
+  EXPECT_FALSE(IsPrime(18446744073709551555ull));
+  EXPECT_FALSE(IsPrime((1ull << 62)));
+}
+
+TEST(PrimesTest, StrongPseudoprimeTraps) {
+  // Composites that pass Miller-Rabin for small witness subsets.
+  EXPECT_FALSE(IsPrime(3215031751ull));          // spsp(2,3,5,7)
+  EXPECT_FALSE(IsPrime(3825123056546413051ull)); // spsp to first 9 primes
+}
+
+TEST(PrimesTest, NextPrime) {
+  EXPECT_EQ(NextPrime(0), 2u);
+  EXPECT_EQ(NextPrime(2), 2u);
+  EXPECT_EQ(NextPrime(3), 3u);
+  EXPECT_EQ(NextPrime(4), 5u);
+  EXPECT_EQ(NextPrime(14), 17u);
+  EXPECT_EQ(NextPrime(90), 97u);
+  EXPECT_EQ(NextPrime(1000000), 1000003u);
+}
+
+TEST(PrimesTest, PrimeForAlphabetLeavesRoomForTags) {
+  // Tags map into {1..p-2}: need p - 2 >= alphabet size.
+  for (uint64_t tags : {1ull, 3ull, 4ull, 10ull, 100ull, 1000ull}) {
+    uint64_t p = PrimeForAlphabet(tags);
+    EXPECT_TRUE(IsPrime(p));
+    EXPECT_GE(p - 2, tags) << "alphabet " << tags;
+  }
+}
+
+TEST(PrimesTest, PaperExampleAlphabet) {
+  // Fig. 1(b): four tag names {order, client, customers, name} -> p = 5 works
+  // only because the paper maps into {1..4} and 4 = p - 1 is never used...
+  // with values {1,2,3,4} and p=5 the value 4 violates the Lemma-3 guard, so
+  // PrimeForAlphabet(4) must pick the next prime 7.
+  EXPECT_EQ(PrimeForAlphabet(4), 7u);
+  EXPECT_EQ(PrimeForAlphabet(3), 5u);
+}
+
+class DensitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DensitySweep, NextPrimeIsPrimeAndMinimal) {
+  uint64_t n = GetParam();
+  uint64_t p = NextPrime(n);
+  EXPECT_TRUE(IsPrime(p));
+  EXPECT_GE(p, n);
+  for (uint64_t k = n; k < p; ++k) EXPECT_FALSE(IsPrime(k)) << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, DensitySweep,
+                         ::testing::Values(10, 50, 100, 256, 1000, 4096, 10000,
+                                           65000, 100000));
+
+}  // namespace
+}  // namespace polysse

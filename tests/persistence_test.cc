@@ -1,0 +1,151 @@
+// Tests for deployment persistence: store save/load round trips, header
+// validation, random-corruption robustness (must error, never crash), and
+// querying a reloaded deployment.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/outsource.h"
+#include "core/persistence.h"
+#include "core/query_session.h"
+#include "xml/xml_generator.h"
+
+namespace polysse {
+namespace {
+
+TEST(PersistenceTest, FpStoreRoundTrip) {
+  XmlNode doc = MakeMedicalRecordsDocument(10, 91);
+  DeterministicPrf seed = DeterministicPrf::FromString("persist-fp");
+  FpDeployment dep = OutsourceFp(doc, seed).value();
+
+  ByteWriter w;
+  SaveServerStore(dep.server, &w);
+  EXPECT_EQ(PeekStoredRingKind(w.span()).value(),
+            StoredRingKind::kFpCyclotomic);
+
+  ByteReader r(w.span());
+  auto loaded = LoadFpServerStore(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(loaded->size(), dep.server.size());
+  EXPECT_EQ(loaded->ring().p(), dep.ring.p());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    const auto& a = loaded->tree().nodes[i];
+    const auto& b = dep.server.tree().nodes[i];
+    EXPECT_TRUE(dep.ring.Equal(a.poly, b.poly)) << i;
+    EXPECT_EQ(a.parent, b.parent) << i;
+    EXPECT_EQ(a.children, b.children) << i;
+    EXPECT_EQ(a.path, b.path) << i;
+    EXPECT_EQ(a.subtree_size, b.subtree_size) << i;
+  }
+}
+
+TEST(PersistenceTest, ZStoreRoundTrip) {
+  XmlNode doc = MakeFig1Document();
+  DeterministicPrf seed = DeterministicPrf::FromString("persist-z");
+  ZDeployment dep = OutsourceZ(doc, seed).value();
+
+  ByteWriter w;
+  SaveServerStore(dep.server, &w);
+  EXPECT_EQ(PeekStoredRingKind(w.span()).value(), StoredRingKind::kZQuotient);
+  ByteReader r(w.span());
+  auto loaded = LoadZServerStore(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ring().modulus(), dep.ring.modulus());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_TRUE(dep.ring.Equal(loaded->tree().nodes[i].poly,
+                               dep.server.tree().nodes[i].poly));
+  }
+}
+
+TEST(PersistenceTest, QueriesWorkAgainstReloadedStore) {
+  XmlNode doc = MakeMedicalRecordsDocument(8, 92);
+  DeterministicPrf seed = DeterministicPrf::FromString("persist-q");
+  FpDeployment dep = OutsourceFp(doc, seed).value();
+
+  ByteWriter w;
+  SaveServerStore(dep.server, &w);
+  ByteReader r(w.span());
+  ServerStore<FpCyclotomicRing> reloaded = LoadFpServerStore(&r).value();
+
+  auto client = ClientContext<FpCyclotomicRing>::SeedOnly(
+      reloaded.ring(), dep.client.tag_map(), seed);
+  QuerySession<FpCyclotomicRing> session(&client, &reloaded);
+  auto result = session.Lookup("patient", VerifyMode::kVerified).value();
+  EXPECT_EQ(result.matches.size(), 8u);
+}
+
+TEST(PersistenceTest, WrongLoaderRejected) {
+  XmlNode doc = MakeFig1Document();
+  DeterministicPrf seed = DeterministicPrf::FromString("wrong");
+  FpDeployment fp = OutsourceFp(doc, seed).value();
+  ByteWriter w;
+  SaveServerStore(fp.server, &w);
+  ByteReader r(w.span());
+  EXPECT_FALSE(LoadZServerStore(&r).ok());
+}
+
+TEST(PersistenceTest, HeaderValidation) {
+  std::vector<uint8_t> garbage = {'X', 'X', 'X', 'X', 1, 1};
+  EXPECT_FALSE(PeekStoredRingKind(garbage).ok());
+  std::vector<uint8_t> short_input = {'P'};
+  EXPECT_FALSE(PeekStoredRingKind(short_input).ok());
+  std::vector<uint8_t> bad_version = {'P', 'S', 'S', 'E', 99, 1};
+  EXPECT_FALSE(PeekStoredRingKind(bad_version).ok());
+  std::vector<uint8_t> bad_kind = {'P', 'S', 'S', 'E', 1, 7};
+  EXPECT_FALSE(PeekStoredRingKind(bad_kind).ok());
+}
+
+TEST(PersistenceTest, RandomCorruptionNeverCrashes) {
+  XmlNode doc = MakeMedicalRecordsDocument(4, 93);
+  DeterministicPrf seed = DeterministicPrf::FromString("fuzz");
+  FpDeployment dep = OutsourceFp(doc, seed).value();
+  ByteWriter w;
+  SaveServerStore(dep.server, &w);
+  std::vector<uint8_t> bytes = w.Take();
+
+  std::mt19937_64 rng(404);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint8_t> corrupt = bytes;
+    // Flip 1-4 random bytes and/or truncate.
+    int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      corrupt[rng() % corrupt.size()] ^= static_cast<uint8_t>(1 + rng() % 255);
+    }
+    if (rng() % 3 == 0) corrupt.resize(rng() % corrupt.size());
+    ByteReader r(corrupt);
+    auto loaded = LoadFpServerStore(&r);  // must return, never crash
+    if (loaded.ok()) {
+      // A surviving load must at least be structurally sane.
+      EXPECT_GE(loaded->size(), 1u);
+    }
+  }
+}
+
+TEST(PersistenceTest, ClientSecretFileRoundTrip) {
+  ClientSecretFile key;
+  key.seed.fill(0xAB);
+  key.tag_map = TagMap::FromExplicit(Fig1TagMapping()).value();
+  key.z_coeff_bits = 192;
+  ByteWriter w;
+  key.Serialize(&w);
+  ByteReader r(w.span());
+  auto back = ClientSecretFile::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->seed, key.seed);
+  EXPECT_EQ(back->z_coeff_bits, 192u);
+  EXPECT_EQ(back->tag_map.Value("client").value(), 2u);
+}
+
+TEST(PersistenceTest, FileIoRoundTrip) {
+  std::vector<uint8_t> data = {1, 2, 3, 250, 0, 7};
+  ASSERT_TRUE(WriteFileBytes("/tmp/polysse_test_io.bin", data).ok());
+  auto back = ReadFileBytes("/tmp/polysse_test_io.bin");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  EXPECT_EQ(ReadFileBytes("/tmp/definitely_missing_polysse").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace polysse

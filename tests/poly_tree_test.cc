@@ -1,0 +1,198 @@
+// Tests for the XML -> polynomial-tree mapping (§4.1) in both rings,
+// including the exact Fig. 1(c)/Fig. 2 values and Theorem 1/2 recovery on
+// random documents.
+#include <gtest/gtest.h>
+
+#include "core/poly_tree.h"
+#include "ring/fp_cyclotomic_ring.h"
+#include "ring/z_quotient_ring.h"
+#include "xml/xml_generator.h"
+
+namespace polysse {
+namespace {
+
+TagMap Fig1Map() { return TagMap::FromExplicit(Fig1TagMapping()).value(); }
+
+TEST(UnreducedTreeTest, Fig1cPolynomials) {
+  // Fig. 1(c): name = x-4; client = (x-2)(x-4); customers =
+  // (x-3)((x-2)(x-4))^2 — expanded over plain Z[x].
+  UnreducedPolyTree tree =
+      BuildUnreducedPolyTree(Fig1Map(), MakeFig1Document()).value();
+  ASSERT_EQ(tree.size(), 5u);
+  EXPECT_EQ(tree.nodes[0].poly.degree(), 5);  // root: 5 linear factors
+  EXPECT_EQ(tree.nodes[1].poly.ToString(), "x^2 - 6x + 8");
+  EXPECT_EQ(tree.nodes[2].poly.ToString(), "x - 4");
+  // Root expands to (x-3)(x^2-6x+8)^2.
+  ZPoly expected = ZPoly::XMinus(BigInt(3)) *
+                   (ZPoly::XMinus(BigInt(2)) * ZPoly::XMinus(BigInt(4))) *
+                   (ZPoly::XMinus(BigInt(2)) * ZPoly::XMinus(BigInt(4)));
+  EXPECT_EQ(tree.nodes[0].poly, expected);
+  // Structure: preorder, parents correct.
+  EXPECT_EQ(tree.nodes[0].parent, -1);
+  EXPECT_EQ(tree.nodes[1].parent, 0);
+  EXPECT_EQ(tree.nodes[2].parent, 1);
+  EXPECT_EQ(tree.nodes[0].children, (std::vector<int>{1, 3}));
+  EXPECT_EQ(tree.nodes[2].path, "0/0");
+}
+
+TEST(PolyTreeFpTest, Fig2aValues) {
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(5).value();
+  PolyTree<FpCyclotomicRing> tree =
+      BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
+  ASSERT_EQ(tree.size(), 5u);
+  EXPECT_EQ(ring.ToString(tree.nodes[0].poly), "3x^3 + 3x^2 + 3x + 3");
+  EXPECT_EQ(ring.ToString(tree.nodes[1].poly), "x^2 + 4x + 3");
+  EXPECT_EQ(ring.ToString(tree.nodes[2].poly), "x + 1");
+  EXPECT_EQ(ring.ToString(tree.nodes[3].poly), "x^2 + 4x + 3");
+  EXPECT_EQ(ring.ToString(tree.nodes[4].poly), "x + 1");
+  EXPECT_EQ(tree.nodes[0].subtree_size, 5);
+  EXPECT_EQ(tree.nodes[1].subtree_size, 2);
+}
+
+TEST(PolyTreeZTest, Fig2bValues) {
+  ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+  PolyTree<ZQuotientRing> tree =
+      BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
+  ASSERT_EQ(tree.size(), 5u);
+  EXPECT_EQ(ring.ToString(tree.nodes[0].poly), "265x + 45");
+  EXPECT_EQ(ring.ToString(tree.nodes[1].poly), "-6x + 7");
+  EXPECT_EQ(ring.ToString(tree.nodes[2].poly), "x - 4");
+}
+
+TEST(PolyTreeTest, UnmappedTagFails) {
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(7).value();
+  TagMap map = TagMap::FromExplicit({{"a", 1}}).value();
+  XmlNode doc("a");
+  doc.AddChild("unmapped");
+  EXPECT_EQ(BuildPolyTree(ring, map, doc).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PolyTreeFpTest, EvaluationSemantics) {
+  // Node polynomial vanishes at e iff e is a tag in the node's subtree
+  // (including itself) — the core query invariant, on a random document.
+  XmlGeneratorOptions gen;
+  gen.num_nodes = 120;
+  gen.tag_alphabet = 8;
+  gen.seed = 21;
+  XmlNode doc = GenerateXmlTree(gen);
+
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(11).value();
+  TagMap::Options opt;
+  opt.max_value = 9;
+  TagMap map = TagMap::Build(doc.DistinctTags(), opt,
+                             DeterministicPrf::FromString("pt")).value();
+  PolyTree<FpCyclotomicRing> tree = BuildPolyTree(ring, map, doc).value();
+
+  // Collect the set of tag values per subtree via the XML side.
+  std::vector<const XmlNode*> xml_nodes;
+  doc.Preorder([&](const XmlNode& n, const std::vector<int>&) {
+    xml_nodes.push_back(&n);
+  });
+  ASSERT_EQ(xml_nodes.size(), tree.size());
+  for (size_t i = 0; i < tree.size(); ++i) {
+    std::set<uint64_t> subtree_tags;
+    xml_nodes[i]->Preorder([&](const XmlNode& n, const std::vector<int>&) {
+      subtree_tags.insert(map.Value(n.name()).value());
+    });
+    for (uint64_t e = 1; e <= 10; ++e) {
+      uint64_t v = ring.EvalAt(tree.nodes[i].poly, e).value();
+      EXPECT_EQ(v == 0, subtree_tags.count(e) > 0)
+          << "node " << i << " point " << e;
+    }
+  }
+}
+
+TEST(PolyTreeFpTest, Theorem1RecoveryOnRandomDocs) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    XmlGeneratorOptions gen;
+    gen.num_nodes = 60;
+    gen.tag_alphabet = 10;
+    gen.seed = seed;
+    XmlNode doc = GenerateXmlTree(gen);
+    FpCyclotomicRing ring = FpCyclotomicRing::Create(13).value();
+    TagMap::Options opt;
+    opt.max_value = 11;
+    TagMap map = TagMap::Build(doc.DistinctTags(), opt,
+                               DeterministicPrf::FromString("th1")).value();
+    PolyTree<FpCyclotomicRing> tree = BuildPolyTree(ring, map, doc).value();
+    for (size_t i = 0; i < tree.size(); ++i) {
+      auto t = RecoverTagValue(ring, tree, static_cast<int>(i));
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      EXPECT_EQ(*t, tree.nodes[i].tag_value) << "node " << i;
+    }
+  }
+}
+
+TEST(PolyTreeZTest, Theorem2RecoveryOnRandomDocs) {
+  for (uint64_t seed : {4ull, 5ull}) {
+    XmlGeneratorOptions gen;
+    gen.num_nodes = 40;
+    gen.tag_alphabet = 6;
+    gen.seed = seed;
+    XmlNode doc = GenerateXmlTree(gen);
+    ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+    TagMap::Options opt;
+    opt.max_value = 50;
+    TagMap map = TagMap::Build(doc.DistinctTags(), opt,
+                               DeterministicPrf::FromString("th2")).value();
+    PolyTree<ZQuotientRing> tree = BuildPolyTree(ring, map, doc).value();
+    for (size_t i = 0; i < tree.size(); ++i) {
+      auto t = RecoverTagValue(ring, tree, static_cast<int>(i));
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      EXPECT_EQ(*t, tree.nodes[i].tag_value) << "node " << i;
+    }
+  }
+}
+
+TEST(PolyTreeTest, SubtreeSizesAndPaths) {
+  XmlGeneratorOptions gen;
+  gen.num_nodes = 50;
+  gen.seed = 31;
+  XmlNode doc = GenerateXmlTree(gen);
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(101).value();
+  TagMap::Options opt;
+  opt.max_value = 99;
+  TagMap map = TagMap::Build(doc.DistinctTags(), opt,
+                             DeterministicPrf::FromString("sp")).value();
+  PolyTree<FpCyclotomicRing> tree = BuildPolyTree(ring, map, doc).value();
+  // subtree_size consistency: node size = 1 + sum(children sizes).
+  for (size_t i = 0; i < tree.size(); ++i) {
+    int sum = 1;
+    for (int c : tree.nodes[i].children) sum += tree.nodes[c].subtree_size;
+    EXPECT_EQ(tree.nodes[i].subtree_size, sum);
+    // Path resolves to the right XML node.
+    std::vector<int> path;
+    for (const char* p = tree.nodes[i].path.c_str(); *p;) {
+      path.push_back(std::atoi(p));
+      while (*p && *p != '/') ++p;
+      if (*p == '/') ++p;
+    }
+    const XmlNode* xn = doc.AtPath(path);
+    ASSERT_NE(xn, nullptr);
+    EXPECT_EQ(map.Value(xn->name()).value(), tree.nodes[i].tag_value);
+  }
+  EXPECT_EQ(tree.nodes[0].subtree_size, 50);
+}
+
+TEST(PolyTreeFpTest, DegreeStaysBelowRingBound) {
+  // Documents larger than p-1 nodes must still produce degree < p-1.
+  XmlGeneratorOptions gen;
+  gen.num_nodes = 200;  // >> p-1 = 10
+  gen.tag_alphabet = 5;
+  gen.seed = 77;
+  XmlNode doc = GenerateXmlTree(gen);
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(11).value();
+  TagMap::Options opt;
+  opt.max_value = 9;
+  TagMap map = TagMap::Build(doc.DistinctTags(), opt,
+                             DeterministicPrf::FromString("deg")).value();
+  PolyTree<FpCyclotomicRing> tree = BuildPolyTree(ring, map, doc).value();
+  for (const auto& node : tree.nodes) {
+    EXPECT_LT(node.poly.degree(), 10);
+    EXPECT_FALSE(node.poly.IsZero());  // Lemma 3
+  }
+}
+
+}  // namespace
+}  // namespace polysse

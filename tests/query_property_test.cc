@@ -1,0 +1,244 @@
+// Parameterized property sweeps over the full query stack: every document
+// shape x ring x verify mode must agree with the plaintext oracle; batched
+// lookups must agree with single lookups and cost less; the secure-document
+// facade must return exactly the matched elements' decrypted text.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/outsource.h"
+#include "core/query_session.h"
+#include "index/secure_document.h"
+#include "xml/xml_generator.h"
+#include "xml/xml_parser.h"
+#include "xpath/xpath.h"
+
+namespace polysse {
+namespace {
+
+std::vector<std::string> Paths(const std::vector<MatchedNode>& ms) {
+  std::vector<std::string> out;
+  for (const auto& m : ms) out.push_back(m.path);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> OraclePaths(const XmlNode& doc, const std::string& q) {
+  std::vector<std::string> out;
+  for (const auto& p : EvalXPathPaths(doc, XPathQuery::Parse(q).value()))
+    out.push_back(PathToString(p));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ------------------------------------------------- degenerate documents --
+
+struct ShapeCase {
+  const char* name;
+  const char* xml;
+};
+
+class DegenerateShapes : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(DegenerateShapes, AllTagsAllModesMatchOracle) {
+  XmlNode doc = ParseXml(GetParam().xml).value();
+  DeterministicPrf seed = DeterministicPrf::FromString(GetParam().name);
+  FpDeployment dep = OutsourceFp(doc, seed).value();
+  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  for (const std::string& tag : doc.DistinctTags()) {
+    auto oracle = OraclePaths(doc, "//" + tag);
+    for (VerifyMode mode :
+         {VerifyMode::kVerified, VerifyMode::kTrustedConstOnly}) {
+      auto r = session.Lookup(tag, mode);
+      ASSERT_TRUE(r.ok()) << tag << ": " << r.status().ToString();
+      EXPECT_EQ(Paths(r->matches), oracle)
+          << GetParam().name << " //" << tag << " mode "
+          << static_cast<int>(mode);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DegenerateShapes,
+    ::testing::Values(
+        ShapeCase{"single", "<only/>"},
+        ShapeCase{"path", "<a><b><c><d><e><f/></e></d></c></b></a>"},
+        ShapeCase{"star", "<hub><s/><s/><s/><s/><s/><s/><s/><s/></hub>"},
+        ShapeCase{"samename", "<a><a><a/></a><a/></a>"},
+        ShapeCase{"binary",
+                  "<r><l><l2/><r2/></l><rr><l2/><r2/></rr></r>"},
+        ShapeCase{"mixed",
+                  "<x><y><x><y/></x></y><y/><z><x/></z></x>"}),
+    [](const ::testing::TestParamInfo<ShapeCase>& info) {
+      return info.param.name;
+    });
+
+// ------------------------------------------------------ repeated queries --
+
+TEST(QuerySessionPropertyTest, RepeatedQueriesAreDeterministic) {
+  XmlNode doc = MakeMedicalRecordsDocument(12, 101);
+  DeterministicPrf seed = DeterministicPrf::FromString("repeat");
+  FpDeployment dep = OutsourceFp(doc, seed).value();
+  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  auto first = session.Lookup("record", VerifyMode::kVerified).value();
+  for (int i = 0; i < 5; ++i) {
+    auto again = session.Lookup("record", VerifyMode::kVerified).value();
+    EXPECT_EQ(Paths(again.matches), Paths(first.matches));
+    EXPECT_EQ(again.stats.nodes_visited, first.stats.nodes_visited);
+    EXPECT_EQ(again.stats.transport.bytes_down,
+              first.stats.transport.bytes_down);
+  }
+}
+
+// ---------------------------------------------------------- LookupMany --
+
+class MultiLookupSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiLookupSweep, AgreesWithSingleLookupsAndCostsLess) {
+  XmlGeneratorOptions gen;
+  gen.num_nodes = 150;
+  gen.tag_alphabet = 8;
+  gen.seed = GetParam();
+  XmlNode doc = GenerateXmlTree(gen);
+  DeterministicPrf seed =
+      DeterministicPrf::FromString("multi" + std::to_string(GetParam()));
+  FpDeployment dep = OutsourceFp(doc, seed).value();
+  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+
+  std::vector<std::string> tags = doc.DistinctTags();
+  tags.push_back("unmapped-tag");  // must yield an empty entry, not an error
+  auto multi = session.LookupMany(tags, VerifyMode::kVerified);
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  ASSERT_EQ(multi->per_tag.size(), tags.size());
+
+  size_t single_bytes_total = 0;
+  for (size_t i = 0; i < tags.size(); ++i) {
+    auto single = session.Lookup(tags[i], VerifyMode::kVerified).value();
+    EXPECT_EQ(Paths(multi->per_tag[i].matches), Paths(single.matches))
+        << tags[i];
+    single_bytes_total += single.stats.transport.bytes_down;
+  }
+  // The shared walk must beat issuing the lookups one by one.
+  EXPECT_LT(multi->stats.transport.bytes_down, single_bytes_total);
+  EXPECT_TRUE(multi->per_tag.back().matches.empty());  // unmapped tag
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiLookupSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(MultiLookupTest, DuplicateTagsShareWork) {
+  XmlNode doc = MakeFig1Document();
+  DeterministicPrf seed = DeterministicPrf::FromString("dup");
+  FpDeployment dep = OutsourceFp(doc, seed).value();
+  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  auto multi = session
+                   .LookupMany({"client", "client", "name"},
+                               VerifyMode::kVerified)
+                   .value();
+  EXPECT_EQ(Paths(multi.per_tag[0].matches), Paths(multi.per_tag[1].matches));
+  EXPECT_EQ(multi.per_tag[2].matches.size(), 2u);
+}
+
+TEST(MultiLookupTest, OptimisticModePartitionsCandidates) {
+  XmlNode doc = MakeFig1Document();
+  DeterministicPrf seed = DeterministicPrf::FromString("opt");
+  FpDeployment dep = OutsourceFp(doc, seed).value();
+  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  auto multi =
+      session.LookupMany({"customers", "client"}, VerifyMode::kOptimistic)
+          .value();
+  // customers: the root is zero with no zero child -> one definite match.
+  EXPECT_EQ(multi.per_tag[0].matches.size(), 1u);
+  EXPECT_TRUE(multi.per_tag[0].possible.empty());
+  // client: two definite matches (the client nodes) plus the root as an
+  // inner zero ("may or may not represent a correct answer").
+  EXPECT_EQ(multi.per_tag[1].matches.size(), 2u);
+  ASSERT_EQ(multi.per_tag[1].possible.size(), 1u);
+  EXPECT_EQ(multi.per_tag[1].possible[0].path, "");
+}
+
+// -------------------------------------------- secure document facade ----
+
+TEST(SecureDocumentTest, QueryReturnsDecryptedContentOfMatches) {
+  auto doc = ParseXml(
+      "<inbox>"
+      "<mail><subject>hello</subject><body>first body</body></mail>"
+      "<mail><subject>again</subject><body>second body</body></mail>"
+      "</inbox>").value();
+  auto service = SecureDocumentService::Outsource(
+      doc, DeterministicPrf::FromString("mailbox"));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  auto bodies = (*service)->Query("//body");
+  ASSERT_TRUE(bodies.ok()) << bodies.status().ToString();
+  ASSERT_EQ(bodies->size(), 2u);
+  EXPECT_EQ((*bodies)[0].text, "first body");
+  EXPECT_EQ((*bodies)[1].text, "second body");
+  EXPECT_GT((*service)->last_payload_bytes(), 0u);
+
+  auto subjects = (*service)->Lookup("subject");
+  ASSERT_TRUE(subjects.ok());
+  EXPECT_EQ((*subjects)[0].text, "hello");
+  EXPECT_EQ((*subjects)[1].text, "again");
+
+  auto none = (*service)->Query("//missing");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(SecureDocumentTest, MedicalCorpusContentRoundTrip) {
+  XmlNode doc = MakeMedicalRecordsDocument(10, 111);
+  auto service = SecureDocumentService::Outsource(
+      doc, DeterministicPrf::FromString("medsvc"));
+  ASSERT_TRUE(service.ok());
+  auto drugs = (*service)->Query("//prescription/drug");
+  ASSERT_TRUE(drugs.ok());
+  // Cross-check every decrypted text against the plaintext document.
+  for (const ContentMatch& m : *drugs) {
+    std::vector<int> path;
+    for (const char* p = m.path.c_str(); *p;) {
+      path.push_back(std::atoi(p));
+      while (*p && *p != '/') ++p;
+      if (*p == '/') ++p;
+    }
+    const XmlNode* n = doc.AtPath(path);
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->text(), m.text);
+    EXPECT_EQ(n->name(), "drug");
+  }
+  EXPECT_GT((*service)->server_structure_bytes(), 0u);
+  EXPECT_GT((*service)->server_payload_bytes(), 0u);
+}
+
+// ------------------------------------ cross-ring equivalence (property) --
+
+class CrossRingSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossRingSweep, BothRingsAnswerIdentically) {
+  XmlGeneratorOptions gen;
+  gen.num_nodes = 90;
+  gen.tag_alphabet = 7;
+  gen.max_fanout = 3;
+  gen.seed = GetParam();
+  XmlNode doc = GenerateXmlTree(gen);
+  DeterministicPrf seed =
+      DeterministicPrf::FromString("xr" + std::to_string(GetParam()));
+  FpDeployment fp = OutsourceFp(doc, seed).value();
+  ZDeployment z = OutsourceZ(doc, seed).value();
+  QuerySession<FpCyclotomicRing> fs(&fp.client, &fp.server);
+  QuerySession<ZQuotientRing> zs(&z.client, &z.server);
+  for (const std::string& tag : doc.DistinctTags()) {
+    auto fr = fs.Lookup(tag, VerifyMode::kVerified).value();
+    auto zr = zs.Lookup(tag, VerifyMode::kVerified).value();
+    EXPECT_EQ(Paths(fr.matches), Paths(zr.matches)) << tag;
+    // Both rings must also visit the same node set: pruning is a property
+    // of the data, not the ring.
+    EXPECT_EQ(fr.stats.nodes_visited, zr.stats.nodes_visited) << tag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossRingSweep,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+}  // namespace
+}  // namespace polysse

@@ -1,0 +1,194 @@
+// Deeper algebraic property sweeps: quotient-ring axioms under reduction,
+// the evaluation homomorphism, Shamir threshold grids, and BigInt division
+// stress against multiplicative reconstruction.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mpc/shamir.h"
+#include "ring/fp_cyclotomic_ring.h"
+#include "ring/z_quotient_ring.h"
+
+namespace polysse {
+namespace {
+
+// ------------------------------------------------ F_p ring axioms sweep --
+
+class FpRingAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FpRingAxioms, QuotientRingLaws) {
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(GetParam()).value();
+  std::mt19937_64 mt(GetParam());
+  auto rng = [&] { return mt(); };
+  for (int iter = 0; iter < 40; ++iter) {
+    FpPoly a = ring.Random(rng);
+    FpPoly b = ring.Random(rng);
+    FpPoly c = ring.Random(rng);
+    // Commutative ring laws survive the cyclotomic reduction.
+    EXPECT_TRUE(ring.Equal(ring.Mul(a, b), ring.Mul(b, a)));
+    EXPECT_TRUE(ring.Equal(ring.Mul(ring.Mul(a, b), c),
+                           ring.Mul(a, ring.Mul(b, c))));
+    EXPECT_TRUE(ring.Equal(ring.Mul(a, ring.Add(b, c)),
+                           ring.Add(ring.Mul(a, b), ring.Mul(a, c))));
+    EXPECT_TRUE(ring.Equal(ring.Mul(a, ring.One()), a));
+    EXPECT_TRUE(ring.IsZero(ring.Sub(a, a)));
+    // Evaluation is a homomorphism at every admissible point.
+    for (uint64_t e = 1; e < GetParam(); ++e) {
+      uint64_t lhs = ring.EvalAt(ring.Mul(a, b), e).value();
+      uint64_t rhs = ring.field().Mul(ring.EvalAt(a, e).value(),
+                                      ring.EvalAt(b, e).value());
+      ASSERT_EQ(lhs, rhs) << "p=" << GetParam() << " e=" << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, FpRingAxioms, ::testing::Values(3, 5, 7, 13));
+
+// ---------------------------------------------------- Z ring axioms sweep
+
+struct ZRingCase {
+  const char* name;
+  std::vector<int64_t> r_coeffs;
+};
+
+class ZRingAxioms : public ::testing::TestWithParam<ZRingCase> {};
+
+TEST_P(ZRingAxioms, QuotientRingLaws) {
+  std::vector<BigInt> coeffs;
+  for (int64_t c : GetParam().r_coeffs) coeffs.emplace_back(c);
+  ZQuotientRing ring = ZQuotientRing::Create(ZPoly(std::move(coeffs))).value();
+  std::mt19937_64 mt(99);
+  auto rng = [&] { return mt(); };
+  for (int iter = 0; iter < 30; ++iter) {
+    ZPoly a = ring.Random(rng, 96);
+    ZPoly b = ring.Random(rng, 96);
+    ZPoly c = ring.Random(rng, 64);
+    EXPECT_TRUE(ring.Equal(ring.Mul(a, b), ring.Mul(b, a)));
+    EXPECT_TRUE(ring.Equal(ring.Mul(ring.Mul(a, b), c),
+                           ring.Mul(a, ring.Mul(b, c))));
+    EXPECT_TRUE(ring.Equal(ring.Mul(a, ring.Add(b, c)),
+                           ring.Add(ring.Mul(a, b), ring.Mul(a, c))));
+    EXPECT_TRUE(ring.Equal(ring.Mul(a, ring.One()), a));
+    // Evaluation homomorphism mod r(e).
+    for (uint64_t e : {1ull, 2ull, 5ull}) {
+      auto m = ring.QueryModulus(e);
+      if (!m.ok()) continue;
+      uint64_t lhs = ring.EvalAt(ring.Mul(a, b), e).value();
+      uint64_t rhs = static_cast<uint64_t>(
+          static_cast<unsigned __int128>(ring.EvalAt(a, e).value()) *
+          ring.EvalAt(b, e).value() % *m);
+      ASSERT_EQ(lhs, rhs) << GetParam().name << " e=" << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Moduli, ZRingAxioms,
+    ::testing::Values(ZRingCase{"x2p1", {1, 0, 1}},
+                      ZRingCase{"x2px1", {1, 1, 1}},
+                      ZRingCase{"x3p2xp1", {1, 2, 0, 1}},
+                      ZRingCase{"cyclo5", {1, 1, 1, 1, 1}}),
+    [](const ::testing::TestParamInfo<ZRingCase>& info) {
+      return info.param.name;
+    });
+
+// ------------------------------------------------- Shamir threshold grid --
+
+struct ShamirCase {
+  int threshold;
+  int parties;
+};
+
+class ShamirGrid : public ::testing::TestWithParam<ShamirCase> {};
+
+TEST_P(ShamirGrid, EveryThresholdSubsetReconstructs) {
+  PrimeField field = PrimeField::Create(257).value();
+  ShamirScheme scheme =
+      ShamirScheme::Create(field, GetParam().threshold, GetParam().parties)
+          .value();
+  ChaChaRng rng = ChaChaRng::FromString(
+      "grid" + std::to_string(GetParam().threshold) +
+      std::to_string(GetParam().parties));
+  const uint64_t secret = 123 % field.modulus();
+  auto shares = scheme.Share(secret, rng);
+
+  // Walk every threshold-sized subset via bitmask (parties <= 8 here).
+  const int n = GetParam().parties;
+  int subsets_checked = 0;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    if (__builtin_popcount(mask) != GetParam().threshold) continue;
+    std::vector<ShamirShare> subset;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.push_back(shares[i]);
+    }
+    ASSERT_EQ(scheme.Reconstruct(subset).value(), secret) << "mask " << mask;
+    ++subsets_checked;
+  }
+  EXPECT_GT(subsets_checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ShamirGrid,
+                         ::testing::Values(ShamirCase{1, 3}, ShamirCase{2, 4},
+                                           ShamirCase{3, 5}, ShamirCase{4, 6},
+                                           ShamirCase{5, 8}, ShamirCase{7, 8}),
+                         [](const ::testing::TestParamInfo<ShamirCase>& info) {
+                           return std::to_string(info.param.threshold) + "of" +
+                                  std::to_string(info.param.parties);
+                         });
+
+// -------------------------------------------------- BigInt divide stress --
+
+class BigIntDivisionStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntDivisionStress, ReconstructionIdentityAcrossWidths) {
+  std::mt19937_64 rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    auto random_big = [&](int limbs) {
+      std::vector<uint8_t> bytes(limbs * 8);
+      for (auto& by : bytes) by = static_cast<uint8_t>(rng());
+      return BigInt::FromLittleEndianBytes(bytes, rng() % 2 == 0);
+    };
+    BigInt numer = random_big(GetParam());
+    BigInt denom = random_big(
+        1 + static_cast<int>(rng() % static_cast<uint64_t>(GetParam())));
+    if (denom.is_zero()) continue;
+    auto [q, r] = numer.DivRem(denom);
+    ASSERT_EQ(q * denom + r, numer);
+    ASSERT_LT(r.Abs(), denom.Abs());
+    // Euclidean variant is always canonical.
+    BigInt em = numer.EuclideanMod(denom);
+    ASSERT_GE(em, BigInt(0));
+    ASSERT_LT(em, denom.Abs());
+    ASSERT_TRUE((numer - em).DivRem(denom).second.is_zero());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigIntDivisionStress,
+                         ::testing::Values(2, 3, 5, 9, 17, 33));
+
+// Divisions whose quotient digits force the rare Knuth-D adjustment paths.
+TEST(BigIntDivisionStress, AdversarialLimbPatterns) {
+  std::vector<std::string> patterns = {
+      "0xffffffffffffffffffffffffffffffff",
+      "0x80000000000000000000000000000000",
+      "0x80000000000000010000000000000000",
+      "0xfffffffffffffffe0000000000000001",
+      "0x7fffffffffffffffffffffffffffffffffffffffffffffff",
+  };
+  for (const std::string& us : patterns) {
+    for (const std::string& vs : patterns) {
+      BigInt u = BigInt::FromString(us).value();
+      BigInt v = BigInt::FromString(vs).value();
+      auto [q, r] = u.DivRem(v);
+      EXPECT_EQ(q * v + r, u) << us << " / " << vs;
+      EXPECT_LT(r, v);
+      // And shifted variants to vary limb alignment.
+      BigInt u2 = (u << 37) + BigInt(12345);
+      auto [q2, r2] = u2.DivRem(v);
+      EXPECT_EQ(q2 * v + r2, u2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polysse

@@ -1,0 +1,212 @@
+// Tests for the §4.2 share split: additivity (Figs. 3 & 4 invariant),
+// seed-only re-derivation, hiding properties, multi-server splits.
+#include <gtest/gtest.h>
+
+#include "core/multi_server.h"
+#include "core/sharing.h"
+#include "xml/xml_generator.h"
+
+namespace polysse {
+namespace {
+
+TagMap Fig1Map() { return TagMap::FromExplicit(Fig1TagMapping()).value(); }
+
+TEST(SharingFpTest, Fig3Invariant_SharesSumToData) {
+  // Fig. 3: "the sum of a polynomial at the client side with the
+  // corresponding polynomial at the server side equals the original".
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(5).value();
+  PolyTree<FpCyclotomicRing> data =
+      BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
+  DeterministicPrf prf = DeterministicPrf::FromString("fig3");
+  SharedTrees<FpCyclotomicRing> shares = SplitShares(ring, data, prf);
+  ASSERT_EQ(shares.client.size(), 5u);
+  ASSERT_EQ(shares.server.size(), 5u);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_TRUE(ring.Equal(
+        ring.Add(shares.client.nodes[i].poly, shares.server.nodes[i].poly),
+        data.nodes[i].poly))
+        << "node " << i;
+    // Shares scrub plaintext.
+    EXPECT_EQ(shares.client.nodes[i].tag_value, 0u);
+    EXPECT_EQ(shares.server.nodes[i].tag_value, 0u);
+  }
+}
+
+TEST(SharingZTest, Fig4Invariant_SharesSumToData) {
+  ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+  PolyTree<ZQuotientRing> data =
+      BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
+  DeterministicPrf prf = DeterministicPrf::FromString("fig4");
+  SharedTrees<ZQuotientRing> shares = SplitShares(ring, data, prf);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_TRUE(ring.Equal(
+        ring.Add(shares.client.nodes[i].poly, shares.server.nodes[i].poly),
+        data.nodes[i].poly))
+        << "node " << i;
+  }
+  // The root must still sum to 265x + 45 (Fig. 2(b)/Fig. 4 invariant).
+  EXPECT_EQ(ring.ToString(ring.Add(shares.client.nodes[0].poly,
+                                   shares.server.nodes[0].poly)),
+            "265x + 45");
+}
+
+TEST(SharingTest, SeedOnlyRederivationMatchesSplit) {
+  // The thin client's re-derived share must equal the share produced at
+  // split time — node by node, for both rings.
+  XmlGeneratorOptions gen;
+  gen.num_nodes = 40;
+  gen.seed = 8;
+  XmlNode doc = GenerateXmlTree(gen);
+  DeterministicPrf prf = DeterministicPrf::FromString("seed-only");
+
+  FpCyclotomicRing fp = FpCyclotomicRing::Create(13).value();
+  TagMap::Options opt;
+  opt.max_value = 11;
+  TagMap map = TagMap::Build(doc.DistinctTags(), opt, prf).value();
+  PolyTree<FpCyclotomicRing> data = BuildPolyTree(fp, map, doc).value();
+  SharedTrees<FpCyclotomicRing> shares = SplitShares(fp, data, prf);
+  for (const auto& node : shares.client.nodes) {
+    EXPECT_TRUE(fp.Equal(DeriveClientShare(fp, prf, node.path, {}), node.poly));
+  }
+
+  ZQuotientRing zr = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+  TagMap::Options zopt;
+  zopt.max_value = 60;
+  TagMap zmap = TagMap::Build(doc.DistinctTags(), zopt, prf).value();
+  PolyTree<ZQuotientRing> zdata = BuildPolyTree(zr, zmap, doc).value();
+  ShareSplitOptions sso;
+  sso.z_coeff_bits = 192;
+  SharedTrees<ZQuotientRing> zshares = SplitShares(zr, zdata, prf, sso);
+  for (const auto& node : zshares.client.nodes) {
+    EXPECT_TRUE(
+        zr.Equal(DeriveClientShare(zr, prf, node.path, sso), node.poly));
+  }
+}
+
+TEST(SharingTest, DifferentSeedsGiveDifferentServerTrees) {
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(11).value();
+  PolyTree<FpCyclotomicRing> data =
+      BuildPolyTree(ring,
+                    TagMap::FromExplicit({{"customers", 3}, {"client", 2},
+                                          {"name", 4}})
+                        .value(),
+                    MakeFig1Document())
+          .value();
+  auto s1 = SplitShares(ring, data, DeterministicPrf::FromString("s1"));
+  auto s2 = SplitShares(ring, data, DeterministicPrf::FromString("s2"));
+  int diff = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    diff += !ring.Equal(s1.server.nodes[i].poly, s2.server.nodes[i].poly);
+  }
+  EXPECT_EQ(diff, static_cast<int>(data.size()));  // all differ w.h.p.
+}
+
+TEST(SharingFpTest, ServerShareDistributionIsUniformish) {
+  // Perfect hiding: for fixed data, the server share is uniform because the
+  // client share is. Chi-squared-lite: every field value appears in the
+  // constant coefficient across many seeds.
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(7).value();
+  PolyTree<FpCyclotomicRing> data =
+      BuildPolyTree(ring, TagMap::FromExplicit({{"a", 3}}).value(),
+                    XmlNode("a"))
+          .value();
+  std::vector<int> hist(7, 0);
+  for (int seed = 0; seed < 700; ++seed) {
+    auto shares = SplitShares(
+        ring, data, DeterministicPrf::FromString("u" + std::to_string(seed)));
+    ++hist[shares.server.nodes[0].poly.coeff(0)];
+  }
+  for (int v = 0; v < 7; ++v) EXPECT_GT(hist[v], 40) << "value " << v;
+}
+
+TEST(SharingZTest, CoeffBitsControlShareWidth) {
+  ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+  DeterministicPrf prf = DeterministicPrf::FromString("width");
+  ShareSplitOptions narrow;
+  narrow.z_coeff_bits = 64;
+  ShareSplitOptions wide;
+  wide.z_coeff_bits = 512;
+  ZPoly n = DeriveClientShare(ring, prf, "0", narrow);
+  ZPoly w = DeriveClientShare(ring, prf, "0", wide);
+  EXPECT_LE(n.MaxCoeffBits(), 64u);
+  EXPECT_GT(w.MaxCoeffBits(), 256u);
+}
+
+TEST(MultiServerTest, AdditiveKServerSplitSums) {
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(11).value();
+  XmlGeneratorOptions gen;
+  gen.num_nodes = 25;
+  gen.tag_alphabet = 8;  // must fit into {1..9} = {1..p-2}
+  gen.seed = 15;
+  XmlNode doc = GenerateXmlTree(gen);
+  TagMap::Options opt;
+  opt.max_value = 9;
+  DeterministicPrf prf = DeterministicPrf::FromString("kserver");
+  TagMap map = TagMap::Build(doc.DistinctTags(), opt, prf).value();
+  PolyTree<FpCyclotomicRing> data = BuildPolyTree(ring, map, doc).value();
+
+  for (int k : {1, 2, 4}) {
+    auto servers = SplitSharesAcrossServers(ring, data, prf, k).value();
+    ASSERT_EQ(servers.size(), static_cast<size_t>(k));
+    for (size_t i = 0; i < data.size(); ++i) {
+      FpPoly sum = DeriveClientShare(ring, prf, data.nodes[i].path, {});
+      for (int s = 0; s < k; ++s) sum = ring.Add(sum, servers[s].nodes[i].poly);
+      EXPECT_TRUE(ring.Equal(sum, data.nodes[i].poly)) << "k=" << k;
+    }
+    // Evaluation combining helper agrees.
+    for (uint64_t e = 1; e <= 9; ++e) {
+      std::vector<uint64_t> evals;
+      for (int s = 0; s < k; ++s)
+        evals.push_back(ring.EvalAt(servers[s].nodes[0].poly, e).value());
+      uint64_t client_eval =
+          ring.EvalAt(DeriveClientShare(ring, prf, "", {}), e).value();
+      EXPECT_EQ(CombineAdditiveEvals(11, client_eval, evals),
+                ring.EvalAt(data.nodes[0].poly, e).value());
+    }
+  }
+}
+
+TEST(MultiServerTest, ShamirTOfNReconstructsEvaluations) {
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(101).value();
+  XmlGeneratorOptions gen;
+  gen.num_nodes = 15;
+  gen.seed = 16;
+  XmlNode doc = GenerateXmlTree(gen);
+  TagMap::Options opt;
+  opt.max_value = 99;
+  DeterministicPrf prf = DeterministicPrf::FromString("shamir-ms");
+  TagMap map = TagMap::Build(doc.DistinctTags(), opt, prf).value();
+  PolyTree<FpCyclotomicRing> data = BuildPolyTree(ring, map, doc).value();
+
+  ChaChaRng rng = ChaChaRng::FromString("shamir-ms-rng");
+  ShamirMultiServer ms = ShamirMultiServer::Setup(ring, data, 3, 5, rng).value();
+  for (int node = 0; node < static_cast<int>(data.size()); ++node) {
+    for (uint64_t e : {1ull, 7ull, 50ull}) {
+      EXPECT_EQ(ms.Eval(node, e).value(),
+                ring.EvalAt(data.nodes[node].poly, e).value());
+    }
+  }
+  // Any 3 of 5 servers suffice.
+  std::vector<int> ids = {1, 3, 4};
+  std::vector<uint64_t> evals;
+  for (int s : ids) evals.push_back(ms.ServerEval(s, 0, 7).value());
+  EXPECT_EQ(ms.CombineEvals(ids, evals).value(),
+            ring.EvalAt(data.nodes[0].poly, 7).value());
+}
+
+TEST(MultiServerTest, ShamirValidation) {
+  FpCyclotomicRing ring = FpCyclotomicRing::Create(11).value();
+  PolyTree<FpCyclotomicRing> data =
+      BuildPolyTree(ring, TagMap::FromExplicit({{"a", 3}}).value(),
+                    XmlNode("a"))
+          .value();
+  ChaChaRng rng = ChaChaRng::FromString("v");
+  EXPECT_FALSE(ShamirMultiServer::Setup(ring, data, 6, 5, rng).ok());
+  ShamirMultiServer ms = ShamirMultiServer::Setup(ring, data, 2, 3, rng).value();
+  EXPECT_FALSE(ms.ServerEval(5, 0, 1).ok());
+  EXPECT_FALSE(ms.ServerEval(0, 9, 1).ok());
+  EXPECT_FALSE(ms.CombineEvals({0}, {1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace polysse

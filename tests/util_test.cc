@@ -1,0 +1,242 @@
+// Unit tests for src/util: Status/Result, byte serialization, hex.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/hex.h"
+#include "util/status.h"
+
+namespace polysse {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad p");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad p");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad p");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 8; ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Corruption("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  ASSIGN_OR_RETURN(int h, Half(x));
+  *out = h;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status s = UseAssignOrReturn(3, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------------- bytes --
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0102030405060708ull);
+  ByteReader r(w.span());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0x1234);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.PutU32(0x11223344);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x44);
+  EXPECT_EQ(w.bytes()[3], 0x11);
+}
+
+TEST(BytesTest, VarintSmallValuesAreOneByte) {
+  for (uint64_t v : {0ull, 1ull, 127ull}) {
+    ByteWriter w;
+    w.PutVarint64(v);
+    EXPECT_EQ(w.size(), 1u) << v;
+    ByteReader r(w.span());
+    EXPECT_EQ(r.GetVarint64().value(), v);
+  }
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, RoundTrips) {
+  ByteWriter w;
+  w.PutVarint64(GetParam());
+  ByteReader r(w.span());
+  auto got = r.GetVarint64();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 129ull, 16383ull, 16384ull,
+                      (1ull << 21) - 1, 1ull << 21, (1ull << 35) + 17,
+                      (1ull << 56) - 1, std::numeric_limits<uint64_t>::max()));
+
+class SignedVarintRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SignedVarintRoundTrip, RoundTrips) {
+  ByteWriter w;
+  w.PutVarintSigned64(GetParam());
+  ByteReader r(w.span());
+  auto got = r.GetVarintSigned64();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, SignedVarintRoundTrip,
+    ::testing::Values(int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{63},
+                      int64_t{-64}, int64_t{64}, int64_t{-65},
+                      std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(BytesTest, TruncatedVarintIsCorruption) {
+  std::vector<uint8_t> bad = {0x80, 0x80};  // continuation bits, no terminator
+  ByteReader r(bad);
+  EXPECT_EQ(r.GetVarint64().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, OverlongVarintIsCorruption) {
+  // 10 bytes with a final byte > 1 overflows 64 bits.
+  std::vector<uint8_t> bad(9, 0xFF);
+  bad.push_back(0x7F);
+  ByteReader r(bad);
+  EXPECT_EQ(r.GetVarint64().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, TruncatedFixedReadFails) {
+  ByteWriter w;
+  w.PutU16(7);
+  ByteReader r(w.span());
+  EXPECT_EQ(r.GetU32().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  ByteWriter w;
+  w.PutLengthPrefixedString("hello");
+  w.PutLengthPrefixedString("");
+  w.PutLengthPrefixedString("world!");
+  ByteReader r(w.span());
+  EXPECT_EQ(r.GetLengthPrefixedString().value(), "hello");
+  EXPECT_EQ(r.GetLengthPrefixedString().value(), "");
+  EXPECT_EQ(r.GetLengthPrefixedString().value(), "world!");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, LengthPrefixLongerThanInputIsCorruption) {
+  ByteWriter w;
+  w.PutVarint64(100);  // claims 100 bytes follow
+  w.PutString("abc");
+  ByteReader r(w.span());
+  EXPECT_EQ(r.GetLengthPrefixed().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, TakeResetsWriter) {
+  ByteWriter w;
+  w.PutU8(1);
+  auto bytes = w.Take();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_TRUE(w.empty());
+}
+
+// ------------------------------------------------------------------- hex --
+
+TEST(HexTest, Encode) {
+  std::vector<uint8_t> bytes = {0x00, 0xFF, 0x1A};
+  EXPECT_EQ(ToHex(bytes), "00ff1a");
+}
+
+TEST(HexTest, DecodeBothCases) {
+  auto lower = FromHex("00ff1a");
+  auto upper = FromHex("00FF1A");
+  ASSERT_TRUE(lower.ok());
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(*lower, *upper);
+  EXPECT_EQ((*lower)[1], 0xFF);
+}
+
+TEST(HexTest, RoundTrip) {
+  std::vector<uint8_t> bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<uint8_t>(i));
+  auto back = FromHex(ToHex(bytes));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, bytes);
+}
+
+TEST(HexTest, RejectsOddLength) {
+  EXPECT_FALSE(FromHex("abc").ok());
+}
+
+TEST(HexTest, RejectsNonHex) {
+  EXPECT_FALSE(FromHex("zz").ok());
+}
+
+TEST(HexTest, EmptyIsEmpty) {
+  EXPECT_EQ(ToHex({}), "");
+  EXPECT_TRUE(FromHex("").value().empty());
+}
+
+}  // namespace
+}  // namespace polysse

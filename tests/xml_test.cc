@@ -1,0 +1,248 @@
+// Tests for the XML DOM, parser, writer, and workload generator.
+#include <gtest/gtest.h>
+
+#include "xml/xml_generator.h"
+#include "xml/xml_node.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace polysse {
+namespace {
+
+TEST(XmlNodeTest, TreeBasics) {
+  XmlNode root("a");
+  root.AddChild("b").AddChild(XmlNode("c"));
+  root.AddChild("d");
+  EXPECT_EQ(root.SubtreeSize(), 4u);
+  EXPECT_EQ(root.Height(), 3u);
+  EXPECT_FALSE(root.IsLeaf());
+  EXPECT_TRUE(root.children()[1].IsLeaf());
+  EXPECT_EQ(root.DistinctTagCount(), 4u);
+}
+
+TEST(XmlNodeTest, DistinctTagsPreorderFirstSeen) {
+  XmlNode root("a");
+  root.AddChild("b");
+  root.AddChild("a");
+  root.AddChild("c").AddChild(XmlNode("b"));
+  EXPECT_EQ(root.DistinctTags(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(XmlNodeTest, AtPathAndPathToString) {
+  XmlNode root("a");
+  XmlNode b("b");
+  b.AddChild("c");
+  root.AddChild(std::move(b));
+  EXPECT_EQ(root.AtPath({})->name(), "a");
+  EXPECT_EQ(root.AtPath({0})->name(), "b");
+  EXPECT_EQ(root.AtPath({0, 0})->name(), "c");
+  EXPECT_EQ(root.AtPath({1}), nullptr);
+  EXPECT_EQ(root.AtPath({0, 0, 0}), nullptr);
+  EXPECT_EQ(PathToString({0, 2, 1}), "0/2/1");
+  EXPECT_EQ(PathToString({}), "");
+}
+
+TEST(XmlNodeTest, PreorderVisitsAllWithPaths) {
+  XmlNode root = MakeFig1Document();
+  std::vector<std::string> visited;
+  root.Preorder([&](const XmlNode& n, const std::vector<int>& path) {
+    visited.push_back(n.name() + "@" + PathToString(path));
+  });
+  EXPECT_EQ(visited, (std::vector<std::string>{
+                         "customers@", "client@0", "name@0/0", "client@1",
+                         "name@1/0"}));
+}
+
+TEST(XmlNodeTest, FindAttribute) {
+  XmlNode n("x");
+  n.AddAttribute("id", "42");
+  ASSERT_NE(n.FindAttribute("id"), nullptr);
+  EXPECT_EQ(*n.FindAttribute("id"), "42");
+  EXPECT_EQ(n.FindAttribute("missing"), nullptr);
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(XmlParserTest, SimpleDocument) {
+  auto doc = ParseXml("<a><b>text</b><c/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->name(), "a");
+  ASSERT_EQ(doc->children().size(), 2u);
+  EXPECT_EQ(doc->children()[0].name(), "b");
+  EXPECT_EQ(doc->children()[0].text(), "text");
+  EXPECT_EQ(doc->children()[1].name(), "c");
+}
+
+TEST(XmlParserTest, DeclarationCommentsDoctype) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n<!-- hi --><a><!-- in -->"
+      "<b/></a><!-- tail -->");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->SubtreeSize(), 2u);
+}
+
+TEST(XmlParserTest, Attributes) {
+  auto doc = ParseXml("<a x=\"1\" y='two &amp; three'><b id=\"z\"/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->FindAttribute("x"), "1");
+  EXPECT_EQ(*doc->FindAttribute("y"), "two & three");
+  EXPECT_EQ(*doc->children()[0].FindAttribute("id"), "z");
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  auto doc = ParseXml("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;s&apos; &#65;&#x42;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text(), "<tag> & \"q\" 's' AB");
+}
+
+TEST(XmlParserTest, Cdata) {
+  auto doc = ParseXml("<a><![CDATA[<raw> & stuff]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text(), "<raw> & stuff");
+}
+
+TEST(XmlParserTest, WhitespaceBetweenElementsIgnored) {
+  auto doc = ParseXml("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->children().size(), 2u);
+  EXPECT_EQ(doc->text(), "");
+}
+
+TEST(XmlParserTest, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());                  // unterminated
+  EXPECT_FALSE(ParseXml("<a></b>").ok());              // mismatched
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());       // crossed
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>").ok());     // bad entity
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());             // unquoted attr
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());             // two roots
+  EXPECT_FALSE(ParseXml("<1a/>").ok());                // bad name
+  EXPECT_FALSE(ParseXml("<a><!-- uncl --></a><!--").ok());
+}
+
+TEST(XmlParserTest, ErrorMentionsLineNumber) {
+  auto doc = ParseXml("<a>\n<b>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(XmlParserTest, DeepNestingGuard) {
+  std::string open, close;
+  for (int i = 0; i < 600; ++i) {
+    open += "<a>";
+    close += "</a>";
+  }
+  EXPECT_FALSE(ParseXml(open + close).ok());
+}
+
+// ----------------------------------------------------------------- writer
+
+TEST(XmlWriterTest, RoundTripThroughParser) {
+  XmlNode doc = MakeMedicalRecordsDocument(5, 1);
+  std::string text = WriteXml(doc);
+  auto back = ParseXml(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, doc);
+}
+
+TEST(XmlWriterTest, CompactRoundTrip) {
+  XmlNode doc = MakeFig1Document();
+  XmlWriteOptions opt;
+  opt.indent = 0;
+  std::string text = WriteXml(doc, opt);
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+  auto back = ParseXml(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, doc);
+}
+
+TEST(XmlWriterTest, EscapesSpecials) {
+  XmlNode n("a");
+  n.set_text("x < y & z");
+  n.AddAttribute("q", "say \"hi\"");
+  std::string text = WriteXml(n);
+  EXPECT_NE(text.find("x &lt; y &amp; z"), std::string::npos);
+  EXPECT_NE(text.find("&quot;hi&quot;"), std::string::npos);
+  auto back = ParseXml(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, n);
+}
+
+TEST(XmlWriterTest, DeclarationEmitted) {
+  XmlWriteOptions opt;
+  opt.declaration = true;
+  EXPECT_EQ(WriteXml(XmlNode("a"), opt).substr(0, 5), "<?xml");
+}
+
+// -------------------------------------------------------------- generator
+
+TEST(XmlGeneratorTest, ExactNodeCount) {
+  for (size_t n : {1u, 2u, 10u, 100u, 777u}) {
+    XmlGeneratorOptions opt;
+    opt.num_nodes = n;
+    opt.seed = 3;
+    EXPECT_EQ(GenerateXmlTree(opt).SubtreeSize(), n);
+  }
+}
+
+TEST(XmlGeneratorTest, DeterministicPerSeed) {
+  XmlGeneratorOptions opt;
+  opt.num_nodes = 200;
+  opt.seed = 5;
+  XmlNode a = GenerateXmlTree(opt);
+  XmlNode b = GenerateXmlTree(opt);
+  EXPECT_EQ(a, b);
+  opt.seed = 6;
+  EXPECT_FALSE(GenerateXmlTree(opt) == a);
+}
+
+TEST(XmlGeneratorTest, RespectsAlphabet) {
+  XmlGeneratorOptions opt;
+  opt.num_nodes = 500;
+  opt.tag_alphabet = 7;
+  opt.seed = 9;
+  XmlNode doc = GenerateXmlTree(opt);
+  EXPECT_LE(doc.DistinctTagCount(), 7u);
+}
+
+TEST(XmlGeneratorTest, ZipfSkewsTagFrequencies) {
+  XmlGeneratorOptions opt;
+  opt.num_nodes = 2000;
+  opt.tag_alphabet = 10;
+  opt.zipf_s = 1.5;
+  opt.seed = 11;
+  XmlNode doc = GenerateXmlTree(opt);
+  size_t tag0 = 0, tag9 = 0;
+  doc.Preorder([&](const XmlNode& n, const std::vector<int>&) {
+    if (n.name() == "tag0") ++tag0;
+    if (n.name() == "tag9") ++tag9;
+  });
+  EXPECT_GT(tag0, tag9 * 2);  // heavy skew
+}
+
+TEST(XmlGeneratorTest, Fig1DocumentShape) {
+  XmlNode doc = MakeFig1Document();
+  EXPECT_EQ(doc.name(), "customers");
+  ASSERT_EQ(doc.children().size(), 2u);
+  for (const XmlNode& client : doc.children()) {
+    EXPECT_EQ(client.name(), "client");
+    ASSERT_EQ(client.children().size(), 1u);
+    EXPECT_EQ(client.children()[0].name(), "name");
+  }
+  EXPECT_EQ(doc.SubtreeSize(), 5u);
+}
+
+TEST(XmlGeneratorTest, MedicalDocumentStructure) {
+  XmlNode doc = MakeMedicalRecordsDocument(20, 7);
+  EXPECT_EQ(doc.name(), "hospital");
+  EXPECT_EQ(doc.children().size(), 20u);
+  size_t diagnoses = 0;
+  doc.Preorder([&](const XmlNode& n, const std::vector<int>&) {
+    if (n.name() == "diagnosis") ++diagnoses;
+  });
+  EXPECT_EQ(diagnoses, 20u);  // every patient record has one
+}
+
+}  // namespace
+}  // namespace polysse

@@ -1,0 +1,136 @@
+// Tests for the XPath subset parser and the plaintext reference evaluator
+// (the oracle all encrypted-query tests compare against).
+#include <gtest/gtest.h>
+
+#include "xml/xml_generator.h"
+#include "xml/xml_parser.h"
+#include "xpath/xpath.h"
+
+namespace polysse {
+namespace {
+
+std::vector<std::string> Names(const XmlNode& root, const XPathQuery& q) {
+  std::vector<std::string> out;
+  for (const XmlNode* n : EvalXPath(root, q)) out.push_back(n->name());
+  return out;
+}
+
+std::vector<std::string> Paths(const XmlNode& root, const XPathQuery& q) {
+  std::vector<std::string> out;
+  for (const auto& p : EvalXPathPaths(root, q)) out.push_back(PathToString(p));
+  return out;
+}
+
+TEST(XPathParseTest, StepsAndAxes) {
+  auto q = XPathQuery::Parse("//a/b//c");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->steps().size(), 3u);
+  EXPECT_EQ(q->steps()[0].axis, XPathStep::Axis::kDescendant);
+  EXPECT_EQ(q->steps()[0].name, "a");
+  EXPECT_EQ(q->steps()[1].axis, XPathStep::Axis::kChild);
+  EXPECT_EQ(q->steps()[1].name, "b");
+  EXPECT_EQ(q->steps()[2].axis, XPathStep::Axis::kDescendant);
+  EXPECT_EQ(q->steps()[2].name, "c");
+  EXPECT_EQ(q->ToString(), "//a/b//c");
+}
+
+TEST(XPathParseTest, Errors) {
+  EXPECT_FALSE(XPathQuery::Parse("").ok());
+  EXPECT_FALSE(XPathQuery::Parse("a/b").ok());    // must start with axis
+  EXPECT_FALSE(XPathQuery::Parse("//").ok());     // empty name
+  EXPECT_FALSE(XPathQuery::Parse("//a//").ok());  // trailing axis
+  EXPECT_EQ(XPathQuery::Parse("//a[1]").status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(XPathQuery::Parse("//*").status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(XPathParseTest, DistinctNames) {
+  auto q = XPathQuery::Parse("//a/b//a/c").value();
+  EXPECT_EQ(q.DistinctNames(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(XPathEvalTest, PaperQueryOnFig1) {
+  // The paper's running query: //client on the Fig. 1 document.
+  XmlNode doc = MakeFig1Document();
+  auto q = XPathQuery::Parse("//client").value();
+  EXPECT_EQ(Paths(doc, q), (std::vector<std::string>{"0", "1"}));
+}
+
+TEST(XPathEvalTest, DescendantIncludesRoot) {
+  XmlNode doc = MakeFig1Document();
+  EXPECT_EQ(Paths(doc, XPathQuery::Parse("//customers").value()),
+            (std::vector<std::string>{""}));
+}
+
+TEST(XPathEvalTest, AbsoluteChildFromVirtualRoot) {
+  XmlNode doc = MakeFig1Document();
+  EXPECT_EQ(Paths(doc, XPathQuery::Parse("/customers").value()),
+            (std::vector<std::string>{""}));
+  EXPECT_TRUE(Paths(doc, XPathQuery::Parse("/client").value()).empty());
+}
+
+TEST(XPathEvalTest, ChildChain) {
+  XmlNode doc = MakeFig1Document();
+  EXPECT_EQ(Paths(doc, XPathQuery::Parse("/customers/client/name").value()),
+            (std::vector<std::string>{"0/0", "1/0"}));
+}
+
+TEST(XPathEvalTest, MixedAxes) {
+  auto doc = ParseXml(
+      "<r><a><b><c/></b></a><a><x><b><d><c/></d></b></x></a><b><c/></b></r>")
+                 .value();
+  // //a//c: c's under an a at any depth.
+  EXPECT_EQ(Paths(doc, XPathQuery::Parse("//a//c").value()),
+            (std::vector<std::string>{"0/0/0", "1/0/0/0/0"}));
+  // //a/b/c: b must be a's direct child, c b's direct child.
+  EXPECT_EQ(Paths(doc, XPathQuery::Parse("//a/b/c").value()),
+            (std::vector<std::string>{"0/0/0"}));
+  // //b/c: includes the top-level b too.
+  EXPECT_EQ(Paths(doc, XPathQuery::Parse("//b/c").value()),
+            (std::vector<std::string>{"0/0/0", "2/0"}));
+}
+
+TEST(XPathEvalTest, DescendantIsStrictlyBelowContext) {
+  // /a//a: the outer a is the context; only *descendant* a's match.
+  auto doc = ParseXml("<a><a/><b><a/></b></a>").value();
+  EXPECT_EQ(Paths(doc, XPathQuery::Parse("/a//a").value()),
+            (std::vector<std::string>{"0", "1/0"}));
+}
+
+TEST(XPathEvalTest, RepeatedNamesNeedRepeatedStructure) {
+  auto doc = ParseXml("<a><a><a/></a><b/></a>").value();
+  EXPECT_EQ(Paths(doc, XPathQuery::Parse("//a//a//a").value()),
+            (std::vector<std::string>{"0/0"}));
+}
+
+TEST(XPathEvalTest, NoMatchesForUnknownName) {
+  XmlNode doc = MakeFig1Document();
+  EXPECT_TRUE(Names(doc, XPathQuery::Parse("//order").value()).empty());
+  EXPECT_TRUE(Names(doc, XPathQuery::Parse("//client/order").value()).empty());
+}
+
+TEST(XPathEvalTest, DocumentOrderAndNoDuplicates) {
+  // Node with two ancestors matching //a must appear once.
+  auto doc = ParseXml("<a><a><c/></a></a>").value();
+  auto paths = Paths(doc, XPathQuery::Parse("//a//c").value());
+  EXPECT_EQ(paths, (std::vector<std::string>{"0/0"}));
+}
+
+TEST(XPathEvalTest, MedicalScenario) {
+  XmlNode doc = MakeMedicalRecordsDocument(10, 3);
+  size_t rx_count = 0;
+  doc.Preorder([&](const XmlNode& n, const std::vector<int>&) {
+    if (n.name() == "prescription") ++rx_count;
+  });
+  EXPECT_EQ(EvalXPath(doc, XPathQuery::Parse("//prescription").value()).size(),
+            rx_count);
+  EXPECT_EQ(
+      EvalXPath(doc, XPathQuery::Parse("//patient/record/prescription/drug")
+                          .value())
+          .size(),
+      rx_count);
+}
+
+}  // namespace
+}  // namespace polysse

@@ -1,0 +1,170 @@
+// Unit + property tests for ZPoly (BigInt-coefficient polynomials).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "poly/z_poly.h"
+
+namespace polysse {
+namespace {
+
+ZPoly RandomPoly(std::mt19937_64& rng, int max_deg, int64_t coeff_range) {
+  std::vector<BigInt> coeffs(1 + rng() % (max_deg + 1));
+  for (auto& c : coeffs)
+    c = BigInt(static_cast<int64_t>(rng() % (2 * coeff_range)) - coeff_range);
+  return ZPoly(std::move(coeffs));
+}
+
+TEST(ZPolyTest, ZeroProperties) {
+  ZPoly z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.degree(), -1);
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_TRUE(z.Eval(BigInt(3)).is_zero());
+  EXPECT_EQ(z.MaxCoeffBits(), 0u);
+}
+
+TEST(ZPolyTest, XMinusAndFigureLeaf) {
+  // Fig. 2(b): leaf "name" is x - 4 over Z[x]/(x^2+1).
+  ZPoly leaf = ZPoly::XMinus(BigInt(4));
+  EXPECT_EQ(leaf.ToString(), "x - 4");
+  EXPECT_TRUE(leaf.Eval(BigInt(4)).is_zero());
+}
+
+TEST(ZPolyTest, PaperClientNodeReduction) {
+  // (x-2)(x-4) = x^2 - 6x + 8; mod x^2+1 it becomes -6x + 7 (Fig. 2(b)).
+  ZPoly client = ZPoly::XMinus(BigInt(2)) * ZPoly::XMinus(BigInt(4));
+  EXPECT_EQ(client.ToString(), "x^2 - 6x + 8");
+  ZPoly r({1, 0, 1});
+  ZPoly reduced = client.ModMonic(r).value();
+  EXPECT_EQ(reduced.ToString(), "-6x + 7");
+}
+
+TEST(ZPolyTest, PaperRootNodeReduction) {
+  // customers = (x-3) * ((x-2)(x-4))^2 mod x^2+1 = 265x + 45 (Fig. 2(b)).
+  ZPoly client = ZPoly::XMinus(BigInt(2)) * ZPoly::XMinus(BigInt(4));
+  ZPoly root = ZPoly::XMinus(BigInt(3)) * client * client;
+  ZPoly reduced = root.ModMonic(ZPoly({1, 0, 1})).value();
+  EXPECT_EQ(reduced.ToString(), "265x + 45");
+}
+
+TEST(ZPolyTest, ArithmeticIdentities) {
+  std::mt19937_64 rng(10);
+  for (int i = 0; i < 200; ++i) {
+    ZPoly a = RandomPoly(rng, 6, 1000);
+    ZPoly b = RandomPoly(rng, 6, 1000);
+    ZPoly c = RandomPoly(rng, 4, 1000);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + b - b, a);
+    EXPECT_EQ(-(-a), a);
+    // Evaluation homomorphism.
+    BigInt x(17);
+    EXPECT_EQ((a * b).Eval(x), a.Eval(x) * b.Eval(x));
+    EXPECT_EQ((a + b).Eval(x), a.Eval(x) + b.Eval(x));
+  }
+}
+
+TEST(ZPolyTest, EvalModU64MatchesBigEval) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    ZPoly a = RandomPoly(rng, 8, 1000000);
+    uint64_t x = rng() % 50;
+    for (uint64_t m : {2ull, 5ull, 97ull, 1000003ull}) {
+      BigInt expected = a.Eval(BigInt::FromUInt64(x))
+                            .EuclideanMod(BigInt::FromUInt64(m));
+      EXPECT_EQ(a.EvalModU64(x, m),
+                static_cast<uint64_t>(expected.ToInt64().value()));
+    }
+  }
+}
+
+TEST(ZPolyTest, DivRemByMonicIdentity) {
+  std::mt19937_64 rng(12);
+  for (int i = 0; i < 200; ++i) {
+    ZPoly a = RandomPoly(rng, 10, 100000);
+    // Monic divisor of random degree 1..4.
+    std::vector<BigInt> dc(2 + rng() % 4);
+    for (size_t k = 0; k + 1 < dc.size(); ++k)
+      dc[k] = BigInt(static_cast<int64_t>(rng() % 200) - 100);
+    dc.back() = BigInt(1);
+    ZPoly d(std::move(dc));
+    auto [q, r] = a.DivRemByMonic(d).value();
+    EXPECT_EQ(q * d + r, a);
+    EXPECT_LT(r.degree(), d.degree());
+  }
+}
+
+TEST(ZPolyTest, DivRemRejectsNonMonic) {
+  ZPoly a({1, 2, 3});
+  EXPECT_FALSE(a.DivRemByMonic(ZPoly({1, 2})).ok());  // lead 2
+  EXPECT_FALSE(a.DivRemByMonic(ZPoly()).ok());        // zero
+  EXPECT_TRUE(a.DivRemByMonic(ZPoly({5, 1})).ok());   // monic x+5
+}
+
+TEST(ZPolyTest, ModMonicIsProjection) {
+  ZPoly r({1, 0, 1});  // x^2+1
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    ZPoly a = RandomPoly(rng, 9, 100000);
+    ZPoly m1 = a.ModMonic(r).value();
+    ZPoly m2 = m1.ModMonic(r).value();
+    EXPECT_EQ(m1, m2);  // idempotent
+    EXPECT_LT(m1.degree(), r.degree());
+    // a - (a mod r) is divisible by r.
+    auto [q, rem] = (a - m1).DivRemByMonic(r).value();
+    EXPECT_TRUE(rem.IsZero());
+  }
+}
+
+TEST(ZPolyTest, CoefficientsGrowWithProductChain) {
+  // The §5 observation: products of linear factors grow coefficient size.
+  ZPoly r({1, 0, 1});
+  ZPoly acc = ZPoly::One();
+  size_t last_bits = 0;
+  for (int i = 0; i < 40; ++i) {
+    acc = (acc * ZPoly::XMinus(BigInt(3))).ModMonic(r).value();
+    size_t bits = acc.MaxCoeffBits();
+    EXPECT_GE(bits + 4, last_bits);  // monotone-ish growth
+    last_bits = bits;
+  }
+  EXPECT_GT(last_bits, 40u);  // definitely not word-sized any more
+}
+
+TEST(ZPolyTest, SerializeRoundTrip) {
+  std::mt19937_64 rng(14);
+  for (int i = 0; i < 50; ++i) {
+    ZPoly a = RandomPoly(rng, 7, 1000000);
+    ByteWriter w;
+    a.Serialize(&w);
+    ByteReader r(w.span());
+    auto back = ZPoly::Deserialize(&r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, a);
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(a.SerializedSize(), w.size());
+  }
+}
+
+TEST(ZPolyTest, IrreducibilityChecks) {
+  EXPECT_TRUE(IsProbablyIrreducibleOverZ(ZPoly({1, 0, 1})));   // x^2+1
+  EXPECT_TRUE(IsProbablyIrreducibleOverZ(ZPoly({2, 0, 1})));   // x^2+2
+  EXPECT_TRUE(IsProbablyIrreducibleOverZ(ZPoly({1, 1, 1})));   // x^2+x+1
+  EXPECT_TRUE(IsProbablyIrreducibleOverZ(ZPoly({5, 1})));      // linear
+  EXPECT_FALSE(IsProbablyIrreducibleOverZ(ZPoly({0, 0, 1})));  // x^2
+  EXPECT_FALSE(IsProbablyIrreducibleOverZ(
+      ZPoly::XMinus(BigInt(1)) * ZPoly::XMinus(BigInt(2))));   // (x-1)(x-2)
+  EXPECT_FALSE(IsProbablyIrreducibleOverZ(ZPoly({7})));        // constant
+  EXPECT_FALSE(IsProbablyIrreducibleOverZ(ZPoly({1, 2})));     // non-monic
+}
+
+TEST(ZPolyTest, ToStringSignsAndOnes) {
+  EXPECT_EQ(ZPoly({-7, -1}).ToString(), "-x - 7");
+  EXPECT_EQ(ZPoly({0, 1, 1}).ToString(), "x^2 + x");
+  EXPECT_EQ(ZPoly({45, 265}).ToString(), "265x + 45");
+  EXPECT_EQ(ZPoly({7, -6}).ToString(), "-6x + 7");
+}
+
+}  // namespace
+}  // namespace polysse
