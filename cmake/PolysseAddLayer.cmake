@@ -1,0 +1,28 @@
+# polysse_add_layer(<name> SOURCES a.cc b.cc [DEPS util nt ...])
+#
+# Declares the static library polysse_<name> (alias polysse::<name>) for one
+# src/<name>/ layer, wiring in the shared build flags and the src/ include
+# root so headers are spelled "layer/header.h" everywhere. Header-only
+# layers pass no SOURCES and become INTERFACE libraries.
+function(polysse_add_layer name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+
+  set(_target polysse_${name})
+  if(ARG_SOURCES)
+    add_library(${_target} STATIC ${ARG_SOURCES})
+    target_include_directories(${_target}
+      PUBLIC ${CMAKE_SOURCE_DIR}/src)
+    target_link_libraries(${_target} PRIVATE polysse::build_flags)
+    set(_scope PUBLIC)
+  else()
+    add_library(${_target} INTERFACE)
+    target_include_directories(${_target}
+      INTERFACE ${CMAKE_SOURCE_DIR}/src)
+    set(_scope INTERFACE)
+  endif()
+  add_library(polysse::${name} ALIAS ${_target})
+
+  foreach(_dep IN LISTS ARG_DEPS)
+    target_link_libraries(${_target} ${_scope} polysse::${_dep})
+  endforeach()
+endfunction()

@@ -1,0 +1,30 @@
+# Shared compile/link flags for every polysse target, carried by the
+# INTERFACE target polysse::build_flags so per-layer CMakeLists stay flat.
+
+add_library(polysse_build_flags INTERFACE)
+add_library(polysse::build_flags ALIAS polysse_build_flags)
+
+target_compile_features(polysse_build_flags INTERFACE cxx_std_20)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(polysse_build_flags INTERFACE -Wall -Wextra)
+  if(POLYSSE_WERROR)
+    target_compile_options(polysse_build_flags INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(polysse_build_flags INTERFACE /W4)
+  if(POLYSSE_WERROR)
+    target_compile_options(polysse_build_flags INTERFACE /WX)
+  endif()
+endif()
+
+# Sanitizers: -DPOLYSSE_SANITIZE=address;undefined (or "address,undefined").
+# GCC/Clang flag syntax only; MSVC spells these /fsanitize: and is not wired.
+if(POLYSSE_SANITIZE AND CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  string(REPLACE "," ";" _polysse_sans "${POLYSSE_SANITIZE}")
+  foreach(_san IN LISTS _polysse_sans)
+    target_compile_options(polysse_build_flags INTERFACE
+      -fsanitize=${_san} -fno-omit-frame-pointer)
+    target_link_options(polysse_build_flags INTERFACE -fsanitize=${_san})
+  endforeach()
+endif()

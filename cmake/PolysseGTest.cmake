@@ -1,0 +1,42 @@
+# Resolves GoogleTest in preference order:
+#   1. the distro's CMake config package (pinned paths first so a conda or
+#      other toolchain on PATH cannot shadow the system libstdc++ ABI),
+#   2. any GTest config/module find_package can see,
+#   3. the Debian/Ubuntu source tree under /usr/src/googletest,
+#   4. FetchContent from GitHub (needs network; last resort).
+# Exposes GTest::gtest and GTest::gtest_main.
+
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+find_package(GTest CONFIG QUIET
+  PATHS /usr/lib/x86_64-linux-gnu/cmake/GTest
+        /usr/lib64/cmake/GTest
+        /usr/lib/cmake/GTest
+  NO_DEFAULT_PATH)
+
+if(NOT GTest_FOUND)
+  find_package(GTest QUIET)
+endif()
+
+if(NOT GTest_FOUND AND EXISTS /usr/src/googletest/CMakeLists.txt)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest
+    ${CMAKE_BINARY_DIR}/_deps/system-googletest EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+  set(GTest_FOUND TRUE)
+endif()
+
+if(NOT GTest_FOUND)
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()

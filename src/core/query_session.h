@@ -485,7 +485,7 @@ class QuerySession {
       // Wrap-free nodes satisfy f_0 = -t * g_0 with g_0 the plain product of
       // the children's constant terms; wrapped nodes need the full Eq. 2.
       const bool wrap_free =
-          info_[id].subtree_size <= MaxResidueDegree(ring);
+          static_cast<size_t>(info_[id].subtree_size) <= MaxResidueDegree(ring);
       if (wrap_free) {
         ASSIGN_OR_RETURN(const Scalar* f0, FetchCombinedConst(id));
         Scalar f0_copy = *f0;  // later fetches may rehash the cache

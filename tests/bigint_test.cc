@@ -368,7 +368,7 @@ TEST(BigIntTest, RandomizedAlgebraicIdentities) {
       EXPECT_EQ(q * b + r, a);
       EXPECT_LT(r.Abs(), b.Abs());
       // Remainder sign matches dividend (or zero).
-      if (!r.is_zero()) EXPECT_EQ(r.sign(), a.sign());
+      if (!r.is_zero()) { EXPECT_EQ(r.sign(), a.sign()); }
     }
     // Exact division of a known product.
     if (!b.is_zero()) {

@@ -134,9 +134,10 @@ TEST(BloomIndexTest, CandidatesCoverAllTrueMatches) {
                                 r.candidate_paths.end());
     doc.Preorder([&](const XmlNode& n, const std::vector<int>& path) {
       for (const std::string& w : TokenizeWords(n.text())) {
-        if (w == word)
+        if (w == word) {
           EXPECT_TRUE(cands.count(PathToString(path)))
               << word << " @ " << PathToString(path);
+        }
       }
     });
     EXPECT_EQ(r.stats.nodes_tested, doc.SubtreeSize());

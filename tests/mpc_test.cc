@@ -146,7 +146,7 @@ TEST(VotingTest, SumVoteTalliesCorrectly) {
     uint64_t expected = 0;
     for (uint64_t v : votes) expected += v;
     EXPECT_EQ(outcome->tally, expected);
-    if (votes.size() > 1) EXPECT_GT(outcome->messages_sent, 0);
+    if (votes.size() > 1) { EXPECT_GT(outcome->messages_sent, 0); }
   }
 }
 

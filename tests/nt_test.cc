@@ -68,8 +68,8 @@ TEST(ModularTest, ExtGcdBezout) {
     ExtGcdResult e = ExtGcd(a, b);
     EXPECT_GE(e.g, 0);
     EXPECT_EQ(a * e.x + b * e.y, e.g);
-    if (a != 0) EXPECT_EQ(a % e.g, 0);
-    if (b != 0) EXPECT_EQ(b % e.g, 0);
+    if (a != 0) { EXPECT_EQ(a % e.g, 0); }
+    if (b != 0) { EXPECT_EQ(b % e.g, 0); }
   }
 }
 

@@ -1,7 +1,9 @@
 // Parameterized property sweeps over the full query stack: every document
 // shape x ring x verify mode must agree with the plaintext oracle; batched
-// lookups must agree with single lookups and cost less; the secure-document
-// facade must return exactly the matched elements' decrypted text.
+// lookups must agree with single lookups and cost less; the §4.2 share split
+// must round-trip on arbitrary documents; the secure-document facade must
+// return exactly the matched elements' decrypted text. Documents come from
+// the shared tests/testing/ builders so shapes are named and reusable.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -9,6 +11,9 @@
 #include "core/outsource.h"
 #include "core/query_session.h"
 #include "index/secure_document.h"
+#include "testing/query_helpers.h"
+#include "testing/share_roundtrip.h"
+#include "testing/xml_builders.h"
 #include "xml/xml_generator.h"
 #include "xml/xml_parser.h"
 #include "xpath/xpath.h"
@@ -16,12 +21,11 @@
 namespace polysse {
 namespace {
 
-std::vector<std::string> Paths(const std::vector<MatchedNode>& ms) {
-  std::vector<std::string> out;
-  for (const auto& m : ms) out.push_back(m.path);
-  std::sort(out.begin(), out.end());
-  return out;
-}
+using testing::MakeChainDocument;
+using testing::MakeRandomDocument;
+using testing::MakeStarDocument;
+using testing::SortedMatchPaths;
+using testing::XmlTreeBuilder;
 
 std::vector<std::string> OraclePaths(const XmlNode& doc, const std::string& q) {
   std::vector<std::string> out;
@@ -35,13 +39,13 @@ std::vector<std::string> OraclePaths(const XmlNode& doc, const std::string& q) {
 
 struct ShapeCase {
   const char* name;
-  const char* xml;
+  XmlNode (*make)();
 };
 
 class DegenerateShapes : public ::testing::TestWithParam<ShapeCase> {};
 
 TEST_P(DegenerateShapes, AllTagsAllModesMatchOracle) {
-  XmlNode doc = ParseXml(GetParam().xml).value();
+  XmlNode doc = GetParam().make();
   DeterministicPrf seed = DeterministicPrf::FromString(GetParam().name);
   FpDeployment dep = OutsourceFp(doc, seed).value();
   QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
@@ -51,7 +55,7 @@ TEST_P(DegenerateShapes, AllTagsAllModesMatchOracle) {
          {VerifyMode::kVerified, VerifyMode::kTrustedConstOnly}) {
       auto r = session.Lookup(tag, mode);
       ASSERT_TRUE(r.ok()) << tag << ": " << r.status().ToString();
-      EXPECT_EQ(Paths(r->matches), oracle)
+      EXPECT_EQ(SortedMatchPaths(r->matches), oracle)
           << GetParam().name << " //" << tag << " mode "
           << static_cast<int>(mode);
     }
@@ -61,17 +65,63 @@ TEST_P(DegenerateShapes, AllTagsAllModesMatchOracle) {
 INSTANTIATE_TEST_SUITE_P(
     Shapes, DegenerateShapes,
     ::testing::Values(
-        ShapeCase{"single", "<only/>"},
-        ShapeCase{"path", "<a><b><c><d><e><f/></e></d></c></b></a>"},
-        ShapeCase{"star", "<hub><s/><s/><s/><s/><s/><s/><s/><s/></hub>"},
-        ShapeCase{"samename", "<a><a><a/></a><a/></a>"},
+        ShapeCase{"single", [] { return XmlNode("only"); }},
+        ShapeCase{"path", [] { return MakeChainDocument(6, "lvl"); }},
+        ShapeCase{"star", [] { return MakeStarDocument(8, "hub", "s"); }},
+        ShapeCase{"samename",
+                  [] {
+                    XmlTreeBuilder b("a");
+                    b.Open("a").Leaf("a").Close().Leaf("a");
+                    return b.Build();
+                  }},
         ShapeCase{"binary",
-                  "<r><l><l2/><r2/></l><rr><l2/><r2/></rr></r>"},
+                  [] {
+                    XmlTreeBuilder b("r");
+                    b.Open("l").Leaf("l2").Leaf("r2").Close();
+                    b.Open("rr").Leaf("l2").Leaf("r2").Close();
+                    return b.Build();
+                  }},
         ShapeCase{"mixed",
-                  "<x><y><x><y/></x></y><y/><z><x/></z></x>"}),
+                  [] {
+                    XmlTreeBuilder b("x");
+                    b.Open("y").Open("x").Leaf("y").Close().Close();
+                    b.Leaf("y");
+                    b.Open("z").Leaf("x").Close();
+                    return b.Build();
+                  }}),
     [](const ::testing::TestParamInfo<ShapeCase>& info) {
       return info.param.name;
     });
+
+// --------------------------------------- share split on arbitrary docs --
+
+class ShareRoundtripSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShareRoundtripSweep, SplitReconstructsOnRandomDocuments) {
+  // The §4.2 invariant on generator output, in both rings: split shares
+  // recombine to the data tree, the client share is PRF-rederivable, and
+  // Theorems 1/2 still recover every node's tag.
+  XmlNode doc = MakeRandomDocument(/*num_nodes=*/60, /*tag_alphabet=*/9,
+                                   /*seed=*/GetParam());
+  DeterministicPrf prf =
+      DeterministicPrf::FromString("sweep" + std::to_string(GetParam()));
+
+  FpCyclotomicRing fp = FpCyclotomicRing::Create(101).value();
+  TagMap::Options fp_opts;
+  fp_opts.max_value = fp.MaxTagValue();
+  TagMap fp_map = TagMap::Build(doc.DistinctTags(), fp_opts, prf).value();
+  EXPECT_TRUE(testing::ShareRoundtripOk(fp, fp_map, doc, prf));
+
+  ZQuotientRing z = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+  TagMap::Options z_opts;
+  z_opts.max_value = 4096;
+  z_opts.allowed_values = z.SafeTagValues(4096, 4096);
+  TagMap z_map = TagMap::Build(doc.DistinctTags(), z_opts, prf).value();
+  EXPECT_TRUE(testing::ShareRoundtripOk(z, z_map, doc, prf));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShareRoundtripSweep,
+                         ::testing::Values(21, 22, 23));
 
 // ------------------------------------------------------ repeated queries --
 
@@ -83,7 +133,8 @@ TEST(QuerySessionPropertyTest, RepeatedQueriesAreDeterministic) {
   auto first = session.Lookup("record", VerifyMode::kVerified).value();
   for (int i = 0; i < 5; ++i) {
     auto again = session.Lookup("record", VerifyMode::kVerified).value();
-    EXPECT_EQ(Paths(again.matches), Paths(first.matches));
+    EXPECT_EQ(SortedMatchPaths(again.matches),
+              SortedMatchPaths(first.matches));
     EXPECT_EQ(again.stats.nodes_visited, first.stats.nodes_visited);
     EXPECT_EQ(again.stats.transport.bytes_down,
               first.stats.transport.bytes_down);
@@ -95,11 +146,8 @@ TEST(QuerySessionPropertyTest, RepeatedQueriesAreDeterministic) {
 class MultiLookupSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(MultiLookupSweep, AgreesWithSingleLookupsAndCostsLess) {
-  XmlGeneratorOptions gen;
-  gen.num_nodes = 150;
-  gen.tag_alphabet = 8;
-  gen.seed = GetParam();
-  XmlNode doc = GenerateXmlTree(gen);
+  XmlNode doc = MakeRandomDocument(/*num_nodes=*/150, /*tag_alphabet=*/8,
+                                   /*seed=*/GetParam());
   DeterministicPrf seed =
       DeterministicPrf::FromString("multi" + std::to_string(GetParam()));
   FpDeployment dep = OutsourceFp(doc, seed).value();
@@ -114,7 +162,8 @@ TEST_P(MultiLookupSweep, AgreesWithSingleLookupsAndCostsLess) {
   size_t single_bytes_total = 0;
   for (size_t i = 0; i < tags.size(); ++i) {
     auto single = session.Lookup(tags[i], VerifyMode::kVerified).value();
-    EXPECT_EQ(Paths(multi->per_tag[i].matches), Paths(single.matches))
+    EXPECT_EQ(SortedMatchPaths(multi->per_tag[i].matches),
+              SortedMatchPaths(single.matches))
         << tags[i];
     single_bytes_total += single.stats.transport.bytes_down;
   }
@@ -135,7 +184,8 @@ TEST(MultiLookupTest, DuplicateTagsShareWork) {
                    .LookupMany({"client", "client", "name"},
                                VerifyMode::kVerified)
                    .value();
-  EXPECT_EQ(Paths(multi.per_tag[0].matches), Paths(multi.per_tag[1].matches));
+  EXPECT_EQ(SortedMatchPaths(multi.per_tag[0].matches),
+            SortedMatchPaths(multi.per_tag[1].matches));
   EXPECT_EQ(multi.per_tag[2].matches.size(), 2u);
 }
 
@@ -160,11 +210,10 @@ TEST(MultiLookupTest, OptimisticModePartitionsCandidates) {
 // -------------------------------------------- secure document facade ----
 
 TEST(SecureDocumentTest, QueryReturnsDecryptedContentOfMatches) {
-  auto doc = ParseXml(
-      "<inbox>"
-      "<mail><subject>hello</subject><body>first body</body></mail>"
-      "<mail><subject>again</subject><body>second body</body></mail>"
-      "</inbox>").value();
+  XmlTreeBuilder b("inbox");
+  b.Open("mail").Leaf("subject", "hello").Leaf("body", "first body").Close();
+  b.Open("mail").Leaf("subject", "again").Leaf("body", "second body").Close();
+  XmlNode doc = b.Build();
   auto service = SecureDocumentService::Outsource(
       doc, DeterministicPrf::FromString("mailbox"));
   ASSERT_TRUE(service.ok()) << service.status().ToString();
@@ -215,12 +264,8 @@ TEST(SecureDocumentTest, MedicalCorpusContentRoundTrip) {
 class CrossRingSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CrossRingSweep, BothRingsAnswerIdentically) {
-  XmlGeneratorOptions gen;
-  gen.num_nodes = 90;
-  gen.tag_alphabet = 7;
-  gen.max_fanout = 3;
-  gen.seed = GetParam();
-  XmlNode doc = GenerateXmlTree(gen);
+  XmlNode doc = MakeRandomDocument(/*num_nodes=*/90, /*tag_alphabet=*/7,
+                                   /*seed=*/GetParam(), /*max_fanout=*/3);
   DeterministicPrf seed =
       DeterministicPrf::FromString("xr" + std::to_string(GetParam()));
   FpDeployment fp = OutsourceFp(doc, seed).value();
@@ -230,7 +275,7 @@ TEST_P(CrossRingSweep, BothRingsAnswerIdentically) {
   for (const std::string& tag : doc.DistinctTags()) {
     auto fr = fs.Lookup(tag, VerifyMode::kVerified).value();
     auto zr = zs.Lookup(tag, VerifyMode::kVerified).value();
-    EXPECT_EQ(Paths(fr.matches), Paths(zr.matches)) << tag;
+    EXPECT_EQ(SortedMatchPaths(fr.matches), SortedMatchPaths(zr.matches)) << tag;
     // Both rings must also visit the same node set: pruning is a property
     // of the data, not the ring.
     EXPECT_EQ(fr.stats.nodes_visited, zr.stats.nodes_visited) << tag;

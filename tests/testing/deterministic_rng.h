@@ -1,0 +1,70 @@
+// Deterministic randomness for tests. Every random test in the repo draws
+// from a DeterministicRng so failures reproduce bit-for-bit across runs and
+// machines; the fixture seeds itself from the running test's full name so
+// adding or reordering tests never reshuffles another test's stream.
+#ifndef POLYSSE_TESTS_TESTING_DETERMINISTIC_RNG_H_
+#define POLYSSE_TESTS_TESTING_DETERMINISTIC_RNG_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace polysse {
+namespace testing {
+
+/// Seeded 64-bit generator, callable like the `next_u64` functor the ring
+/// `Random()` templates expect.
+class DeterministicRng {
+ public:
+  explicit DeterministicRng(uint64_t seed) : engine_(seed) {}
+
+  uint64_t operator()() { return engine_(); }
+  uint64_t NextU64() { return engine_(); }
+  /// Uniform value in [lo, hi] (inclusive); lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi) {
+    return lo + engine_() % (hi - lo + 1);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Stable FNV-1a hash of a test name (avoids std::hash, which may differ
+/// between standard libraries).
+inline uint64_t SeedFromName(std::string_view name) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Fixture giving each test its own deterministic stream, derived from the
+/// suite + test (+ param) name.
+class DeterministicRngTest : public ::testing::Test {
+ protected:
+  DeterministicRngTest()
+      : rng_(SeedFromName(FullTestName())) {}
+
+  DeterministicRng& rng() { return rng_; }
+
+  static std::string FullTestName() {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    if (info == nullptr) return "<no-test>";
+    return std::string(info->test_suite_name()) + "." + info->name();
+  }
+
+ private:
+  DeterministicRng rng_;
+};
+
+}  // namespace testing
+}  // namespace polysse
+
+#endif  // POLYSSE_TESTS_TESTING_DETERMINISTIC_RNG_H_

@@ -1,0 +1,33 @@
+// Small helpers for comparing query answers against oracles, shared by the
+// property and e2e suites.
+#ifndef POLYSSE_TESTS_TESTING_QUERY_HELPERS_H_
+#define POLYSSE_TESTS_TESTING_QUERY_HELPERS_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/query_session.h"
+
+namespace polysse {
+namespace testing {
+
+/// The match paths of a query answer, sorted for order-insensitive compare.
+inline std::vector<std::string> SortedMatchPaths(
+    const std::vector<MatchedNode>& matches) {
+  std::vector<std::string> out;
+  out.reserve(matches.size());
+  for (const auto& m : matches) out.push_back(m.path);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+inline std::vector<std::string> Sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace testing
+}  // namespace polysse
+
+#endif  // POLYSSE_TESTS_TESTING_QUERY_HELPERS_H_

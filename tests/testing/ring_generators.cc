@@ -1,0 +1,46 @@
+#include "testing/ring_generators.h"
+
+namespace polysse {
+namespace testing {
+
+FpCyclotomicRing::Elem RandomFpElem(const FpCyclotomicRing& ring,
+                                    DeterministicRng& rng) {
+  return ring.Random([&] { return rng(); });
+}
+
+ZQuotientRing::Elem RandomZElem(const ZQuotientRing& ring,
+                                DeterministicRng& rng, size_t coeff_bits) {
+  return ring.Random([&] { return rng(); }, coeff_bits);
+}
+
+FpTagProduct RandomFpTagProduct(const FpCyclotomicRing& ring,
+                                DeterministicRng& rng, int factors) {
+  FpTagProduct out{ring.One(), {}};
+  for (int k = 0; k < factors; ++k) {
+    uint64_t t = rng.UniformInt(1, ring.MaxTagValue());
+    out.poly = ring.Mul(out.poly, ring.XMinus(t).value());
+    out.tags.push_back(t);
+  }
+  return out;
+}
+
+ZTagProduct RandomZTagProduct(const ZQuotientRing& ring, DeterministicRng& rng,
+                              int factors, uint64_t max_tag) {
+  ZTagProduct out{ring.One(), {}};
+  for (int k = 0; k < factors; ++k) {
+    uint64_t t = rng.UniformInt(1, max_tag);
+    out.poly = ring.Mul(out.poly, ring.XMinus(t).value());
+    out.tags.push_back(t);
+  }
+  return out;
+}
+
+BigInt RandomBigInt(DeterministicRng& rng, int limbs, bool signed_value) {
+  std::vector<uint8_t> bytes(static_cast<size_t>(limbs) * 8);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng());
+  const bool negative = signed_value && rng() % 2 == 0;
+  return BigInt::FromLittleEndianBytes(bytes, negative);
+}
+
+}  // namespace testing
+}  // namespace polysse

@@ -1,0 +1,53 @@
+// Random-element generators for the paper's two quotient rings, shared by
+// the property suites. Everything draws from a DeterministicRng so sweeps
+// reproduce exactly.
+#ifndef POLYSSE_TESTS_TESTING_RING_GENERATORS_H_
+#define POLYSSE_TESTS_TESTING_RING_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ring/fp_cyclotomic_ring.h"
+#include "ring/z_quotient_ring.h"
+#include "testing/deterministic_rng.h"
+
+namespace polysse {
+namespace testing {
+
+/// Uniform element of F_p[x]/(x^{p-1}-1).
+FpCyclotomicRing::Elem RandomFpElem(const FpCyclotomicRing& ring,
+                                    DeterministicRng& rng);
+
+/// Bounded-coefficient element of Z[x]/(r), `coeff_bits` bits per coefficient.
+ZQuotientRing::Elem RandomZElem(const ZQuotientRing& ring,
+                                DeterministicRng& rng,
+                                size_t coeff_bits = 96);
+
+/// A product of in-range linear tag factors together with the tags used —
+/// the shape every node polynomial of the scheme has, and the input
+/// SolveTag/RecoverTagValue is defined on.
+struct FpTagProduct {
+  FpCyclotomicRing::Elem poly;
+  std::vector<uint64_t> tags;
+};
+/// Product of `factors` random factors (x - t), t uniform in {1..p-2}
+/// (Lemma 3's zero-divisor-free range).
+FpTagProduct RandomFpTagProduct(const FpCyclotomicRing& ring,
+                                DeterministicRng& rng, int factors);
+
+struct ZTagProduct {
+  ZQuotientRing::Elem poly;
+  std::vector<uint64_t> tags;
+};
+/// Product of `factors` random factors (x - t), t uniform in [1, max_tag].
+ZTagProduct RandomZTagProduct(const ZQuotientRing& ring, DeterministicRng& rng,
+                              int factors, uint64_t max_tag = 50);
+
+/// Uniform BigInt of exactly `limbs` 64-bit limbs (random sign when
+/// `signed_value`).
+BigInt RandomBigInt(DeterministicRng& rng, int limbs, bool signed_value = true);
+
+}  // namespace testing
+}  // namespace polysse
+
+#endif  // POLYSSE_TESTS_TESTING_RING_GENERATORS_H_

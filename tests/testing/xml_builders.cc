@@ -1,0 +1,59 @@
+#include "testing/xml_builders.h"
+
+#include "util/check.h"
+#include "xml/xml_generator.h"
+
+namespace polysse {
+namespace testing {
+
+XmlNode MakeChainDocument(size_t depth, const std::string& tag_prefix) {
+  POLYSSE_CHECK(depth >= 1);
+  XmlNode root(tag_prefix + "0");
+  XmlNode* cur = &root;
+  for (size_t d = 1; d < depth; ++d) {
+    cur = &cur->AddChild(tag_prefix + std::to_string(d));
+  }
+  return root;
+}
+
+XmlNode MakeStarDocument(size_t fanout, const std::string& hub_tag,
+                         const std::string& leaf_tag) {
+  XmlNode root(hub_tag);
+  for (size_t i = 0; i < fanout; ++i) root.AddChild(leaf_tag);
+  return root;
+}
+
+XmlNode MakeRandomDocument(size_t num_nodes, size_t tag_alphabet,
+                           uint64_t seed, size_t max_fanout) {
+  XmlGeneratorOptions options;
+  options.num_nodes = num_nodes;
+  options.tag_alphabet = tag_alphabet;
+  options.max_fanout = static_cast<int>(max_fanout);
+  options.seed = seed;
+  return GenerateXmlTree(options);
+}
+
+XmlTreeBuilder::XmlTreeBuilder(std::string root_tag)
+    : root_(std::move(root_tag)) {
+  stack_.push_back(&root_);
+}
+
+XmlTreeBuilder& XmlTreeBuilder::Open(std::string tag) {
+  stack_.push_back(&Top()->AddChild(std::move(tag)));
+  return *this;
+}
+
+XmlTreeBuilder& XmlTreeBuilder::Leaf(std::string tag, std::string text) {
+  XmlNode& leaf = Top()->AddChild(std::move(tag));
+  if (!text.empty()) leaf.set_text(std::move(text));
+  return *this;
+}
+
+XmlTreeBuilder& XmlTreeBuilder::Close() {
+  POLYSSE_CHECK(stack_.size() > 1);
+  stack_.pop_back();
+  return *this;
+}
+
+}  // namespace testing
+}  // namespace polysse

@@ -1,0 +1,56 @@
+// Compact XML document builders for tests: degenerate shapes (chain, star,
+// uniform random) plus a fluent nesting builder, so suites stop hand-rolling
+// XML strings for structural cases.
+#ifndef POLYSSE_TESTS_TESTING_XML_BUILDERS_H_
+#define POLYSSE_TESTS_TESTING_XML_BUILDERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/xml_node.h"
+
+namespace polysse {
+namespace testing {
+
+/// A root-to-leaf chain of `depth` nodes tagged tag0/tag1/... (depth >= 1).
+XmlNode MakeChainDocument(size_t depth, const std::string& tag_prefix = "tag");
+
+/// A root with `fanout` identical leaf children.
+XmlNode MakeStarDocument(size_t fanout, const std::string& hub_tag = "hub",
+                         const std::string& leaf_tag = "leaf");
+
+/// Deterministic random tree via the library generator: `num_nodes` nodes
+/// over a `tag_alphabet`-sized alphabet.
+XmlNode MakeRandomDocument(size_t num_nodes, size_t tag_alphabet,
+                           uint64_t seed, size_t max_fanout = 4);
+
+/// Fluent nested builder:
+///   XmlTreeBuilder b("inbox");
+///   b.Open("mail").Leaf("subject", "hello").Leaf("body", "hi").Close();
+///   XmlNode doc = b.Build();
+class XmlTreeBuilder {
+ public:
+  explicit XmlTreeBuilder(std::string root_tag);
+
+  /// Opens a nested element; subsequent nodes attach under it until Close().
+  XmlTreeBuilder& Open(std::string tag);
+  /// Adds a childless element, optionally with text content.
+  XmlTreeBuilder& Leaf(std::string tag, std::string text = "");
+  /// Closes the innermost open element. CHECK-fails at the root.
+  XmlTreeBuilder& Close();
+
+  /// Returns the finished document (all elements implicitly closed).
+  XmlNode Build() const { return root_; }
+
+ private:
+  XmlNode* Top() { return stack_.back(); }
+
+  XmlNode root_;
+  std::vector<XmlNode*> stack_;  // open-element path; stack_[0] == &root_
+};
+
+}  // namespace testing
+}  // namespace polysse
+
+#endif  // POLYSSE_TESTS_TESTING_XML_BUILDERS_H_
