@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark run against a recorded baseline.
+
+Usage:
+  compare_baselines.py BASELINE.json CURRENT.json [--report-only]
+                       [--threshold-pct 25]
+
+BASELINE.json is a file from bench/baselines/ (schema below). CURRENT.json
+is either another baseline-schema file or a raw google-benchmark
+--benchmark_format=json dump (auto-detected via its "benchmarks" key).
+
+Baseline schema:
+  {
+    "bench": "ring_ops",
+    "recorded": "2026-07-28",
+    "host": {...informational...},
+    "entries": { "<benchmark name>": <real_time in ns> }
+  }
+
+A benchmark regresses when current/baseline exceeds 1 + threshold/100
+(default 25%, matching the noise floor documented in BENCH.md). Entries
+present on only one side are reported but never fail the run (benchmarks
+come and go; the gate is for the ones we can compare). Exit status is 1
+when any comparable entry regresses, unless --report-only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        data = json.load(f)
+    if "benchmarks" in data:  # raw google-benchmark output
+        entries = {}
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+            entries[b["name"]] = b["real_time"] * scale
+        return entries
+    return dict(data["entries"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--report-only", action="store_true",
+                    help="always exit 0; print the comparison only")
+    ap.add_argument("--threshold-pct", type=float, default=25.0,
+                    help="regression threshold in percent (default 25)")
+    args = ap.parse_args()
+
+    base = load_entries(args.baseline)
+    cur = load_entries(args.current)
+    limit = 1.0 + args.threshold_pct / 100.0
+
+    regressions = []
+    width = max((len(n) for n in base), default=20)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(base):
+        if name not in cur:
+            print(f"{name:<{width}}  {base[name]:>12.0f}  {'MISSING':>12}  -")
+            continue
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if ratio > limit:
+            flag = f"  REGRESSION (> +{args.threshold_pct:.0f}%)"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 / limit:
+            flag = "  improved"
+        print(f"{name:<{width}}  {base[name]:>12.0f}  {cur[name]:>12.0f}  "
+              f"{ratio:5.2f}{flag}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<{width}}  {'NEW':>12}  {cur[name]:>12.0f}  -")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"+{args.threshold_pct:.0f}%:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        if not args.report_only:
+            return 1
+        print("(report-only mode: not failing)", file=sys.stderr)
+    else:
+        print("\nno regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

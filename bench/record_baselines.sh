@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Records the in-repo perf baselines under bench/baselines/: ring_ops and
+# query_scaling from their google-benchmark JSON output, fig2_reduction as
+# median wall time of three runs. Run from the repo root on an otherwise
+# idle machine; see BENCH.md for the methodology and when to re-record.
+#
+# Usage: bench/record_baselines.sh [BUILD_DIR]   (default: build-release)
+set -euo pipefail
+
+BUILD_DIR="${1:-build-release}"
+OUT_DIR="$(dirname "$0")/baselines"
+MIN_TIME="${POLYSSE_BENCH_MIN_TIME:-0.1}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake --preset release
+fi
+cmake --build "$BUILD_DIR" --target bench -j"$(nproc)"
+mkdir -p "$OUT_DIR"
+
+record_gbench() {  # $1 = binary stem
+  local stem="$1"
+  local raw="/tmp/polysse_${stem}_baseline.json"
+  echo "=== recording ${stem} (min_time=${MIN_TIME}s per benchmark) ==="
+  "${BUILD_DIR}/bench/${stem}" --benchmark_min_time="${MIN_TIME}" \
+    --benchmark_format=json >"$raw"
+  python3 - "$stem" "$raw" "${OUT_DIR}/${stem}.json" <<'EOF'
+import datetime, json, os, platform, sys
+stem, raw_path, out_path = sys.argv[1:4]
+raw = json.load(open(raw_path))
+scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+entries = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    entries[b["name"]] = round(b["real_time"] * scale[b["time_unit"]], 1)
+doc = {
+    "bench": stem,
+    "recorded": datetime.date.today().isoformat(),
+    "host": {"machine": platform.machine(), "system": platform.system(),
+             "cpus": os.cpu_count()},
+    "entries": entries,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(entries)} entries)")
+EOF
+}
+
+record_wall() {  # $1 = binary stem, timed end-to-end, median of 3
+  local stem="$1"
+  echo "=== recording ${stem} (median wall time of 3 runs) ==="
+  python3 - "$stem" "${BUILD_DIR}/bench/${stem}" "${OUT_DIR}/${stem}.json" <<'EOF'
+import datetime, json, os, platform, subprocess, sys, time
+stem, binary, out_path = sys.argv[1:4]
+runs = []
+for _ in range(3):
+    t0 = time.monotonic()
+    subprocess.run([binary], check=True, stdout=subprocess.DEVNULL)
+    runs.append(round((time.monotonic() - t0) * 1e6, 1))  # us
+runs.sort()
+doc = {
+    "bench": stem,
+    "recorded": datetime.date.today().isoformat(),
+    "host": {"machine": platform.machine(), "system": platform.system(),
+             "cpus": os.cpu_count()},
+    "entries": {f"{stem}_wall_us": runs[len(runs) // 2]},
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} (median of {runs})")
+EOF
+}
+
+record_gbench ring_ops
+record_gbench query_scaling
+record_wall fig2_reduction
+
+echo "baselines recorded under ${OUT_DIR}/"

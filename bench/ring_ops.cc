@@ -6,11 +6,119 @@
 #include "bigint/bigint.h"
 #include "core/sharing.h"
 #include "crypto/prf.h"
+#include "nt/modular.h"
+#include "poly/fp_conv.h"
 #include "ring/fp_cyclotomic_ring.h"
 #include "ring/z_quotient_ring.h"
 
 namespace polysse {
 namespace {
+
+// ------------------------------------------- word-level modular kernels --
+//
+// Dependent chains (each product feeds the next) so the benchmark measures
+// the latency that Horner evaluation and convolution inner loops actually
+// pay, not pipelined throughput. The Montgomery/plain pair is the ">= 2x on
+// modular-multiplication-bound cases" acceptance gate of the fast-path PR.
+
+void BM_MulModPlainChain(benchmark::State& state) {
+  const uint64_t m = (1ull << 61) - 1;
+  uint64_t x = 1234567890123456789ull % m;
+  const uint64_t c = 987654321098765432ull % m;
+  for (auto _ : state) {
+    x = MulMod(x, c, m);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_MulModPlainChain);
+
+void BM_MulModMontgomeryChain(benchmark::State& state) {
+  const uint64_t m = (1ull << 61) - 1;
+  const Montgomery mont(m);
+  uint64_t x = mont.ToMont(1234567890123456789ull % m);
+  const uint64_t c = mont.ToMont(987654321098765432ull % m);
+  for (auto _ : state) {
+    x = mont.Mul(x, c);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_MulModMontgomeryChain);
+
+// ------------------------------------------------ convolution kernels --
+//
+// Reference (plain schoolbook) vs. fast (Montgomery schoolbook + Karatsuba)
+// on identical coefficient vectors; the crossover documented in BENCH.md
+// comes from this pair.
+
+FpPoly RandomDensePoly(const PrimeField& field, size_t n, const char* seed) {
+  ChaChaRng rng = ChaChaRng::FromString(seed);
+  std::vector<uint64_t> coeffs(n);
+  for (size_t i = 0; i < n; ++i) coeffs[i] = field.Uniform(rng);
+  return FpPoly::FromCanonical(field, std::move(coeffs));
+}
+
+void BM_FpPolyMulReference(benchmark::State& state) {
+  const PrimeField field = PrimeField::Create((1ull << 61) - 1).value();
+  const size_t n = static_cast<size_t>(state.range(0));
+  FpPoly a = RandomDensePoly(field, n, "conv-a");
+  FpPoly b = RandomDensePoly(field, n, "conv-b");
+  FpMulPath prev = SetFpMulPath(FpMulPath::kReference);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  SetFpMulPath(prev);
+  state.SetLabel("plain schoolbook");
+}
+BENCHMARK(BM_FpPolyMulReference)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FpPolyMulFast(benchmark::State& state) {
+  const PrimeField field = PrimeField::Create((1ull << 61) - 1).value();
+  const size_t n = static_cast<size_t>(state.range(0));
+  FpPoly a = RandomDensePoly(field, n, "conv-a");
+  FpPoly b = RandomDensePoly(field, n, "conv-b");
+  FpMulPath prev = SetFpMulPath(FpMulPath::kFast);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  SetFpMulPath(prev);
+  state.SetLabel("Montgomery + Karatsuba");
+}
+BENCHMARK(BM_FpPolyMulFast)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+ZPoly RandomZPolyLimbs(size_t n, int limbs, const char* seed) {
+  ChaChaRng rng = ChaChaRng::FromString(seed);
+  std::vector<BigInt> coeffs(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint8_t> bytes(static_cast<size_t>(limbs) * 8);
+    rng.Fill(bytes);
+    coeffs[i] = BigInt::FromLittleEndianBytes(bytes);
+  }
+  return ZPoly(std::move(coeffs));
+}
+
+void BM_ZPolyMulReference(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ZPoly a = RandomZPolyLimbs(n, 4, "zconv-a");
+  ZPoly b = RandomZPolyLimbs(n, 4, "zconv-b");
+  ZMulPath prev = SetZMulPath(ZMulPath::kReference);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  SetZMulPath(prev);
+}
+BENCHMARK(BM_ZPolyMulReference)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ZPolyMulFast(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ZPoly a = RandomZPolyLimbs(n, 4, "zconv-a");
+  ZPoly b = RandomZPolyLimbs(n, 4, "zconv-b");
+  ZMulPath prev = SetZMulPath(ZMulPath::kFast);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  SetZMulPath(prev);
+}
+BENCHMARK(BM_ZPolyMulFast)->Arg(16)->Arg(64)->Arg(256);
 
 // ----------------------------------------------------------- F_p ring --
 

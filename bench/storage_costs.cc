@@ -93,8 +93,13 @@ int main() {
   for (size_t n : {16u, 64u, 256u, 1024u}) {
     XmlNode path_doc("t0");
     XmlNode* cur = &path_doc;
-    for (size_t i = 1; i < n; ++i)
-      cur = &cur->AddChild("t" + std::to_string(i % 8));
+    for (size_t i = 1; i < n; ++i) {
+      // Built with += rather than "t" + to_string(...): the operator+
+      // rvalue-insert path trips a GCC 12 -Wrestrict false positive at -O3.
+      std::string tag = "t";
+      tag += std::to_string(i % 8);
+      cur = &cur->AddChild(tag);
+    }
     ZOutsourceOptions zopt;
     zopt.coeff_bits = 64;  // small share floor so data growth dominates
     auto dep = OutsourceZ(path_doc, seed, zopt);

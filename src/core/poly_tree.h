@@ -6,6 +6,7 @@
 #define POLYSSE_CORE_POLY_TREE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/tag_map.h"
@@ -106,9 +107,19 @@ template <typename Ring>
 Result<uint64_t> RecoverTagValue(
     const Ring& ring, const typename Ring::Elem& node_poly,
     const std::vector<typename Ring::Elem>& child_polys) {
-  typename Ring::Elem g = ring.One();
-  for (const auto& c : child_polys) g = ring.Mul(g, c);
-  return ring.SolveTag(node_poly, g);
+  if (child_polys.empty()) return ring.SolveTag(node_poly, ring.One());
+  // Balanced product tree: pairing halves the factor count per round, which
+  // keeps Z-ring intermediate coefficients small and hands the Karatsuba
+  // kernel comparable-size operands instead of one ever-growing accumulator.
+  std::vector<typename Ring::Elem> layer = child_polys;
+  while (layer.size() > 1) {
+    size_t out = 0;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2)
+      layer[out++] = ring.Mul(layer[i], layer[i + 1]);
+    if (layer.size() % 2 != 0) layer[out++] = std::move(layer.back());
+    layer.erase(layer.begin() + static_cast<ptrdiff_t>(out), layer.end());
+  }
+  return ring.SolveTag(node_poly, layer.front());
 }
 
 /// Convenience overload resolving children from the tree layout.

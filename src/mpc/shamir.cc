@@ -28,12 +28,10 @@ std::vector<ShamirShare> ShamirScheme::Share(uint64_t secret,
 
   std::vector<ShamirShare> shares(num_parties_);
   for (int party = 1; party <= num_parties_; ++party) {
+    // Montgomery Horner: one conversion of x per party, a REDC multiply per
+    // coefficient instead of a hardware division.
     uint64_t x = static_cast<uint64_t>(party);
-    uint64_t acc = 0;
-    for (int i = threshold_ - 1; i >= 0; --i) {
-      acc = field_.Add(field_.Mul(acc, x), coeffs[i]);
-    }
-    shares[party - 1] = {x, acc};
+    shares[party - 1] = {x, field_.HornerEval(coeffs, x)};
   }
   return shares;
 }

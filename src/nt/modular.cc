@@ -10,20 +10,31 @@ uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
 }
 
 uint64_t AddMod(uint64_t a, uint64_t b, uint64_t m) {
-  POLYSSE_DCHECK(a < m && b < m);
+  POLYSSE_DCHECK(m != 0);
+  if (a >= m) a %= m;
+  if (b >= m) b %= m;
   uint64_t s = a + b;
-  if (s < a || s >= m) s -= m;
+  // The reduced sum wraps 2^64 at most once, and only when m > 2^63; the
+  // mod-2^64 subtraction of m then lands on the canonical value. Kept as a
+  // separate early return so the common no-wrap path below stays a
+  // branchless compare/subtract (PrimeField::Add relies on that shape for
+  // the convolution inner loops).
+  if (s < a) return s - m;
+  if (s >= m) s -= m;
   return s;
 }
 
 uint64_t SubMod(uint64_t a, uint64_t b, uint64_t m) {
-  POLYSSE_DCHECK(a < m && b < m);
+  POLYSSE_DCHECK(m != 0);
+  if (a >= m) a %= m;
+  if (b >= m) b %= m;
   return a >= b ? a - b : a + (m - b);
 }
 
 uint64_t PowMod(uint64_t a, uint64_t e, uint64_t m) {
   POLYSSE_DCHECK(m != 0);
   if (m == 1) return 0;
+  if (Montgomery::Valid(m) && e >= 4) return Montgomery(m).Pow(a, e);
   uint64_t base = a % m;
   uint64_t acc = 1;
   while (e > 0) {
@@ -32,6 +43,28 @@ uint64_t PowMod(uint64_t a, uint64_t e, uint64_t m) {
     if (e) base = MulMod(base, base, m);
   }
   return acc;
+}
+
+Montgomery::Montgomery(uint64_t m) : m_(m) {
+  POLYSSE_CHECK(Valid(m));
+  // Newton-Hensel: each step doubles the bits of m^{-1} mod 2^k.
+  uint64_t inv = m;  // correct mod 2^3 for odd m
+  for (int i = 0; i < 5; ++i) inv *= 2 - m * inv;
+  neg_inv_ = ~inv + 1;  // -m^{-1} mod 2^64
+  // 2^64 mod m; odd m cannot divide 2^64, so the +1 never wraps to m.
+  const uint64_t r = (~uint64_t{0} % m) + 1;
+  r2_ = MulMod(r, r, m);
+}
+
+uint64_t Montgomery::Pow(uint64_t base, uint64_t e) const {
+  uint64_t b = ToMont(base);
+  uint64_t acc = ToMont(1);
+  while (e > 0) {
+    if (e & 1) acc = Mul(acc, b);
+    e >>= 1;
+    if (e) b = Mul(b, b);
+  }
+  return FromMont(acc);
 }
 
 ExtGcdResult ExtGcd(int64_t a, int64_t b) {

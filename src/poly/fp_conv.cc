@@ -1,0 +1,95 @@
+#include "poly/fp_conv.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "poly/karatsuba.h"
+#include "util/check.h"
+
+namespace polysse {
+namespace {
+
+// Crossover between Montgomery schoolbook and Karatsuba, in coefficients of
+// the shorter operand. Tuned on the ring_ops microbench (see BENCH.md).
+constexpr size_t kDefaultKaratsubaThreshold = 24;
+
+FpMulPath g_mul_path = FpMulPath::kFast;
+size_t g_karatsuba_threshold = kDefaultKaratsubaThreshold;
+
+/// Schoolbook with the shorter operand converted to Montgomery form once:
+/// REDC(mont(a_i) * b_j) = a_i * b_j, so every inner product costs two word
+/// multiplications instead of a 128/64 division, and the accumulator and
+/// result never leave the plain domain.
+std::vector<uint64_t> SchoolbookMont(const PrimeField& field,
+                                     std::span<const uint64_t> a,
+                                     std::span<const uint64_t> b) {
+  const Montgomery* mont = field.mont();
+  // p = 2: no Montgomery form for an even modulus; the plain reference
+  // kernel is the fallback.
+  if (mont == nullptr) return ConvolveSchoolbook(field, a, b);
+  std::vector<uint64_t> out(a.size() + b.size() - 1, 0);
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<uint64_t> am(a.size());
+  for (size_t i = 0; i < a.size(); ++i) am[i] = mont->ToMont(a[i]);
+  for (size_t i = 0; i < a.size(); ++i) {
+    const uint64_t ai = am[i];
+    if (ai == 0) continue;
+    for (size_t j = 0; j < b.size(); ++j)
+      out[i + j] = field.Add(out[i + j], mont->Mul(ai, b[j]));
+  }
+  return out;
+}
+
+/// Adapter feeding the shared Karatsuba skeleton (poly/karatsuba.h) the F_p
+/// ring ops and the Montgomery schoolbook base case.
+struct FpKaratsubaOps {
+  const PrimeField& field;
+
+  std::vector<uint64_t> Schoolbook(std::span<const uint64_t> a,
+                                   std::span<const uint64_t> b) const {
+    return SchoolbookMont(field, a, b);
+  }
+  uint64_t Add(const uint64_t& x, const uint64_t& y) const {
+    return field.Add(x, y);
+  }
+  uint64_t Sub(const uint64_t& x, const uint64_t& y) const {
+    return field.Sub(x, y);
+  }
+};
+
+}  // namespace
+
+FpMulPath SetFpMulPath(FpMulPath path) {
+  return std::exchange(g_mul_path, path);
+}
+
+FpMulPath GetFpMulPath() { return g_mul_path; }
+
+size_t SetFpKaratsubaThreshold(size_t threshold) {
+  return std::exchange(g_karatsuba_threshold,
+                       threshold == 0 ? kDefaultKaratsubaThreshold : threshold);
+}
+
+size_t GetFpKaratsubaThreshold() { return g_karatsuba_threshold; }
+
+std::vector<uint64_t> ConvolveSchoolbook(const PrimeField& field,
+                                         std::span<const uint64_t> a,
+                                         std::span<const uint64_t> b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint64_t> out(a.size() + b.size() - 1, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (size_t j = 0; j < b.size(); ++j)
+      out[i + j] = field.Add(out[i + j], field.Mul(a[i], b[j]));
+  }
+  return out;
+}
+
+std::vector<uint64_t> ConvolveFast(const PrimeField& field,
+                                   std::span<const uint64_t> a,
+                                   std::span<const uint64_t> b) {
+  if (a.empty() || b.empty()) return {};
+  return KaratsubaMul(FpKaratsubaOps{field}, a, b, g_karatsuba_threshold);
+}
+
+}  // namespace polysse

@@ -1,0 +1,50 @@
+// Coefficient-vector convolution kernels over F_p: the quadratic reference
+// and the fast path (Montgomery-converted schoolbook below a tuned
+// threshold, Karatsuba above it). FpPoly::operator* dispatches here; the
+// reference path and the knobs stay exported so the differential suite and
+// the bench harness can pit the two implementations against each other on
+// identical inputs.
+#ifndef POLYSSE_POLY_FP_CONV_H_
+#define POLYSSE_POLY_FP_CONV_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "field/prime_field.h"
+
+namespace polysse {
+
+/// Which implementation FpPoly::operator* uses. kFast is the default;
+/// kReference forces the plain quadratic kernel so golden vectors can be
+/// asserted against both. Global, test-only, not thread-safe.
+enum class FpMulPath { kFast, kReference };
+
+/// Sets the multiplication path; returns the previous one.
+FpMulPath SetFpMulPath(FpMulPath path);
+FpMulPath GetFpMulPath();
+
+/// Karatsuba crossover in coefficient count: operand pairs whose shorter
+/// side is at or below the threshold multiply by Montgomery schoolbook.
+/// Returns the previous value; passing 0 restores the tuned default
+/// (values >= 1 are used as-is). Test/bench-only knob, not thread-safe.
+size_t SetFpKaratsubaThreshold(size_t threshold);
+size_t GetFpKaratsubaThreshold();
+
+/// Reference quadratic convolution in the plain domain (one hardware
+/// division per inner product). Returns the a.size()+b.size()-1 raw product
+/// coefficients, not normalized; empty when either input is empty.
+std::vector<uint64_t> ConvolveSchoolbook(const PrimeField& field,
+                                         std::span<const uint64_t> a,
+                                         std::span<const uint64_t> b);
+
+/// Fast convolution: Karatsuba above the threshold, schoolbook with a
+/// one-time Montgomery conversion of the shorter operand below it. Same
+/// contract as ConvolveSchoolbook.
+std::vector<uint64_t> ConvolveFast(const PrimeField& field,
+                                   std::span<const uint64_t> a,
+                                   std::span<const uint64_t> b);
+
+}  // namespace polysse
+
+#endif  // POLYSSE_POLY_FP_CONV_H_

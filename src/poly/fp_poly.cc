@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "poly/fp_conv.h"
 #include "util/check.h"
 
 namespace polysse {
@@ -12,6 +13,14 @@ FpPoly::FpPoly(const PrimeField& field, std::vector<int64_t> coeffs)
   coeffs_.reserve(coeffs.size());
   for (int64_t c : coeffs) coeffs_.push_back(field_.FromInt64(c));
   Normalize();
+}
+
+FpPoly FpPoly::FromCanonical(const PrimeField& field,
+                             std::vector<uint64_t> coeffs) {
+#ifndef NDEBUG
+  for (uint64_t c : coeffs) POLYSSE_DCHECK(field.IsCanonical(c));
+#endif
+  return FpPoly(field, std::move(coeffs));
 }
 
 FpPoly FpPoly::Constant(const PrimeField& field, uint64_t c) {
@@ -48,13 +57,10 @@ FpPoly FpPoly::operator-(const FpPoly& rhs) const {
 FpPoly FpPoly::operator*(const FpPoly& rhs) const {
   POLYSSE_DCHECK(field_ == rhs.field_);
   if (IsZero() || rhs.IsZero()) return Zero(field_);
-  std::vector<uint64_t> out(coeffs_.size() + rhs.coeffs_.size() - 1, 0);
-  for (size_t i = 0; i < coeffs_.size(); ++i) {
-    if (coeffs_[i] == 0) continue;
-    for (size_t j = 0; j < rhs.coeffs_.size(); ++j) {
-      out[i + j] = field_.Add(out[i + j], field_.Mul(coeffs_[i], rhs.coeffs_[j]));
-    }
-  }
+  std::vector<uint64_t> out =
+      GetFpMulPath() == FpMulPath::kFast
+          ? ConvolveFast(field_, coeffs_, rhs.coeffs_)
+          : ConvolveSchoolbook(field_, coeffs_, rhs.coeffs_);
   return FpPoly(field_, std::move(out));
 }
 
@@ -83,12 +89,7 @@ bool FpPoly::operator==(const FpPoly& rhs) const {
 }
 
 uint64_t FpPoly::Eval(uint64_t x) const {
-  x = field_.FromUInt64(x);
-  uint64_t acc = 0;
-  for (size_t i = coeffs_.size(); i-- > 0;) {
-    acc = field_.Add(field_.Mul(acc, x), coeffs_[i]);
-  }
-  return acc;
+  return field_.HornerEval(coeffs_, x);
 }
 
 Result<std::pair<FpPoly, FpPoly>> FpPoly::DivRem(const FpPoly& divisor) const {

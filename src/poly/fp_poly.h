@@ -15,7 +15,8 @@
 
 namespace polysse {
 
-/// Polynomial over F_p; carries its field (a single word) by value.
+/// Polynomial over F_p; carries its field (the modulus word plus its
+/// precomputed Montgomery context, ~5 words) by value.
 class FpPoly {
  public:
   /// The zero polynomial.
@@ -27,6 +28,10 @@ class FpPoly {
 
   static FpPoly Zero(const PrimeField& field) { return FpPoly(field); }
   static FpPoly One(const PrimeField& field) { return Constant(field, 1); }
+  /// From already-canonical coefficients (each < p, low-to-high); the ring
+  /// fast paths use this to skip the signed-reduction round trip.
+  static FpPoly FromCanonical(const PrimeField& field,
+                              std::vector<uint64_t> coeffs);
   static FpPoly Constant(const PrimeField& field, uint64_t c);
   /// c * x^d.
   static FpPoly Monomial(const PrimeField& field, uint64_t c, size_t d);

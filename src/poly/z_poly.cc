@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <ostream>
+#include <utility>
 
 #include "nt/primes.h"
 #include "poly/fp_poly.h"
+#include "poly/karatsuba.h"
 #include "util/check.h"
 
 namespace polysse {
@@ -46,16 +48,66 @@ ZPoly ZPoly::operator-(const ZPoly& rhs) const {
   return ZPoly(std::move(out));
 }
 
-ZPoly ZPoly::operator*(const ZPoly& rhs) const {
-  if (IsZero() || rhs.IsZero()) return Zero();
-  std::vector<BigInt> out(coeffs_.size() + rhs.coeffs_.size() - 1);
-  for (size_t i = 0; i < coeffs_.size(); ++i) {
-    if (coeffs_[i].is_zero()) continue;
-    for (size_t j = 0; j < rhs.coeffs_.size(); ++j) {
-      out[i + j] += coeffs_[i] * rhs.coeffs_[j];
+namespace {
+
+// Crossover between schoolbook and Karatsuba for BigInt coefficients.
+// Karatsuba trades one coefficient multiplication for a handful of
+// additions, which only pays once coefficients outgrow a few limbs; the
+// default is tuned on the ring_ops microbench (see BENCH.md).
+constexpr size_t kDefaultZKaratsubaThreshold = 16;
+
+ZMulPath g_z_mul_path = ZMulPath::kFast;
+size_t g_z_karatsuba_threshold = kDefaultZKaratsubaThreshold;
+
+std::vector<BigInt> ZConvSchoolbook(std::span<const BigInt> a,
+                                    std::span<const BigInt> b) {
+  std::vector<BigInt> out(a.size() + b.size() - 1);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_zero()) continue;
+    for (size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
     }
   }
-  return ZPoly(std::move(out));
+  return out;
+}
+
+/// Adapter feeding the shared Karatsuba skeleton (poly/karatsuba.h) plain
+/// BigInt ring ops with the quadratic kernel as base case.
+struct ZKaratsubaOps {
+  std::vector<BigInt> Schoolbook(std::span<const BigInt> a,
+                                 std::span<const BigInt> b) const {
+    return ZConvSchoolbook(a, b);
+  }
+  BigInt Add(const BigInt& x, const BigInt& y) const { return x + y; }
+  BigInt Sub(const BigInt& x, const BigInt& y) const { return x - y; }
+};
+
+}  // namespace
+
+ZMulPath SetZMulPath(ZMulPath path) { return std::exchange(g_z_mul_path, path); }
+
+ZMulPath GetZMulPath() { return g_z_mul_path; }
+
+size_t SetZKaratsubaThreshold(size_t threshold) {
+  return std::exchange(g_z_karatsuba_threshold,
+                       threshold == 0 ? kDefaultZKaratsubaThreshold : threshold);
+}
+
+size_t GetZKaratsubaThreshold() { return g_z_karatsuba_threshold; }
+
+ZPoly MulSchoolbook(const ZPoly& a, const ZPoly& b) {
+  if (a.IsZero() || b.IsZero()) return ZPoly::Zero();
+  return ZPoly(ZConvSchoolbook(a.coeffs(), b.coeffs()));
+}
+
+ZPoly ZPoly::operator*(const ZPoly& rhs) const {
+  if (IsZero() || rhs.IsZero()) return Zero();
+  if (GetZMulPath() == ZMulPath::kReference)
+    return ZPoly(ZConvSchoolbook(coeffs_, rhs.coeffs_));
+  return ZPoly(KaratsubaMul(ZKaratsubaOps{},
+                            std::span<const BigInt>(coeffs_),
+                            std::span<const BigInt>(rhs.coeffs_),
+                            g_z_karatsuba_threshold));
 }
 
 ZPoly ZPoly::operator-() const {

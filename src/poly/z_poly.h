@@ -5,6 +5,7 @@
 #define POLYSSE_POLY_Z_POLY_H_
 
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,25 @@ class ZPoly {
 
   std::vector<BigInt> coeffs_;
 };
+
+/// Which implementation ZPoly::operator* uses. kFast (the default) switches
+/// to Karatsuba above a size threshold; kReference forces the quadratic
+/// kernel so golden vectors can be asserted against both. Global, test-only
+/// knob — not thread-safe.
+enum class ZMulPath { kFast, kReference };
+
+/// Sets the multiplication path; returns the previous one.
+ZMulPath SetZMulPath(ZMulPath path);
+ZMulPath GetZMulPath();
+
+/// Karatsuba crossover in coefficient count for ZPoly products. Returns the
+/// previous value; passing 0 restores the tuned default. Test/bench-only.
+size_t SetZKaratsubaThreshold(size_t threshold);
+size_t GetZKaratsubaThreshold();
+
+/// Reference quadratic product over Z (exposed for the differential suite
+/// and the bench harness).
+ZPoly MulSchoolbook(const ZPoly& a, const ZPoly& b);
 
 /// Sufficient irreducibility check for a monic r(x) in Z[x]: irreducible
 /// modulo some prime p (not dividing the leading coefficient) implies

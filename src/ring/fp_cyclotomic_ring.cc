@@ -24,15 +24,19 @@ Result<FpPoly> FpCyclotomicRing::XMinus(uint64_t t) const {
 }
 
 FpPoly FpCyclotomicRing::Reduce(const FpPoly& a) const {
+  // Exponent folding i -> i mod (p-1), done on the canonical uint64
+  // coefficients directly (no signed round trip) with a running slot index
+  // instead of a division per coefficient.
   const size_t n = DenseCoeffCount();
   if (a.degree() < static_cast<int>(n)) return a;
-  std::vector<int64_t> folded(n, 0);
-  for (size_t i = 0; i < a.coeffs().size(); ++i) {
-    size_t slot = i % n;
-    folded[slot] = static_cast<int64_t>(
-        field_.Add(static_cast<uint64_t>(folded[slot]), a.coeff(i)));
+  const std::vector<uint64_t>& c = a.coeffs();
+  std::vector<uint64_t> folded(c.begin(), c.begin() + n);
+  size_t slot = 0;
+  for (size_t i = n; i < c.size(); ++i) {
+    folded[slot] = field_.Add(folded[slot], c[i]);
+    if (++slot == n) slot = 0;
   }
-  return FpPoly(field_, std::move(folded));
+  return FpPoly::FromCanonical(field_, std::move(folded));
 }
 
 Result<uint64_t> FpCyclotomicRing::QueryModulus(uint64_t e) const {

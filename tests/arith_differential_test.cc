@@ -1,0 +1,373 @@
+// Differential battery for the ring-arithmetic fast path: every optimized
+// kernel (Montgomery modular multiplication, Karatsuba convolution over F_p
+// and Z, the cyclotomic exponent fold) is pitted against its plain reference
+// on thousands of DeterministicRng-driven random cases, with the degree and
+// coefficient extremes (empty, constant, p-1 coefficients, unreduced
+// operands, unbalanced sizes) forced explicitly. Correctness of the
+// optimized arithmetic is the whole risk of the fast path; this file is the
+// gate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "field/prime_field.h"
+#include "nt/modular.h"
+#include "poly/fp_conv.h"
+#include "poly/fp_poly.h"
+#include "poly/z_poly.h"
+#include "ring/fp_cyclotomic_ring.h"
+#include "ring/z_quotient_ring.h"
+#include "testing/deterministic_rng.h"
+#include "testing/mul_path_guards.h"
+#include "testing/ring_generators.h"
+
+namespace polysse {
+namespace {
+
+using testing::DeterministicRng;
+using testing::DeterministicRngTest;
+using testing::ScopedFpKaratsubaThreshold;
+using testing::ScopedFpMulPath;
+using testing::ScopedZKaratsubaThreshold;
+using testing::ScopedZMulPath;
+
+// Odd moduli spanning the library's whole word range: small primes, large
+// primes (2^61-1 Mersenne, the largest prime below 2^63), and odd
+// composites (Montgomery form does not require primality).
+const uint64_t kOddModuli[] = {3,       5,          9,
+                               101,     1009,       65537,
+                               1000003, 1234567891, (1ull << 61) - 1,
+                               9223372036854775783ull /* largest < 2^63 */};
+
+// An adversarial operand: mostly uniform, sometimes pinned to an extreme
+// (0, 1, m-1, m, m+1, 2^64-1) — unreduced values included on purpose.
+uint64_t AdversarialU64(DeterministicRng& rng, uint64_t m) {
+  switch (rng.UniformInt(0, 9)) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return m - 1;
+    case 3: return m;           // == 0 mod m, but unreduced as an input
+    case 4: return m + 1;       // unreduced
+    case 5: return ~uint64_t{0};
+    default: return rng.NextU64();
+  }
+}
+
+class ArithDifferentialTest : public DeterministicRngTest {};
+
+// ------------------------------------------------ Montgomery vs. plain --
+
+TEST_F(ArithDifferentialTest, MontgomeryMulMatchesPlainMulMod) {
+  for (uint64_t m : kOddModuli) {
+    ASSERT_TRUE(Montgomery::Valid(m)) << m;
+    const Montgomery mont(m);
+    for (int iter = 0; iter < 500; ++iter) {
+      const uint64_t a = AdversarialU64(rng(), m);
+      const uint64_t b = AdversarialU64(rng(), m);
+      const uint64_t want = MulMod(a % m, b % m, m);
+      // Both operands in Montgomery form.
+      EXPECT_EQ(mont.FromMont(mont.Mul(mont.ToMont(a), mont.ToMont(b))), want)
+          << "m=" << m << " a=" << a << " b=" << b;
+      // One-sided: Montgomery x plain lands directly in the plain domain.
+      EXPECT_EQ(mont.Mul(mont.ToMont(a), b % m), want)
+          << "m=" << m << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_F(ArithDifferentialTest, MontgomeryRoundTripAnyOperand) {
+  for (uint64_t m : kOddModuli) {
+    const Montgomery mont(m);
+    for (int iter = 0; iter < 200; ++iter) {
+      const uint64_t a = AdversarialU64(rng(), m);
+      EXPECT_EQ(mont.FromMont(mont.ToMont(a)), a % m) << "m=" << m << " a=" << a;
+    }
+  }
+}
+
+TEST_F(ArithDifferentialTest, MontgomeryPowMatchesNaivePow) {
+  for (uint64_t m : kOddModuli) {
+    const Montgomery mont(m);
+    for (int iter = 0; iter < 120; ++iter) {
+      const uint64_t a = AdversarialU64(rng(), m);
+      const uint64_t e = rng().UniformInt(0, 4096);
+      uint64_t naive = 1 % m;
+      for (uint64_t i = 0; i < e; ++i) naive = MulMod(naive, a % m, m);
+      EXPECT_EQ(mont.Pow(a, e), naive) << "m=" << m << " a=" << a << " e=" << e;
+      EXPECT_EQ(PowMod(a, e, m), naive) << "m=" << m << " a=" << a << " e=" << e;
+    }
+  }
+}
+
+TEST_F(ArithDifferentialTest, AddSubModAcceptUnreducedOperands) {
+  const uint64_t moduli[] = {2,    3,    101,  65537,
+                             (1ull << 61) - 1, (1ull << 62) + 11};
+  for (uint64_t m : moduli) {
+    for (int iter = 0; iter < 300; ++iter) {
+      const uint64_t a = AdversarialU64(rng(), m);
+      const uint64_t b = AdversarialU64(rng(), m);
+      const uint64_t ar = a % m, br = b % m;
+      EXPECT_EQ(AddMod(a, b, m), (ar + br) % m) << "m=" << m;
+      EXPECT_EQ(SubMod(a, b, m), (ar + m - br) % m) << "m=" << m;
+    }
+  }
+}
+
+// ------------------------------------- Karatsuba vs. schoolbook in F_p --
+
+// Coefficient vector with adversarial values: uniform, but frequently 0 or
+// the p-1 extreme, and occasionally a leading run of zeros.
+std::vector<uint64_t> AdversarialCoeffs(DeterministicRng& rng,
+                                        const PrimeField& f, size_t n) {
+  std::vector<uint64_t> c(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng.UniformInt(0, 5)) {
+      case 0: c[i] = 0; break;
+      case 1: c[i] = f.modulus() - 1; break;
+      default: c[i] = f.Uniform(rng); break;
+    }
+  }
+  return c;
+}
+
+TEST_F(ArithDifferentialTest, FpConvolutionFastMatchesSchoolbook) {
+  const uint64_t primes[] = {2, 5, 101, 65537, 1000003, (1ull << 61) - 1};
+  int cases = 0;
+  for (uint64_t p : primes) {
+    const PrimeField f = PrimeField::Create(p).value();
+    for (size_t threshold : {size_t{1}, size_t{2}, size_t{3}, size_t{8}, size_t{24}}) {
+      const ScopedFpKaratsubaThreshold guard(threshold);
+      for (int iter = 0; iter < 40; ++iter) {
+        // Degree edges: empty through large, plus wildly unbalanced pairs.
+        const size_t na = static_cast<size_t>(rng().UniformInt(0, 96));
+        const size_t nb = rng().UniformInt(0, 3) == 0
+                              ? static_cast<size_t>(rng().UniformInt(0, 2))
+                              : static_cast<size_t>(rng().UniformInt(0, 96));
+        const std::vector<uint64_t> a = AdversarialCoeffs(rng(), f, na);
+        const std::vector<uint64_t> b = AdversarialCoeffs(rng(), f, nb);
+        EXPECT_EQ(ConvolveFast(f, a, b), ConvolveSchoolbook(f, a, b))
+            << "p=" << p << " threshold=" << threshold << " na=" << na
+            << " nb=" << nb;
+        ++cases;
+      }
+    }
+  }
+  EXPECT_GE(cases, 1000);
+}
+
+TEST_F(ArithDifferentialTest, FpPolyOperatorPathsAgree) {
+  const PrimeField f = PrimeField::Create(1009).value();
+  const ScopedFpKaratsubaThreshold guard(2);  // force deep recursion
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<int64_t> ca(rng().UniformInt(0, 80));
+    std::vector<int64_t> cb(rng().UniformInt(0, 80));
+    for (auto& c : ca) c = static_cast<int64_t>(rng().NextU64() % 5000) - 2500;
+    for (auto& c : cb) c = static_cast<int64_t>(rng().NextU64() % 5000) - 2500;
+    const FpPoly a(f, ca), b(f, cb);
+    FpPoly fast = FpPoly::Zero(f), ref = FpPoly::Zero(f);
+    {
+      const ScopedFpMulPath path(FpMulPath::kFast);
+      fast = a * b;
+    }
+    {
+      const ScopedFpMulPath path(FpMulPath::kReference);
+      ref = a * b;
+    }
+    EXPECT_EQ(fast, ref) << "iter " << iter;
+  }
+}
+
+// --------------------------------------- Karatsuba vs. schoolbook in Z --
+
+ZPoly AdversarialZPoly(DeterministicRng& rng, size_t n) {
+  std::vector<BigInt> c(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng.UniformInt(0, 4)) {
+      case 0: c[i] = BigInt(0); break;
+      case 1: c[i] = BigInt(static_cast<int64_t>(rng.NextU64() % 200) - 100); break;
+      default:
+        c[i] = testing::RandomBigInt(rng, static_cast<int>(rng.UniformInt(1, 4)),
+                                     /*signed_value=*/true);
+        break;
+    }
+  }
+  return ZPoly(std::move(c));
+}
+
+TEST_F(ArithDifferentialTest, ZConvolutionFastMatchesSchoolbook) {
+  int cases = 0;
+  for (size_t threshold : {size_t{1}, size_t{2}, size_t{4}, size_t{16}}) {
+    const ScopedZKaratsubaThreshold guard(threshold);
+    for (int iter = 0; iter < 260; ++iter) {
+      const size_t na = static_cast<size_t>(rng().UniformInt(0, 48));
+      const size_t nb = rng().UniformInt(0, 3) == 0
+                            ? static_cast<size_t>(rng().UniformInt(0, 2))
+                            : static_cast<size_t>(rng().UniformInt(0, 48));
+      const ZPoly a = AdversarialZPoly(rng(), na);
+      const ZPoly b = AdversarialZPoly(rng(), nb);
+      EXPECT_EQ(a * b, MulSchoolbook(a, b))
+          << "threshold=" << threshold << " na=" << na << " nb=" << nb;
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 1000);
+}
+
+// ------------------------------- optimized vs. reference ring reduction --
+
+// The pre-optimization cyclotomic fold, kept verbatim as the reference:
+// fold exponents mod (p-1) through the signed-constructor round trip.
+FpPoly ReferenceCyclotomicReduce(const FpCyclotomicRing& ring, const FpPoly& a) {
+  const size_t n = ring.DenseCoeffCount();
+  if (a.degree() < static_cast<int>(n)) return a;
+  std::vector<int64_t> folded(n, 0);
+  for (size_t i = 0; i < a.coeffs().size(); ++i) {
+    size_t slot = i % n;
+    folded[slot] = static_cast<int64_t>(ring.field().Add(
+        static_cast<uint64_t>(folded[slot]), a.coeff(i)));
+  }
+  return FpPoly(ring.field(), std::move(folded));
+}
+
+TEST_F(ArithDifferentialTest, CyclotomicReduceMatchesReference) {
+  int cases = 0;
+  for (uint64_t p : {5ull, 101ull, 1009ull}) {
+    const FpCyclotomicRing ring = FpCyclotomicRing::Create(p).value();
+    const PrimeField& f = ring.field();
+    for (int iter = 0; iter < 150; ++iter) {
+      // Degrees from below the fold boundary to several wraps above it.
+      const size_t n = static_cast<size_t>(
+          rng().UniformInt(0, 4 * (ring.DenseCoeffCount() + 1)));
+      const FpPoly a =
+          FpPoly::FromCanonical(f, AdversarialCoeffs(rng(), f, n));
+      EXPECT_EQ(ring.Reduce(a), ReferenceCyclotomicReduce(ring, a))
+          << "p=" << p << " n=" << n;
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 450);
+}
+
+TEST_F(ArithDifferentialTest, FpRingMulMatchesReferencePipeline) {
+  // End-to-end: fast Mul (Karatsuba product + optimized fold) against the
+  // reference pipeline (schoolbook product + reference fold).
+  int cases = 0;
+  for (uint64_t p : {5ull, 101ull, 257ull}) {
+    const FpCyclotomicRing ring = FpCyclotomicRing::Create(p).value();
+    const ScopedFpKaratsubaThreshold guard(2);
+    for (int iter = 0; iter < 120; ++iter) {
+      const FpPoly a = testing::RandomFpElem(ring, rng());
+      const FpPoly b = testing::RandomFpElem(ring, rng());
+      const FpPoly fast = ring.Mul(a, b);
+      FpPoly ref = FpPoly::Zero(ring.field());
+      {
+        const ScopedFpMulPath path(FpMulPath::kReference);
+        ref = ReferenceCyclotomicReduce(ring, a * b);
+      }
+      EXPECT_EQ(fast, ref) << "p=" << p << " iter=" << iter;
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 360);
+}
+
+TEST_F(ArithDifferentialTest, ZRingMulMatchesReferencePipeline) {
+  for (const ZPoly& r :
+       {ZPoly({1, 0, 1}), ZPoly({3, 1, 0, 0, 1}), ZPoly({7, 2, 1})}) {
+    const ZQuotientRing ring = ZQuotientRing::Create(r, true).value();
+    const ScopedZKaratsubaThreshold guard(1);
+    for (int iter = 0; iter < 120; ++iter) {
+      const ZPoly a = testing::RandomZElem(ring, rng());
+      const ZPoly b = testing::RandomZElem(ring, rng());
+      const ZPoly fast = ring.Mul(a, b);
+      ZPoly ref;
+      {
+        const ScopedZMulPath path(ZMulPath::kReference);
+        ref = ring.Mul(a, b);
+      }
+      EXPECT_EQ(fast, ref) << ring.ToString(fast) << " vs " << ring.ToString(ref);
+    }
+  }
+}
+
+// ------------------------------------------- Horner fast-path equality --
+
+TEST_F(ArithDifferentialTest, HornerEvalMatchesPlainHorner) {
+  for (uint64_t p : {2ull, 5ull, 1009ull, (1ull << 61) - 1}) {
+    const PrimeField f = PrimeField::Create(p).value();
+    for (int iter = 0; iter < 150; ++iter) {
+      const std::vector<uint64_t> coeffs =
+          AdversarialCoeffs(rng(), f, static_cast<size_t>(rng().UniformInt(0, 64)));
+      const uint64_t x = AdversarialU64(rng(), p);
+      uint64_t plain = 0;
+      for (size_t i = coeffs.size(); i-- > 0;)
+        plain = f.Add(f.Mul(plain, x % p), coeffs[i]);
+      EXPECT_EQ(f.HornerEval(coeffs, x), plain) << "p=" << p;
+    }
+  }
+}
+
+// ---------------------------------------------- pinned edge regressions --
+
+TEST(ArithEdgeCaseTest, FieldOfTwoHasNoMontgomeryContextButWorks) {
+  // p = 2 is the one prime Montgomery form cannot represent (even modulus);
+  // every field op must fall back to the plain kernels.
+  const PrimeField f2 = PrimeField::Create(2).value();
+  EXPECT_EQ(f2.mont(), nullptr);
+  EXPECT_EQ(f2.Mul(1, 1), 1u);
+  EXPECT_EQ(f2.Add(1, 1), 0u);
+  EXPECT_EQ(f2.Pow(1, 1000), 1u);
+  EXPECT_EQ(f2.Pow(0, 0), 1u);
+  const std::vector<uint64_t> coeffs = {1, 0, 1, 1};
+  EXPECT_EQ(f2.HornerEval(coeffs, 1), 1u);  // 1+0+1+1 = 3 = 1 mod 2
+  const FpPoly a(f2, {1, 1});
+  EXPECT_EQ((a * a).ToString(), "x^2 + 1");  // (x+1)^2 = x^2+1 over F_2
+}
+
+TEST(ArithEdgeCaseTest, MontgomeryRejectsInvalidModuli) {
+  EXPECT_FALSE(Montgomery::Valid(0));
+  EXPECT_FALSE(Montgomery::Valid(1));
+  EXPECT_FALSE(Montgomery::Valid(2));
+  EXPECT_FALSE(Montgomery::Valid(1ull << 62));
+  EXPECT_FALSE(Montgomery::Valid((1ull << 63) + 1));  // odd but >= 2^63
+  EXPECT_TRUE(Montgomery::Valid(3));
+  EXPECT_TRUE(Montgomery::Valid(9223372036854775783ull));
+}
+
+TEST(ArithEdgeCaseTest, MulModNearWordBoundaryDoesNotOverflow) {
+  const uint64_t m = 9223372036854775783ull;  // largest prime < 2^63
+  EXPECT_EQ(MulMod(m - 1, m - 1, m), 1u);     // (-1)^2
+  EXPECT_EQ(MulMod(m - 1, 2, m), m - 2);
+  const Montgomery mont(m);
+  EXPECT_EQ(mont.Mul(mont.ToMont(m - 1), mont.ToMont(m - 1)), mont.ToMont(1));
+  EXPECT_EQ(mont.Pow(m - 1, (1ull << 63) - 1), m - 1);  // odd exponent
+}
+
+TEST(ArithEdgeCaseTest, AddSubModOperandsAtOrAboveModulus) {
+  EXPECT_EQ(AddMod(7, 7, 7), 0u);
+  EXPECT_EQ(AddMod(8, 13, 7), 0u);
+  EXPECT_EQ(SubMod(3, 10, 7), 0u);
+  EXPECT_EQ(SubMod(0, ~uint64_t{0}, 2), 1u);
+  EXPECT_EQ(AddMod(~uint64_t{0}, ~uint64_t{0}, 3), 0u);  // (2^64-1) % 3 == 0
+}
+
+TEST(ArithEdgeCaseTest, PowModBoundaryBetweenPlainAndMontgomeryPaths) {
+  // e < 4 takes the plain loop, e >= 4 the Montgomery ladder; both sides of
+  // the boundary must agree on every modulus class.
+  for (uint64_t m : {2ull, 3ull, 4ull, 9ull, 101ull}) {
+    for (uint64_t a = 0; a < 6; ++a) {
+      for (uint64_t e = 0; e < 9; ++e) {
+        uint64_t naive = 1 % m;
+        for (uint64_t i = 0; i < e; ++i) naive = MulMod(naive, a % m, m);
+        EXPECT_EQ(PowMod(a, e, m), naive)
+            << "a=" << a << " e=" << e << " m=" << m;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polysse

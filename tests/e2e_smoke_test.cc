@@ -11,6 +11,7 @@
 #include "baseline/plaintext_search.h"
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/mul_path_guards.h"
 #include "testing/query_helpers.h"
 #include "testing/xml_builders.h"
 #include "xpath/xpath.h"
@@ -104,6 +105,54 @@ TEST(E2ESmokeTest, ZDeploymentMatchesPlaintextBaseline) {
   auto dep = OutsourceZ(doc, seed);
   ASSERT_TRUE(dep.ok()) << dep.status().ToString();
   ExpectAllQueriesMatchBaseline(doc, *dep, "Z");
+}
+
+template <typename Deployment>
+void ExpectFastPathAnswersBitForBit(const XmlNode& doc, Deployment& dep,
+                                    const char* ring_name) {
+  using Ring = std::remove_reference_t<decltype(dep.ring)>;
+  QuerySession<Ring> session(&dep.client, &dep.server);
+
+  // One element lookup: //c has matches in two subtrees plus a decoy.
+  BaselineResult lookup_oracle = PlaintextLookup(doc, "c");
+  auto lookup = session.Lookup("c", VerifyMode::kVerified);
+  ASSERT_TRUE(lookup.ok()) << ring_name << ": " << lookup.status().ToString();
+  EXPECT_EQ(SortedMatchPaths(lookup->matches), Sorted(lookup_oracle.match_paths))
+      << ring_name << " //c under forced fast path";
+
+  // One descendant query //a/b//c.
+  XPathQuery query = XPathQuery::Parse("//a/b//c").value();
+  BaselineResult xpath_oracle = PlaintextXPath(doc, query);
+  ASSERT_FALSE(xpath_oracle.match_paths.empty());
+  auto xpath = session.EvaluateXPath(query, XPathStrategy::kLeftToRight,
+                                     VerifyMode::kVerified);
+  ASSERT_TRUE(xpath.ok()) << ring_name << ": " << xpath.status().ToString();
+  EXPECT_EQ(SortedMatchPaths(xpath->matches), Sorted(xpath_oracle.match_paths))
+      << ring_name << " //a/b//c under forced fast path";
+}
+
+TEST(E2ESmokeTest, ForcedFastPathMatchesPlaintextBaselineInBothRings) {
+  // Fast-path guard: with the Montgomery/Karatsuba kernels forced on for
+  // every multiplication (crossover threshold 1, so even degree-1 products
+  // take the Karatsuba branch), outsourcing and querying must agree with
+  // the plaintext baseline bit-for-bit in both rings. This covers the whole
+  // loop — share derivation, reduction, evaluation, Theorem 1/2
+  // verification — not just the kernels in isolation.
+  testing::ScopedFpMulPath fp_path(FpMulPath::kFast);
+  testing::ScopedZMulPath z_path(ZMulPath::kFast);
+  testing::ScopedFpKaratsubaThreshold fp_thresh(1);
+  testing::ScopedZKaratsubaThreshold z_thresh(1);
+
+  XmlNode doc = MakeSmokeDocument();
+  DeterministicPrf fp_seed = DeterministicPrf::FromString("e2e-fastpath-fp");
+  auto fp_dep = OutsourceFp(doc, fp_seed);
+  ASSERT_TRUE(fp_dep.ok()) << fp_dep.status().ToString();
+  ExpectFastPathAnswersBitForBit(doc, *fp_dep, "Fp");
+
+  DeterministicPrf z_seed = DeterministicPrf::FromString("e2e-fastpath-z");
+  auto z_dep = OutsourceZ(doc, z_seed);
+  ASSERT_TRUE(z_dep.ok()) << z_dep.status().ToString();
+  ExpectFastPathAnswersBitForBit(doc, *z_dep, "Z");
 }
 
 TEST(E2ESmokeTest, QueryCostsAreAccounted) {

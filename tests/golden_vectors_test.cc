@@ -4,7 +4,10 @@
 // Fig. 6 evaluation column, and the Theorem 1/2 reconstructions of every
 // node. These pin exact printed values so algebra refactors cannot silently
 // drift; any intentional change to the representation must update this file
-// against the paper, not against the code.
+// against the paper, not against the code. Every assertion runs under BOTH
+// the reference kernels and the Montgomery/Karatsuba fast path (see
+// ForBothArithPaths), so an optimization cannot change semantics without
+// tripping the paper's own numbers.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -14,6 +17,7 @@
 #include "core/tag_map.h"
 #include "ring/fp_cyclotomic_ring.h"
 #include "ring/z_quotient_ring.h"
+#include "testing/mul_path_guards.h"
 #include "testing/share_roundtrip.h"
 #include "xml/xml_generator.h"
 
@@ -30,109 +34,150 @@ constexpr int kNameB = 4;
 
 TagMap Fig1Map() { return TagMap::FromExplicit(Fig1TagMapping()).value(); }
 
+// Every golden assertion runs under BOTH multiplication paths — the plain
+// reference kernels and the Montgomery/Karatsuba fast path (with the
+// crossover forced to 1 so even the tiny Fig. 1 polynomials take the
+// Karatsuba branch). An optimization that silently changes semantics fails
+// here against the paper's printed values, not against other code.
+template <typename Fn>
+void ForBothArithPaths(Fn&& check) {
+  {
+    SCOPED_TRACE("reference path");
+    testing::ScopedFpMulPath fp(FpMulPath::kReference);
+    testing::ScopedZMulPath z(ZMulPath::kReference);
+    check();
+  }
+  {
+    SCOPED_TRACE("fast path (Karatsuba forced on)");
+    testing::ScopedFpMulPath fp(FpMulPath::kFast);
+    testing::ScopedZMulPath z(ZMulPath::kFast);
+    testing::ScopedFpKaratsubaThreshold fp_t(1);
+    testing::ScopedZKaratsubaThreshold z_t(1);
+    check();
+  }
+}
+
 TEST(GoldenFig2Test, FpRingTreeMatchesFig2a) {
   // Fig. 2(a): reduction in F_5[x]/(x^4 - 1).
-  FpCyclotomicRing ring = FpCyclotomicRing::Create(5).value();
-  PolyTree<FpCyclotomicRing> tree =
-      BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
-  ASSERT_EQ(tree.size(), 5u);
+  ForBothArithPaths([] {
+    FpCyclotomicRing ring = FpCyclotomicRing::Create(5).value();
+    PolyTree<FpCyclotomicRing> tree =
+        BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
+    ASSERT_EQ(tree.size(), 5u);
 
-  EXPECT_EQ(ring.ToString(tree.nodes[kNameA].poly), "x + 1");
-  EXPECT_EQ(ring.ToString(tree.nodes[kNameB].poly), "x + 1");
-  EXPECT_EQ(ring.ToString(tree.nodes[kClientA].poly), "x^2 + 4x + 3");
-  EXPECT_EQ(ring.ToString(tree.nodes[kClientB].poly), "x^2 + 4x + 3");
-  EXPECT_EQ(ring.ToString(tree.nodes[kCustomers].poly),
-            "3x^3 + 3x^2 + 3x + 3");
+    EXPECT_EQ(ring.ToString(tree.nodes[kNameA].poly), "x + 1");
+    EXPECT_EQ(ring.ToString(tree.nodes[kNameB].poly), "x + 1");
+    EXPECT_EQ(ring.ToString(tree.nodes[kClientA].poly), "x^2 + 4x + 3");
+    EXPECT_EQ(ring.ToString(tree.nodes[kClientB].poly), "x^2 + 4x + 3");
+    EXPECT_EQ(ring.ToString(tree.nodes[kCustomers].poly),
+              "3x^3 + 3x^2 + 3x + 3");
+  });
 }
 
 TEST(GoldenFig2Test, ZRingTreeMatchesFig2b) {
   // Fig. 2(b): reduction in Z[x]/(x^2 + 1).
-  ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
-  PolyTree<ZQuotientRing> tree =
-      BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
-  ASSERT_EQ(tree.size(), 5u);
+  ForBothArithPaths([] {
+    ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+    PolyTree<ZQuotientRing> tree =
+        BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
+    ASSERT_EQ(tree.size(), 5u);
 
-  EXPECT_EQ(ring.ToString(tree.nodes[kNameA].poly), "x - 4");
-  EXPECT_EQ(ring.ToString(tree.nodes[kClientA].poly), "-6x + 7");
-  EXPECT_EQ(ring.ToString(tree.nodes[kCustomers].poly), "265x + 45");
+    EXPECT_EQ(ring.ToString(tree.nodes[kNameA].poly), "x - 4");
+    EXPECT_EQ(ring.ToString(tree.nodes[kClientA].poly), "-6x + 7");
+    EXPECT_EQ(ring.ToString(tree.nodes[kCustomers].poly), "265x + 45");
+  });
 }
 
 TEST(GoldenFig2Test, UnreducedFig1cDegreesEqualSubtreeSizes) {
   // Fig. 1(c): before reduction, a node's plain Z[x] product has degree
   // equal to its subtree size.
-  UnreducedPolyTree tree =
-      BuildUnreducedPolyTree(Fig1Map(), MakeFig1Document()).value();
-  ASSERT_EQ(tree.size(), 5u);
-  EXPECT_EQ(tree.nodes[kCustomers].poly.degree(), 5);
-  EXPECT_EQ(tree.nodes[kClientA].poly.degree(), 2);
-  EXPECT_EQ(tree.nodes[kNameA].poly.degree(), 1);
-  // (x-4)(x-2)(x-4)(x-2)(x-3) evaluated outside its roots is nonzero.
-  EXPECT_NE(tree.nodes[kCustomers].poly.Eval(1), BigInt(0));
-  EXPECT_EQ(tree.nodes[kCustomers].poly.Eval(2), BigInt(0));
-  EXPECT_EQ(tree.nodes[kCustomers].poly.Eval(3), BigInt(0));
-  EXPECT_EQ(tree.nodes[kCustomers].poly.Eval(4), BigInt(0));
+  ForBothArithPaths([] {
+    UnreducedPolyTree tree =
+        BuildUnreducedPolyTree(Fig1Map(), MakeFig1Document()).value();
+    ASSERT_EQ(tree.size(), 5u);
+    EXPECT_EQ(tree.nodes[kCustomers].poly.degree(), 5);
+    EXPECT_EQ(tree.nodes[kClientA].poly.degree(), 2);
+    EXPECT_EQ(tree.nodes[kNameA].poly.degree(), 1);
+    // (x-4)(x-2)(x-4)(x-2)(x-3) evaluated outside its roots is nonzero.
+    EXPECT_NE(tree.nodes[kCustomers].poly.Eval(1), BigInt(0));
+    EXPECT_EQ(tree.nodes[kCustomers].poly.Eval(2), BigInt(0));
+    EXPECT_EQ(tree.nodes[kCustomers].poly.Eval(3), BigInt(0));
+    EXPECT_EQ(tree.nodes[kCustomers].poly.Eval(4), BigInt(0));
+  });
 }
 
 TEST(GoldenFig6Test, ZRingEvaluationColumnAtE2) {
   // Fig. 6: querying name (e = map(name)... the figure queries with e = 2,
   // i.e. //client): "everything is calculated modulo r(2) = 5"; the sum
   // tree shows name -> 3, client -> 0, customers -> 0.
-  ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
-  PolyTree<ZQuotientRing> tree =
-      BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
-  ASSERT_EQ(ring.QueryModulus(2).value(), 5u);
-  EXPECT_EQ(ring.EvalAt(tree.nodes[kNameA].poly, 2).value(), 3u);
-  EXPECT_EQ(ring.EvalAt(tree.nodes[kClientA].poly, 2).value(), 0u);
-  EXPECT_EQ(ring.EvalAt(tree.nodes[kCustomers].poly, 2).value(), 0u);
+  ForBothArithPaths([] {
+    ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+    PolyTree<ZQuotientRing> tree =
+        BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
+    ASSERT_EQ(ring.QueryModulus(2).value(), 5u);
+    EXPECT_EQ(ring.EvalAt(tree.nodes[kNameA].poly, 2).value(), 3u);
+    EXPECT_EQ(ring.EvalAt(tree.nodes[kClientA].poly, 2).value(), 0u);
+    EXPECT_EQ(ring.EvalAt(tree.nodes[kCustomers].poly, 2).value(), 0u);
+  });
 }
 
 TEST(GoldenFig6Test, FpRingEvaluationColumnAtE2) {
   // Same query in F_5[x]/(x^4-1): evaluation happens mod p = 5 and the
   // client/customers rows still vanish at e = map(client) = 2 while the
   // name leaves do not (4 - 2 = 2 mod 5).
-  FpCyclotomicRing ring = FpCyclotomicRing::Create(5).value();
-  PolyTree<FpCyclotomicRing> tree =
-      BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
-  ASSERT_EQ(ring.QueryModulus(2).value(), 5u);
-  EXPECT_EQ(ring.EvalAt(tree.nodes[kNameA].poly, 2).value(), 3u);
-  EXPECT_EQ(ring.EvalAt(tree.nodes[kClientA].poly, 2).value(), 0u);
-  EXPECT_EQ(ring.EvalAt(tree.nodes[kCustomers].poly, 2).value(), 0u);
+  ForBothArithPaths([] {
+    FpCyclotomicRing ring = FpCyclotomicRing::Create(5).value();
+    PolyTree<FpCyclotomicRing> tree =
+        BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
+    ASSERT_EQ(ring.QueryModulus(2).value(), 5u);
+    EXPECT_EQ(ring.EvalAt(tree.nodes[kNameA].poly, 2).value(), 3u);
+    EXPECT_EQ(ring.EvalAt(tree.nodes[kClientA].poly, 2).value(), 0u);
+    EXPECT_EQ(ring.EvalAt(tree.nodes[kCustomers].poly, 2).value(), 0u);
+  });
 }
 
 TEST(GoldenTheoremTest, Theorem1ReconstructsEveryFig1NodeInFp) {
-  FpCyclotomicRing ring = FpCyclotomicRing::Create(5).value();
-  PolyTree<FpCyclotomicRing> tree =
-      BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
-  const std::vector<uint64_t> want = {3, 2, 4, 2, 4};  // preorder tags
-  for (int id = 0; id < 5; ++id) {
-    auto t = RecoverTagValue(ring, tree, id);
-    ASSERT_TRUE(t.ok()) << "node " << id << ": " << t.status().ToString();
-    EXPECT_EQ(*t, want[id]) << "node " << id;
-    EXPECT_EQ(*t, tree.nodes[id].tag_value) << "node " << id;
-  }
+  ForBothArithPaths([] {
+    FpCyclotomicRing ring = FpCyclotomicRing::Create(5).value();
+    PolyTree<FpCyclotomicRing> tree =
+        BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
+    const std::vector<uint64_t> want = {3, 2, 4, 2, 4};  // preorder tags
+    for (int id = 0; id < 5; ++id) {
+      auto t = RecoverTagValue(ring, tree, id);
+      ASSERT_TRUE(t.ok()) << "node " << id << ": " << t.status().ToString();
+      EXPECT_EQ(*t, want[id]) << "node " << id;
+      EXPECT_EQ(*t, tree.nodes[id].tag_value) << "node " << id;
+    }
+  });
 }
 
 TEST(GoldenTheoremTest, Theorem2ReconstructsEveryFig1NodeInZ) {
-  ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
-  PolyTree<ZQuotientRing> tree =
-      BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
-  const std::vector<uint64_t> want = {3, 2, 4, 2, 4};
-  for (int id = 0; id < 5; ++id) {
-    auto t = RecoverTagValue(ring, tree, id);
-    ASSERT_TRUE(t.ok()) << "node " << id << ": " << t.status().ToString();
-    EXPECT_EQ(*t, want[id]) << "node " << id;
-  }
+  ForBothArithPaths([] {
+    ZQuotientRing ring = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+    PolyTree<ZQuotientRing> tree =
+        BuildPolyTree(ring, Fig1Map(), MakeFig1Document()).value();
+    const std::vector<uint64_t> want = {3, 2, 4, 2, 4};
+    for (int id = 0; id < 5; ++id) {
+      auto t = RecoverTagValue(ring, tree, id);
+      ASSERT_TRUE(t.ok()) << "node " << id << ": " << t.status().ToString();
+      EXPECT_EQ(*t, want[id]) << "node " << id;
+    }
+  });
 }
 
 TEST(GoldenTheoremTest, ShareSplitRoundTripsOnFig1InBothRings) {
   // §4.2 on the worked example: splitting the Fig. 2 trees into client +
   // server shares loses nothing — reconstruction and Theorems 1/2 still
   // yield the golden tags.
-  DeterministicPrf prf = DeterministicPrf::FromString("golden-fig1");
-  FpCyclotomicRing fp = FpCyclotomicRing::Create(5).value();
-  EXPECT_TRUE(testing::ShareRoundtripOk(fp, Fig1Map(), MakeFig1Document(), prf));
-  ZQuotientRing z = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
-  EXPECT_TRUE(testing::ShareRoundtripOk(z, Fig1Map(), MakeFig1Document(), prf));
+  ForBothArithPaths([] {
+    DeterministicPrf prf = DeterministicPrf::FromString("golden-fig1");
+    FpCyclotomicRing fp = FpCyclotomicRing::Create(5).value();
+    EXPECT_TRUE(
+        testing::ShareRoundtripOk(fp, Fig1Map(), MakeFig1Document(), prf));
+    ZQuotientRing z = ZQuotientRing::Create(ZPoly({1, 0, 1})).value();
+    EXPECT_TRUE(
+        testing::ShareRoundtripOk(z, Fig1Map(), MakeFig1Document(), prf));
+  });
 }
 
 }  // namespace

@@ -30,6 +30,43 @@ TEST(ModularTest, AddModNoOverflowNearWordMax) {
   EXPECT_EQ(AddMod(m - 1, m - 1, m), m - 2);
 }
 
+TEST(ModularTest, AddSubModUnreducedOperandsRegression) {
+  // Pinned from the differential suite: operands at or above the modulus
+  // must reduce instead of silently wrapping (the pre-Montgomery kernels
+  // only DCHECKed the precondition, so Release builds computed garbage).
+  EXPECT_EQ(AddMod(101, 101, 101), 0u);
+  EXPECT_EQ(AddMod(1000, 1, 101), 92u);
+  EXPECT_EQ(SubMod(1, 1000, 101), 11u);
+  EXPECT_EQ(SubMod(~uint64_t{0}, 0, 2), 1u);
+  EXPECT_EQ(AddMod(~uint64_t{0}, 1, 3), 1u);  // (2^64-1)%3 = 0
+}
+
+TEST(ModularTest, AddModSurvivesModuliAboveTwoToSixtyThree) {
+  // AddMod/SubMod promise correctness for ANY m, beyond the library-wide
+  // m < 2^63 word-modulus bound: the reduced sum can wrap 2^64 at most
+  // once, and the wrap check catches it.
+  const uint64_t m = (1ull << 63) + 9;
+  EXPECT_EQ(AddMod(m - 1, m - 1, m), m - 2);
+  EXPECT_EQ(AddMod(m - 1, 1, m), 0u);
+  EXPECT_EQ(SubMod(0, m - 1, m), 1u);
+  const uint64_t huge = ~uint64_t{0} - 4;  // 2^64 - 5, odd-ball modulus
+  EXPECT_EQ(AddMod(huge - 1, huge - 1, huge), huge - 2);
+  EXPECT_EQ(AddMod(huge - 1, 1, huge), 0u);
+}
+
+TEST(ModularTest, MontgomeryKnownValues) {
+  // Spot pins for the REDC kernel alongside the randomized differential
+  // battery: p = 2 stays out (even), word-boundary moduli stay exact.
+  EXPECT_FALSE(Montgomery::Valid(2));
+  const Montgomery m5(5);
+  EXPECT_EQ(m5.FromMont(m5.Mul(m5.ToMont(3), m5.ToMont(4))), 2u);
+  EXPECT_EQ(m5.Pow(2, 4), 1u);  // Fermat
+  const uint64_t big = 9223372036854775783ull;  // largest prime < 2^63
+  const Montgomery mb(big);
+  EXPECT_EQ(mb.FromMont(mb.ToMont(~uint64_t{0})), ~uint64_t{0} % big);
+  EXPECT_EQ(mb.Pow(2, big - 1), 1u);
+}
+
 TEST(ModularTest, PowModKnownValues) {
   EXPECT_EQ(PowMod(2, 10, 1000000007), 1024u);
   EXPECT_EQ(PowMod(5, 0, 97), 1u);
