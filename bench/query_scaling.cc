@@ -79,6 +79,63 @@ void BM_XPathAllAtOnce(benchmark::State& state) {
 }
 BENCHMARK(BM_XPathAllAtOnce)->Arg(1000)->Arg(10000);
 
+// Batched vs sequential multi-query execution: 16 concurrent //tag queries
+// through LookupBatch share one BFS walk (the frontier descends wherever
+// any point vanishes and every EvalRequest carries all points), vs 16
+// independent pruned walks. Counters report server-side request counts per
+// iteration — the round-trip budget a networked deployment cares about.
+constexpr size_t kBatchQueries = 16;
+
+std::vector<TagQuery> BatchQueries(const Deployment& d) {
+  std::vector<std::string> tags = d.doc.DistinctTags();
+  std::vector<TagQuery> queries;
+  for (size_t i = 0; i < kBatchQueries; ++i)
+    queries.push_back({tags[i % tags.size()], VerifyMode::kVerified});
+  return queries;
+}
+
+void BM_Lookup16Sequential(benchmark::State& state) {
+  Deployment& d = SharedDeployment(static_cast<size_t>(state.range(0)));
+  QuerySession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
+  const std::vector<TagQuery> queries = BatchQueries(d);
+  const auto before = d.dep.server.stats();
+  for (auto _ : state) {
+    for (const TagQuery& q : queries) {
+      auto r = session.Lookup(q.tag, q.mode);
+      if (!r.ok()) state.SkipWithError("lookup failed");
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  const auto after = d.dep.server.stats();
+  state.counters["eval_requests"] = benchmark::Counter(
+      static_cast<double>(after.eval_requests - before.eval_requests),
+      benchmark::Counter::kAvgIterations);
+  state.counters["server_evals"] = benchmark::Counter(
+      static_cast<double>(after.evals - before.evals),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Lookup16Sequential)->Arg(1000)->Arg(10000);
+
+void BM_Lookup16Batched(benchmark::State& state) {
+  Deployment& d = SharedDeployment(static_cast<size_t>(state.range(0)));
+  QuerySession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
+  const std::vector<TagQuery> queries = BatchQueries(d);
+  const auto before = d.dep.server.stats();
+  for (auto _ : state) {
+    auto r = session.LookupBatch(queries);
+    if (!r.ok()) state.SkipWithError("batch failed");
+    benchmark::DoNotOptimize(r);
+  }
+  const auto after = d.dep.server.stats();
+  state.counters["eval_requests"] = benchmark::Counter(
+      static_cast<double>(after.eval_requests - before.eval_requests),
+      benchmark::Counter::kAvgIterations);
+  state.counters["server_evals"] = benchmark::Counter(
+      static_cast<double>(after.evals - before.evals),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Lookup16Batched)->Arg(1000)->Arg(10000);
+
 void BM_OutsourceFp(benchmark::State& state) {
   XmlGeneratorOptions gen;
   gen.num_nodes = static_cast<size_t>(state.range(0));

@@ -1,14 +1,14 @@
 // Outsourced medical records: a realistic scenario for the paper's scheme.
-// A hospital outsources patient records to an untrusted cloud store, then
-// runs XPath queries over the encrypted tree, compares both §4.3 evaluation
-// strategies, and demonstrates that a tampering server is caught.
+// A hospital outsources patient records to an untrusted cloud store through
+// the Engine facade, runs XPath queries over the encrypted tree, compares
+// both §4.3 evaluation strategies, and demonstrates that a server tampering
+// with its responses is caught.
 //
 //   $ ./medical_records [num_patients]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/outsource.h"
-#include "core/query_session.h"
+#include "core/engine.h"
 #include "xml/xml_generator.h"
 
 int main(int argc, char** argv) {
@@ -20,12 +20,11 @@ int main(int argc, char** argv) {
               doc.SubtreeSize(), doc.DistinctTagCount(), doc.Height());
 
   DeterministicPrf seed = DeterministicPrf::FromString("hospital-master-key");
-  auto dep = OutsourceFp(doc, seed);
-  if (!dep.ok()) {
-    std::fprintf(stderr, "%s\n", dep.status().ToString().c_str());
+  auto engine = FpEngine::Outsource(doc, seed);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
-  QuerySession<FpCyclotomicRing> session(&dep->client, &dep->server);
 
   const char* queries[] = {
       "//prescription",
@@ -36,11 +35,9 @@ int main(int argc, char** argv) {
   std::printf("\n%-40s %8s %10s %10s %10s\n", "query", "matches",
               "visited", "evals", "bytes_down");
   for (const char* q : queries) {
-    auto query = XPathQuery::Parse(q);
-    if (!query.ok()) continue;
     for (XPathStrategy strategy :
          {XPathStrategy::kLeftToRight, XPathStrategy::kAllAtOnce}) {
-      auto r = session.EvaluateXPath(*query, strategy, VerifyMode::kVerified);
+      auto r = (*engine)->RunXPath(q, strategy, VerifyMode::kVerified);
       if (!r.ok()) {
         std::fprintf(stderr, "query failed: %s\n",
                      r.status().ToString().c_str());
@@ -54,8 +51,8 @@ int main(int argc, char** argv) {
   }
 
   // Bandwidth trade-off of the trusted-server mode (§4.3 closing remark).
-  auto verified = session.Lookup("drug", VerifyMode::kVerified);
-  auto trusted = session.Lookup("drug", VerifyMode::kTrustedConstOnly);
+  auto verified = (*engine)->Lookup("drug", VerifyMode::kVerified);
+  auto trusted = (*engine)->Lookup("drug", VerifyMode::kTrustedConstOnly);
   if (verified.ok() && trusted.ok()) {
     std::printf("\n//drug with full verification: %zu B down; trusted "
                 "const-only: %zu B down (%.1fx less, but no Eq. 3 checks)\n",
@@ -66,15 +63,27 @@ int main(int argc, char** argv) {
                         std::max<size_t>(1, trusted->stats.transport.bytes_down)));
   }
 
-  // A malicious server flips part of a stored polynomial without changing
+  // A malicious server rewrites a fetched share in flight without changing
   // the evaluations the pruning sees: verified mode refuses the answer.
-  auto& tree = dep->server.mutable_tree_for_testing();
-  auto e = dep->client.tag_map().Value("patient");
+  auto e = (*engine)->client().tag_map().Value("patient");
   if (e.ok()) {
-    auto taint = dep->ring.XMinus(*e);
+    const FpCyclotomicRing& ring = (*engine)->ring();
+    auto taint = ring.XMinus(*e);
     if (taint.ok()) {
-      tree.nodes[1].poly = dep->ring.Add(tree.nodes[1].poly, *taint);
-      auto cheated = session.Lookup("patient", VerifyMode::kVerified);
+      FaultConfig cheat;
+      cheat.tamper_fetch = [&ring, &taint](FetchResponse& resp) {
+        for (FetchEntry& entry : resp.entries) {
+          if (entry.node_id != 1) continue;
+          ByteReader r(entry.payload);
+          auto poly = ring.Deserialize(&r);
+          if (!poly.ok()) continue;
+          ByteWriter w;
+          ring.Serialize(ring.Add(*poly, *taint), &w);
+          entry.payload = w.Take();
+        }
+      };
+      (*engine)->InjectFaults(0, cheat);
+      auto cheated = (*engine)->Lookup("patient", VerifyMode::kVerified);
       std::printf("\nafter server tampering, verified lookup says: %s\n",
                   cheated.ok() ? "(undetected?!)"
                                : cheated.status().ToString().c_str());

@@ -1,13 +1,13 @@
 // Secure multi-party computation demos from paper §3 and §4.2:
 //   1. anonymous sum vote and veto vote with no trusted third party;
-//   2. k-of-n multi-server outsourcing where any t servers answer a query
-//      and t-1 servers learn nothing.
+//   2. k-of-n multi-server outsourcing through the Engine facade, where any
+//      t servers answer a query over the real wire protocol and t-1 servers
+//      learn nothing — including transparent failover when servers die.
 //
 //   $ ./multi_server_voting
 #include <cstdio>
 
-#include "core/multi_server.h"
-#include "core/poly_tree.h"
+#include "core/engine.h"
 #include "mpc/voting.h"
 #include "xml/xml_generator.h"
 
@@ -40,40 +40,51 @@ int main() {
 
   // ------------------------------------- §4.2 multi-server extension --
   XmlNode doc = MakeMedicalRecordsDocument(10, 7);
-  FpCyclotomicRing ring = FpCyclotomicRing::Create(101).value();
-  DeterministicPrf prf = DeterministicPrf::FromString("multi-server");
-  TagMap::Options mopt;
-  mopt.max_value = ring.MaxTagValue();
-  TagMap map = TagMap::Build(doc.DistinctTags(), mopt, prf).value();
-  auto data = BuildPolyTree(ring, map, doc).value();
+  DeterministicPrf seed = DeterministicPrf::FromString("multi-server");
 
-  ChaChaRng ms_rng = ChaChaRng::FromString("shamir-servers");
   const int t = 3, n = 5;
-  auto ms = ShamirMultiServer::Setup(ring, data, t, n, ms_rng);
-  if (!ms.ok()) {
-    std::fprintf(stderr, "%s\n", ms.status().ToString().c_str());
+  FpEngine::Deploy deploy;
+  deploy.scheme = ShareScheme::kShamir;
+  deploy.num_servers = n;
+  deploy.threshold = t;
+  auto engine = FpEngine::Outsource(doc, seed, deploy);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
   std::printf("\nShamir multi-server: document of %zu nodes split across %d "
-              "servers, threshold %d\n", data.size(), n, t);
+              "servers, threshold %d\n", (*engine)->store().size(), n, t);
 
-  uint64_t e = map.Value("prescription").value();
-  std::printf("query point e = map(prescription) = %llu\n",
-              static_cast<unsigned long long>(e));
-  // Any t servers reconstruct the root evaluation; compare subsets.
-  for (std::vector<int> subset : {std::vector<int>{0, 1, 2},
-                                  std::vector<int>{1, 3, 4},
-                                  std::vector<int>{0, 2, 4}}) {
-    std::vector<uint64_t> evals;
-    for (int s : subset) evals.push_back(ms->ServerEval(s, 0, e).value());
-    uint64_t combined = ms->CombineEvals(subset, evals).value();
-    std::printf("  servers {%d,%d,%d} -> root evaluation %llu%s\n",
-                subset[0], subset[1], subset[2],
-                static_cast<unsigned long long>(combined),
-                combined == ring.EvalAt(data.nodes[0].poly, e).value()
-                    ? " (correct)" : " (WRONG)");
+  auto expected = (*engine)->Lookup("prescription").value().matches.size();
+  std::printf("//prescription with all %d servers up -> %zu matches\n", n,
+              expected);
+
+  // Kill n-t servers: any t still answer, with mid-query failover.
+  for (int s = 0; s < n - t; ++s) {
+    FaultConfig down;
+    down.fail_after_calls = 0;
+    (*engine)->InjectFaults(static_cast<size_t>(s), down);
   }
-  // t-1 servers see only random-looking points.
+  auto degraded = (*engine)->Lookup("prescription");
+  if (degraded.ok()) {
+    std::printf("with only %d servers reachable -> %zu matches "
+                "(%zu transparent failovers)%s\n",
+                t, degraded->matches.size(),
+                degraded->stats.server_failovers,
+                degraded->matches.size() == expected ? " (correct)"
+                                                     : " (WRONG)");
+  }
+
+  // One more failure leaves t-1 servers: a clean refusal, never a wrong
+  // answer — and t-1 servers' shares are information-theoretically
+  // independent of the data.
+  FaultConfig down;
+  down.fail_after_calls = 0;
+  (*engine)->InjectFaults(static_cast<size_t>(n - t), down);
+  auto starved = (*engine)->Lookup("prescription");
+  std::printf("with %d servers reachable -> %s\n", t - 1,
+              starved.ok() ? "(answered?!)"
+                           : starved.status().ToString().c_str());
   std::printf("  any %d servers alone hold Shamir shares that are "
               "information-theoretically independent of the data\n", t - 1);
   return 0;

@@ -1,5 +1,5 @@
 // A small end-to-end command line tool around the library — the workflow a
-// real deployment would script:
+// real deployment would script. Built on the polysse::Engine facade:
 //
 //   polysse_cli outsource <doc.xml> <store.bin> <client.key> [passphrase]
 //       parse the document, split it, write the server store and the
@@ -8,16 +8,20 @@
 //   polysse_cli query <store.bin> <client.key> <xpath> [--trusted|--optimistic]
 //       run an XPath query against the store with the client key
 //
+//   polysse_cli shamir <doc.xml> <xpath> [--servers N] [--threshold t]
+//       demo Shamir t-of-n over server endpoints: outsource the document
+//       across N servers, query, then kill servers one by one to show
+//       any t answering and fewer than t failing cleanly
+//
 //   polysse_cli inspect <store.bin>
 //       print what an attacker with the server file alone can see
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "core/outsource.h"
+#include "core/engine.h"
 #include "core/persistence.h"
-#include "core/query_session.h"
-#include "core/sharing.h"
 #include "xml/xml_parser.h"
 
 using namespace polysse;
@@ -39,53 +43,30 @@ int CmdOutsource(const std::string& xml_path, const std::string& store_path,
   DeterministicPrf seed = passphrase.empty()
                               ? DeterministicPrf(RandomSeed())
                               : DeterministicPrf::FromString(passphrase);
-  auto dep = OutsourceFp(*doc, seed);
-  if (!dep.ok()) return Fail(dep.status());
-
-  ByteWriter store_bytes;
-  SaveServerStore(dep->server, &store_bytes);
-  if (Status s = WriteFileBytes(store_path, store_bytes.span()); !s.ok())
+  auto engine = FpEngine::Outsource(*doc, seed);
+  if (!engine.ok()) return Fail(engine.status());
+  if (Status s = (*engine)->Save(store_path, key_path); !s.ok())
     return Fail(s);
+  auto store_bytes = ReadFileBytes(store_path);
+  auto key_bytes = ReadFileBytes(key_path);
+  if (!store_bytes.ok()) return Fail(store_bytes.status());
+  if (!key_bytes.ok()) return Fail(key_bytes.status());
 
-  ClientSecretFile key;
-  key.seed = seed.seed();
-  key.tag_map = dep->client.tag_map();
-  ByteWriter key_bytes;
-  key.Serialize(&key_bytes);
-  if (Status s = WriteFileBytes(key_path, key_bytes.span()); !s.ok())
-    return Fail(s);
-
-  std::printf("outsourced %zu elements (p = %llu)\n", dep->server.size(),
-              static_cast<unsigned long long>(dep->ring.p()));
+  std::printf("outsourced %zu elements (p = %llu)\n", (*engine)->store().size(),
+              static_cast<unsigned long long>((*engine)->ring().p()));
   std::printf("  server store : %s (%zu bytes — safe to host untrusted)\n",
-              store_path.c_str(), store_bytes.size());
+              store_path.c_str(), store_bytes->size());
   std::printf("  client key   : %s (%zu bytes — keep secret)\n",
-              key_path.c_str(), key_bytes.size());
+              key_path.c_str(), key_bytes->size());
   return 0;
 }
 
 int CmdQuery(const std::string& store_path, const std::string& key_path,
              const std::string& xpath, VerifyMode mode) {
-  auto store_bytes = ReadFileBytes(store_path);
-  if (!store_bytes.ok()) return Fail(store_bytes.status());
-  ByteReader store_reader(*store_bytes);
-  auto server = LoadFpServerStore(&store_reader);
-  if (!server.ok()) return Fail(server.status());
+  auto engine = FpEngine::Open(store_path, key_path);
+  if (!engine.ok()) return Fail(engine.status());
 
-  auto key_bytes = ReadFileBytes(key_path);
-  if (!key_bytes.ok()) return Fail(key_bytes.status());
-  ByteReader key_reader(*key_bytes);
-  auto key = ClientSecretFile::Deserialize(&key_reader);
-  if (!key.ok()) return Fail(key.status());
-
-  auto client = ClientContext<FpCyclotomicRing>::SeedOnly(
-      server->ring(), key->tag_map, DeterministicPrf(key->seed));
-  QuerySession<FpCyclotomicRing> session(&client, &*server);
-
-  auto query = XPathQuery::Parse(xpath);
-  if (!query.ok()) return Fail(query.status());
-  auto result =
-      session.EvaluateXPath(*query, XPathStrategy::kAllAtOnce, mode);
+  auto result = (*engine)->RunXPath(xpath, XPathStrategy::kAllAtOnce, mode);
   if (!result.ok()) return Fail(result.status());
 
   std::printf("%zu match(es) for %s:\n", result->matches.size(),
@@ -96,6 +77,55 @@ int CmdQuery(const std::string& store_path, const std::string& key_path,
   std::printf("visited %zu/%zu nodes, %zu B up, %zu B down, %zu rounds\n",
               s.nodes_visited, s.total_server_nodes, s.transport.bytes_up,
               s.transport.bytes_down, s.rounds);
+  return 0;
+}
+
+int CmdShamir(const std::string& xml_path, const std::string& xpath,
+              int num_servers, int threshold) {
+  if (num_servers < 1 || threshold < 1 || threshold > num_servers)
+    return Fail(Status::InvalidArgument(
+        "need --servers N >= --threshold t >= 1"));
+  auto xml_bytes = ReadFileBytes(xml_path);
+  if (!xml_bytes.ok()) return Fail(xml_bytes.status());
+  auto doc = ParseXml(std::string(xml_bytes->begin(), xml_bytes->end()));
+  if (!doc.ok()) return Fail(doc.status());
+
+  DeterministicPrf seed = DeterministicPrf(RandomSeed());
+  FpEngine::Deploy deploy;
+  deploy.scheme = ShareScheme::kShamir;
+  deploy.num_servers = num_servers;
+  deploy.threshold = threshold;
+  auto engine = FpEngine::Outsource(*doc, seed, deploy);
+  if (!engine.ok()) return Fail(engine.status());
+  std::printf("outsourced %zu elements across %d servers, threshold %d "
+              "(any %d answer; %d learn nothing)\n",
+              (*engine)->store().size(), num_servers, threshold, threshold,
+              threshold - 1);
+
+  auto run = [&](const char* label) {
+    auto r = (*engine)->RunXPath(xpath);
+    if (!r.ok()) {
+      std::printf("  %-28s -> %s\n", label, r.status().ToString().c_str());
+      return;
+    }
+    std::printf("  %-28s -> %zu match(es), %zu failovers\n", label,
+                r->matches.size(), r->stats.server_failovers);
+  };
+
+  run("all servers up");
+  // Kill servers until exactly `threshold` remain: queries keep working,
+  // failing servers are replaced transparently mid-query.
+  for (int i = 0; i < num_servers - threshold; ++i) {
+    FaultConfig down;
+    down.fail_after_calls = 0;
+    (*engine)->InjectFaults(static_cast<size_t>(i), down);
+  }
+  run("down to t servers");
+  // One more failure leaves t-1: the query must fail cleanly, not lie.
+  FaultConfig down;
+  down.fail_after_calls = 0;
+  (*engine)->InjectFaults(static_cast<size_t>(num_servers - threshold), down);
+  run("below the threshold");
   return 0;
 }
 
@@ -142,6 +172,16 @@ int main(int argc, char** argv) {
     }
     return CmdQuery(argv[2], argv[3], argv[4], mode);
   }
+  if (cmd == "shamir" && argc >= 4) {
+    int num_servers = 5, threshold = 3;
+    for (int i = 4; i + 1 < argc; i += 2) {
+      if (std::strcmp(argv[i], "--servers") == 0)
+        num_servers = std::atoi(argv[i + 1]);
+      else if (std::strcmp(argv[i], "--threshold") == 0)
+        threshold = std::atoi(argv[i + 1]);
+    }
+    return CmdShamir(argv[2], argv[3], num_servers, threshold);
+  }
   if (cmd == "inspect" && argc == 3) {
     return CmdInspect(argv[2]);
   }
@@ -151,6 +191,8 @@ int main(int argc, char** argv) {
               "[passphrase]\n"
               "  polysse_cli query <store.bin> <client.key> <xpath> "
               "[--trusted|--optimistic]\n"
+              "  polysse_cli shamir <doc.xml> <xpath> [--servers N] "
+              "[--threshold t]\n"
               "  polysse_cli inspect <store.bin>\n\n");
   std::printf("running self-demo in /tmp ...\n");
   {
@@ -168,6 +210,8 @@ int main(int argc, char** argv) {
     if (rc != 0) return rc;
     rc = CmdQuery("/tmp/polysse_store.bin", "/tmp/polysse_client.key",
                   "//book", VerifyMode::kVerified);
+    if (rc != 0) return rc;
+    rc = CmdShamir("/tmp/polysse_demo.xml", "//book", 5, 3);
     if (rc != 0) return rc;
     return CmdInspect("/tmp/polysse_store.bin");
   }

@@ -3,12 +3,12 @@
 //
 //   $ ./quickstart
 //
-// Walks through the full §4 pipeline: parse -> outsource (tag map, poly
-// tree, share split) -> query //client -> verify answers.
+// Walks through the full §4 pipeline behind the polysse::Engine facade:
+// parse -> Outsource (tag map, poly tree, share split, endpoints) ->
+// query //client -> verify answers -> one batched multi-query round.
 #include <cstdio>
 
-#include "core/outsource.h"
-#include "core/query_session.h"
+#include "core/engine.h"
 #include "xml/xml_parser.h"
 
 int main() {
@@ -27,26 +27,26 @@ int main() {
   }
 
   // 2. Outsource. The client secret is a single 32-byte seed; everything
-  //    else (tag map, share polynomials) derives from it.
+  //    else (tag map, share polynomials) derives from it. The server side
+  //    sits behind a ServerEndpoint, so every message is a real protocol
+  //    exchange with byte accounting.
   DeterministicPrf seed = DeterministicPrf::FromString("quickstart-demo-seed");
-  auto deployment = OutsourceFp(*doc, seed);
-  if (!deployment.ok()) {
+  auto engine = FpEngine::Outsource(*doc, seed);
+  if (!engine.ok()) {
     std::fprintf(stderr, "outsource error: %s\n",
-                 deployment.status().ToString().c_str());
+                 engine.status().ToString().c_str());
     return 1;
   }
   std::printf("outsourced %zu elements, field p = %llu\n",
-              deployment->server.size(),
-              static_cast<unsigned long long>(deployment->ring.p()));
+              (*engine)->store().size(),
+              static_cast<unsigned long long>((*engine)->ring().p()));
   std::printf("server stores %zu bytes of share polynomials\n",
-              deployment->server.PersistedBytes());
+              (*engine)->store().PersistedBytes());
   std::printf("client keeps %zu bytes (seed + private tag map)\n\n",
-              deployment->client.PersistedBytes());
+              (*engine)->client().PersistedBytes());
 
   // 3. Query //client with untrusted-server verification (Eq. 3 checks).
-  QuerySession<FpCyclotomicRing> session(&deployment->client,
-                                         &deployment->server);
-  auto result = session.Lookup("client", VerifyMode::kVerified);
+  auto result = (*engine)->Lookup("client", VerifyMode::kVerified);
   if (!result.ok()) {
     std::fprintf(stderr, "query error: %s\n",
                  result.status().ToString().c_str());
@@ -63,6 +63,23 @@ int main() {
               s.nodes_visited, s.total_server_nodes, s.server_evals,
               s.transport.bytes_up, s.transport.bytes_down, s.reconstructions);
   std::printf("the server never saw: tag names, the query word, or which "
-              "nodes matched.\n");
+              "nodes matched.\n\n");
+
+  // 4. Batched execution: many concurrent queries share one BFS walk.
+  std::vector<Query> batch = {{"client", VerifyMode::kVerified},
+                              {"name", VerifyMode::kVerified},
+                              {"customers", VerifyMode::kOptimistic}};
+  auto multi = (*engine)->RunQueries(batch);
+  if (!multi.ok()) {
+    std::fprintf(stderr, "batch error: %s\n",
+                 multi.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("batched %zu queries in %zu shared protocol rounds:\n",
+              batch.size(), multi->stats.rounds);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::printf("  //%s -> %zu match(es)\n", batch[i].tag.c_str(),
+                multi->per_tag[i].matches.size());
+  }
   return 0;
 }

@@ -5,8 +5,7 @@
 //   $ ./ring_comparison
 #include <cstdio>
 
-#include "core/outsource.h"
-#include "core/query_session.h"
+#include "core/engine.h"
 #include "core/storage_model.h"
 #include "xml/xml_generator.h"
 
@@ -21,28 +20,27 @@ int main() {
   XmlNode doc = GenerateXmlTree(gen);
   DeterministicPrf seed = DeterministicPrf::FromString("ring-comparison");
 
-  auto fp_dep = OutsourceFp(doc, seed);
-  auto z_dep = OutsourceZ(doc, seed);
+  auto fp_dep = FpEngine::Outsource(doc, seed);
+  auto z_dep = ZEngine::Outsource(doc, seed);
   if (!fp_dep.ok() || !z_dep.ok()) {
     std::fprintf(stderr, "outsource failed\n");
     return 1;
   }
 
-  StorageReport fp_report = MeasureStorage(fp_dep->ring, doc, fp_dep->server);
-  StorageReport z_report =
-      MeasureStorage(z_dep->ring, doc, z_dep->server, fp_dep->ring.p());
+  StorageReport fp_report =
+      MeasureStorage((*fp_dep)->ring(), doc, (*fp_dep)->store());
+  StorageReport z_report = MeasureStorage((*z_dep)->ring(), doc,
+                                          (*z_dep)->store(),
+                                          (*fp_dep)->ring().p());
   std::printf("%s\n%s\n%s\n\n", StorageReportHeader().c_str(),
               StorageReportRow(fp_report, "Fp ring").c_str(),
               StorageReportRow(z_report, "Z[x]/(x^2+1)").c_str());
 
-  QuerySession<FpCyclotomicRing> fp_session(&fp_dep->client, &fp_dep->server);
-  QuerySession<ZQuotientRing> z_session(&z_dep->client, &z_dep->server);
-
   std::printf("%-10s | %10s %12s | %10s %12s\n", "query", "Fp:visited",
               "Fp:bytes_dn", "Z:visited", "Z:bytes_dn");
   for (const std::string& tag : doc.DistinctTags()) {
-    auto fr = fp_session.Lookup(tag, VerifyMode::kVerified);
-    auto zr = z_session.Lookup(tag, VerifyMode::kVerified);
+    auto fr = (*fp_dep)->Lookup(tag, VerifyMode::kVerified);
+    auto zr = (*z_dep)->Lookup(tag, VerifyMode::kVerified);
     if (!fr.ok() || !zr.ok()) continue;
     std::printf("//%-8s | %10zu %12zu | %10zu %12zu   (matches: %zu)\n",
                 tag.c_str(), fr->stats.nodes_visited,
@@ -58,6 +56,6 @@ int main() {
               "node but each coefficient\ngrows with the tree (max %zu bits "
               "here), while the Fp ring stores p-1 = %llu small ones.\n",
               z_report.max_coeff_bits,
-              static_cast<unsigned long long>(fp_dep->ring.p() - 1));
+              static_cast<unsigned long long>((*fp_dep)->ring().p() - 1));
   return 0;
 }

@@ -1,0 +1,155 @@
+#include "core/endpoint.h"
+
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+
+namespace polysse {
+
+Result<std::vector<uint8_t>> DispatchSerialized(
+    ServerHandler* handler, MessageKind kind,
+    std::span<const uint8_t> request_bytes) {
+  ByteReader in(request_bytes);
+  ByteWriter out;
+  switch (kind) {
+    case MessageKind::kEval: {
+      ASSIGN_OR_RETURN(EvalRequest req, EvalRequest::Deserialize(&in));
+      ASSIGN_OR_RETURN(EvalResponse resp, handler->HandleEval(req));
+      resp.Serialize(&out);
+      break;
+    }
+    case MessageKind::kFetch: {
+      ASSIGN_OR_RETURN(FetchRequest req, FetchRequest::Deserialize(&in));
+      ASSIGN_OR_RETURN(FetchResponse resp, handler->HandleFetch(req));
+      resp.Serialize(&out);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown message kind");
+  }
+  return out.Take();
+}
+
+// ------------------------------------------------------------- in-process
+
+Result<EvalResponse> InProcessEndpoint::Eval(const EvalRequest& req) {
+  ++counters_.messages_up;
+  ASSIGN_OR_RETURN(EvalResponse resp, handler_->HandleEval(req));
+  ++counters_.messages_down;
+  return resp;
+}
+
+Result<FetchResponse> InProcessEndpoint::Fetch(const FetchRequest& req) {
+  ++counters_.messages_up;
+  ASSIGN_OR_RETURN(FetchResponse resp, handler_->HandleFetch(req));
+  ++counters_.messages_down;
+  return resp;
+}
+
+// --------------------------------------------------------------- loopback
+
+Result<EvalResponse> LoopbackEndpoint::Eval(const EvalRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  counters_.bytes_up += up.size();
+  ++counters_.messages_up;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> down,
+                   DispatchSerialized(handler_, MessageKind::kEval, up.span()));
+  counters_.bytes_down += down.size();
+  ++counters_.messages_down;
+  ByteReader down_r(down);
+  return EvalResponse::Deserialize(&down_r);
+}
+
+Result<FetchResponse> LoopbackEndpoint::Fetch(const FetchRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  counters_.bytes_up += up.size();
+  ++counters_.messages_up;
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> down,
+      DispatchSerialized(handler_, MessageKind::kFetch, up.span()));
+  counters_.bytes_down += down.size();
+  ++counters_.messages_down;
+  ByteReader down_r(down);
+  return FetchResponse::Deserialize(&down_r);
+}
+
+// --------------------------------------------------------- fault injection
+
+Status FaultInjectingEndpoint::Admit() {
+  if (calls_ >= config_.fail_after_calls)
+    return Status::Unavailable("server unreachable (injected fault)");
+  ++calls_;
+  if (config_.latency_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.latency_us));
+  return Status::Ok();
+}
+
+namespace {
+
+/// Re-encode, flip one byte, re-decode. Position rotates with `salt` so
+/// repeated calls corrupt different offsets.
+template <typename Msg>
+Result<Msg> CorruptBytes(const Msg& msg, size_t salt) {
+  ByteWriter w;
+  msg.Serialize(&w);
+  std::vector<uint8_t> bytes = w.Take();
+  if (!bytes.empty()) bytes[salt % bytes.size()] ^= 0x40;
+  ByteReader r(bytes);
+  return Msg::Deserialize(&r);
+}
+
+}  // namespace
+
+Result<EvalResponse> FaultInjectingEndpoint::Eval(const EvalRequest& req) {
+  RETURN_IF_ERROR(Admit());
+  ASSIGN_OR_RETURN(EvalResponse resp, inner_->Eval(req));
+  if (config_.tamper_eval) config_.tamper_eval(resp);
+  if (config_.corrupt_response_bytes) return CorruptBytes(resp, calls_);
+  return resp;
+}
+
+Result<FetchResponse> FaultInjectingEndpoint::Fetch(const FetchRequest& req) {
+  RETURN_IF_ERROR(Admit());
+  ASSIGN_OR_RETURN(FetchResponse resp, inner_->Fetch(req));
+  if (config_.tamper_fetch) config_.tamper_fetch(resp);
+  if (config_.corrupt_response_bytes) return CorruptBytes(resp, calls_);
+  return resp;
+}
+
+// ----------------------------------------------------------- group checks
+
+Status EndpointGroup::Validate() const {
+  if (endpoints.empty())
+    return Status::InvalidArgument("endpoint group needs at least one server");
+  for (const ServerEndpoint* ep : endpoints) {
+    if (ep == nullptr)
+      return Status::InvalidArgument("null endpoint in group");
+  }
+  switch (scheme) {
+    case ShareScheme::kTwoParty:
+      if (endpoints.size() != 1)
+        return Status::InvalidArgument("two-party scheme takes one server");
+      return Status::Ok();
+    case ShareScheme::kAdditive:
+      return Status::Ok();
+    case ShareScheme::kShamir: {
+      if (threshold < 1 || static_cast<size_t>(threshold) > endpoints.size())
+        return Status::InvalidArgument("Shamir threshold out of range");
+      if (shamir_x.size() != endpoints.size())
+        return Status::InvalidArgument(
+            "Shamir group needs one x coordinate per endpoint");
+      std::unordered_set<uint64_t> seen;
+      for (uint64_t x : shamir_x) {
+        if (x == 0 || !seen.insert(x).second)
+          return Status::InvalidArgument(
+              "Shamir x coordinates must be distinct and nonzero");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown share scheme");
+}
+
+}  // namespace polysse

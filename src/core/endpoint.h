@@ -1,0 +1,197 @@
+// Transport abstraction between the thin client and its untrusted servers.
+//
+// The §4.3 protocol is a message exchange, and §4.2 generalizes it to
+// k-of-n multi-server deployments — so the client-side query logic talks to
+// a ServerEndpoint (a message port carrying the EvalRequest/FetchRequest
+// codecs) instead of a concrete in-process store. Three implementations:
+//
+//   * InProcessEndpoint      — direct handler calls, zero-copy fast path
+//                              (messages counted, no bytes serialized);
+//   * LoopbackEndpoint       — serializes every message both ways, so byte
+//                              counters report real wire costs and the codecs
+//                              are exercised on every query (the historical
+//                              behavior of QuerySession);
+//   * FaultInjectingEndpoint — decorator adding latency, hard failures and
+//                              response tampering for cheating-server and
+//                              k-of-n-with-failures scenarios.
+//
+// A real network server would pair a socket loop with DispatchSerialized():
+// bytes in, bytes out, nothing else crosses the trust boundary.
+#ifndef POLYSSE_CORE_ENDPOINT_H_
+#define POLYSSE_CORE_ENDPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/protocol.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace polysse {
+
+/// Server side of the wire protocol: answers the two request types. A
+/// ServerStore implements this over one share tree; any scheme whose
+/// per-server state is "a tree of polynomials" (2-party, additive k-server,
+/// Shamir t-of-n) serves through the same interface.
+class ServerHandler {
+ public:
+  virtual ~ServerHandler() = default;
+  virtual Result<EvalResponse> HandleEval(const EvalRequest& req) = 0;
+  virtual Result<FetchResponse> HandleFetch(const FetchRequest& req) = 0;
+};
+
+/// Wire message discriminator for the serialized dispatch path.
+enum class MessageKind : uint8_t {
+  kEval = 1,
+  kFetch = 2,
+};
+
+/// Bytes-in/bytes-out server dispatch: decode the request, run the handler,
+/// encode the response. The receive loop of a network deployment.
+Result<std::vector<uint8_t>> DispatchSerialized(
+    ServerHandler* handler, MessageKind kind,
+    std::span<const uint8_t> request_bytes);
+
+/// Client-side message port to one server. Implementations decide whether
+/// the typed messages actually cross a serialization boundary; `counters()`
+/// reports whatever bytes/messages did.
+class ServerEndpoint {
+ public:
+  virtual ~ServerEndpoint() = default;
+
+  virtual Result<EvalResponse> Eval(const EvalRequest& req) = 0;
+  virtual Result<FetchResponse> Fetch(const FetchRequest& req) = 0;
+
+  /// Cumulative wire-cost counters since construction.
+  virtual const TransportCounters& counters() const { return counters_; }
+
+ protected:
+  TransportCounters counters_;
+};
+
+/// Direct handler calls — the zero-copy fast path for servers living in the
+/// client's process. Messages are counted; no bytes are moved.
+class InProcessEndpoint final : public ServerEndpoint {
+ public:
+  explicit InProcessEndpoint(ServerHandler* handler) : handler_(handler) {}
+
+  Result<EvalResponse> Eval(const EvalRequest& req) override;
+  Result<FetchResponse> Fetch(const FetchRequest& req) override;
+
+ private:
+  ServerHandler* handler_;
+};
+
+/// Serializes every message in both directions through DispatchSerialized,
+/// so byte counters are real and the codecs run on every query.
+class LoopbackEndpoint final : public ServerEndpoint {
+ public:
+  explicit LoopbackEndpoint(ServerHandler* handler) : handler_(handler) {}
+
+  Result<EvalResponse> Eval(const EvalRequest& req) override;
+  Result<FetchResponse> Fetch(const FetchRequest& req) override;
+
+ private:
+  ServerHandler* handler_;
+};
+
+/// What a FaultInjectingEndpoint does to its inner endpoint's traffic.
+struct FaultConfig {
+  /// Calls answered before the server "dies"; later calls fail with
+  /// Unavailable. 0 = dead from the start (k-of-n failure scenarios).
+  size_t fail_after_calls = SIZE_MAX;
+  /// Sleep per call, simulating network latency (microseconds).
+  uint32_t latency_us = 0;
+  /// Flip one byte of every serialized response — garbage on the wire; the
+  /// client must fail cleanly, never crash.
+  bool corrupt_response_bytes = false;
+  /// Structured response rewrites: a cheating server altering decoded
+  /// messages (e.g. adding (x-e)·c to a fetched share so evaluations still
+  /// look right). Applied after the inner endpoint answers.
+  std::function<void(EvalResponse&)> tamper_eval;
+  std::function<void(FetchResponse&)> tamper_fetch;
+};
+
+/// Decorator over another endpoint adding configurable faults. Composes
+/// over either transport kind.
+class FaultInjectingEndpoint final : public ServerEndpoint {
+ public:
+  FaultInjectingEndpoint(ServerEndpoint* inner, FaultConfig config)
+      : inner_(inner), config_(std::move(config)) {}
+
+  Result<EvalResponse> Eval(const EvalRequest& req) override;
+  Result<FetchResponse> Fetch(const FetchRequest& req) override;
+
+  const TransportCounters& counters() const override {
+    return inner_->counters();
+  }
+
+  /// Mutable mid-run: tests flip faults on after a healthy warm-up.
+  FaultConfig& config() { return config_; }
+  size_t calls() const { return calls_; }
+
+ private:
+  /// Shared pre-call gate: death check + latency. Unavailable once dead.
+  Status Admit();
+
+  ServerEndpoint* inner_;
+  FaultConfig config_;
+  size_t calls_ = 0;
+};
+
+/// How the per-server contributions recombine client-side (§4.2 and its
+/// closing multi-server generalization).
+enum class ShareScheme {
+  /// One server; the client adds its own PRF-derived share (the paper's
+  /// baseline client/server split).
+  kTwoParty,
+  /// k servers, all required (k+1-of-k+1 additive with the client).
+  kAdditive,
+  /// Shamir t-of-n over the F_p ring: any `threshold` servers answer via
+  /// Lagrange interpolation; the client holds no share of its own.
+  kShamir,
+};
+
+/// One logical server group a query session talks to: the endpoints plus
+/// the recombination scheme. Endpoints are borrowed, not owned.
+struct EndpointGroup {
+  ShareScheme scheme = ShareScheme::kTwoParty;
+  std::vector<ServerEndpoint*> endpoints;
+  /// Shamir only: each endpoint's evaluation point x_s (distinct, nonzero).
+  std::vector<uint64_t> shamir_x;
+  /// Shamir only: how many servers must answer.
+  int threshold = 0;
+
+  static EndpointGroup TwoParty(ServerEndpoint* endpoint) {
+    EndpointGroup g;
+    g.scheme = ShareScheme::kTwoParty;
+    g.endpoints = {endpoint};
+    return g;
+  }
+  static EndpointGroup Additive(std::vector<ServerEndpoint*> endpoints) {
+    EndpointGroup g;
+    g.scheme = ShareScheme::kAdditive;
+    g.endpoints = std::move(endpoints);
+    return g;
+  }
+  /// Servers sit at x = 1..n, matching SplitSharesShamir.
+  static EndpointGroup Shamir(std::vector<ServerEndpoint*> endpoints,
+                              int threshold) {
+    EndpointGroup g;
+    g.scheme = ShareScheme::kShamir;
+    g.endpoints = std::move(endpoints);
+    g.threshold = threshold;
+    g.shamir_x.reserve(g.endpoints.size());
+    for (size_t s = 0; s < g.endpoints.size(); ++s)
+      g.shamir_x.push_back(s + 1);
+    return g;
+  }
+
+  Status Validate() const;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_ENDPOINT_H_

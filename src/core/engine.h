@@ -1,0 +1,306 @@
+// The library's front door: one facade over outsourcing, transports,
+// querying and persistence.
+//
+//   auto engine = FpEngine::Outsource(doc, seed).value();        // 2-party
+//   auto r = engine->Lookup("client", VerifyMode::kVerified);
+//
+//   FpEngine::Deploy deploy;                                     // t-of-n
+//   deploy.scheme = ShareScheme::kShamir;
+//   deploy.num_servers = 5;
+//   deploy.threshold = 3;
+//   auto ms = FpEngine::Outsource(doc, seed, deploy).value();
+//
+//   engine->RunQueries(queries);   // batched: one shared BFS walk answers
+//                                  // many concurrent //tag queries
+//
+// The engine owns the demo-grade server side (one ServerStore per server,
+// fronted by InProcess or Loopback endpoints); a networked deployment would
+// instead hand QuerySession endpoints that speak to remote processes via
+// DispatchSerialized. Replaces the scattered OutsourceFp/OutsourceZ +
+// ClientContext + QuerySession + persistence entry points, which remain as
+// thin deprecated shims for one release.
+#ifndef POLYSSE_CORE_ENGINE_H_
+#define POLYSSE_CORE_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/endpoint.h"
+#include "core/multi_server.h"
+#include "core/outsource.h"
+#include "core/persistence.h"
+#include "core/query_session.h"
+#include "core/server_store.h"
+#include "core/sharing.h"
+#include "nt/primes.h"
+#include "xpath/xpath.h"
+
+namespace polysse {
+
+/// Which transport fronts the engine-owned in-process servers.
+enum class EndpointKind {
+  /// Serialize every message both ways: real byte counters, codecs
+  /// exercised on every query (the measured-deployment default).
+  kLoopback,
+  /// Direct handler calls — zero-copy fast path for embedded use.
+  kInProcess,
+};
+
+/// Facade-level name for one element lookup of a batch.
+using Query = TagQuery;
+
+template <typename Ring>
+class Engine {
+ public:
+  /// Ring-specific outsourcing knobs (field size / modulus polynomial).
+  using OutsourceOptions =
+      std::conditional_t<std::is_same_v<Ring, FpCyclotomicRing>,
+                         FpOutsourceOptions, ZOutsourceOptions>;
+
+  /// Server-side deployment shape.
+  struct Deploy {
+    ShareScheme scheme = ShareScheme::kTwoParty;
+    /// Additive: k (all required). Shamir: n.
+    int num_servers = 1;
+    /// Shamir: t servers needed to answer; 0 means all of them.
+    int threshold = 0;
+    EndpointKind transport = EndpointKind::kLoopback;
+  };
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Document in, live deployment out: tag map, polynomial tree, share
+  /// split across the requested server scheme, endpoints, query session.
+  /// The client side stays thin — everything it keeps derives from `seed`
+  /// plus the private tag map.
+  static Result<std::unique_ptr<Engine>> Outsource(
+      const XmlNode& document, const DeterministicPrf& seed,
+      const Deploy& deploy = {}, const OutsourceOptions& options = {}) {
+    OutsourceOptions effective = options;
+    if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
+      // Shamir party points live at x = 1..n inside F_p, so the
+      // auto-selected field must leave room for every server too.
+      if (deploy.scheme == ShareScheme::kShamir && effective.p == 0) {
+        effective.p = NextPrime(
+            std::max(PrimeForAlphabet(document.DistinctTags().size()),
+                     static_cast<uint64_t>(deploy.num_servers) + 1));
+      }
+    }
+    ASSIGN_OR_RETURN(PreparedOutsource<Ring> prep,
+                     PrepareOutsource(document, seed, effective));
+    std::vector<PolyTree<Ring>> trees;
+    switch (deploy.scheme) {
+      case ShareScheme::kTwoParty: {
+        if (deploy.num_servers != 1)
+          return Status::InvalidArgument("two-party scheme takes one server");
+        SharedTrees<Ring> shares =
+            SplitShares(prep.ring, prep.data, seed, prep.split_options);
+        trees.push_back(std::move(shares.server));
+        break;
+      }
+      case ShareScheme::kAdditive: {
+        ASSIGN_OR_RETURN(
+            trees, SplitSharesAcrossServers(prep.ring, prep.data, seed,
+                                            deploy.num_servers,
+                                            prep.split_options));
+        break;
+      }
+      case ShareScheme::kShamir: {
+        if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
+          ChaChaRng rng = seed.Stream("shamir-split");
+          ASSIGN_OR_RETURN(
+              trees, SplitSharesShamir(prep.ring, prep.data,
+                                       EffectiveThreshold(deploy),
+                                       deploy.num_servers, rng));
+        } else {
+          return Status::Unimplemented("Shamir t-of-n requires the F_p ring");
+        }
+        break;
+      }
+    }
+    auto engine = std::unique_ptr<Engine>(new Engine(
+        prep.ring,
+        ClientContext<Ring>::SeedOnly(prep.ring, std::move(prep.tag_map),
+                                      seed, prep.split_options),
+        seed));
+    for (PolyTree<Ring>& tree : trees) {
+      engine->stores_.push_back(
+          std::make_unique<ServerStore<Ring>>(engine->ring_, std::move(tree)));
+    }
+    RETURN_IF_ERROR(engine->AttachEndpoints(deploy.transport, deploy.scheme,
+                                            EffectiveThreshold(deploy)));
+    return engine;
+  }
+
+  /// Reopens a persisted two-party deployment: the server's share store
+  /// file plus the client's secret key file (seed + tag map).
+  static Result<std::unique_ptr<Engine>> Open(
+      const std::string& store_path, const std::string& key_path,
+      EndpointKind transport = EndpointKind::kLoopback) {
+    ASSIGN_OR_RETURN(std::vector<uint8_t> store_bytes,
+                     ReadFileBytes(store_path));
+    ByteReader store_reader(store_bytes);
+    auto store_or = [&] {
+      if constexpr (std::is_same_v<Ring, FpCyclotomicRing>)
+        return LoadFpServerStore(&store_reader);
+      else
+        return LoadZServerStore(&store_reader);
+    }();
+    RETURN_IF_ERROR(store_or.status());
+
+    ASSIGN_OR_RETURN(std::vector<uint8_t> key_bytes, ReadFileBytes(key_path));
+    ByteReader key_reader(key_bytes);
+    ASSIGN_OR_RETURN(ClientSecretFile key,
+                     ClientSecretFile::Deserialize(&key_reader));
+    ShareSplitOptions split_options;
+    split_options.z_coeff_bits = key.z_coeff_bits;
+    DeterministicPrf prf(key.seed);
+
+    Ring ring = store_or->ring();
+    auto engine = std::unique_ptr<Engine>(new Engine(
+        ring,
+        ClientContext<Ring>::SeedOnly(ring, std::move(key.tag_map), prf,
+                                      split_options),
+        prf));
+    engine->stores_.push_back(
+        std::make_unique<ServerStore<Ring>>(std::move(*store_or)));
+    RETURN_IF_ERROR(engine->AttachEndpoints(transport, ShareScheme::kTwoParty,
+                                            /*threshold=*/0));
+    return engine;
+  }
+
+  /// Persists a two-party deployment as {server store file, client key
+  /// file}. Multi-server persistence is intentionally out of scope here: a
+  /// real k-of-n deployment hands each server ITS OWN store file, which is
+  /// just SaveServerStore on each `store(i)`.
+  Status Save(const std::string& store_path,
+              const std::string& key_path) const {
+    if (group_.scheme != ShareScheme::kTwoParty)
+      return Status::FailedPrecondition(
+          "Save covers two-party deployments; save multi-server stores "
+          "individually via SaveServerStore(store(i))");
+    ByteWriter store_bytes;
+    SaveServerStore(*stores_[0], &store_bytes);
+    RETURN_IF_ERROR(WriteFileBytes(store_path, store_bytes.span()));
+    ClientSecretFile key;
+    key.seed = seed_.seed();
+    key.tag_map = client_.tag_map();
+    key.z_coeff_bits = client_.split_options().z_coeff_bits;
+    ByteWriter key_bytes;
+    key.Serialize(&key_bytes);
+    return WriteFileBytes(key_path, key_bytes.span());
+  }
+
+  // ------------------------------------------------------------- queries
+
+  /// Element lookup //tag.
+  Result<LookupResult> Lookup(std::string_view tag,
+                              VerifyMode mode = VerifyMode::kVerified) {
+    return session_->Lookup(tag, mode);
+  }
+
+  /// Batched multi-query execution: the BFS frontiers of all queries
+  /// coalesce into shared EvalRequests per round — one server pass
+  /// evaluates the union of points × nodes, so 16 concurrent queries cost
+  /// far fewer round trips than 16 sequential walks.
+  Result<MultiLookupResult> RunQueries(std::span<const Query> queries) {
+    return session_->LookupBatch(
+        std::vector<Query>(queries.begin(), queries.end()));
+  }
+
+  /// Advanced XPath query (§4.3).
+  Result<LookupResult> RunXPath(
+      std::string_view xpath,
+      XPathStrategy strategy = XPathStrategy::kAllAtOnce,
+      VerifyMode mode = VerifyMode::kVerified) {
+    ASSIGN_OR_RETURN(XPathQuery query, XPathQuery::Parse(std::string(xpath)));
+    return session_->EvaluateXPath(query, strategy, mode);
+  }
+
+  // -------------------------------------------------------- introspection
+
+  const Ring& ring() const { return ring_; }
+  const ClientContext<Ring>& client() const { return client_; }
+  ShareScheme scheme() const { return group_.scheme; }
+  size_t num_servers() const { return stores_.size(); }
+  const ServerStore<Ring>& store(size_t i = 0) const { return *stores_[i]; }
+  /// The session, for callers needing the full §4.3 API surface.
+  QuerySession<Ring>& session() { return *session_; }
+  const QueryStats& last_stats() const { return session_->last_stats(); }
+
+  /// Wraps server `i`'s endpoint in a FaultInjectingEndpoint (latency,
+  /// failures, tampering) and returns it for mid-run reconfiguration, or
+  /// null when `i` is not a server index. Composable: wrapping twice
+  /// stacks faults.
+  FaultInjectingEndpoint* InjectFaults(size_t i, FaultConfig config) {
+    if (i >= group_.endpoints.size()) return nullptr;
+    faults_.push_back(std::make_unique<FaultInjectingEndpoint>(
+        group_.endpoints[i], std::move(config)));
+    group_.endpoints[i] = faults_.back().get();
+    RebuildSession();
+    return faults_.back().get();
+  }
+
+ private:
+  Engine(Ring ring, ClientContext<Ring> client, DeterministicPrf seed)
+      : ring_(std::move(ring)),
+        client_(std::move(client)),
+        seed_(std::move(seed)) {}
+
+  static int EffectiveThreshold(const Deploy& deploy) {
+    return deploy.threshold > 0 ? deploy.threshold : deploy.num_servers;
+  }
+
+  Status AttachEndpoints(EndpointKind kind, ShareScheme scheme,
+                         int threshold) {
+    std::vector<ServerEndpoint*> eps;
+    for (const auto& store : stores_) {
+      if (kind == EndpointKind::kLoopback) {
+        endpoints_.push_back(std::make_unique<LoopbackEndpoint>(store.get()));
+      } else {
+        endpoints_.push_back(std::make_unique<InProcessEndpoint>(store.get()));
+      }
+      eps.push_back(endpoints_.back().get());
+    }
+    switch (scheme) {
+      case ShareScheme::kTwoParty:
+        group_ = EndpointGroup::TwoParty(eps[0]);
+        break;
+      case ShareScheme::kAdditive:
+        group_ = EndpointGroup::Additive(std::move(eps));
+        break;
+      case ShareScheme::kShamir:
+        group_ = EndpointGroup::Shamir(std::move(eps), threshold);
+        break;
+    }
+    RETURN_IF_ERROR(group_.Validate());
+    RebuildSession();
+    return Status::Ok();
+  }
+
+  void RebuildSession() {
+    session_ = std::make_unique<QuerySession<Ring>>(&client_, group_);
+  }
+
+  Ring ring_;
+  ClientContext<Ring> client_;
+  DeterministicPrf seed_;
+  std::vector<std::unique_ptr<ServerStore<Ring>>> stores_;
+  std::vector<std::unique_ptr<ServerEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<FaultInjectingEndpoint>> faults_;
+  EndpointGroup group_;
+  std::unique_ptr<QuerySession<Ring>> session_;
+};
+
+using FpEngine = Engine<FpCyclotomicRing>;
+using ZEngine = Engine<ZQuotientRing>;
+
+}  // namespace polysse
+
+#endif  // POLYSSE_CORE_ENGINE_H_

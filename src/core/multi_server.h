@@ -68,7 +68,21 @@ inline uint64_t CombineAdditiveEvals(uint64_t modulus, uint64_t client_eval,
   return static_cast<uint64_t>(sum % modulus);
 }
 
+/// Shamir t-of-n split of an F_p data tree into n ordinary share trees —
+/// the form every ServerStore serves over the wire protocol. Server s
+/// (s = 0..n-1, evaluation point x = s+1) receives, per node, the
+/// polynomial whose j-th coefficient is its Shamir share of the data
+/// polynomial's j-th coefficient; by linearity, evaluating that share
+/// polynomial at e yields the server's Shamir share of f(e), and any
+/// `threshold` servers reconstruct f(e) — or, coefficient-wise, f itself —
+/// via LagrangeWeightsAtZero. The client holds no share of its own.
+Result<std::vector<PolyTree<FpCyclotomicRing>>> SplitSharesShamir(
+    const FpCyclotomicRing& ring, const PolyTree<FpCyclotomicRing>& data,
+    int threshold, int num_servers, ChaChaRng& rng);
+
 /// Pure t-of-n Shamir sharing of an F_p polynomial tree.
+/// DEPRECATED: superseded by SplitSharesShamir + ServerStore + endpoints
+/// (see core/engine.h), which run t-of-n through the real wire protocol.
 class ShamirMultiServer {
  public:
   /// One server's view: a tree of share polynomials (same shape as data).

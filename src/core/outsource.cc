@@ -5,9 +5,9 @@
 
 namespace polysse {
 
-Result<FpDeployment> OutsourceFp(const XmlNode& document,
-                                 const DeterministicPrf& seed,
-                                 const FpOutsourceOptions& options) {
+Result<PreparedOutsource<FpCyclotomicRing>> PrepareOutsource(
+    const XmlNode& document, const DeterministicPrf& seed,
+    const FpOutsourceOptions& options) {
   std::vector<std::string> tags = document.DistinctTags();
   const uint64_t p =
       options.p != 0 ? options.p : PrimeForAlphabet(tags.size());
@@ -20,17 +20,13 @@ Result<FpDeployment> OutsourceFp(const XmlNode& document,
 
   ASSIGN_OR_RETURN(PolyTree<FpCyclotomicRing> data,
                    BuildPolyTree(ring, tag_map, document));
-  SharedTrees<FpCyclotomicRing> shares = SplitShares(ring, data, seed);
-
-  return FpDeployment{
-      ring,
-      ClientContext<FpCyclotomicRing>::SeedOnly(ring, std::move(tag_map), seed),
-      ServerStore<FpCyclotomicRing>(ring, std::move(shares.server))};
+  return PreparedOutsource<FpCyclotomicRing>{ring, std::move(tag_map),
+                                             std::move(data), {}};
 }
 
-Result<ZDeployment> OutsourceZ(const XmlNode& document,
-                               const DeterministicPrf& seed,
-                               const ZOutsourceOptions& options) {
+Result<PreparedOutsource<ZQuotientRing>> PrepareOutsource(
+    const XmlNode& document, const DeterministicPrf& seed,
+    const ZOutsourceOptions& options) {
   ASSIGN_OR_RETURN(ZQuotientRing ring, ZQuotientRing::Create(options.r));
 
   std::vector<std::string> tags = document.DistinctTags();
@@ -53,14 +49,38 @@ Result<ZDeployment> OutsourceZ(const XmlNode& document,
                    BuildPolyTree(ring, tag_map, document));
   ShareSplitOptions split_options;
   split_options.z_coeff_bits = options.coeff_bits;
+  return PreparedOutsource<ZQuotientRing>{ring, std::move(tag_map),
+                                          std::move(data), split_options};
+}
+
+Result<FpDeployment> OutsourceFp(const XmlNode& document,
+                                 const DeterministicPrf& seed,
+                                 const FpOutsourceOptions& options) {
+  ASSIGN_OR_RETURN(PreparedOutsource<FpCyclotomicRing> prep,
+                   PrepareOutsource(document, seed, options));
+  SharedTrees<FpCyclotomicRing> shares = SplitShares(prep.ring, prep.data, seed);
+
+  return FpDeployment{
+      prep.ring,
+      ClientContext<FpCyclotomicRing>::SeedOnly(prep.ring,
+                                                std::move(prep.tag_map), seed),
+      ServerStore<FpCyclotomicRing>(prep.ring, std::move(shares.server))};
+}
+
+Result<ZDeployment> OutsourceZ(const XmlNode& document,
+                               const DeterministicPrf& seed,
+                               const ZOutsourceOptions& options) {
+  ASSIGN_OR_RETURN(PreparedOutsource<ZQuotientRing> prep,
+                   PrepareOutsource(document, seed, options));
   SharedTrees<ZQuotientRing> shares =
-      SplitShares(ring, data, seed, split_options);
+      SplitShares(prep.ring, prep.data, seed, prep.split_options);
 
   return ZDeployment{
-      ring,
-      ClientContext<ZQuotientRing>::SeedOnly(ring, std::move(tag_map), seed,
-                                             split_options),
-      ServerStore<ZQuotientRing>(ring, std::move(shares.server))};
+      prep.ring,
+      ClientContext<ZQuotientRing>::SeedOnly(prep.ring,
+                                             std::move(prep.tag_map), seed,
+                                             prep.split_options),
+      ServerStore<ZQuotientRing>(prep.ring, std::move(shares.server))};
 }
 
 }  // namespace polysse

@@ -25,15 +25,33 @@ struct FpOutsourceOptions {
 };
 
 /// A complete 2-party deployment over the F_p ring.
+/// DEPRECATED shim: new code should use polysse::Engine (core/engine.h),
+/// which also covers multi-server schemes, batching and persistence.
 struct FpDeployment {
   FpCyclotomicRing ring;
   ClientContext<FpCyclotomicRing> client;
   ServerStore<FpCyclotomicRing> server;
 };
 
+/// The plaintext-side artifacts every deployment shape starts from: ring,
+/// private tag map and the reduced data tree, before any share split. The
+/// Engine uses this to split across whichever server scheme is requested.
+template <typename Ring>
+struct PreparedOutsource {
+  Ring ring;
+  TagMap tag_map;
+  PolyTree<Ring> data;
+  ShareSplitOptions split_options;
+};
+
+Result<PreparedOutsource<FpCyclotomicRing>> PrepareOutsource(
+    const XmlNode& document, const DeterministicPrf& seed,
+    const FpOutsourceOptions& options = {});
+
 /// Builds tag map, polynomial tree and share split for `document`; the
 /// client side is seed-only (thin) — it can answer queries with nothing but
 /// `seed` and the returned tag map.
+/// DEPRECATED shim over PrepareOutsource + SplitShares; see core/engine.h.
 Result<FpDeployment> OutsourceFp(const XmlNode& document,
                                  const DeterministicPrf& seed,
                                  const FpOutsourceOptions& options = {});
@@ -54,12 +72,18 @@ struct ZOutsourceOptions {
 };
 
 /// A complete 2-party deployment over the Z[x]/(r) ring.
+/// DEPRECATED shim: see core/engine.h.
 struct ZDeployment {
   ZQuotientRing ring;
   ClientContext<ZQuotientRing> client;
   ServerStore<ZQuotientRing> server;
 };
 
+Result<PreparedOutsource<ZQuotientRing>> PrepareOutsource(
+    const XmlNode& document, const DeterministicPrf& seed,
+    const ZOutsourceOptions& options);
+
+/// DEPRECATED shim over PrepareOutsource + SplitShares; see core/engine.h.
 Result<ZDeployment> OutsourceZ(const XmlNode& document,
                                const DeterministicPrf& seed,
                                const ZOutsourceOptions& options = {});

@@ -8,6 +8,14 @@ constexpr uint64_t kMaxVectorLen = 1ull << 24;  // wire sanity bound
 Status BadLen(const char* what) {
   return Status::Corruption(std::string("absurd vector length in ") + what);
 }
+
+/// A claimed element count can never exceed the bytes left (every element
+/// is at least one byte on the wire) — rejecting up front keeps a corrupted
+/// length varint from turning into a giant allocation before the decode
+/// loop hits end-of-buffer.
+bool Plausible(uint64_t count, const ByteReader& in) {
+  return count <= kMaxVectorLen && count <= in.remaining();
+}
 }  // namespace
 
 void EvalRequest::Serialize(ByteWriter* out) const {
@@ -20,13 +28,13 @@ void EvalRequest::Serialize(ByteWriter* out) const {
 Result<EvalRequest> EvalRequest::Deserialize(ByteReader* in) {
   EvalRequest out;
   ASSIGN_OR_RETURN(uint64_t np, in->GetVarint64());
-  if (np > kMaxVectorLen) return BadLen("EvalRequest.points");
+  if (!Plausible(np, *in)) return BadLen("EvalRequest.points");
   out.points.resize(np);
   for (uint64_t i = 0; i < np; ++i) {
     ASSIGN_OR_RETURN(out.points[i], in->GetVarint64());
   }
   ASSIGN_OR_RETURN(uint64_t nn, in->GetVarint64());
-  if (nn > kMaxVectorLen) return BadLen("EvalRequest.node_ids");
+  if (!Plausible(nn, *in)) return BadLen("EvalRequest.node_ids");
   out.node_ids.resize(nn);
   for (uint64_t i = 0; i < nn; ++i) {
     ASSIGN_OR_RETURN(uint64_t id, in->GetVarint64());
@@ -50,20 +58,20 @@ void EvalResponse::Serialize(ByteWriter* out) const {
 Result<EvalResponse> EvalResponse::Deserialize(ByteReader* in) {
   EvalResponse out;
   ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
-  if (n > kMaxVectorLen) return BadLen("EvalResponse.entries");
+  if (!Plausible(n, *in)) return BadLen("EvalResponse.entries");
   out.entries.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     EvalEntry& e = out.entries[i];
     ASSIGN_OR_RETURN(uint64_t id, in->GetVarint64());
     e.node_id = static_cast<int32_t>(id);
     ASSIGN_OR_RETURN(uint64_t nv, in->GetVarint64());
-    if (nv > kMaxVectorLen) return BadLen("EvalEntry.values");
+    if (!Plausible(nv, *in)) return BadLen("EvalEntry.values");
     e.values.resize(nv);
     for (uint64_t k = 0; k < nv; ++k) {
       ASSIGN_OR_RETURN(e.values[k], in->GetVarint64());
     }
     ASSIGN_OR_RETURN(uint64_t nc, in->GetVarint64());
-    if (nc > kMaxVectorLen) return BadLen("EvalEntry.children");
+    if (!Plausible(nc, *in)) return BadLen("EvalEntry.children");
     e.children.resize(nc);
     for (uint64_t k = 0; k < nc; ++k) {
       ASSIGN_OR_RETURN(uint64_t c, in->GetVarint64());
@@ -87,7 +95,7 @@ Result<FetchRequest> FetchRequest::Deserialize(ByteReader* in) {
   if (mode > 1) return Status::Corruption("FetchRequest: unknown mode");
   out.mode = static_cast<FetchMode>(mode);
   ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
-  if (n > kMaxVectorLen) return BadLen("FetchRequest.node_ids");
+  if (!Plausible(n, *in)) return BadLen("FetchRequest.node_ids");
   out.node_ids.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     ASSIGN_OR_RETURN(uint64_t id, in->GetVarint64());
@@ -107,7 +115,7 @@ void FetchResponse::Serialize(ByteWriter* out) const {
 Result<FetchResponse> FetchResponse::Deserialize(ByteReader* in) {
   FetchResponse out;
   ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
-  if (n > kMaxVectorLen) return BadLen("FetchResponse.entries");
+  if (!Plausible(n, *in)) return BadLen("FetchResponse.entries");
   out.entries.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     ASSIGN_OR_RETURN(uint64_t id, in->GetVarint64());

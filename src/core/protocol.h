@@ -105,6 +105,7 @@ struct QueryStats {
   size_t consts_fetched = 0;
   size_t trusted_fallbacks = 0;  ///< const-only requests that needed full
   size_t false_positives_removed = 0;  ///< eval-filter hits rejected by t != e
+  size_t server_failovers = 0;  ///< Shamir: dead servers replaced mid-query
   TransportCounters transport;
 
   /// Fraction of the server tree touched (the §5 "small portion" claim).

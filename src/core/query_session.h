@@ -1,11 +1,12 @@
 // The query protocol of §4.3, client side. One QuerySession drives lookups
-// against one ServerStore through the serialized wire protocol:
+// against a group of ServerEndpoints through the serialized wire protocol:
 //
-//  * Element lookup //tag: top-down BFS; each round the server evaluates the
-//    frontier's share polynomials at e = map(tag), the client adds its own
-//    share evaluations, and only nodes whose combined value is 0 are
-//    expanded — dead branches are pruned without the server ever touching
-//    them (the paper's "smart index").
+//  * Element lookup //tag: top-down BFS; each round every live server
+//    evaluates the frontier's share polynomials at e = map(tag), the client
+//    combines the answers (adding its own share evaluations in the additive
+//    schemes, Lagrange-interpolating in Shamir t-of-n), and only nodes whose
+//    combined value is 0 are expanded — dead branches are pruned without any
+//    server ever touching them (the paper's "smart index").
 //  * Answer determination: a zero node with no zero child is a definite
 //    match; other zero nodes are disambiguated by reconstructing the node's
 //    tag via Theorems 1/2 (which simultaneously verifies an untrusted
@@ -13,20 +14,32 @@
 //  * Advanced XPath //a/b//c (paper §4.3 "Advanced Querying"): left-to-right
 //    stepping, or the paper's preferred all-at-once strategy that filters
 //    every branch against the whole query's point set in a single pass.
+//
+// All three share schemes (§4.2's 2-party split, additive client+k servers,
+// Shamir t-of-n) run through the same EvalRequest/FetchRequest exchange;
+// only the client-side combination differs. Under Shamir, a server that
+// stops answering is marked dead and replaced by another live one as long
+// as at least `threshold` remain.
 #ifndef POLYSSE_CORE_QUERY_SESSION_H_
 #define POLYSSE_CORE_QUERY_SESSION_H_
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/client_context.h"
+#include "core/endpoint.h"
 #include "core/protocol.h"
 #include "core/server_store.h"
+#include "mpc/shamir.h"
+#include "nt/modular.h"
 #include "xpath/xpath.h"
 
 namespace polysse {
@@ -72,6 +85,12 @@ struct LookupResult {
   QueryStats stats;
 };
 
+/// One element lookup of a batch: the tag plus its own verify mode.
+struct TagQuery {
+  std::string tag;
+  VerifyMode mode = VerifyMode::kVerified;
+};
+
 /// Result of a batched multi-tag lookup: one entry per requested tag, plus
 /// the shared protocol cost (a single BFS walk answers all tags at once via
 /// multi-point evaluation requests).
@@ -83,13 +102,33 @@ struct MultiLookupResult {
 template <typename Ring>
 class QuerySession {
  public:
+  /// Transport-aware session: the scheme and servers come from `group`.
+  QuerySession(ClientContext<Ring>* client, EndpointGroup group)
+      : client_(client), group_(std::move(group)) {
+    init_status_ = group_.Validate();
+    if (init_status_.ok() && group_.scheme == ShareScheme::kShamir &&
+        !std::is_same_v<Ring, FpCyclotomicRing>) {
+      init_status_ =
+          Status::Unimplemented("Shamir t-of-n requires the F_p ring");
+    }
+    dead_.assign(group_.endpoints.size(), 0);
+  }
+
+  /// Convenience 2-party session over an in-process store, serializing
+  /// every message (the historical QuerySession behavior, byte counters
+  /// included).
   QuerySession(ClientContext<Ring>* client, ServerStore<Ring>* server)
-      : client_(client), server_(server) {}
+      : QuerySession(client, EndpointGroup{}) {
+    owned_endpoint_ = std::make_unique<LoopbackEndpoint>(server);
+    group_ = EndpointGroup::TwoParty(owned_endpoint_.get());
+    init_status_ = group_.Validate();
+    dead_.assign(1, 0);
+  }
 
   /// Element lookup //tagname. An unmapped tag short-circuits to an empty
   /// result without contacting the server (the map is client-private).
   Result<LookupResult> Lookup(std::string_view tagname, VerifyMode mode) {
-    BeginQuery();
+    RETURN_IF_ERROR(BeginQuery());
     LookupResult result;
     auto e_or = client_->tag_map().Value(tagname);
     if (!e_or.ok()) {
@@ -101,24 +140,8 @@ class QuerySession {
 
     ASSIGN_OR_RETURN(std::vector<int32_t> zeros, PrunedDescend({0}, {e}));
     for (int32_t z : zeros) {
-      ASSIGN_OR_RETURN(bool definite, HasNoZeroChild(z, e));
-      if (mode == VerifyMode::kOptimistic) {
-        if (definite) {
-          result.matches.push_back({z, info_[z].path});
-        } else {
-          result.possible.push_back({z, info_[z].path});
-        }
-        continue;
-      }
-      ASSIGN_OR_RETURN(uint64_t t, ReconstructTag(z, mode));
-      if (t == e) {
-        result.matches.push_back({z, info_[z].path});
-      } else if (definite) {
-        // The evaluation filter said "match" but the tag differs: a Z-ring
-        // false positive (or a cheating server, which kVerified rejects
-        // earlier inside SolveTag).
-        ++stats_.false_positives_removed;
-      }
+      RETURN_IF_ERROR(ResolveCandidate(z, e, mode, &result.matches,
+                                       &result.possible));
     }
     SortMatches(&result.matches);
     SortMatches(&result.possible);
@@ -130,18 +153,18 @@ class QuerySession {
   /// walk. The frontier descends wherever *any* requested point vanishes,
   /// and every eval request carries all points, so the per-tag marginal
   /// cost is a word per node instead of a full round. Unmapped tags yield
-  /// empty entries.
-  Result<MultiLookupResult> LookupMany(const std::vector<std::string>& tags,
-                                       VerifyMode mode) {
-    BeginQuery();
+  /// empty entries. Each query resolves under its own verify mode; the
+  /// fetch/reconstruction caches are shared across the whole batch.
+  Result<MultiLookupResult> LookupBatch(const std::vector<TagQuery>& queries) {
+    RETURN_IF_ERROR(BeginQuery());
     MultiLookupResult out;
-    out.per_tag.resize(tags.size());
+    out.per_tag.resize(queries.size());
 
     // Map the tags; deduplicate points (repeated tags share work).
     std::vector<uint64_t> points;
-    std::vector<int> tag_point(tags.size(), -1);  // index into `points`
-    for (size_t i = 0; i < tags.size(); ++i) {
-      auto e_or = client_->tag_map().Value(tags[i]);
+    std::vector<int> tag_point(queries.size(), -1);  // index into `points`
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto e_or = client_->tag_map().Value(queries[i].tag);
       if (!e_or.ok()) continue;
       RETURN_IF_ERROR(client_->ring().QueryModulus(*e_or).status());
       auto it = std::find(points.begin(), points.end(), *e_or);
@@ -180,26 +203,14 @@ class QuerySession {
       frontier = std::move(next);
     }
 
-    // Resolve answers per tag, sharing the fetch/reconstruction caches.
-    for (size_t i = 0; i < tags.size(); ++i) {
+    // Resolve answers per query, sharing the fetch/reconstruction caches.
+    for (size_t i = 0; i < queries.size(); ++i) {
       if (tag_point[i] < 0) continue;  // unmapped
       const uint64_t e = points[tag_point[i]];
       for (int32_t z : zeros_per_point[tag_point[i]]) {
-        ASSIGN_OR_RETURN(bool definite, HasNoZeroChild(z, e));
-        if (mode == VerifyMode::kOptimistic) {
-          if (definite) {
-            out.per_tag[i].matches.push_back({z, info_[z].path});
-          } else {
-            out.per_tag[i].possible.push_back({z, info_[z].path});
-          }
-          continue;
-        }
-        ASSIGN_OR_RETURN(uint64_t t, ReconstructTag(z, mode));
-        if (t == e) {
-          out.per_tag[i].matches.push_back({z, info_[z].path});
-        } else if (definite) {
-          ++stats_.false_positives_removed;
-        }
+        RETURN_IF_ERROR(ResolveCandidate(z, e, queries[i].mode,
+                                         &out.per_tag[i].matches,
+                                         &out.per_tag[i].possible));
       }
       SortMatches(&out.per_tag[i].matches);
       SortMatches(&out.per_tag[i].possible);
@@ -209,11 +220,20 @@ class QuerySession {
     return out;
   }
 
+  /// Single-mode convenience over LookupBatch.
+  Result<MultiLookupResult> LookupMany(const std::vector<std::string>& tags,
+                                       VerifyMode mode) {
+    std::vector<TagQuery> queries;
+    queries.reserve(tags.size());
+    for (const std::string& t : tags) queries.push_back({t, mode});
+    return LookupBatch(queries);
+  }
+
   /// Advanced XPath query (§4.3). kOptimistic is promoted to kVerified —
   /// multi-step navigation needs exact tag identification at every step.
   Result<LookupResult> EvaluateXPath(const XPathQuery& query,
                                      XPathStrategy strategy, VerifyMode mode) {
-    BeginQuery();
+    RETURN_IF_ERROR(BeginQuery());
     if (mode == VerifyMode::kOptimistic) mode = VerifyMode::kVerified;
     LookupResult result;
 
@@ -245,6 +265,9 @@ class QuerySession {
   /// Stats of the most recent query.
   const QueryStats& last_stats() const { return stats_; }
 
+  /// The transport configuration this session talks through.
+  const EndpointGroup& endpoint_group() const { return group_; }
+
  private:
   using Elem = typename Ring::Elem;
   using Scalar = typename Ring::Scalar;
@@ -259,10 +282,16 @@ class QuerySession {
     bool known = false;
   };
 
-  void BeginQuery() {
+  /// Whether the client's own PRF share participates in combination
+  /// (everything but Shamir, where the client holds no share).
+  bool include_client() const {
+    return group_.scheme != ShareScheme::kShamir;
+  }
+
+  Status BeginQuery() {
+    RETURN_IF_ERROR(init_status_);
     stats_ = QueryStats();
-    stats_.total_server_nodes = server_->size();
-    server_stats_before_ = server_->stats();
+    counters_before_ = SumCounters();
     info_.clear();
     info_[0].path = "";  // the root's path is known a priori
     combined_evals_.clear();
@@ -270,13 +299,25 @@ class QuerySession {
     combined_consts_.clear();
     client_shares_.clear();
     visited_.clear();
+    return Status::Ok();
   }
 
   void FinishStats(QueryStats* out) {
-    const auto& after = server_->stats();
-    stats_.server_evals = after.evals - server_stats_before_.evals;
     stats_.nodes_visited = visited_.size();
+    const TransportCounters now = SumCounters();
+    stats_.transport.bytes_up = now.bytes_up - counters_before_.bytes_up;
+    stats_.transport.bytes_down = now.bytes_down - counters_before_.bytes_down;
+    stats_.transport.messages_up =
+        now.messages_up - counters_before_.messages_up;
+    stats_.transport.messages_down =
+        now.messages_down - counters_before_.messages_down;
     *out = stats_;
+  }
+
+  TransportCounters SumCounters() const {
+    TransportCounters sum;
+    for (const ServerEndpoint* ep : group_.endpoints) sum.Add(ep->counters());
+    return sum;
   }
 
   static void SortMatches(std::vector<MatchedNode>* v) {
@@ -286,38 +327,97 @@ class QuerySession {
               });
   }
 
-  // ------------------------------------------------------------- transport
-
-  Result<EvalResponse> SendEval(const EvalRequest& req) {
-    ByteWriter up;
-    req.Serialize(&up);
-    stats_.transport.bytes_up += up.size();
-    ++stats_.transport.messages_up;
-    ByteReader up_r(up.span());
-    ASSIGN_OR_RETURN(EvalRequest decoded, EvalRequest::Deserialize(&up_r));
-    ASSIGN_OR_RETURN(EvalResponse resp, server_->HandleEval(decoded));
-    ByteWriter down;
-    resp.Serialize(&down);
-    stats_.transport.bytes_down += down.size();
-    ++stats_.transport.messages_down;
-    ByteReader down_r(down.span());
-    return EvalResponse::Deserialize(&down_r);
+  /// Shared per-candidate answer determination of Lookup / LookupBatch.
+  Status ResolveCandidate(int32_t z, uint64_t e, VerifyMode mode,
+                          std::vector<MatchedNode>* matches,
+                          std::vector<MatchedNode>* possible) {
+    ASSIGN_OR_RETURN(bool definite, HasNoZeroChild(z, e));
+    if (mode == VerifyMode::kOptimistic) {
+      if (definite) {
+        matches->push_back({z, info_[z].path});
+      } else {
+        possible->push_back({z, info_[z].path});
+      }
+      return Status::Ok();
+    }
+    ASSIGN_OR_RETURN(uint64_t t, ReconstructTag(z, mode));
+    if (t == e) {
+      matches->push_back({z, info_[z].path});
+    } else if (definite) {
+      // The evaluation filter said "match" but the tag differs: a Z-ring
+      // false positive (or a cheating server, which kVerified rejects
+      // earlier inside SolveTag).
+      ++stats_.false_positives_removed;
+    }
+    return Status::Ok();
   }
 
-  Result<FetchResponse> SendFetch(const FetchRequest& req) {
-    ByteWriter up;
-    req.Serialize(&up);
-    stats_.transport.bytes_up += up.size();
-    ++stats_.transport.messages_up;
-    ByteReader up_r(up.span());
-    ASSIGN_OR_RETURN(FetchRequest decoded, FetchRequest::Deserialize(&up_r));
-    ASSIGN_OR_RETURN(FetchResponse resp, server_->HandleFetch(decoded));
-    ByteWriter down;
-    resp.Serialize(&down);
-    stats_.transport.bytes_down += down.size();
-    ++stats_.transport.messages_down;
-    ByteReader down_r(down.span());
-    return FetchResponse::Deserialize(&down_r);
+  // ------------------------------------------------------------- transport
+
+  /// Calls `fn` on the scheme's active servers and reports the combination
+  /// weight of each answer. Additive schemes require every server; Shamir
+  /// asks the first `threshold` live servers, marks a failing one dead and
+  /// retries with a replacement as long as at least `threshold` remain,
+  /// recomputing Lagrange weights for whichever subset answered.
+  template <typename Resp, typename Fn>
+  Result<std::vector<Resp>> FanOut(Fn&& fn, std::vector<uint64_t>* weights) {
+    std::vector<Resp> responses;
+    if (group_.scheme != ShareScheme::kShamir) {
+      responses.reserve(group_.endpoints.size());
+      for (ServerEndpoint* ep : group_.endpoints) {
+        ASSIGN_OR_RETURN(Resp r, fn(ep));
+        responses.push_back(std::move(r));
+      }
+      weights->assign(responses.size(), 1);
+      return responses;
+    }
+    const size_t t = static_cast<size_t>(group_.threshold);
+    for (;;) {
+      std::vector<size_t> chosen;
+      for (size_t i = 0; i < group_.endpoints.size() && chosen.size() < t; ++i)
+        if (!dead_[i]) chosen.push_back(i);
+      if (chosen.size() < t)
+        return Status::Unavailable(
+            "only " + std::to_string(chosen.size()) + " of the required " +
+            std::to_string(t) + " servers are reachable");
+      responses.clear();
+      std::vector<uint64_t> xs;
+      bool failed = false;
+      for (size_t i : chosen) {
+        auto r = fn(group_.endpoints[i]);
+        if (!r.ok()) {
+          dead_[i] = 1;  // stays dead for the rest of the session
+          ++stats_.server_failovers;
+          failed = true;
+          break;
+        }
+        responses.push_back(std::move(r).value());
+        xs.push_back(group_.shamir_x[i]);
+      }
+      if (failed) continue;
+      if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
+        ASSIGN_OR_RETURN(*weights,
+                         LagrangeWeightsAtZero(client_->ring().field(), xs));
+      }
+      return responses;
+    }
+  }
+
+  /// Weighted server contribution for whole-element combination. Weights
+  /// other than 1 only arise under Shamir, which is F_p-only.
+  Elem ScaledPart(Elem part, uint64_t w) const {
+    if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
+      if (w != 1) return part.ScalarMul(w);
+    }
+    (void)w;
+    return part;
+  }
+  Scalar ScaledScalar(Scalar c, uint64_t w) const {
+    if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
+      if (w != 1) return client_->ring().field().Mul(c, w);
+    }
+    (void)w;
+    return c;
   }
 
   // ------------------------------------------------------ combined evals
@@ -332,9 +432,10 @@ class QuerySession {
     return &it->second;
   }
 
-  /// Requests server evaluations for any (id, point) not yet cached, then
-  /// combines with client share evaluations. All ids must have known paths
-  /// (the root, or discovered via a parent's EvalEntry).
+  /// Requests server evaluations for any (id, point) not yet cached from
+  /// every active server, then combines them (plus the client's own share
+  /// evaluations where the scheme includes one). All ids must have known
+  /// paths (the root, or discovered via a parent's EvalEntry).
   Status EnsureEvals(const std::vector<int32_t>& ids,
                      const std::vector<uint64_t>& points) {
     std::vector<int32_t> need;
@@ -350,18 +451,41 @@ class QuerySession {
     EvalRequest req;
     req.points = points;
     req.node_ids = need;
-    ASSIGN_OR_RETURN(EvalResponse resp, SendEval(req));
-    if (resp.entries.size() != need.size())
-      return Status::Corruption("server returned wrong entry count");
+    std::vector<uint64_t> weights;
+    ASSIGN_OR_RETURN(
+        std::vector<EvalResponse> resps,
+        FanOut<EvalResponse>(
+            [&](ServerEndpoint* ep) { return ep->Eval(req); }, &weights));
     ++stats_.rounds;
+    for (const EvalResponse& resp : resps) {
+      if (resp.entries.size() != need.size())
+        return Status::Corruption("server returned wrong entry count");
+    }
+    stats_.server_evals += need.size() * points.size() * resps.size();
 
-    for (const EvalEntry& entry : resp.entries) {
+    for (size_t j = 0; j < need.size(); ++j) {
+      const EvalEntry& entry = resps[0].entries[j];
+      // Structure must agree across servers: every share tree mirrors the
+      // data tree's shape, so divergence means a corrupt or lying server.
+      for (size_t s = 1; s < resps.size(); ++s) {
+        const EvalEntry& other = resps[s].entries[j];
+        if (other.node_id != entry.node_id ||
+            other.children != entry.children ||
+            other.subtree_size != entry.subtree_size ||
+            other.values.size() != entry.values.size())
+          return Status::Corruption("servers disagree on tree structure");
+      }
       visited_.insert(entry.node_id);
       NodeInfo& info = info_[entry.node_id];
       if (!info.known) {
         info.children = entry.children;
         info.subtree_size = entry.subtree_size;
         info.known = true;
+        if (entry.node_id == 0) {
+          // The root's subtree is the whole tree: the client's only honest
+          // view of the server-side node count.
+          stats_.total_server_nodes = static_cast<size_t>(entry.subtree_size);
+        }
         for (size_t i = 0; i < entry.children.size(); ++i) {
           NodeInfo& child = info_[entry.children[i]];
           if (child.path.empty() && entry.children[i] != 0) {
@@ -373,16 +497,25 @@ class QuerySession {
       }
       if (entry.values.size() != points.size())
         return Status::Corruption("server returned wrong value count");
-      ASSIGN_OR_RETURN(const Elem* share, ClientShare(entry.node_id));
+      const Elem* share = nullptr;
+      if (include_client()) {
+        ASSIGN_OR_RETURN(share, ClientShare(entry.node_id));
+      }
       for (size_t k = 0; k < points.size(); ++k) {
         const uint64_t e = points[k];
         ASSIGN_OR_RETURN(uint64_t m, client_->ring().QueryModulus(e));
-        if (entry.values[k] >= m)
-          return Status::Corruption("server evaluation outside Z_m");
-        ASSIGN_OR_RETURN(uint64_t cv, client_->ring().EvalAt(*share, e));
-        ++stats_.client_evals;
-        uint64_t sum = entry.values[k] + cv >= m ? entry.values[k] + cv - m
-                                                 : entry.values[k] + cv;
+        uint64_t sum = 0;
+        for (size_t s = 0; s < resps.size(); ++s) {
+          const uint64_t v = resps[s].entries[j].values[k];
+          if (v >= m)
+            return Status::Corruption("server evaluation outside Z_m");
+          sum = AddMod(sum, weights[s] == 1 ? v : MulMod(weights[s], v, m), m);
+        }
+        if (share != nullptr) {
+          ASSIGN_OR_RETURN(uint64_t cv, client_->ring().EvalAt(*share, e));
+          ++stats_.client_evals;
+          sum = AddMod(sum, cv, m);
+        }
         combined_evals_[{entry.node_id, e}] = sum;
         if (sum == 0) ++stats_.zero_candidates;
       }
@@ -445,14 +578,25 @@ class QuerySession {
     FetchRequest req;
     req.mode = FetchMode::kFull;
     req.node_ids = {id};
-    ASSIGN_OR_RETURN(FetchResponse resp, SendFetch(req));
-    if (resp.entries.size() != 1 || resp.entries[0].node_id != id)
-      return Status::Corruption("bad fetch response");
+    std::vector<uint64_t> weights;
+    ASSIGN_OR_RETURN(
+        std::vector<FetchResponse> resps,
+        FanOut<FetchResponse>(
+            [&](ServerEndpoint* ep) { return ep->Fetch(req); }, &weights));
     ++stats_.polys_fetched_full;
-    ByteReader r(resp.entries[0].payload);
-    ASSIGN_OR_RETURN(Elem server_part, client_->ring().Deserialize(&r));
-    ASSIGN_OR_RETURN(const Elem* share, ClientShare(id));
-    Elem combined = client_->ring().Add(*share, server_part);
+    const Ring& ring = client_->ring();
+    Elem combined = ring.Zero();
+    for (size_t s = 0; s < resps.size(); ++s) {
+      if (resps[s].entries.size() != 1 || resps[s].entries[0].node_id != id)
+        return Status::Corruption("bad fetch response");
+      ByteReader r(resps[s].entries[0].payload);
+      ASSIGN_OR_RETURN(Elem part, ring.Deserialize(&r));
+      combined = ring.Add(combined, ScaledPart(std::move(part), weights[s]));
+    }
+    if (include_client()) {
+      ASSIGN_OR_RETURN(const Elem* share, ClientShare(id));
+      combined = ring.Add(combined, *share);
+    }
     return &combined_polys_.emplace(id, std::move(combined)).first->second;
   }
 
@@ -462,15 +606,26 @@ class QuerySession {
     FetchRequest req;
     req.mode = FetchMode::kConstOnly;
     req.node_ids = {id};
-    ASSIGN_OR_RETURN(FetchResponse resp, SendFetch(req));
-    if (resp.entries.size() != 1 || resp.entries[0].node_id != id)
-      return Status::Corruption("bad fetch response");
+    std::vector<uint64_t> weights;
+    ASSIGN_OR_RETURN(
+        std::vector<FetchResponse> resps,
+        FanOut<FetchResponse>(
+            [&](ServerEndpoint* ep) { return ep->Fetch(req); }, &weights));
     ++stats_.consts_fetched;
-    ByteReader r(resp.entries[0].payload);
-    ASSIGN_OR_RETURN(Scalar server_c0, client_->ring().DeserializeScalar(&r));
-    ASSIGN_OR_RETURN(const Elem* share, ClientShare(id));
-    Scalar combined = client_->ring().AddScalars(
-        client_->ring().ConstTerm(*share), server_c0);
+    const Ring& ring = client_->ring();
+    Scalar combined = ring.ConstTerm(ring.Zero());
+    for (size_t s = 0; s < resps.size(); ++s) {
+      if (resps[s].entries.size() != 1 || resps[s].entries[0].node_id != id)
+        return Status::Corruption("bad fetch response");
+      ByteReader r(resps[s].entries[0].payload);
+      ASSIGN_OR_RETURN(Scalar c0, ring.DeserializeScalar(&r));
+      combined =
+          ring.AddScalars(combined, ScaledScalar(std::move(c0), weights[s]));
+    }
+    if (include_client()) {
+      ASSIGN_OR_RETURN(const Elem* share, ClientShare(id));
+      combined = ring.AddScalars(combined, ring.ConstTerm(*share));
+    }
     return &combined_consts_.emplace(id, std::move(combined)).first->second;
   }
 
@@ -643,10 +798,13 @@ class QuerySession {
   }
 
   ClientContext<Ring>* client_;
-  ServerStore<Ring>* server_;
+  EndpointGroup group_;
+  std::unique_ptr<ServerEndpoint> owned_endpoint_;  // compat ctor only
+  Status init_status_;
+  std::vector<char> dead_;  ///< Shamir: endpoints that stopped answering
 
   QueryStats stats_;
-  typename ServerStore<Ring>::Stats server_stats_before_;
+  TransportCounters counters_before_;
   std::unordered_map<int32_t, NodeInfo> info_;
   std::map<std::pair<int32_t, uint64_t>, uint64_t> combined_evals_;
   std::unordered_map<int32_t, Elem> combined_polys_;

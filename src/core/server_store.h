@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/endpoint.h"
 #include "core/poly_tree.h"
 #include "core/protocol.h"
 #include "util/bytes.h"
@@ -15,10 +16,15 @@
 
 namespace polysse {
 
+/// Test-only backdoor into the share tree (tests/testing/store_test_access.h).
+struct ServerStoreTestAccess;
+
 /// Server-side state and protocol handlers. Ring is FpCyclotomicRing or
-/// ZQuotientRing.
+/// ZQuotientRing. Implements ServerHandler, so it plugs into any
+/// ServerEndpoint; each server of a multi-server deployment is simply one
+/// ServerStore holding its own share tree.
 template <typename Ring>
-class ServerStore {
+class ServerStore : public ServerHandler {
  public:
   /// Work counters (server-side cost model for E8/E9).
   struct Stats {
@@ -37,11 +43,9 @@ class ServerStore {
   /// Exposed for tests and storage measurement; a real deployment would of
   /// course not share this object with the client.
   const PolyTree<Ring>& tree() const { return tree_; }
-  /// Fault injection for cheating-server tests ONLY.
-  PolyTree<Ring>& mutable_tree_for_testing() { return tree_; }
 
   /// Evaluates the stored share of each requested node at each point.
-  Result<EvalResponse> HandleEval(const EvalRequest& req) {
+  Result<EvalResponse> HandleEval(const EvalRequest& req) override {
     ++stats_.eval_requests;
     EvalResponse resp;
     resp.entries.reserve(req.node_ids.size());
@@ -64,7 +68,7 @@ class ServerStore {
   }
 
   /// Serves share polynomials (full) or their constant coefficients.
-  Result<FetchResponse> HandleFetch(const FetchRequest& req) {
+  Result<FetchResponse> HandleFetch(const FetchRequest& req) override {
     ++stats_.fetch_requests;
     FetchResponse resp;
     resp.entries.reserve(req.node_ids.size());
@@ -104,6 +108,8 @@ class ServerStore {
   void ResetStats() { stats_ = Stats(); }
 
  private:
+  friend struct ServerStoreTestAccess;
+
   Status CheckId(int32_t id) const {
     if (id < 0 || static_cast<size_t>(id) >= tree_.size())
       return Status::InvalidArgument("node id " + std::to_string(id) +

@@ -7,6 +7,26 @@
 
 namespace polysse {
 
+Result<std::vector<uint64_t>> LagrangeWeightsAtZero(
+    const PrimeField& field, std::span<const uint64_t> xs) {
+  std::vector<uint64_t> weights(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] == 0 || xs[i] >= field.modulus())
+      return Status::InvalidArgument("Lagrange: invalid x coordinate");
+    uint64_t num = 1, den = 1;
+    for (size_t j = 0; j < xs.size(); ++j) {
+      if (i == j) continue;
+      num = field.Mul(num, field.Neg(field.FromUInt64(xs[j])));  // (0 - x_j)
+      den = field.Mul(den, field.Sub(field.FromUInt64(xs[i]),
+                                     field.FromUInt64(xs[j])));
+    }
+    if (den == 0)
+      return Status::InvalidArgument("Lagrange: duplicate x coordinate");
+    ASSIGN_OR_RETURN(weights[i], field.Div(num, den));
+  }
+  return weights;
+}
+
 Result<ShamirScheme> ShamirScheme::Create(const PrimeField& field,
                                           int threshold, int num_parties) {
   if (threshold < 1)

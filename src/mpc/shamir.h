@@ -5,6 +5,7 @@
 #define POLYSSE_MPC_SHAMIR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "crypto/chacha20.h"
@@ -12,6 +13,14 @@
 #include "util/status.h"
 
 namespace polysse {
+
+/// Lagrange interpolation coefficients at x = 0: weights w_i such that
+/// g(0) = sum_i w_i * g(x_i) for every polynomial g of degree < xs.size().
+/// The xs must be distinct and nonzero. This is the client-side combiner of
+/// the t-of-n multi-server scheme — it applies equally to share *values*
+/// and, coefficient-wise, to whole share polynomials.
+Result<std::vector<uint64_t>> LagrangeWeightsAtZero(
+    const PrimeField& field, std::span<const uint64_t> xs);
 
 /// One party's share: the evaluation point x (party index, nonzero) and the
 /// polynomial value y = g(x).

@@ -24,6 +24,7 @@ enum class StatusCode {
   kVerificationFailed = 6,  ///< Untrusted-server answer failed Eq. (3) checks.
   kUnimplemented = 7,
   kInternal = 8,
+  kUnavailable = 9,         ///< Server unreachable / too few servers alive.
 };
 
 /// Returns a short stable name, e.g. "InvalidArgument".
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -120,15 +120,20 @@ TEST(PipelineTest, LargeAlphabetSmallDocument) {
   XmlNode root("t0");
   XmlNode* cur = &root;
   for (int i = 1; i < 60; ++i) {
-    cur = &cur->AddChild("t" + std::to_string(i));
+    // Built with += rather than "t" + to_string(...): the operator+
+    // rvalue-insert path trips a GCC 12 -Wrestrict false positive at -O3.
+    std::string tag = "t";
+    tag += std::to_string(i);
+    cur = &cur->AddChild(tag);
   }
   DeterministicPrf seed = DeterministicPrf::FromString("wide");
   FpDeployment dep = OutsourceFp(root, seed).value();
   EXPECT_GE(dep.ring.p(), 62u);
   QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
   for (int i : {0, 17, 42, 59}) {
-    auto r =
-        session.Lookup("t" + std::to_string(i), VerifyMode::kVerified).value();
+    std::string tag = "t";
+    tag += std::to_string(i);
+    auto r = session.Lookup(tag, VerifyMode::kVerified).value();
     ASSERT_EQ(r.matches.size(), 1u) << i;
   }
   // Path documents have no pruning opportunity for the deepest tag — the

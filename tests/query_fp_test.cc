@@ -6,6 +6,7 @@
 
 #include <set>
 
+#include "core/endpoint.h"
 #include "core/outsource.h"
 #include "core/query_session.h"
 #include "xml/xml_generator.h"
@@ -248,17 +249,31 @@ TEST(QueryFpTest, VerifiedModeDetectsTamperedPolynomial) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf prf = DeterministicPrf::FromString("cheat");
   FpDeployment dep = OutsourceFp(doc, prf).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
   const uint64_t e = dep.client.tag_map().Value("client").value();
 
-  // Tamper with node 1 (a matching client node): add c*(x - e) so the
-  // evaluation at e is unchanged (still 0) but the polynomial is wrong.
-  auto& node = dep.server.mutable_tree_for_testing().nodes[1];
-  FpPoly taint = dep.ring.XMinus(e).value().ScalarMul(3);
-  node.poly = dep.ring.Add(node.poly, taint);
+  // A cheating server rewrites fetched shares in flight: node 1 (a matching
+  // client node) gains c*(x - e), so every evaluation the pruning saw stays
+  // consistent but the reconstructed polynomial is wrong.
+  LoopbackEndpoint honest(&dep.server);
+  FaultConfig faults;
+  const FpCyclotomicRing ring = dep.ring;
+  faults.tamper_fetch = [&ring, e](FetchResponse& resp) {
+    for (FetchEntry& entry : resp.entries) {
+      if (entry.node_id != 1) continue;
+      ByteReader r(entry.payload);
+      FpPoly poly = ring.Deserialize(&r).value();
+      poly = ring.Add(poly, ring.XMinus(e).value().ScalarMul(3));
+      ByteWriter w;
+      ring.Serialize(poly, &w);
+      entry.payload = w.Take();
+    }
+  };
+  FaultInjectingEndpoint cheater(&honest, std::move(faults));
+  QuerySession<FpCyclotomicRing> session(&dep.client,
+                                         EndpointGroup::TwoParty(&cheater));
 
   auto optimistic = session.Lookup("client", VerifyMode::kOptimistic);
-  ASSERT_TRUE(optimistic.ok());  // optimistic mode is fooled silently
+  ASSERT_TRUE(optimistic.ok());  // optimistic mode never fetches: fooled
   EXPECT_EQ(optimistic->matches.size(), 2u);
 
   auto verified = session.Lookup("client", VerifyMode::kVerified);
@@ -267,17 +282,26 @@ TEST(QueryFpTest, VerifiedModeDetectsTamperedPolynomial) {
 }
 
 TEST(QueryFpTest, VerifiedModeDetectsTamperedEvaluation) {
-  // Flipping a coefficient that *changes* evaluations makes the zero-tree
-  // wrong; reconstruction of an affected candidate must fail loudly rather
-  // than return a bogus match. (Suppressed answers - tampering that makes a
-  // match evaluate nonzero - are undetectable by any scheme that prunes.)
+  // Shifting reported evaluations makes the zero-tree wrong; reconstruction
+  // of an affected candidate must fail loudly rather than return a bogus
+  // match. (Suppressed answers - tampering that makes a match evaluate
+  // nonzero - are undetectable by any scheme that prunes.)
   XmlNode doc = MakeFig1Document();
   DeterministicPrf prf = DeterministicPrf::FromString("cheat2");
   FpDeployment dep = OutsourceFp(doc, prf).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
 
-  auto& root_node = dep.server.mutable_tree_for_testing().nodes[0];
-  root_node.poly = dep.ring.Add(root_node.poly, dep.ring.One());
+  LoopbackEndpoint honest(&dep.server);
+  FaultConfig faults;
+  const uint64_t p = dep.ring.p();
+  faults.tamper_eval = [p](EvalResponse& resp) {
+    for (EvalEntry& entry : resp.entries) {
+      if (entry.node_id != 0) continue;
+      for (uint64_t& v : entry.values) v = (v + 1) % p;
+    }
+  };
+  FaultInjectingEndpoint cheater(&honest, std::move(faults));
+  QuerySession<FpCyclotomicRing> session(&dep.client,
+                                         EndpointGroup::TwoParty(&cheater));
 
   auto verified = session.Lookup("client", VerifyMode::kVerified);
   // Either the root now prunes the whole tree (empty, no error), or its

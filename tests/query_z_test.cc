@@ -7,6 +7,7 @@
 
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/store_test_access.h"
 #include "xml/xml_generator.h"
 #include "xpath/xpath.h"
 
@@ -123,8 +124,10 @@ TEST(QueryZTest, VerifiedModeDetectsTampering) {
   QuerySession<ZQuotientRing> session(&dep.client, &dep.server);
   const uint64_t e = dep.client.tag_map().Value("client").value();
 
-  // Find the server node for path "0" (first client element).
-  auto& tree = dep.server.mutable_tree_for_testing();
+  // Find the server node for path "0" (first client element). Stored-state
+  // corruption (vs in-flight tampering, which FaultInjectingEndpoint
+  // covers) needs the test-only backdoor.
+  auto& tree = ServerStoreTestAccess::MutableTree(dep.server);
   for (auto& node : tree.nodes) {
     if (node.path == "0") {
       node.poly = dep.ring.Add(

@@ -36,7 +36,13 @@ TEST(TagMapTest, ExplicitRejectsDuplicatesAndZero) {
 
 TEST(TagMapTest, KeyedRandomIsInjectiveAndDeterministic) {
   std::vector<std::string> tags;
-  for (int i = 0; i < 50; ++i) tags.push_back("t" + std::to_string(i));
+  for (int i = 0; i < 50; ++i) {
+    // Built with += rather than "t" + to_string(...): the operator+
+    // rvalue-insert path trips a GCC 12 -Wrestrict false positive at -O3.
+    std::string tag = "t";
+    tag += std::to_string(i);
+    tags.push_back(tag);
+  }
   TagMap::Options opt;
   opt.max_value = 99;
   TagMap a = TagMap::Build(tags, opt, Prf()).value();
