@@ -10,10 +10,12 @@
 
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 
 int main() {
   using namespace polysse;
+  using namespace polysse::testing;
   std::printf("=== E10 / bandwidth: verified vs trusted const-only vs "
               "optimistic ===\n\n");
   DeterministicPrf seed = DeterministicPrf::FromString("bandwidth-bench");
@@ -31,9 +33,9 @@ int main() {
     {
       FpOutsourceOptions fopt;
       fopt.p = 101;  // n <= 99 wrap-free; larger documents wrap
-      auto dep = OutsourceFp(doc, seed, fopt);
+      auto dep = MakeFpDeployment(doc, seed, fopt);
       if (dep.ok()) {
-        QuerySession<FpCyclotomicRing> session(&dep->client, &dep->server);
+        TestSession<FpCyclotomicRing> session(&dep->client, &dep->server);
         auto opt = session.Lookup(tag, VerifyMode::kOptimistic);
         auto ver = session.Lookup(tag, VerifyMode::kVerified);
         auto tru = session.Lookup(tag, VerifyMode::kTrustedConstOnly);
@@ -48,9 +50,9 @@ int main() {
       }
     }
     {
-      auto dep = OutsourceZ(doc, seed);
+      auto dep = MakeZDeployment(doc, seed);
       if (dep.ok()) {
-        QuerySession<ZQuotientRing> session(&dep->client, &dep->server);
+        TestSession<ZQuotientRing> session(&dep->client, &dep->server);
         auto opt = session.Lookup(tag, VerifyMode::kOptimistic);
         auto ver = session.Lookup(tag, VerifyMode::kVerified);
         auto tru = session.Lookup(tag, VerifyMode::kTrustedConstOnly);

@@ -15,6 +15,7 @@
 #include "baseline/swp_linear.h"
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 
 namespace {
@@ -27,6 +28,7 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 
 int main() {
   using namespace polysse;
+  using namespace polysse::testing;
   std::printf("=== E11 / baselines: polysse vs download-all vs SWP-linear "
               "vs plaintext ===\n\n");
   DeterministicPrf seed = DeterministicPrf::FromString("baseline-bench");
@@ -53,9 +55,9 @@ int main() {
     }
     // polysse interactive (verified).
     {
-      auto dep = OutsourceFp(doc, seed);
+      auto dep = MakeFpDeployment(doc, seed);
       if (dep.ok()) {
-        QuerySession<FpCyclotomicRing> session(&dep->client, &dep->server);
+        TestSession<FpCyclotomicRing> session(&dep->client, &dep->server);
         auto t0 = std::chrono::steady_clock::now();
         auto r = session.Lookup(tag, VerifyMode::kVerified);
         double ms = MsSince(t0);

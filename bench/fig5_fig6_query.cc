@@ -7,6 +7,7 @@
 
 #include "core/client_context.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "core/sharing.h"
 #include "xml/xml_generator.h"
 
@@ -58,7 +59,7 @@ int main() {
     // are the answers ("each zero element without zero sub element").
     ServerStore<Ring> server(ring, std::move(shares.server));
     auto client = ClientContext<Ring>::SeedOnly(ring, map, prf);
-    QuerySession<Ring> session(&client, &server);
+    testing::TestSession<Ring> session(&client, &server);
     auto result = session.Lookup("client", VerifyMode::kVerified).value();
     std::printf("protocol answer: %zu matches at paths", result.matches.size());
     for (const auto& mth : result.matches) std::printf(" \"%s\"", mth.path.c_str());

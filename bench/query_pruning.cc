@@ -11,10 +11,12 @@
 #include "baseline/plaintext_search.h"
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 
 int main() {
   using namespace polysse;
+  using namespace polysse::testing;
   std::printf("=== E8 / query pruning: visited fraction and correctness ===\n\n");
   DeterministicPrf seed = DeterministicPrf::FromString("pruning-bench");
 
@@ -29,9 +31,9 @@ int main() {
       gen.zipf_s = 1.2;  // realistic skew: some tags rare, some everywhere
       gen.seed = n + fanout;
       XmlNode doc = GenerateXmlTree(gen);
-      auto dep = OutsourceFp(doc, seed);
+      auto dep = MakeFpDeployment(doc, seed);
       if (!dep.ok()) continue;
-      QuerySession<FpCyclotomicRing> session(&dep->client, &dep->server);
+      TestSession<FpCyclotomicRing> session(&dep->client, &dep->server);
 
       // Query the most common and the rarest tag present.
       std::vector<std::string> tags = doc.DistinctTags();
@@ -63,9 +65,9 @@ int main() {
     gen.zipf_s = 1.2;
     gen.seed = n + 1;
     XmlNode doc = GenerateXmlTree(gen);
-    auto dep = OutsourceFp(doc, seed);
+    auto dep = MakeFpDeployment(doc, seed);
     if (!dep.ok()) continue;
-    QuerySession<FpCyclotomicRing> session(&dep->client, &dep->server);
+    TestSession<FpCyclotomicRing> session(&dep->client, &dep->server);
     const std::string tag = doc.DistinctTags().back();
     auto e = dep->client.tag_map().Value(tag);
     if (!e.ok()) continue;
@@ -110,7 +112,7 @@ int main() {
     SharedTrees<ZQuotientRing> shares = SplitShares(ring, data, seed);
     ServerStore<ZQuotientRing> server(ring, std::move(shares.server));
     auto client = ClientContext<ZQuotientRing>::SeedOnly(ring, map, seed);
-    QuerySession<ZQuotientRing> session(&client, &server);
+    TestSession<ZQuotientRing> session(&client, &server);
     size_t total_fp = 0, total_matches = 0;
     for (const std::string& tag : doc.DistinctTags()) {
       auto r = session.Lookup(tag, VerifyMode::kVerified);

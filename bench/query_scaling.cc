@@ -8,10 +8,15 @@
 
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 
 namespace polysse {
 namespace {
+
+using testing::FpDeployment;
+using testing::MakeFpDeployment;
+using testing::TestSession;
 
 struct Deployment {
   XmlNode doc;
@@ -30,7 +35,7 @@ Deployment& SharedDeployment(size_t n) {
     gen.seed = n;
     XmlNode doc = GenerateXmlTree(gen);
     DeterministicPrf seed = DeterministicPrf::FromString("scaling");
-    auto dep = OutsourceFp(doc, seed).value();
+    auto dep = MakeFpDeployment(doc, seed).value();
     auto holder = std::make_unique<Deployment>(
         Deployment{std::move(doc), std::move(dep), ""});
     holder->rare_tag = holder->doc.DistinctTags().back();
@@ -41,7 +46,7 @@ Deployment& SharedDeployment(size_t n) {
 
 void BM_LookupVerified(benchmark::State& state) {
   Deployment& d = SharedDeployment(static_cast<size_t>(state.range(0)));
-  QuerySession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
+  TestSession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
   for (auto _ : state) {
     auto r = session.Lookup(d.rare_tag, VerifyMode::kVerified);
     if (!r.ok()) state.SkipWithError("lookup failed");
@@ -55,7 +60,7 @@ BENCHMARK(BM_LookupVerified)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_LookupOptimistic(benchmark::State& state) {
   Deployment& d = SharedDeployment(static_cast<size_t>(state.range(0)));
-  QuerySession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
+  TestSession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
   for (auto _ : state) {
     auto r = session.Lookup(d.rare_tag, VerifyMode::kOptimistic);
     if (!r.ok()) state.SkipWithError("lookup failed");
@@ -66,7 +71,7 @@ BENCHMARK(BM_LookupOptimistic)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_XPathAllAtOnce(benchmark::State& state) {
   Deployment& d = SharedDeployment(static_cast<size_t>(state.range(0)));
-  QuerySession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
+  TestSession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
   auto tags = d.doc.DistinctTags();
   auto query =
       XPathQuery::Parse("//" + tags[0] + "//" + tags[1 % tags.size()]).value();
@@ -96,7 +101,7 @@ std::vector<TagQuery> BatchQueries(const Deployment& d) {
 
 void BM_Lookup16Sequential(benchmark::State& state) {
   Deployment& d = SharedDeployment(static_cast<size_t>(state.range(0)));
-  QuerySession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
+  TestSession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
   const std::vector<TagQuery> queries = BatchQueries(d);
   const auto before = d.dep.server.stats();
   for (auto _ : state) {
@@ -118,7 +123,7 @@ BENCHMARK(BM_Lookup16Sequential)->Arg(1000)->Arg(10000);
 
 void BM_Lookup16Batched(benchmark::State& state) {
   Deployment& d = SharedDeployment(static_cast<size_t>(state.range(0)));
-  QuerySession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
+  TestSession<FpCyclotomicRing> session(&d.dep.client, &d.dep.server);
   const std::vector<TagQuery> queries = BatchQueries(d);
   const auto before = d.dep.server.stats();
   for (auto _ : state) {
@@ -136,7 +141,7 @@ void BM_Lookup16Batched(benchmark::State& state) {
 }
 BENCHMARK(BM_Lookup16Batched)->Arg(1000)->Arg(10000);
 
-void BM_OutsourceFp(benchmark::State& state) {
+void BM_MakeFpDeployment(benchmark::State& state) {
   XmlGeneratorOptions gen;
   gen.num_nodes = static_cast<size_t>(state.range(0));
   gen.tag_alphabet = 16;
@@ -144,13 +149,13 @@ void BM_OutsourceFp(benchmark::State& state) {
   XmlNode doc = GenerateXmlTree(gen);
   DeterministicPrf seed = DeterministicPrf::FromString("out-bench");
   for (auto _ : state) {
-    auto dep = OutsourceFp(doc, seed);
+    auto dep = MakeFpDeployment(doc, seed);
     if (!dep.ok()) state.SkipWithError("outsource failed");
     benchmark::DoNotOptimize(dep);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_OutsourceFp)->Arg(100)->Arg(1000);
+BENCHMARK(BM_MakeFpDeployment)->Arg(100)->Arg(1000);
 
 }  // namespace
 }  // namespace polysse

@@ -11,10 +11,12 @@
 
 #include "core/outsource.h"
 #include "core/storage_model.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 
 int main() {
   using namespace polysse;
+  using namespace polysse::testing;
   std::printf("=== E7 / section 5: storage costs ===\n\n");
   std::printf("%s\n", StorageReportHeader().c_str());
 
@@ -32,7 +34,7 @@ int main() {
     for (uint64_t p : {11ull, 101ull}) {
       FpOutsourceOptions fopt;
       fopt.p = p;
-      auto dep = OutsourceFp(doc, seed, fopt);
+      auto dep = MakeFpDeployment(doc, seed, fopt);
       if (!dep.ok()) continue;
       StorageReport r = MeasureStorage(dep->ring, doc, dep->server);
       char label[32];
@@ -45,7 +47,7 @@ int main() {
       // x^2+1 and x^4+x^3+x^2+x+1 (both irreducible over Z).
       zopt.r = d == 2 ? ZPoly({1, 0, 1}) : ZPoly({1, 1, 1, 1, 1});
       zopt.coeff_bits = 128;
-      auto dep = OutsourceZ(doc, seed, zopt);
+      auto dep = MakeZDeployment(doc, seed, zopt);
       if (!dep.ok()) {
         std::printf("Z d=%d n=%zu: %s\n", d, n,
                     dep.status().ToString().c_str());
@@ -102,7 +104,7 @@ int main() {
     }
     ZOutsourceOptions zopt;
     zopt.coeff_bits = 64;  // small share floor so data growth dominates
-    auto dep = OutsourceZ(path_doc, seed, zopt);
+    auto dep = MakeZDeployment(path_doc, seed, zopt);
     if (!dep.ok()) continue;
     StorageReport r = MeasureStorage(dep->ring, path_doc, dep->server, 11);
     std::printf("%s\n", StorageReportRow(r, "Z path-tree").c_str());

@@ -9,11 +9,13 @@
 
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 
 namespace {
 
 using namespace polysse;
+using namespace polysse::testing;
 
 // Builds a document with `planted` full a/b/c/d chains and `decoys`
 // subtrees that contain a and b but never c or d.
@@ -55,9 +57,9 @@ int main() {
   for (int decoys : {4, 16, 64, 256}) {
     XmlNode doc = BuildPlantedDocument(/*planted=*/3, decoys,
                                        /*filler_depth=*/6);
-    auto dep = OutsourceFp(doc, seed);
+    auto dep = MakeFpDeployment(doc, seed);
     if (!dep.ok()) continue;
-    QuerySession<FpCyclotomicRing> session(&dep->client, &dep->server);
+    TestSession<FpCyclotomicRing> session(&dep->client, &dep->server);
     auto query = XPathQuery::Parse("//a/b//c/d").value();
 
     auto l2r = session.EvaluateXPath(query, XPathStrategy::kLeftToRight,
@@ -81,9 +83,9 @@ int main() {
     gen.tag_alphabet = 10;
     gen.seed = s;
     XmlNode doc = GenerateXmlTree(gen);
-    auto dep = OutsourceFp(doc, seed);
+    auto dep = MakeFpDeployment(doc, seed);
     if (!dep.ok()) continue;
-    QuerySession<FpCyclotomicRing> session(&dep->client, &dep->server);
+    TestSession<FpCyclotomicRing> session(&dep->client, &dep->server);
     auto tags = doc.DistinctTags();
     std::string q = "//" + tags[0] + "//" + tags[1 % tags.size()];
     auto query = XPathQuery::Parse(q).value();

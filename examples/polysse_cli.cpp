@@ -13,15 +13,28 @@
 //       across N servers, query, then kill servers one by one to show
 //       any t answering and fewer than t failing cleanly
 //
+//   polysse_cli serve <store.bin> [port]
+//       host a share store over TCP (port 0 = pick one); blocks until
+//       killed — run one per server of a deployment
+//
+//   polysse_cli connect <client.key> <xpath> <host:port> [host:port ...]
+//       query a deployment whose servers run elsewhere: the key file
+//       carries the ring + scheme, each host:port is one live server
+//
 //   polysse_cli inspect <store.bin>
 //       print what an attacker with the server file alone can see
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/persistence.h"
+#include "net/socket_endpoint.h"
 #include "xml/xml_parser.h"
 
 using namespace polysse;
@@ -129,6 +142,118 @@ int CmdShamir(const std::string& xml_path, const std::string& xpath,
   return 0;
 }
 
+int CmdServe(const std::string& store_path, uint16_t port) {
+  auto store_bytes = ReadFileBytes(store_path);
+  if (!store_bytes.ok()) return Fail(store_bytes.status());
+  auto kind = PeekStoredRingKind(*store_bytes);
+  if (!kind.ok()) return Fail(kind.status());
+  ByteReader reader(*store_bytes);
+  if (*kind != StoredRingKind::kFpCyclotomic)
+    return Fail(Status::Unimplemented("serve covers Fp stores (like query)"));
+  auto store = LoadFpServerStore(&reader);
+  if (!store.ok()) return Fail(store.status());
+
+  auto server = SocketServer::Listen(&*store, port);
+  if (!server.ok()) return Fail(server.status());
+  std::printf("serving %zu shared nodes on 127.0.0.1:%u — the process sees "
+              "only random-looking polynomials; ctrl-c to stop\n",
+              store->size(), (*server)->port());
+  for (;;) pause();  // the accept loop does the work
+}
+
+/// Builds {ring, thin client, endpoint group} from a key file plus live
+/// server addresses, runs the query, prints matches.
+int CmdConnect(const std::string& key_path, const std::string& xpath,
+               const std::vector<std::string>& addresses) {
+  auto key_bytes = ReadFileBytes(key_path);
+  if (!key_bytes.ok()) return Fail(key_bytes.status());
+  ByteReader key_reader(*key_bytes);
+  auto key = ClientSecretFile::Deserialize(&key_reader);
+  if (!key.ok()) return Fail(key.status());
+  if (key->ring_kind != static_cast<uint8_t>(StoredRingKind::kFpCyclotomic))
+    return Fail(Status::Unimplemented(
+        "connect needs a v2 Fp key file (re-save with this build)"));
+  auto ring = FpCyclotomicRing::Create(key->fp_p);
+  if (!ring.ok()) return Fail(ring.status());
+  auto client = ClientContext<FpCyclotomicRing>::SeedOnly(
+      *ring, key->tag_map, DeterministicPrf(key->seed));
+
+  // The address list is positional: address i is server i of the saved
+  // deployment (additive shares and Shamir x-coordinates are per-slot, so
+  // a subset or reordering would recombine garbage). Dead servers still
+  // get listed; Shamir fails over around them.
+  if (addresses.size() != static_cast<size_t>(key->num_servers))
+    return Fail(Status::InvalidArgument(
+        "this key file names " + std::to_string(key->num_servers) +
+        " server(s); pass exactly that many host:port arguments, in server "
+        "order (list unreachable ones too — Shamir fails over)"));
+
+  // Placeholder for a server that refused the connection: keeps its slot
+  // (and so every other server's x-coordinate) while always failing, which
+  // Shamir failover routes around.
+  struct OfflineEndpoint final : ServerEndpoint {
+    Result<EvalResponse> Eval(const EvalRequest&) override {
+      return Status::Unavailable("server offline");
+    }
+    Result<FetchResponse> Fetch(const FetchRequest&) override {
+      return Status::Unavailable("server offline");
+    }
+  };
+
+  std::vector<std::unique_ptr<ServerEndpoint>> owned;
+  std::vector<ServerEndpoint*> eps;
+  for (const std::string& addr : addresses) {
+    const size_t colon = addr.rfind(':');
+    if (colon == std::string::npos)
+      return Fail(Status::InvalidArgument("expected host:port, got " + addr));
+    auto ep = SocketEndpoint::Connect(
+        addr.substr(0, colon),
+        static_cast<uint16_t>(std::atoi(addr.c_str() + colon + 1)));
+    if (ep.ok()) {
+      owned.push_back(std::move(*ep));
+    } else if (key->scheme == ShareScheme::kShamir) {
+      std::fprintf(stderr, "note: %s unreachable (%s); relying on failover\n",
+                   addr.c_str(), ep.status().ToString().c_str());
+      owned.push_back(std::make_unique<OfflineEndpoint>());
+    } else {
+      return Fail(ep.status());  // additive/2-party need every server
+    }
+    eps.push_back(owned.back().get());
+  }
+
+  EndpointGroup group;
+  switch (key->scheme) {
+    case ShareScheme::kTwoParty:
+      group = EndpointGroup::TwoParty(eps[0]);
+      break;
+    case ShareScheme::kAdditive:
+      group = EndpointGroup::Additive(eps);
+      break;
+    case ShareScheme::kShamir:
+      group = EndpointGroup::Shamir(eps, key->threshold);
+      break;
+  }
+  // Overlap the per-server round trips when several servers answer.
+  ThreadPool pool(eps.size() > 1 ? eps.size() : 1);
+  if (eps.size() > 1) group.executor = &pool;
+  QuerySession<FpCyclotomicRing> session(&client, group);
+
+  auto query = XPathQuery::Parse(xpath);
+  if (!query.ok()) return Fail(query.status());
+  auto result = session.EvaluateXPath(*query, XPathStrategy::kAllAtOnce,
+                                      VerifyMode::kVerified);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%zu match(es) for %s over %zu TCP server(s):\n",
+              result->matches.size(), xpath.c_str(), eps.size());
+  for (const auto& m : result->matches)
+    std::printf("  node %d @ \"%s\"\n", m.node_id, m.path.c_str());
+  const QueryStats& s = result->stats;
+  std::printf("visited %zu/%zu nodes, %zu B up, %zu B down, %zu rounds\n",
+              s.nodes_visited, s.total_server_nodes, s.transport.bytes_up,
+              s.transport.bytes_down, s.rounds);
+  return 0;
+}
+
 int CmdInspect(const std::string& store_path) {
   auto store_bytes = ReadFileBytes(store_path);
   if (!store_bytes.ok()) return Fail(store_bytes.status());
@@ -182,6 +307,15 @@ int main(int argc, char** argv) {
     }
     return CmdShamir(argv[2], argv[3], num_servers, threshold);
   }
+  if (cmd == "serve" && (argc == 3 || argc == 4)) {
+    return CmdServe(argv[2],
+                    static_cast<uint16_t>(argc == 4 ? std::atoi(argv[3]) : 0));
+  }
+  if (cmd == "connect" && argc >= 5) {
+    std::vector<std::string> addresses;
+    for (int i = 4; i < argc; ++i) addresses.push_back(argv[i]);
+    return CmdConnect(argv[2], argv[3], addresses);
+  }
   if (cmd == "inspect" && argc == 3) {
     return CmdInspect(argv[2]);
   }
@@ -193,6 +327,9 @@ int main(int argc, char** argv) {
               "[--trusted|--optimistic]\n"
               "  polysse_cli shamir <doc.xml> <xpath> [--servers N] "
               "[--threshold t]\n"
+              "  polysse_cli serve <store.bin> [port]\n"
+              "  polysse_cli connect <client.key> <xpath> <host:port> "
+              "[host:port ...]\n"
               "  polysse_cli inspect <store.bin>\n\n");
   std::printf("running self-demo in /tmp ...\n");
   {
@@ -213,6 +350,23 @@ int main(int argc, char** argv) {
     if (rc != 0) return rc;
     rc = CmdShamir("/tmp/polysse_demo.xml", "//book", 5, 3);
     if (rc != 0) return rc;
+    // serve/connect leg: host the saved store over real loopback TCP in
+    // this process, then query it exactly like a remote client would.
+    {
+      auto store_bytes = ReadFileBytes("/tmp/polysse_store.bin");
+      if (!store_bytes.ok()) return Fail(store_bytes.status());
+      ByteReader reader(*store_bytes);
+      auto store = LoadFpServerStore(&reader);
+      if (!store.ok()) return Fail(store.status());
+      auto server = SocketServer::Listen(&*store, /*port=*/0);
+      if (!server.ok()) return Fail(server.status());
+      std::printf("\nserving the store on 127.0.0.1:%u; querying over "
+                  "TCP ...\n",
+                  (*server)->port());
+      rc = CmdConnect("/tmp/polysse_client.key", "//book",
+                      {"127.0.0.1:" + std::to_string((*server)->port())});
+      if (rc != 0) return rc;
+    }
     return CmdInspect("/tmp/polysse_store.bin");
   }
 }

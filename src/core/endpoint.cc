@@ -33,16 +33,16 @@ Result<std::vector<uint8_t>> DispatchSerialized(
 // ------------------------------------------------------------- in-process
 
 Result<EvalResponse> InProcessEndpoint::Eval(const EvalRequest& req) {
-  ++counters_.messages_up;
+  CountUp(0);
   ASSIGN_OR_RETURN(EvalResponse resp, handler_->HandleEval(req));
-  ++counters_.messages_down;
+  CountDown(0);
   return resp;
 }
 
 Result<FetchResponse> InProcessEndpoint::Fetch(const FetchRequest& req) {
-  ++counters_.messages_up;
+  CountUp(0);
   ASSIGN_OR_RETURN(FetchResponse resp, handler_->HandleFetch(req));
-  ++counters_.messages_down;
+  CountDown(0);
   return resp;
 }
 
@@ -51,12 +51,10 @@ Result<FetchResponse> InProcessEndpoint::Fetch(const FetchRequest& req) {
 Result<EvalResponse> LoopbackEndpoint::Eval(const EvalRequest& req) {
   ByteWriter up;
   req.Serialize(&up);
-  counters_.bytes_up += up.size();
-  ++counters_.messages_up;
+  CountUp(up.size());
   ASSIGN_OR_RETURN(std::vector<uint8_t> down,
                    DispatchSerialized(handler_, MessageKind::kEval, up.span()));
-  counters_.bytes_down += down.size();
-  ++counters_.messages_down;
+  CountDown(down.size());
   ByteReader down_r(down);
   return EvalResponse::Deserialize(&down_r);
 }
@@ -64,13 +62,11 @@ Result<EvalResponse> LoopbackEndpoint::Eval(const EvalRequest& req) {
 Result<FetchResponse> LoopbackEndpoint::Fetch(const FetchRequest& req) {
   ByteWriter up;
   req.Serialize(&up);
-  counters_.bytes_up += up.size();
-  ++counters_.messages_up;
+  CountUp(up.size());
   ASSIGN_OR_RETURN(
       std::vector<uint8_t> down,
       DispatchSerialized(handler_, MessageKind::kFetch, up.span()));
-  counters_.bytes_down += down.size();
-  ++counters_.messages_down;
+  CountDown(down.size());
   ByteReader down_r(down);
   return FetchResponse::Deserialize(&down_r);
 }
@@ -78,11 +74,18 @@ Result<FetchResponse> LoopbackEndpoint::Fetch(const FetchRequest& req) {
 // --------------------------------------------------------- fault injection
 
 Status FaultInjectingEndpoint::Admit() {
-  if (calls_ >= config_.fail_after_calls)
-    return Status::Unavailable("server unreachable (injected fault)");
-  ++calls_;
-  if (config_.latency_us > 0)
+  // Claim a call slot atomically so concurrent fan-out threads agree on
+  // exactly which call kills the server.
+  size_t c = calls_.load(std::memory_order_relaxed);
+  do {
+    if (c >= config_.fail_after_calls)
+      return Status::Unavailable("server unreachable (injected fault)");
+  } while (!calls_.compare_exchange_weak(c, c + 1, std::memory_order_relaxed));
+  if (config_.latency_us > 0) {
+    // A real sleep, not a recorded cost: the parallel fan-out bench relies
+    // on per-server latencies genuinely overlapping in wall time.
     std::this_thread::sleep_for(std::chrono::microseconds(config_.latency_us));
+  }
   return Status::Ok();
 }
 
@@ -106,7 +109,7 @@ Result<EvalResponse> FaultInjectingEndpoint::Eval(const EvalRequest& req) {
   RETURN_IF_ERROR(Admit());
   ASSIGN_OR_RETURN(EvalResponse resp, inner_->Eval(req));
   if (config_.tamper_eval) config_.tamper_eval(resp);
-  if (config_.corrupt_response_bytes) return CorruptBytes(resp, calls_);
+  if (config_.corrupt_response_bytes) return CorruptBytes(resp, calls());
   return resp;
 }
 
@@ -114,7 +117,7 @@ Result<FetchResponse> FaultInjectingEndpoint::Fetch(const FetchRequest& req) {
   RETURN_IF_ERROR(Admit());
   ASSIGN_OR_RETURN(FetchResponse resp, inner_->Fetch(req));
   if (config_.tamper_fetch) config_.tamper_fetch(resp);
-  if (config_.corrupt_response_bytes) return CorruptBytes(resp, calls_);
+  if (config_.corrupt_response_bytes) return CorruptBytes(resp, calls());
   return resp;
 }
 

@@ -20,14 +20,17 @@
 #ifndef POLYSSE_CORE_ENDPOINT_H_
 #define POLYSSE_CORE_ENDPOINT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "core/protocol.h"
 #include "util/bytes.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace polysse {
 
@@ -57,6 +60,10 @@ Result<std::vector<uint8_t>> DispatchSerialized(
 /// Client-side message port to one server. Implementations decide whether
 /// the typed messages actually cross a serialization boundary; `counters()`
 /// reports whatever bytes/messages did.
+///
+/// Eval/Fetch and counters() are thread-safe: the parallel fan-out calls
+/// distinct endpoints concurrently, and stress scenarios drive one endpoint
+/// from several sessions at once.
 class ServerEndpoint {
  public:
   virtual ~ServerEndpoint() = default;
@@ -64,10 +71,29 @@ class ServerEndpoint {
   virtual Result<EvalResponse> Eval(const EvalRequest& req) = 0;
   virtual Result<FetchResponse> Fetch(const FetchRequest& req) = 0;
 
-  /// Cumulative wire-cost counters since construction.
-  virtual const TransportCounters& counters() const { return counters_; }
+  /// Snapshot of the cumulative wire-cost counters since construction.
+  virtual TransportCounters counters() const {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    return counters_;
+  }
 
  protected:
+  /// Records one sent request (byte count 0 on zero-copy paths). A request
+  /// whose handler fails is still counted — it crossed the wire.
+  void CountUp(size_t bytes) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    counters_.bytes_up += bytes;
+    ++counters_.messages_up;
+  }
+  /// Records one received response.
+  void CountDown(size_t bytes) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    counters_.bytes_down += bytes;
+    ++counters_.messages_down;
+  }
+
+ private:
+  mutable std::mutex counters_mu_;
   TransportCounters counters_;
 };
 
@@ -124,13 +150,12 @@ class FaultInjectingEndpoint final : public ServerEndpoint {
   Result<EvalResponse> Eval(const EvalRequest& req) override;
   Result<FetchResponse> Fetch(const FetchRequest& req) override;
 
-  const TransportCounters& counters() const override {
-    return inner_->counters();
-  }
+  TransportCounters counters() const override { return inner_->counters(); }
 
-  /// Mutable mid-run: tests flip faults on after a healthy warm-up.
+  /// Mutable mid-run: tests flip faults on after a healthy warm-up (from
+  /// the session thread only — reconfiguration is not thread-safe).
   FaultConfig& config() { return config_; }
-  size_t calls() const { return calls_; }
+  size_t calls() const { return calls_.load(std::memory_order_relaxed); }
 
  private:
   /// Shared pre-call gate: death check + latency. Unavailable once dead.
@@ -138,7 +163,7 @@ class FaultInjectingEndpoint final : public ServerEndpoint {
 
   ServerEndpoint* inner_;
   FaultConfig config_;
-  size_t calls_ = 0;
+  std::atomic<size_t> calls_{0};
 };
 
 /// How the per-server contributions recombine client-side (§4.2 and its
@@ -155,7 +180,8 @@ enum class ShareScheme {
 };
 
 /// One logical server group a query session talks to: the endpoints plus
-/// the recombination scheme. Endpoints are borrowed, not owned.
+/// the recombination scheme. Endpoints and the executor are borrowed, not
+/// owned.
 struct EndpointGroup {
   ShareScheme scheme = ShareScheme::kTwoParty;
   std::vector<ServerEndpoint*> endpoints;
@@ -163,6 +189,14 @@ struct EndpointGroup {
   std::vector<uint64_t> shamir_x;
   /// Shamir only: how many servers must answer.
   int threshold = 0;
+  /// Where per-server subrequests run during fan-out. Null means the
+  /// calling thread, sequentially (deterministic; the historical order).
+  Executor* executor = nullptr;
+
+  /// The effective executor (never null).
+  Executor* executor_or_inline() const {
+    return executor != nullptr ? executor : GlobalInlineExecutor();
+  }
 
   static EndpointGroup TwoParty(ServerEndpoint* endpoint) {
     EndpointGroup g;

@@ -14,11 +14,12 @@
 //                                  // many concurrent //tag queries
 //
 // The engine owns the demo-grade server side (one ServerStore per server,
-// fronted by InProcess or Loopback endpoints); a networked deployment would
-// instead hand QuerySession endpoints that speak to remote processes via
-// DispatchSerialized. Replaces the scattered OutsourceFp/OutsourceZ +
-// ClientContext + QuerySession + persistence entry points, which remain as
-// thin deprecated shims for one release.
+// fronted by InProcess or Loopback endpoints); a networked deployment
+// instead hands QuerySession endpoints that speak to remote processes (see
+// net/socket_endpoint.h for the TCP transport over DispatchSerialized).
+// With Deploy::worker_threads > 1 the engine owns a ThreadPool and the
+// per-server subrequests of every round fan out concurrently, so k-server
+// wall time tracks one server's latency instead of the sum of all k.
 #ifndef POLYSSE_CORE_ENGINE_H_
 #define POLYSSE_CORE_ENGINE_H_
 
@@ -70,6 +71,10 @@ class Engine {
     /// Shamir: t servers needed to answer; 0 means all of them.
     int threshold = 0;
     EndpointKind transport = EndpointKind::kLoopback;
+    /// Fan-out workers: <= 1 runs per-server subrequests sequentially on
+    /// the caller thread (deterministic); larger values give the engine a
+    /// ThreadPool so the k per-round server calls overlap in wall time.
+    int worker_threads = 0;
   };
 
   Engine(const Engine&) = delete;
@@ -133,27 +138,19 @@ class Engine {
       engine->stores_.push_back(
           std::make_unique<ServerStore<Ring>>(engine->ring_, std::move(tree)));
     }
+    engine->SetWorkerThreadCount(deploy.worker_threads);
     RETURN_IF_ERROR(engine->AttachEndpoints(deploy.transport, deploy.scheme,
                                             EffectiveThreshold(deploy)));
     return engine;
   }
 
-  /// Reopens a persisted two-party deployment: the server's share store
-  /// file plus the client's secret key file (seed + tag map).
+  /// Reopens a persisted deployment from the client's secret key file
+  /// (seed + tag map + deployment shape) and the server store file(s) Save
+  /// wrote: one file at `store_path` for two-party, one per server at
+  /// MultiServerStorePath(store_path, i) for additive/Shamir deployments.
   static Result<std::unique_ptr<Engine>> Open(
       const std::string& store_path, const std::string& key_path,
       EndpointKind transport = EndpointKind::kLoopback) {
-    ASSIGN_OR_RETURN(std::vector<uint8_t> store_bytes,
-                     ReadFileBytes(store_path));
-    ByteReader store_reader(store_bytes);
-    auto store_or = [&] {
-      if constexpr (std::is_same_v<Ring, FpCyclotomicRing>)
-        return LoadFpServerStore(&store_reader);
-      else
-        return LoadZServerStore(&store_reader);
-    }();
-    RETURN_IF_ERROR(store_or.status());
-
     ASSIGN_OR_RETURN(std::vector<uint8_t> key_bytes, ReadFileBytes(key_path));
     ByteReader key_reader(key_bytes);
     ASSIGN_OR_RETURN(ClientSecretFile key,
@@ -162,39 +159,91 @@ class Engine {
     split_options.z_coeff_bits = key.z_coeff_bits;
     DeterministicPrf prf(key.seed);
 
-    Ring ring = store_or->ring();
+    const int num_servers = key.scheme == ShareScheme::kTwoParty
+                                ? 1
+                                : key.num_servers;
+    if (num_servers < 1)
+      return Status::Corruption("key file names no servers");
+    std::vector<std::unique_ptr<ServerStore<Ring>>> stores;
+    for (int s = 0; s < num_servers; ++s) {
+      const std::string path = key.scheme == ShareScheme::kTwoParty
+                                   ? store_path
+                                   : MultiServerStorePath(store_path, s);
+      ASSIGN_OR_RETURN(std::vector<uint8_t> store_bytes, ReadFileBytes(path));
+      ByteReader store_reader(store_bytes);
+      auto store_or = [&] {
+        if constexpr (std::is_same_v<Ring, FpCyclotomicRing>)
+          return LoadFpServerStore(&store_reader);
+        else
+          return LoadZServerStore(&store_reader);
+      }();
+      RETURN_IF_ERROR(store_or.status());
+      stores.push_back(
+          std::make_unique<ServerStore<Ring>>(std::move(*store_or)));
+    }
+    auto same_ring = [](const Ring& a, const Ring& b) {
+      if constexpr (std::is_same_v<Ring, FpCyclotomicRing>)
+        return a.p() == b.p();
+      else
+        return a.modulus() == b.modulus();
+    };
+    for (const auto& store : stores) {
+      if (!same_ring(store->ring(), stores[0]->ring()))
+        return Status::Corruption("server stores disagree on ring parameters");
+      if (store->size() != stores[0]->size())
+        return Status::Corruption("server stores disagree on tree size");
+    }
+
+    Ring ring = stores[0]->ring();
     auto engine = std::unique_ptr<Engine>(new Engine(
         ring,
         ClientContext<Ring>::SeedOnly(ring, std::move(key.tag_map), prf,
                                       split_options),
         prf));
-    engine->stores_.push_back(
-        std::make_unique<ServerStore<Ring>>(std::move(*store_or)));
-    RETURN_IF_ERROR(engine->AttachEndpoints(transport, ShareScheme::kTwoParty,
-                                            /*threshold=*/0));
+    engine->stores_ = std::move(stores);
+    RETURN_IF_ERROR(
+        engine->AttachEndpoints(transport, key.scheme, key.threshold));
     return engine;
   }
 
-  /// Persists a two-party deployment as {server store file, client key
-  /// file}. Multi-server persistence is intentionally out of scope here: a
-  /// real k-of-n deployment hands each server ITS OWN store file, which is
-  /// just SaveServerStore on each `store(i)`.
+  /// Persists the deployment as {server store file(s), client key file}.
+  /// Two-party writes one store file at `store_path`; additive/Shamir
+  /// deployments write each server ITS OWN file at
+  /// MultiServerStorePath(store_path, i) — a real k-of-n deployment ships
+  /// file i to server i and nothing else.
   Status Save(const std::string& store_path,
               const std::string& key_path) const {
-    if (group_.scheme != ShareScheme::kTwoParty)
-      return Status::FailedPrecondition(
-          "Save covers two-party deployments; save multi-server stores "
-          "individually via SaveServerStore(store(i))");
-    ByteWriter store_bytes;
-    SaveServerStore(*stores_[0], &store_bytes);
-    RETURN_IF_ERROR(WriteFileBytes(store_path, store_bytes.span()));
+    for (size_t s = 0; s < stores_.size(); ++s) {
+      ByteWriter store_bytes;
+      SaveServerStore(*stores_[s], &store_bytes);
+      const std::string path = group_.scheme == ShareScheme::kTwoParty
+                                   ? store_path
+                                   : MultiServerStorePath(store_path, s);
+      RETURN_IF_ERROR(WriteFileBytes(path, store_bytes.span()));
+    }
     ClientSecretFile key;
     key.seed = seed_.seed();
     key.tag_map = client_.tag_map();
     key.z_coeff_bits = client_.split_options().z_coeff_bits;
+    key.scheme = group_.scheme;
+    key.num_servers = static_cast<int>(stores_.size());
+    key.threshold = group_.threshold;
+    if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
+      key.ring_kind = static_cast<uint8_t>(StoredRingKind::kFpCyclotomic);
+      key.fp_p = ring_.p();
+    } else {
+      key.ring_kind = static_cast<uint8_t>(StoredRingKind::kZQuotient);
+      key.z_modulus = ring_.modulus();
+    }
     ByteWriter key_bytes;
     key.Serialize(&key_bytes);
     return WriteFileBytes(key_path, key_bytes.span());
+  }
+
+  /// Where Save puts server `i`'s share file of a multi-server deployment.
+  static std::string MultiServerStorePath(const std::string& store_path,
+                                          size_t i) {
+    return store_path + ".s" + std::to_string(i);
   }
 
   // ------------------------------------------------------------- queries
@@ -230,6 +279,9 @@ class Engine {
   ShareScheme scheme() const { return group_.scheme; }
   size_t num_servers() const { return stores_.size(); }
   const ServerStore<Ring>& store(size_t i = 0) const { return *stores_[i]; }
+  /// Server `i`'s protocol handler — what a network frontend (e.g.
+  /// SocketServer) serves. Handlers are thread-safe.
+  ServerHandler* handler(size_t i = 0) { return stores_[i].get(); }
   /// The session, for callers needing the full §4.3 API surface.
   QuerySession<Ring>& session() { return *session_; }
   const QueryStats& last_stats() const { return session_->last_stats(); }
@@ -246,6 +298,18 @@ class Engine {
     RebuildSession();
     return faults_.back().get();
   }
+
+  /// Reconfigures the fan-out executor: <= 1 reverts to sequential inline
+  /// dispatch, larger values (re)build the worker pool. Answers are
+  /// bit-identical either way; only wall time changes.
+  void SetWorkerThreadCount(int worker_threads) {
+    SetUpPool(worker_threads);
+    group_.executor = pool_.get();
+    if (session_ != nullptr) RebuildSession();
+  }
+
+  /// The executor fan-out currently runs on (null = sequential inline).
+  Executor* executor() const { return pool_.get(); }
 
  private:
   Engine(Ring ring, ClientContext<Ring> client, DeterministicPrf seed)
@@ -279,9 +343,18 @@ class Engine {
         group_ = EndpointGroup::Shamir(std::move(eps), threshold);
         break;
     }
+    group_.executor = pool_.get();
     RETURN_IF_ERROR(group_.Validate());
     RebuildSession();
     return Status::Ok();
+  }
+
+  void SetUpPool(int worker_threads) {
+    if (worker_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(worker_threads));
+    } else {
+      pool_.reset();
+    }
   }
 
   void RebuildSession() {
@@ -294,6 +367,7 @@ class Engine {
   std::vector<std::unique_ptr<ServerStore<Ring>>> stores_;
   std::vector<std::unique_ptr<ServerEndpoint>> endpoints_;
   std::vector<std::unique_ptr<FaultInjectingEndpoint>> faults_;
+  std::unique_ptr<ThreadPool> pool_;
   EndpointGroup group_;
   std::unique_ptr<QuerySession<Ring>> session_;
 };

@@ -53,34 +53,4 @@ Result<PreparedOutsource<ZQuotientRing>> PrepareOutsource(
                                           std::move(data), split_options};
 }
 
-Result<FpDeployment> OutsourceFp(const XmlNode& document,
-                                 const DeterministicPrf& seed,
-                                 const FpOutsourceOptions& options) {
-  ASSIGN_OR_RETURN(PreparedOutsource<FpCyclotomicRing> prep,
-                   PrepareOutsource(document, seed, options));
-  SharedTrees<FpCyclotomicRing> shares = SplitShares(prep.ring, prep.data, seed);
-
-  return FpDeployment{
-      prep.ring,
-      ClientContext<FpCyclotomicRing>::SeedOnly(prep.ring,
-                                                std::move(prep.tag_map), seed),
-      ServerStore<FpCyclotomicRing>(prep.ring, std::move(shares.server))};
-}
-
-Result<ZDeployment> OutsourceZ(const XmlNode& document,
-                               const DeterministicPrf& seed,
-                               const ZOutsourceOptions& options) {
-  ASSIGN_OR_RETURN(PreparedOutsource<ZQuotientRing> prep,
-                   PrepareOutsource(document, seed, options));
-  SharedTrees<ZQuotientRing> shares =
-      SplitShares(prep.ring, prep.data, seed, prep.split_options);
-
-  return ZDeployment{
-      prep.ring,
-      ClientContext<ZQuotientRing>::SeedOnly(prep.ring,
-                                             std::move(prep.tag_map), seed,
-                                             prep.split_options),
-      ServerStore<ZQuotientRing>(prep.ring, std::move(shares.server))};
-}
-
 }  // namespace polysse

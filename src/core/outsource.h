@@ -1,5 +1,8 @@
-// One-call outsourcing: XML document in, {client secret state, server store}
-// out. This is the library's front door — see examples/quickstart.cpp.
+// Document preparation for outsourcing: ring selection, private tag map and
+// the reduced data tree, before any share split. polysse::Engine
+// (core/engine.h) is the library's front door — it feeds PrepareOutsource
+// into whichever server scheme the deployment requests. The historical
+// OutsourceFp/OutsourceZ one-call shims are gone; callers use the Engine.
 #ifndef POLYSSE_CORE_OUTSOURCE_H_
 #define POLYSSE_CORE_OUTSOURCE_H_
 
@@ -24,15 +27,6 @@ struct FpOutsourceOptions {
       TagMap::Options::Assignment::kKeyedRandom;
 };
 
-/// A complete 2-party deployment over the F_p ring.
-/// DEPRECATED shim: new code should use polysse::Engine (core/engine.h),
-/// which also covers multi-server schemes, batching and persistence.
-struct FpDeployment {
-  FpCyclotomicRing ring;
-  ClientContext<FpCyclotomicRing> client;
-  ServerStore<FpCyclotomicRing> server;
-};
-
 /// The plaintext-side artifacts every deployment shape starts from: ring,
 /// private tag map and the reduced data tree, before any share split. The
 /// Engine uses this to split across whichever server scheme is requested.
@@ -47,14 +41,6 @@ struct PreparedOutsource {
 Result<PreparedOutsource<FpCyclotomicRing>> PrepareOutsource(
     const XmlNode& document, const DeterministicPrf& seed,
     const FpOutsourceOptions& options = {});
-
-/// Builds tag map, polynomial tree and share split for `document`; the
-/// client side is seed-only (thin) — it can answer queries with nothing but
-/// `seed` and the returned tag map.
-/// DEPRECATED shim over PrepareOutsource + SplitShares; see core/engine.h.
-Result<FpDeployment> OutsourceFp(const XmlNode& document,
-                                 const DeterministicPrf& seed,
-                                 const FpOutsourceOptions& options = {});
 
 /// Configuration of a Z[x]/(r(x)) deployment.
 struct ZOutsourceOptions {
@@ -71,22 +57,9 @@ struct ZOutsourceOptions {
   uint64_t max_tag_value = 4096;
 };
 
-/// A complete 2-party deployment over the Z[x]/(r) ring.
-/// DEPRECATED shim: see core/engine.h.
-struct ZDeployment {
-  ZQuotientRing ring;
-  ClientContext<ZQuotientRing> client;
-  ServerStore<ZQuotientRing> server;
-};
-
 Result<PreparedOutsource<ZQuotientRing>> PrepareOutsource(
     const XmlNode& document, const DeterministicPrf& seed,
     const ZOutsourceOptions& options);
-
-/// DEPRECATED shim over PrepareOutsource + SplitShares; see core/engine.h.
-Result<ZDeployment> OutsourceZ(const XmlNode& document,
-                               const DeterministicPrf& seed,
-                               const ZOutsourceOptions& options = {});
 
 }  // namespace polysse
 

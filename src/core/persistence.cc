@@ -9,6 +9,9 @@ namespace {
 
 constexpr char kMagic[4] = {'P', 'S', 'S', 'E'};
 constexpr uint8_t kFormatVersion = 1;
+/// Client key files: v2 appends the deployment-shape trailer; v1 files
+/// (two-party only) remain loadable.
+constexpr uint8_t kKeyFormatVersion = 2;
 
 void WriteHeader(StoredRingKind kind, ByteWriter* out) {
   out->PutBytes(std::span<const uint8_t>(
@@ -123,10 +126,21 @@ Result<ServerStore<ZQuotientRing>> LoadZServerStore(ByteReader* in) {
 
 void ClientSecretFile::Serialize(ByteWriter* out) const {
   out->PutString("PKEY");
-  out->PutU8(kFormatVersion);
+  out->PutU8(kKeyFormatVersion);
   out->PutBytes(std::span<const uint8_t>(seed.data(), seed.size()));
   out->PutVarint64(z_coeff_bits);
   tag_map.Serialize(out);
+  // v2 deployment trailer: how Engine::Open rebuilds the server group, and
+  // the ring parameters a purely networked client needs.
+  out->PutU8(static_cast<uint8_t>(scheme));
+  out->PutVarint64(static_cast<uint64_t>(num_servers));
+  out->PutVarint64(static_cast<uint64_t>(threshold));
+  out->PutU8(ring_kind);
+  if (ring_kind == static_cast<uint8_t>(StoredRingKind::kFpCyclotomic)) {
+    out->PutVarint64(fp_p);
+  } else if (ring_kind == static_cast<uint8_t>(StoredRingKind::kZQuotient)) {
+    z_modulus.Serialize(out);
+  }
 }
 
 Result<ClientSecretFile> ClientSecretFile::Deserialize(ByteReader* in) {
@@ -134,7 +148,7 @@ Result<ClientSecretFile> ClientSecretFile::Deserialize(ByteReader* in) {
   if (std::memcmp(magic.data(), "PKEY", 4) != 0)
     return Status::Corruption("not a polysse client key file");
   ASSIGN_OR_RETURN(uint8_t version, in->GetU8());
-  if (version != kFormatVersion)
+  if (version != 1 && version != kKeyFormatVersion)
     return Status::Corruption("unsupported key file version");
   ClientSecretFile out;
   ASSIGN_OR_RETURN(std::vector<uint8_t> seed_bytes,
@@ -145,6 +159,28 @@ Result<ClientSecretFile> ClientSecretFile::Deserialize(ByteReader* in) {
     return Status::Corruption("implausible z_coeff_bits");
   out.z_coeff_bits = bits;
   ASSIGN_OR_RETURN(out.tag_map, TagMap::Deserialize(in));
+  if (version == 1) return out;  // legacy key: two-party defaults
+
+  ASSIGN_OR_RETURN(uint8_t scheme, in->GetU8());
+  if (scheme > static_cast<uint8_t>(ShareScheme::kShamir))
+    return Status::Corruption("unknown share scheme in key file");
+  out.scheme = static_cast<ShareScheme>(scheme);
+  ASSIGN_OR_RETURN(uint64_t num_servers, in->GetVarint64());
+  ASSIGN_OR_RETURN(uint64_t threshold, in->GetVarint64());
+  if (num_servers == 0 || num_servers > (1ull << 16) ||
+      threshold > num_servers)
+    return Status::Corruption("implausible deployment shape in key file");
+  out.num_servers = static_cast<int>(num_servers);
+  out.threshold = static_cast<int>(threshold);
+  ASSIGN_OR_RETURN(out.ring_kind, in->GetU8());
+  if (out.ring_kind == static_cast<uint8_t>(StoredRingKind::kFpCyclotomic)) {
+    ASSIGN_OR_RETURN(out.fp_p, in->GetVarint64());
+  } else if (out.ring_kind ==
+             static_cast<uint8_t>(StoredRingKind::kZQuotient)) {
+    ASSIGN_OR_RETURN(out.z_modulus, ZPoly::Deserialize(in));
+  } else if (out.ring_kind != 0) {
+    return Status::Corruption("unknown ring kind in key file");
+  }
   return out;
 }
 

@@ -40,11 +40,23 @@ Result<StoredRingKind> PeekStoredRingKind(std::span<const uint8_t> bytes);
 Result<ServerStore<FpCyclotomicRing>> LoadFpServerStore(ByteReader* in);
 Result<ServerStore<ZQuotientRing>> LoadZServerStore(ByteReader* in);
 
-/// Client secret state: master seed + private tag map (+ split options).
+/// Client secret state: master seed + private tag map (+ split options),
+/// plus the deployment shape so Engine::Open can rebuild a multi-server
+/// group. Format v1 files (no deployment trailer) still load and default
+/// to a two-party deployment.
 struct ClientSecretFile {
   std::array<uint8_t, DeterministicPrf::kSeedSize> seed{};
   TagMap tag_map;
   size_t z_coeff_bits = 256;
+  ShareScheme scheme = ShareScheme::kTwoParty;
+  int num_servers = 1;
+  /// Shamir only; 0 otherwise.
+  int threshold = 0;
+  /// Ring parameters (v2+): let a purely networked client — no store file
+  /// in reach — rebuild its ring. 0 = absent (legacy v1 keys).
+  uint8_t ring_kind = 0;  ///< StoredRingKind value, or 0
+  uint64_t fp_p = 0;      ///< kFpCyclotomic: the field modulus
+  ZPoly z_modulus;        ///< kZQuotient: the quotient polynomial r(x)
 
   void Serialize(ByteWriter* out) const;
   static Result<ClientSecretFile> Deserialize(ByteReader* in);

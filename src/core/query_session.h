@@ -20,6 +20,11 @@
 // only the client-side combination differs. Under Shamir, a server that
 // stops answering is marked dead and replaced by another live one as long
 // as at least `threshold` remain.
+//
+// Per-round subrequests to the k servers fan out through the group's
+// Executor: sequentially inline by default, concurrently when the group
+// carries a ThreadPool — results are gathered into per-server slots, so the
+// combined answers are bit-identical either way and only wall time changes.
 #ifndef POLYSSE_CORE_QUERY_SESSION_H_
 #define POLYSSE_CORE_QUERY_SESSION_H_
 
@@ -37,7 +42,6 @@
 #include "core/client_context.h"
 #include "core/endpoint.h"
 #include "core/protocol.h"
-#include "core/server_store.h"
 #include "mpc/shamir.h"
 #include "nt/modular.h"
 #include "xpath/xpath.h"
@@ -112,17 +116,6 @@ class QuerySession {
           Status::Unimplemented("Shamir t-of-n requires the F_p ring");
     }
     dead_.assign(group_.endpoints.size(), 0);
-  }
-
-  /// Convenience 2-party session over an in-process store, serializing
-  /// every message (the historical QuerySession behavior, byte counters
-  /// included).
-  QuerySession(ClientContext<Ring>* client, ServerStore<Ring>* server)
-      : QuerySession(client, EndpointGroup{}) {
-    owned_endpoint_ = std::make_unique<LoopbackEndpoint>(server);
-    group_ = EndpointGroup::TwoParty(owned_endpoint_.get());
-    init_status_ = group_.Validate();
-    dead_.assign(1, 0);
   }
 
   /// Element lookup //tagname. An unmapped tag short-circuits to an empty
@@ -354,19 +347,40 @@ class QuerySession {
 
   // ------------------------------------------------------------- transport
 
-  /// Calls `fn` on the scheme's active servers and reports the combination
-  /// weight of each answer. Additive schemes require every server; Shamir
-  /// asks the first `threshold` live servers, marks a failing one dead and
-  /// retries with a replacement as long as at least `threshold` remain,
-  /// recomputing Lagrange weights for whichever subset answered.
+  /// Dispatches `fn` to every server in `targets` through the group's
+  /// executor — concurrently on a pooled executor, in index order inline —
+  /// and gathers the per-server results in target order. The gathered slots
+  /// make the outcome independent of completion order, so pooled and inline
+  /// execution are bit-identical.
+  template <typename Resp, typename Fn>
+  std::vector<Result<Resp>> Dispatch(const std::vector<size_t>& targets,
+                                     Fn& fn) {
+    std::vector<Result<Resp>> results(
+        targets.size(), Result<Resp>(Status::Internal("subrequest not run")));
+    group_.executor_or_inline()->ParallelFor(
+        targets.size(),
+        [&](size_t j) { results[j] = fn(group_.endpoints[targets[j]]); });
+    return results;
+  }
+
+  /// Calls `fn` on the scheme's active servers — all of them concurrently
+  /// when the group carries a pooled executor, so k-server wall time is one
+  /// round trip, not k — and reports the combination weight of each answer.
+  /// Additive schemes require every server; Shamir asks the first
+  /// `threshold` live servers, marks failing ones dead and retries with
+  /// replacements as long as at least `threshold` remain, recomputing
+  /// Lagrange weights for whichever subset answered.
   template <typename Resp, typename Fn>
   Result<std::vector<Resp>> FanOut(Fn&& fn, std::vector<uint64_t>* weights) {
     std::vector<Resp> responses;
     if (group_.scheme != ShareScheme::kShamir) {
-      responses.reserve(group_.endpoints.size());
-      for (ServerEndpoint* ep : group_.endpoints) {
-        ASSIGN_OR_RETURN(Resp r, fn(ep));
-        responses.push_back(std::move(r));
+      std::vector<size_t> all(group_.endpoints.size());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      std::vector<Result<Resp>> results = Dispatch<Resp>(all, fn);
+      responses.reserve(results.size());
+      for (Result<Resp>& r : results) {
+        RETURN_IF_ERROR(r.status());
+        responses.push_back(std::move(r).value());
       }
       weights->assign(responses.size(), 1);
       return responses;
@@ -380,19 +394,19 @@ class QuerySession {
         return Status::Unavailable(
             "only " + std::to_string(chosen.size()) + " of the required " +
             std::to_string(t) + " servers are reachable");
+      std::vector<Result<Resp>> results = Dispatch<Resp>(chosen, fn);
       responses.clear();
       std::vector<uint64_t> xs;
       bool failed = false;
-      for (size_t i : chosen) {
-        auto r = fn(group_.endpoints[i]);
-        if (!r.ok()) {
-          dead_[i] = 1;  // stays dead for the rest of the session
+      for (size_t j = 0; j < chosen.size(); ++j) {
+        if (!results[j].ok()) {
+          dead_[chosen[j]] = 1;  // stays dead for the rest of the session
           ++stats_.server_failovers;
           failed = true;
-          break;
+          continue;
         }
-        responses.push_back(std::move(r).value());
-        xs.push_back(group_.shamir_x[i]);
+        responses.push_back(std::move(results[j]).value());
+        xs.push_back(group_.shamir_x[chosen[j]]);
       }
       if (failed) continue;
       if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
@@ -799,7 +813,6 @@ class QuerySession {
 
   ClientContext<Ring>* client_;
   EndpointGroup group_;
-  std::unique_ptr<ServerEndpoint> owned_endpoint_;  // compat ctor only
   Status init_status_;
   std::vector<char> dead_;  ///< Shamir: endpoints that stopped answering
 

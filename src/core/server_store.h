@@ -5,6 +5,7 @@
 #ifndef POLYSSE_CORE_SERVER_STORE_H_
 #define POLYSSE_CORE_SERVER_STORE_H_
 
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,11 @@ struct ServerStoreTestAccess;
 /// ZQuotientRing. Implements ServerHandler, so it plugs into any
 /// ServerEndpoint; each server of a multi-server deployment is simply one
 /// ServerStore holding its own share tree.
+///
+/// Serving is thread-safe: the share tree is immutable after construction,
+/// so concurrent HandleEval/HandleFetch calls (parallel fan-out, socket
+/// connections, stress tests) only contend on the stats counters, which a
+/// mutex guards.
 template <typename Ring>
 class ServerStore : public ServerHandler {
  public:
@@ -38,6 +44,16 @@ class ServerStore : public ServerHandler {
   ServerStore(const Ring& ring, PolyTree<Ring> share_tree)
       : ring_(ring), tree_(std::move(share_tree)) {}
 
+  /// Movable (the stats mutex is per-object state, not shared). Moving a
+  /// store that is concurrently serving is a caller bug.
+  ServerStore(ServerStore&& other) noexcept
+      : ring_(std::move(other.ring_)),
+        tree_(std::move(other.tree_)),
+        stats_(other.stats_) {}
+  ServerStore(const ServerStore&) = delete;
+  ServerStore& operator=(const ServerStore&) = delete;
+  ServerStore& operator=(ServerStore&&) = delete;
+
   size_t size() const { return tree_.size(); }
   const Ring& ring() const { return ring_; }
   /// Exposed for tests and storage measurement; a real deployment would of
@@ -46,7 +62,7 @@ class ServerStore : public ServerHandler {
 
   /// Evaluates the stored share of each requested node at each point.
   Result<EvalResponse> HandleEval(const EvalRequest& req) override {
-    ++stats_.eval_requests;
+    size_t evals = 0;
     EvalResponse resp;
     resp.entries.reserve(req.node_ids.size());
     for (int32_t id : req.node_ids) {
@@ -58,18 +74,22 @@ class ServerStore : public ServerHandler {
       for (uint64_t e : req.points) {
         ASSIGN_OR_RETURN(uint64_t v, ring_.EvalAt(node.poly, e));
         entry.values.push_back(v);
-        ++stats_.evals;
+        ++evals;
       }
       entry.children.assign(node.children.begin(), node.children.end());
       entry.subtree_size = node.subtree_size;
       resp.entries.push_back(std::move(entry));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.eval_requests;
+      stats_.evals += evals;
     }
     return resp;
   }
 
   /// Serves share polynomials (full) or their constant coefficients.
   Result<FetchResponse> HandleFetch(const FetchRequest& req) override {
-    ++stats_.fetch_requests;
     FetchResponse resp;
     resp.entries.reserve(req.node_ids.size());
     for (int32_t id : req.node_ids) {
@@ -79,13 +99,20 @@ class ServerStore : public ServerHandler {
       ByteWriter w;
       if (req.mode == FetchMode::kFull) {
         ring_.Serialize(tree_.nodes[id].poly, &w);
-        ++stats_.polys_served_full;
       } else {
         ring_.SerializeScalar(ring_.ConstTerm(tree_.nodes[id].poly), &w);
-        ++stats_.consts_served;
       }
       entry.payload = w.Take();
       resp.entries.push_back(std::move(entry));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.fetch_requests;
+      if (req.mode == FetchMode::kFull) {
+        stats_.polys_served_full += req.node_ids.size();
+      } else {
+        stats_.consts_served += req.node_ids.size();
+      }
     }
     return resp;
   }
@@ -104,8 +131,15 @@ class ServerStore : public ServerHandler {
     return w.size();
   }
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  /// Snapshot of the work counters (serving may be in flight concurrently).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = Stats();
+  }
 
  private:
   friend struct ServerStoreTestAccess;
@@ -119,6 +153,7 @@ class ServerStore : public ServerHandler {
 
   Ring ring_;
   PolyTree<Ring> tree_;
+  mutable std::mutex stats_mu_;
   Stats stats_;
 };
 

@@ -5,13 +5,13 @@ namespace polysse {
 Result<std::unique_ptr<SecureDocumentService>> SecureDocumentService::Outsource(
     const XmlNode& document, const DeterministicPrf& seed,
     const FpOutsourceOptions& options) {
-  ASSIGN_OR_RETURN(FpDeployment deployment,
-                   OutsourceFp(document, seed, options));
+  ASSIGN_OR_RETURN(std::unique_ptr<FpEngine> engine,
+                   FpEngine::Outsource(document, seed, {}, options));
   PayloadCodec codec(seed);
   PayloadStore payloads = codec.Encrypt(document);
   // Not make_unique: the constructor is private.
   return std::unique_ptr<SecureDocumentService>(new SecureDocumentService(
-      std::move(deployment), std::move(payloads), std::move(codec)));
+      std::move(engine), std::move(payloads), std::move(codec)));
 }
 
 Result<std::vector<ContentMatch>> SecureDocumentService::ResolveContent(
@@ -37,14 +37,15 @@ Result<std::vector<ContentMatch>> SecureDocumentService::Query(
     const std::string& xpath, XPathStrategy strategy, VerifyMode mode) {
   ASSIGN_OR_RETURN(XPathQuery query, XPathQuery::Parse(xpath));
   ASSIGN_OR_RETURN(LookupResult result,
-                   session_.EvaluateXPath(query, strategy, mode));
+                   engine_->session().EvaluateXPath(query, strategy, mode));
   last_stats_ = result.stats;
   return ResolveContent(result.matches);
 }
 
 Result<std::vector<ContentMatch>> SecureDocumentService::Lookup(
     const std::string& tagname, VerifyMode mode) {
-  ASSIGN_OR_RETURN(LookupResult result, session_.Lookup(tagname, mode));
+  ASSIGN_OR_RETURN(LookupResult result,
+                   engine_->session().Lookup(tagname, mode));
   last_stats_ = result.stats;
   return ResolveContent(result.matches);
 }

@@ -9,8 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "core/outsource.h"
-#include "core/query_session.h"
+#include "core/engine.h"
 #include "index/payload_store.h"
 
 namespace polysse {
@@ -21,10 +20,9 @@ struct ContentMatch {
   std::string text;
 };
 
-/// A complete outsourced document: structural share tree + encrypted
-/// payloads + thin-client state, with a query API that spans both layers.
-/// Pinned in memory (the internal session holds pointers across members),
-/// hence created behind a unique_ptr.
+/// A complete outsourced document: structural engine deployment + encrypted
+/// payloads, with a query API that spans both layers. Created behind a
+/// unique_ptr for a stable address (matching the engine it wraps).
 class SecureDocumentService {
  public:
   /// Outsources structure (F_p ring) and content in one pass.
@@ -52,28 +50,24 @@ class SecureDocumentService {
   /// Bytes of encrypted payloads fetched by the most recent query.
   size_t last_payload_bytes() const { return last_payload_bytes_; }
 
-  size_t server_structure_bytes() const { return server_.PersistedBytes(); }
+  size_t server_structure_bytes() const {
+    return engine_->store().PersistedBytes();
+  }
   size_t server_payload_bytes() const { return payloads_.PersistedBytes(); }
 
  private:
-  SecureDocumentService(FpDeployment deployment, PayloadStore payloads,
-                        PayloadCodec codec)
-      : ring_(deployment.ring),
-        client_(std::move(deployment.client)),
-        server_(std::move(deployment.server)),
+  SecureDocumentService(std::unique_ptr<FpEngine> engine,
+                        PayloadStore payloads, PayloadCodec codec)
+      : engine_(std::move(engine)),
         payloads_(std::move(payloads)),
-        codec_(std::move(codec)),
-        session_(&client_, &server_) {}
+        codec_(std::move(codec)) {}
 
   Result<std::vector<ContentMatch>> ResolveContent(
       const std::vector<MatchedNode>& matches);
 
-  FpCyclotomicRing ring_;
-  ClientContext<FpCyclotomicRing> client_;
-  ServerStore<FpCyclotomicRing> server_;
+  std::unique_ptr<FpEngine> engine_;
   PayloadStore payloads_;
   PayloadCodec codec_;
-  QuerySession<FpCyclotomicRing> session_;
   QueryStats last_stats_;
   size_t last_payload_bytes_ = 0;
 };

@@ -1,0 +1,340 @@
+#include "net/socket_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/bytes.h"
+
+namespace polysse {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+/// send() until done (handles partial writes and EINTR). MSG_NOSIGNAL: a
+/// peer that hung up yields EPIPE instead of killing the process.
+Status WriteFull(int fd, const uint8_t* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("socket write");
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// read() until `len` bytes arrived. EOF mid-frame is an error; EOF before
+/// the first byte of a frame reports Unavailable("connection closed").
+Status ReadFull(int fd, uint8_t* data, size_t len, bool* clean_eof_at_start) {
+  bool first = true;
+  while (len > 0) {
+    ssize_t n = ::read(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("socket read");
+    }
+    if (n == 0) {
+      if (first && clean_eof_at_start != nullptr) *clean_eof_at_start = true;
+      return Status::Unavailable("connection closed");
+    }
+    first = false;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// [u8 tag][u32le len][payload]
+Status WriteFrame(int fd, uint8_t tag, std::span<const uint8_t> payload) {
+  uint8_t header[5];
+  header[0] = tag;
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  header[1] = static_cast<uint8_t>(len);
+  header[2] = static_cast<uint8_t>(len >> 8);
+  header[3] = static_cast<uint8_t>(len >> 16);
+  header[4] = static_cast<uint8_t>(len >> 24);
+  RETURN_IF_ERROR(WriteFull(fd, header, sizeof header));
+  return WriteFull(fd, payload.data(), payload.size());
+}
+
+struct Frame {
+  uint8_t tag = 0;
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;  ///< peer closed between frames (not an error)
+};
+
+Result<Frame> ReadFrame(int fd) {
+  Frame frame;
+  uint8_t header[5];
+  Status s = ReadFull(fd, header, sizeof header, &frame.clean_eof);
+  if (!s.ok()) {
+    if (frame.clean_eof) return frame;  // caller decides what EOF means
+    return s;
+  }
+  frame.tag = header[0];
+  const uint32_t len = static_cast<uint32_t>(header[1]) |
+                       static_cast<uint32_t>(header[2]) << 8 |
+                       static_cast<uint32_t>(header[3]) << 16 |
+                       static_cast<uint32_t>(header[4]) << 24;
+  if (len > kMaxSocketFrameBytes)
+    return Status::Corruption("frame length " + std::to_string(len) +
+                              " exceeds the " +
+                              std::to_string(kMaxSocketFrameBytes) +
+                              "-byte limit");
+  frame.payload.resize(len);
+  RETURN_IF_ERROR(ReadFull(fd, frame.payload.data(), len, nullptr));
+  return frame;
+}
+
+/// Rebuilds a Status of the code a server reported across the wire.
+Status StatusFromWire(uint8_t code, std::string msg) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::Ok();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(msg));
+    case StatusCode::kVerificationFailed:
+      return Status::VerificationFailed(std::move(msg));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(msg));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(msg));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(msg));
+  }
+  return Status::Corruption("server reported unknown status code " +
+                            std::to_string(code));
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- server
+
+Result<std::unique_ptr<SocketServer>> SocketServer::Listen(
+    ServerHandler* handler, uint16_t port) {
+  if (handler == nullptr)
+    return Status::InvalidArgument("SocketServer needs a handler");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Status s = Errno("bind");
+    CloseFd(fd);
+    return s;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status s = Errno("listen");
+    CloseFd(fd);
+    return s;
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    Status s = Errno("getsockname");
+    CloseFd(fd);
+    return s;
+  }
+  return std::unique_ptr<SocketServer>(
+      new SocketServer(handler, fd, ntohs(addr.sin_port)));
+}
+
+SocketServer::SocketServer(ServerHandler* handler, int listen_fd,
+                           uint16_t port)
+    : handler_(handler), listen_fd_(listen_fd), port_(port) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+void SocketServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Already stopped; joins below happened on the first call.
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseFd(listen_fd_);
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // Wake connection threads idling in read(); each still closes its own
+    // fd (the -1 marking under this mutex prevents fd-recycle races).
+    for (const auto& conn : connections_)
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    conns.swap(connections_);
+  }
+  for (const auto& conn : conns) conn->thread.join();
+}
+
+void SocketServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = connections_.size(); i-- > 0;) {
+      if (!connections_[i]->done) continue;
+      finished.push_back(std::move(connections_[i]));
+      connections_.erase(connections_.begin() + static_cast<long>(i));
+    }
+  }
+  // Joining outside the lock: the threads are already past their last
+  // conn_mu_ critical section (done is set there, last).
+  for (const auto& conn : finished) conn->thread.join();
+}
+
+void SocketServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down (Stop) or fatal error
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      CloseFd(fd);
+      return;
+    }
+    // Long-running servers would otherwise accumulate one joinable zombie
+    // thread (and its stack) per past connection.
+    ReapFinishedConnections();
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* conn = connections_.back().get();
+    conn->fd = fd;
+    conn->thread = std::thread([this, conn, fd] { ServeConnection(conn, fd); });
+  }
+}
+
+void SocketServer::ServeConnection(Connection* conn, int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  for (;;) {
+    auto frame = ReadFrame(fd);
+    if (!frame.ok() || frame->clean_eof) break;  // garbage or disconnect
+    Result<std::vector<uint8_t>> reply =
+        frame->tag == static_cast<uint8_t>(MessageKind::kEval) ||
+                frame->tag == static_cast<uint8_t>(MessageKind::kFetch)
+            ? DispatchSerialized(handler_,
+                                 static_cast<MessageKind>(frame->tag),
+                                 frame->payload)
+            : Result<std::vector<uint8_t>>(
+                  Status::InvalidArgument("unknown message kind"));
+    Status write_status;
+    if (reply.ok()) {
+      write_status =
+          WriteFrame(fd, static_cast<uint8_t>(StatusCode::kOk), *reply);
+    } else {
+      const std::string& msg = reply.status().message();
+      write_status = WriteFrame(
+          fd, static_cast<uint8_t>(reply.status().code()),
+          std::span<const uint8_t>(
+              reinterpret_cast<const uint8_t*>(msg.data()), msg.size()));
+    }
+    if (!write_status.ok()) break;
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  CloseFd(fd);
+  conn->fd = -1;
+  conn->done = true;  // last: after this the accept loop may reap us
+}
+
+// --------------------------------------------------------------- client
+
+Result<std::unique_ptr<SocketEndpoint>> SocketEndpoint::Connect(
+    const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::unique_ptr<SocketEndpoint>(new SocketEndpoint(fd));
+}
+
+SocketEndpoint::~SocketEndpoint() { CloseFd(fd_); }
+
+Result<std::vector<uint8_t>> SocketEndpoint::RoundTrip(
+    MessageKind kind, std::span<const uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (fd_ < 0)
+    return Status::Unavailable("connection closed after an earlier error");
+  // Any transport/framing failure poisons the connection: the stream may
+  // hold half a frame, and resynchronizing a length-prefixed protocol
+  // mid-stream is not possible. Server-reported error frames keep it —
+  // the framing stayed aligned.
+  auto poison = [this](Status s) {
+    CloseFd(fd_);
+    fd_ = -1;
+    return s;
+  };
+  Status sent = WriteFrame(fd_, static_cast<uint8_t>(kind), payload);
+  if (!sent.ok()) return poison(std::move(sent));
+  CountUp(5 + payload.size());
+  Result<Frame> frame = ReadFrame(fd_);
+  if (!frame.ok()) return poison(frame.status());
+  if (frame->clean_eof)
+    return poison(Status::Unavailable("server closed connection"));
+  CountDown(5 + frame->payload.size());
+  if (frame->tag != static_cast<uint8_t>(StatusCode::kOk)) {
+    return StatusFromWire(frame->tag,
+                          std::string(frame->payload.begin(),
+                                      frame->payload.end()));
+  }
+  return std::move(frame->payload);
+}
+
+Result<EvalResponse> SocketEndpoint::Eval(const EvalRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> down,
+                   RoundTrip(MessageKind::kEval, up.span()));
+  ByteReader r(down);
+  return EvalResponse::Deserialize(&r);
+}
+
+Result<FetchResponse> SocketEndpoint::Fetch(const FetchRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> down,
+                   RoundTrip(MessageKind::kFetch, up.span()));
+  ByteReader r(down);
+  return FetchResponse::Deserialize(&r);
+}
+
+}  // namespace polysse

@@ -1,0 +1,133 @@
+// Real network transport for the §4.3 wire protocol: a ServerEndpoint that
+// speaks length-prefixed frames over TCP to a SocketServer wrapping any
+// ServerHandler through DispatchSerialized. Bytes are the only thing that
+// crosses the trust boundary — exactly the property the serialized dispatch
+// path was built for.
+//
+// Frame layout (little-endian u32 length, payload follows):
+//   request :  [u8 MessageKind][u32 len][len bytes: serialized request]
+//   response:  [u8 StatusCode ][u32 len][len bytes: serialized response,
+//                                        or UTF-8 error message when the
+//                                        status is non-OK]
+//
+//   // server process
+//   auto server = SocketServer::Listen(&store, /*port=*/0);
+//   printf("serving on %u\n", (*server)->port());
+//
+//   // client process
+//   auto ep = SocketEndpoint::Connect("127.0.0.1", port);
+//   QuerySession<FpCyclotomicRing> session(
+//       &client, EndpointGroup::TwoParty(ep->get()));
+//
+// One SocketEndpoint serializes its request/response exchanges with a
+// mutex, so a session (or the parallel fan-out) can share it safely; use
+// one endpoint per server for true concurrency, which is the deployment
+// shape anyway.
+#ifndef POLYSSE_NET_SOCKET_ENDPOINT_H_
+#define POLYSSE_NET_SOCKET_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/endpoint.h"
+#include "util/status.h"
+
+namespace polysse {
+
+/// Upper bound on a single frame's payload; a peer announcing more is
+/// treated as corrupt (alloc-bomb guard, mirrors the codec-level limits).
+inline constexpr uint32_t kMaxSocketFrameBytes = 256u << 20;  // 256 MiB
+
+/// Serves one ServerHandler over loopback-reachable TCP. Every accepted
+/// connection gets its own thread running the read-dispatch-write loop, so
+/// concurrent clients (or one client's pooled fan-out) are served in
+/// parallel; the handler must be thread-safe (ServerStore is).
+class SocketServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read `port()`),
+  /// starts the accept loop, and serves until Stop() or destruction.
+  static Result<std::unique_ptr<SocketServer>> Listen(ServerHandler* handler,
+                                                      uint16_t port);
+
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound TCP port.
+  uint16_t port() const { return port_; }
+
+  /// Connections accepted so far (test/diagnostic visibility).
+  size_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, closes the listen socket and joins every connection
+  /// thread. Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  SocketServer(ServerHandler* handler, int listen_fd, uint16_t port);
+
+  /// One live (or finished-but-unjoined) connection. Heap-allocated so the
+  /// serving thread's back-pointer stays stable while the accept loop
+  /// reaps finished entries out of the vector.
+  struct Connection {
+    std::thread thread;
+    int fd = -1;        ///< -1 once the serving thread closed it
+    bool done = false;  ///< set last by the serving thread, under conn_mu_
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn, int fd);
+  /// Joins and erases finished connections (called with conn_mu_ held is
+  /// NOT allowed — it joins threads that briefly take the lock).
+  void ReapFinishedConnections();
+
+  ServerHandler* handler_;
+  int listen_fd_;
+  uint16_t port_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> connections_accepted_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+/// Client-side TCP endpoint: one connection to one SocketServer. Counters
+/// report the actual framed bytes on the wire.
+class SocketEndpoint final : public ServerEndpoint {
+ public:
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  static Result<std::unique_ptr<SocketEndpoint>> Connect(
+      const std::string& host, uint16_t port);
+
+  ~SocketEndpoint() override;
+  SocketEndpoint(const SocketEndpoint&) = delete;
+  SocketEndpoint& operator=(const SocketEndpoint&) = delete;
+
+  Result<EvalResponse> Eval(const EvalRequest& req) override;
+  Result<FetchResponse> Fetch(const FetchRequest& req) override;
+
+ private:
+  explicit SocketEndpoint(int fd) : fd_(fd) {}
+
+  /// Sends one framed request and reads the matching framed response.
+  /// Serialized with a mutex: one in-flight exchange per connection. A
+  /// transport/framing failure closes the connection permanently (the
+  /// stream cannot be resynchronized); later calls fail fast with
+  /// Unavailable, which multi-server failover routes around.
+  Result<std::vector<uint8_t>> RoundTrip(MessageKind kind,
+                                         std::span<const uint8_t> payload);
+
+  std::mutex io_mu_;
+  int fd_;
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_NET_SOCKET_ENDPOINT_H_

@@ -7,10 +7,15 @@
 #include "baseline/swp_linear.h"
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 
 namespace polysse {
 namespace {
+
+using testing::FpDeployment;
+using testing::MakeFpDeployment;
+using testing::TestSession;
 
 std::vector<std::string> Sorted(std::vector<std::string> v) {
   std::sort(v.begin(), v.end());
@@ -44,7 +49,7 @@ TEST(NaiveDownloadTest, MatchesOracleAndPaysFullTransfer) {
   gen.seed = 73;
   XmlNode doc = GenerateXmlTree(gen);
   DeterministicPrf prf = DeterministicPrf::FromString("naive");
-  FpDeployment dep = OutsourceFp(doc, prf).value();
+  FpDeployment dep = MakeFpDeployment(doc, prf).value();
 
   for (const std::string& tag : doc.DistinctTags()) {
     auto r = NaiveDownloadLookup(&dep.client, &dep.server, tag);
@@ -63,10 +68,10 @@ TEST(NaiveDownloadTest, DwarfsInteractiveProtocolBandwidth) {
   gen.seed = 74;
   XmlNode doc = GenerateXmlTree(gen);
   DeterministicPrf prf = DeterministicPrf::FromString("naive2");
-  FpDeployment dep = OutsourceFp(doc, prf).value();
+  FpDeployment dep = MakeFpDeployment(doc, prf).value();
   const std::string rare = doc.DistinctTags().back();
 
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
   auto smart = session.Lookup(rare, VerifyMode::kVerified).value();
   auto naive = NaiveDownloadLookup(&dep.client, &dep.server, rare).value();
   EXPECT_EQ(Sorted([&] {

@@ -1,0 +1,176 @@
+// Concurrency stress battery for the parallel multi-server runtime. Run
+// under ThreadSanitizer (preset debug-tsan) to certify the fan-out path:
+//  * RunQueries on an 8-thread pool x {2-party, additive, Shamir} x every
+//    verify mode must be bit-identical to the inline sequential executor;
+//  * many client threads hammering their own sessions over SHARED stores
+//    and endpoints must neither race nor diverge from the oracle answers;
+//  * pooled fan-out over genuinely sleeping (latency-injected) endpoints
+//    overlaps the per-server waits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "testing/query_helpers.h"
+#include "xml/xml_generator.h"
+
+namespace polysse {
+namespace {
+
+using testing::SortedMatchPaths;
+
+constexpr VerifyMode kAllModes[] = {VerifyMode::kOptimistic,
+                                    VerifyMode::kVerified,
+                                    VerifyMode::kTrustedConstOnly};
+
+XmlNode MakeDoc(uint64_t seed, size_t num_nodes = 120, size_t alphabet = 10) {
+  XmlGeneratorOptions gen;
+  gen.num_nodes = num_nodes;
+  gen.tag_alphabet = alphabet;
+  gen.max_fanout = 4;
+  gen.seed = seed;
+  return GenerateXmlTree(gen);
+}
+
+std::vector<FpEngine::Deploy> AllSchemes() {
+  FpEngine::Deploy two_party;
+  FpEngine::Deploy additive;
+  additive.scheme = ShareScheme::kAdditive;
+  additive.num_servers = 4;
+  FpEngine::Deploy shamir;
+  shamir.scheme = ShareScheme::kShamir;
+  shamir.num_servers = 5;
+  shamir.threshold = 3;
+  return {two_party, additive, shamir};
+}
+
+TEST(ConcurrencyStressTest, PooledRunQueriesBitIdenticalToInlineAllSchemes) {
+  XmlNode doc = MakeDoc(401);
+  DeterministicPrf seed = DeterministicPrf::FromString("stress-identical");
+  std::vector<std::string> tags = doc.DistinctTags();
+
+  for (FpEngine::Deploy deploy : AllSchemes()) {
+    // Inline oracle.
+    auto inline_engine = FpEngine::Outsource(doc, seed, deploy).value();
+    // Pooled twin: same deployment, 8 fan-out workers.
+    deploy.worker_threads = 8;
+    auto pooled_engine = FpEngine::Outsource(doc, seed, deploy).value();
+
+    std::vector<Query> queries;
+    for (size_t i = 0; i < tags.size(); ++i)
+      queries.push_back({tags[i], kAllModes[i % 3]});
+
+    for (int round = 0; round < 4; ++round) {
+      auto a = inline_engine->RunQueries(queries);
+      auto b = pooled_engine->RunQueries(queries);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      ASSERT_EQ(a->per_tag.size(), b->per_tag.size());
+      for (size_t i = 0; i < a->per_tag.size(); ++i) {
+        EXPECT_EQ(SortedMatchPaths(a->per_tag[i].matches),
+                  SortedMatchPaths(b->per_tag[i].matches))
+            << "scheme " << static_cast<int>(deploy.scheme) << " //"
+            << queries[i].tag;
+        EXPECT_EQ(SortedMatchPaths(a->per_tag[i].possible),
+                  SortedMatchPaths(b->per_tag[i].possible))
+            << "scheme " << static_cast<int>(deploy.scheme) << " //"
+            << queries[i].tag;
+      }
+      // Protocol-level costs are identical too: parallelism must change
+      // wall time only, never what crosses the wire.
+      EXPECT_EQ(a->stats.server_evals, b->stats.server_evals);
+      EXPECT_EQ(a->stats.rounds, b->stats.rounds);
+      EXPECT_EQ(a->stats.transport.bytes_down, b->stats.transport.bytes_down);
+    }
+  }
+}
+
+TEST(ConcurrencyStressTest, ManyClientThreadsOverSharedStores) {
+  // 8+ client threads, each with a private session, all talking to the
+  // SAME endpoints and stores of one engine — the contention surface is
+  // the stores' stats, the endpoints' counters and the shared pool.
+  XmlNode doc = MakeDoc(402, 150, 12);
+  DeterministicPrf seed = DeterministicPrf::FromString("stress-shared");
+
+  for (FpEngine::Deploy deploy : AllSchemes()) {
+    deploy.worker_threads = 8;
+    auto engine = FpEngine::Outsource(doc, seed, deploy).value();
+    std::vector<std::string> tags = doc.DistinctTags();
+
+    // Oracle answers from the engine's own (single-threaded) session.
+    std::vector<std::vector<std::string>> oracle;
+    for (const std::string& tag : tags)
+      oracle.push_back(SortedMatchPaths(
+          engine->Lookup(tag, VerifyMode::kVerified).value().matches));
+
+    const EndpointGroup& group = engine->session().endpoint_group();
+    std::atomic<int> mismatches{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(9);
+    for (int c = 0; c < 9; ++c) {
+      clients.emplace_back([&, c] {
+        // Each thread copies the thin-client state and runs its own
+        // session over the SHARED endpoint group.
+        ClientContext<FpCyclotomicRing> client = engine->client();
+        QuerySession<FpCyclotomicRing> session(&client, group);
+        for (size_t q = 0; q < tags.size(); ++q) {
+          const size_t i = (q + static_cast<size_t>(c)) % tags.size();
+          auto r = session.Lookup(tags[i], kAllModes[q % 3]);
+          if (!r.ok()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (kAllModes[q % 3] == VerifyMode::kOptimistic) continue;
+          if (SortedMatchPaths(r->matches) != oracle[i])
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0)
+        << "scheme " << static_cast<int>(deploy.scheme);
+    EXPECT_EQ(mismatches.load(), 0)
+        << "scheme " << static_cast<int>(deploy.scheme);
+  }
+}
+
+TEST(ConcurrencyStressTest, PooledFanOutOverlapsInjectedLatency) {
+  // 4 additive servers, each sleeping 10 ms per call: a lookup's rounds
+  // cost ~4x10 ms sequentially but ~10 ms pooled. Asserting pooled strictly
+  // beats sequential leaves a 4x margin, safe even on noisy CI machines.
+  XmlNode doc = MakeDoc(403, 30, 4);
+  DeterministicPrf seed = DeterministicPrf::FromString("stress-latency");
+  FpEngine::Deploy deploy;
+  deploy.scheme = ShareScheme::kAdditive;
+  deploy.num_servers = 4;
+  const std::string tag = doc.DistinctTags()[1];
+
+  auto timed_lookup = [&](FpEngine& engine) {
+    FaultConfig lag;
+    lag.latency_us = 10'000;
+    for (size_t s = 0; s < 4; ++s) engine.InjectFaults(s, lag);
+    const auto start = std::chrono::steady_clock::now();
+    auto r = engine.Lookup(tag, VerifyMode::kVerified);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  auto seq_engine = FpEngine::Outsource(doc, seed, deploy).value();
+  const double sequential_ms = timed_lookup(*seq_engine);
+  deploy.worker_threads = 4;
+  auto pooled_engine = FpEngine::Outsource(doc, seed, deploy).value();
+  const double pooled_ms = timed_lookup(*pooled_engine);
+
+  EXPECT_LT(pooled_ms, sequential_ms)
+      << "4 servers x 10ms latency must overlap under the pooled executor";
+}
+
+}  // namespace
+}  // namespace polysse

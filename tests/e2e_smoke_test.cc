@@ -1,7 +1,7 @@
 // End-to-end smoke test over the full outsource -> query -> verify loop:
-// a small document goes through OutsourceFp / OutsourceZ, every //tag and a
-// descendant query //a/b//c run through QuerySession against the ServerStore
-// wire protocol, and every answer must equal the plaintext_search baseline.
+// a small document is outsourced in both rings, every //tag and a
+// descendant query //a/b//c run through a serialized-wire QuerySession
+// against the ServerStore, and every answer must equal the plaintext_search baseline.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -11,6 +11,7 @@
 #include "baseline/plaintext_search.h"
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "testing/mul_path_guards.h"
 #include "testing/query_helpers.h"
 #include "testing/xml_builders.h"
@@ -18,6 +19,10 @@
 
 namespace polysse {
 namespace {
+
+using testing::MakeFpDeployment;
+using testing::MakeZDeployment;
+using testing::TestSession;
 
 using testing::Sorted;
 using testing::SortedMatchPaths;
@@ -45,7 +50,7 @@ template <typename Deployment>
 void ExpectAllQueriesMatchBaseline(const XmlNode& doc, Deployment& dep,
                                    const char* ring_name) {
   using Ring = std::remove_reference_t<decltype(dep.ring)>;
-  QuerySession<Ring> session(&dep.client, &dep.server);
+  TestSession<Ring> session(&dep.client, &dep.server);
 
   // Element lookup //tag for every distinct tag, in every verify mode.
   for (const std::string& tag : doc.DistinctTags()) {
@@ -94,7 +99,7 @@ void ExpectAllQueriesMatchBaseline(const XmlNode& doc, Deployment& dep,
 TEST(E2ESmokeTest, FpDeploymentMatchesPlaintextBaseline) {
   XmlNode doc = MakeSmokeDocument();
   DeterministicPrf seed = DeterministicPrf::FromString("e2e-smoke-fp");
-  auto dep = OutsourceFp(doc, seed);
+  auto dep = MakeFpDeployment(doc, seed);
   ASSERT_TRUE(dep.ok()) << dep.status().ToString();
   ExpectAllQueriesMatchBaseline(doc, *dep, "Fp");
 }
@@ -102,7 +107,7 @@ TEST(E2ESmokeTest, FpDeploymentMatchesPlaintextBaseline) {
 TEST(E2ESmokeTest, ZDeploymentMatchesPlaintextBaseline) {
   XmlNode doc = MakeSmokeDocument();
   DeterministicPrf seed = DeterministicPrf::FromString("e2e-smoke-z");
-  auto dep = OutsourceZ(doc, seed);
+  auto dep = MakeZDeployment(doc, seed);
   ASSERT_TRUE(dep.ok()) << dep.status().ToString();
   ExpectAllQueriesMatchBaseline(doc, *dep, "Z");
 }
@@ -111,7 +116,7 @@ template <typename Deployment>
 void ExpectFastPathAnswersBitForBit(const XmlNode& doc, Deployment& dep,
                                     const char* ring_name) {
   using Ring = std::remove_reference_t<decltype(dep.ring)>;
-  QuerySession<Ring> session(&dep.client, &dep.server);
+  TestSession<Ring> session(&dep.client, &dep.server);
 
   // One element lookup: //c has matches in two subtrees plus a decoy.
   BaselineResult lookup_oracle = PlaintextLookup(doc, "c");
@@ -145,12 +150,12 @@ TEST(E2ESmokeTest, ForcedFastPathMatchesPlaintextBaselineInBothRings) {
 
   XmlNode doc = MakeSmokeDocument();
   DeterministicPrf fp_seed = DeterministicPrf::FromString("e2e-fastpath-fp");
-  auto fp_dep = OutsourceFp(doc, fp_seed);
+  auto fp_dep = MakeFpDeployment(doc, fp_seed);
   ASSERT_TRUE(fp_dep.ok()) << fp_dep.status().ToString();
   ExpectFastPathAnswersBitForBit(doc, *fp_dep, "Fp");
 
   DeterministicPrf z_seed = DeterministicPrf::FromString("e2e-fastpath-z");
-  auto z_dep = OutsourceZ(doc, z_seed);
+  auto z_dep = MakeZDeployment(doc, z_seed);
   ASSERT_TRUE(z_dep.ok()) << z_dep.status().ToString();
   ExpectFastPathAnswersBitForBit(doc, *z_dep, "Z");
 }
@@ -161,9 +166,9 @@ TEST(E2ESmokeTest, QueryCostsAreAccounted) {
   // than the server holds.
   XmlNode doc = MakeSmokeDocument();
   DeterministicPrf seed = DeterministicPrf::FromString("e2e-smoke-stats");
-  auto dep = OutsourceFp(doc, seed);
+  auto dep = MakeFpDeployment(doc, seed);
   ASSERT_TRUE(dep.ok()) << dep.status().ToString();
-  QuerySession<FpCyclotomicRing> session(&dep->client, &dep->server);
+  TestSession<FpCyclotomicRing> session(&dep->client, &dep->server);
   auto r = session.Lookup("c", VerifyMode::kVerified).value();
   EXPECT_FALSE(r.matches.empty());
   EXPECT_GT(r.stats.nodes_visited, 0u);

@@ -6,15 +6,20 @@
 #include "core/endpoint.h"
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 
 namespace polysse {
 namespace {
 
+using testing::FpDeployment;
+using testing::MakeFpDeployment;
+using testing::TestSession;
+
 FpDeployment MakeDeployment(const char* seed_label) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf prf = DeterministicPrf::FromString(seed_label);
-  return OutsourceFp(doc, prf).value();
+  return MakeFpDeployment(doc, prf).value();
 }
 
 EvalRequest RootEval(uint64_t point) {
@@ -154,10 +159,10 @@ TEST(EndpointTest, SessionOverExplicitEndpointMatchesCompatPath) {
   gen.seed = 31;
   XmlNode doc = GenerateXmlTree(gen);
   DeterministicPrf prf = DeterministicPrf::FromString("ep-compat");
-  FpDeployment dep1 = OutsourceFp(doc, prf).value();
-  FpDeployment dep2 = OutsourceFp(doc, prf).value();
+  FpDeployment dep1 = MakeFpDeployment(doc, prf).value();
+  FpDeployment dep2 = MakeFpDeployment(doc, prf).value();
 
-  QuerySession<FpCyclotomicRing> compat(&dep1.client, &dep1.server);
+  TestSession<FpCyclotomicRing> compat(&dep1.client, &dep1.server);
   LoopbackEndpoint wire(&dep2.server);
   QuerySession<FpCyclotomicRing> explicit_session(
       &dep2.client, EndpointGroup::TwoParty(&wire));

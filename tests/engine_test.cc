@@ -9,8 +9,10 @@
 //    kVerified;
 //  * Shamir deployments fail over dead servers and refuse cleanly below
 //    the threshold;
-//  * Save/Open round-trips a two-party deployment through the persistence
-//    layer.
+//  * Save/Open round-trips two-party AND multi-server (additive, Shamir)
+//    deployments through the persistence layer;
+//  * the pooled fan-out executor returns answers bit-identical to inline
+//    sequential dispatch.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -18,11 +20,18 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "testing/deploy_helpers.h"
 #include "testing/query_helpers.h"
 #include "xml/xml_generator.h"
 
 namespace polysse {
 namespace {
+
+using testing::FpDeployment;
+using testing::ZDeployment;
+using testing::MakeFpDeployment;
+using testing::MakeZDeployment;
+using testing::TestSession;
 
 using testing::Sorted;
 using testing::SortedMatchPaths;
@@ -40,14 +49,14 @@ constexpr VerifyMode kAllModes[] = {VerifyMode::kOptimistic,
                                     VerifyMode::kVerified,
                                     VerifyMode::kTrustedConstOnly};
 
-/// Pre-redesign oracle: the 2-party QuerySession straight over a
-/// ServerStore (the compat constructor reproduces the historical
-/// serialize-every-message behavior bit for bit).
+/// Pre-redesign oracle: a 2-party QuerySession wired straight over a
+/// ServerStore through one loopback endpoint (the historical
+/// serialize-every-message behavior, bit for bit).
 template <typename Ring, typename Deployment>
 std::vector<LookupResult> LegacyAnswers(Deployment& dep,
                                         const std::vector<std::string>& tags,
                                         VerifyMode mode) {
-  QuerySession<Ring> session(&dep.client, &dep.server);
+  TestSession<Ring> session(&dep.client, &dep.server);
   std::vector<LookupResult> out;
   for (const std::string& tag : tags)
     out.push_back(session.Lookup(tag, mode).value());
@@ -74,7 +83,7 @@ void ExpectSameAnswers(EnginePtr& engine,
 TEST(EngineTest, FpAllSchemesMatchPreRedesignAnswers) {
   XmlNode doc = MakeDoc(71);
   DeterministicPrf seed = DeterministicPrf::FromString("engine-fp");
-  FpDeployment legacy = OutsourceFp(doc, seed).value();
+  FpDeployment legacy = MakeFpDeployment(doc, seed).value();
   const std::vector<std::string> tags = doc.DistinctTags();
 
   struct Case {
@@ -109,7 +118,7 @@ TEST(EngineTest, FpAllSchemesMatchPreRedesignAnswers) {
 TEST(EngineTest, ZBothSchemesMatchPreRedesignAnswers) {
   XmlNode doc = MakeDoc(72, 40, 5);
   DeterministicPrf seed = DeterministicPrf::FromString("engine-z");
-  ZDeployment legacy = OutsourceZ(doc, seed).value();
+  ZDeployment legacy = MakeZDeployment(doc, seed).value();
   const std::vector<std::string> tags = doc.DistinctTags();
 
   for (int k : {1, 3}) {
@@ -143,8 +152,8 @@ TEST(EngineTest, TwoPartyLoopbackPreservesWireCosts) {
   // path: byte counters must equal the legacy session's exactly.
   XmlNode doc = MakeDoc(74);
   DeterministicPrf seed = DeterministicPrf::FromString("engine-bytes");
-  FpDeployment legacy = OutsourceFp(doc, seed).value();
-  QuerySession<FpCyclotomicRing> session(&legacy.client, &legacy.server);
+  FpDeployment legacy = MakeFpDeployment(doc, seed).value();
+  TestSession<FpCyclotomicRing> session(&legacy.client, &legacy.server);
   auto engine = FpEngine::Outsource(doc, seed).value();
 
   for (const std::string& tag : doc.DistinctTags()) {
@@ -286,8 +295,8 @@ TEST(EngineTest, ShamirTrustedConstOnlyAndXPathWork) {
   deploy.num_servers = 4;
   deploy.threshold = 2;
   auto engine = FpEngine::Outsource(doc, seed, deploy).value();
-  auto legacy = OutsourceFp(doc, seed).value();
-  QuerySession<FpCyclotomicRing> session(&legacy.client, &legacy.server);
+  auto legacy = MakeFpDeployment(doc, seed).value();
+  TestSession<FpCyclotomicRing> session(&legacy.client, &legacy.server);
 
   std::vector<std::string> tags = doc.DistinctTags();
   const std::string xpath = "//" + tags[0] + "//" + tags[1 % tags.size()];
@@ -321,14 +330,96 @@ TEST(EngineTest, SaveOpenRoundTrip) {
             before.stats.transport.bytes_down);
   std::remove(store_path.c_str());
   std::remove(key_path.c_str());
+}
 
-  // Multi-server Save is explicitly out of scope.
-  FpEngine::Deploy deploy;
+TEST(EngineTest, MultiServerSaveOpenRoundTripPerScheme) {
+  // Save writes one store file per server plus a key file carrying the
+  // deployment shape; Open rebuilds the full k-server group and answers
+  // must match the live engine's for every scheme.
+  XmlNode doc = MakeDoc(81, 60, 7);
+  DeterministicPrf seed = DeterministicPrf::FromString("engine-save-multi");
+
+  struct Case {
+    const char* label;
+    ShareScheme scheme;
+    int num_servers;
+    int threshold;
+  };
+  for (const Case& c : {Case{"additive-3", ShareScheme::kAdditive, 3, 0},
+                        Case{"shamir-3of5", ShareScheme::kShamir, 5, 3}}) {
+    FpEngine::Deploy deploy;
+    deploy.scheme = c.scheme;
+    deploy.num_servers = c.num_servers;
+    deploy.threshold = c.threshold;
+    auto engine = FpEngine::Outsource(doc, seed, deploy).value();
+    const std::string tag = doc.DistinctTags()[1];
+    auto before = engine->Lookup(tag, VerifyMode::kVerified).value();
+
+    const std::string store_path =
+        ::testing::TempDir() + "engine_multi_" + c.label + ".bin";
+    const std::string key_path =
+        ::testing::TempDir() + "engine_multi_" + c.label + ".key";
+    ASSERT_TRUE(engine->Save(store_path, key_path).ok()) << c.label;
+    // One share file per server, none at the two-party path.
+    for (int s = 0; s < c.num_servers; ++s) {
+      EXPECT_TRUE(
+          ReadFileBytes(FpEngine::MultiServerStorePath(store_path, s)).ok())
+          << c.label << " server " << s;
+    }
+    EXPECT_FALSE(ReadFileBytes(store_path).ok()) << c.label;
+
+    auto reopened = FpEngine::Open(store_path, key_path);
+    ASSERT_TRUE(reopened.ok()) << c.label << ": "
+                               << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->scheme(), c.scheme);
+    EXPECT_EQ((*reopened)->num_servers(), static_cast<size_t>(c.num_servers));
+    for (VerifyMode mode : kAllModes) {
+      auto live = engine->Lookup(tag, mode).value();
+      auto persisted = (*reopened)->Lookup(tag, mode).value();
+      EXPECT_EQ(SortedMatchPaths(persisted.matches),
+                SortedMatchPaths(live.matches))
+          << c.label << " mode " << static_cast<int>(mode);
+    }
+    EXPECT_EQ(SortedMatchPaths((*reopened)
+                                   ->Lookup(tag, VerifyMode::kVerified)
+                                   .value()
+                                   .matches),
+              SortedMatchPaths(before.matches));
+    // A reopened Shamir deployment still fails over dead servers.
+    if (c.scheme == ShareScheme::kShamir) {
+      FaultConfig down;
+      down.fail_after_calls = 0;
+      (*reopened)->InjectFaults(0, down);
+      auto degraded = (*reopened)->Lookup(tag, VerifyMode::kVerified).value();
+      EXPECT_EQ(SortedMatchPaths(degraded.matches),
+                SortedMatchPaths(before.matches));
+    }
+    for (int s = 0; s < c.num_servers; ++s)
+      std::remove(FpEngine::MultiServerStorePath(store_path, s).c_str());
+    std::remove(key_path.c_str());
+  }
+}
+
+TEST(EngineTest, ZAdditiveSaveOpenRoundTrip) {
+  XmlNode doc = MakeDoc(82, 30, 5);
+  DeterministicPrf seed = DeterministicPrf::FromString("engine-save-z");
+  ZEngine::Deploy deploy;
   deploy.scheme = ShareScheme::kAdditive;
   deploy.num_servers = 2;
-  auto multi = FpEngine::Outsource(doc, seed, deploy).value();
-  EXPECT_EQ(multi->Save(store_path, key_path).code(),
-            StatusCode::kFailedPrecondition);
+  auto engine = ZEngine::Outsource(doc, seed, deploy).value();
+  const std::string tag = doc.DistinctTags()[0];
+  auto before = engine->Lookup(tag, VerifyMode::kVerified).value();
+
+  const std::string store_path = ::testing::TempDir() + "engine_z_multi.bin";
+  const std::string key_path = ::testing::TempDir() + "engine_z_multi.key";
+  ASSERT_TRUE(engine->Save(store_path, key_path).ok());
+  auto reopened = ZEngine::Open(store_path, key_path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto after = (*reopened)->Lookup(tag, VerifyMode::kVerified).value();
+  EXPECT_EQ(SortedMatchPaths(after.matches), SortedMatchPaths(before.matches));
+  for (int s = 0; s < 2; ++s)
+    std::remove(ZEngine::MultiServerStorePath(store_path, s).c_str());
+  std::remove(key_path.c_str());
 }
 
 }  // namespace

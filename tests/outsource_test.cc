@@ -6,6 +6,7 @@
 #include "core/outsource.h"
 #include "core/query_session.h"
 #include "nt/primes.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 #include "xml/xml_parser.h"
 #include "xpath/xpath.h"
@@ -13,7 +14,13 @@
 namespace polysse {
 namespace {
 
-TEST(OutsourceFpTest, AutoPrimeSelection) {
+using testing::FpDeployment;
+using testing::ZDeployment;
+using testing::MakeFpDeployment;
+using testing::MakeZDeployment;
+using testing::TestSession;
+
+TEST(FpOutsourceTest, AutoPrimeSelection) {
   // p = 0 auto-selects the smallest prime fitting the alphabet.
   XmlGeneratorOptions gen;
   gen.num_nodes = 40;
@@ -21,50 +28,50 @@ TEST(OutsourceFpTest, AutoPrimeSelection) {
   gen.seed = 121;
   XmlNode doc = GenerateXmlTree(gen);
   DeterministicPrf seed = DeterministicPrf::FromString("auto-p");
-  FpDeployment dep = OutsourceFp(doc, seed).value();
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
   EXPECT_EQ(dep.ring.p(), PrimeForAlphabet(doc.DistinctTagCount()));
   EXPECT_GE(dep.ring.MaxTagValue(), doc.DistinctTagCount());
 }
 
-TEST(OutsourceFpTest, ExplicitPrimeValidated) {
+TEST(FpOutsourceTest, ExplicitPrimeValidated) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf seed = DeterministicPrf::FromString("expl");
   FpOutsourceOptions opt;
   opt.p = 4;  // not prime
-  EXPECT_FALSE(OutsourceFp(doc, seed, opt).ok());
+  EXPECT_FALSE(MakeFpDeployment(doc, seed, opt).ok());
   opt.p = 5;  // prime but alphabet of 3 tags needs p-2 >= 3
-  EXPECT_TRUE(OutsourceFp(doc, seed, opt).ok());
+  EXPECT_TRUE(MakeFpDeployment(doc, seed, opt).ok());
   opt.p = 3;  // p-2 = 1 < 3 tags
-  EXPECT_FALSE(OutsourceFp(doc, seed, opt).ok());
+  EXPECT_FALSE(MakeFpDeployment(doc, seed, opt).ok());
 }
 
-TEST(OutsourceZTest, RejectsBadModulus) {
+TEST(ZOutsourceTest, RejectsBadModulus) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf seed = DeterministicPrf::FromString("zbad");
   ZOutsourceOptions opt;
   opt.r = ZPoly({0, 0, 1});  // x^2, reducible
-  EXPECT_FALSE(OutsourceZ(doc, seed, opt).ok());
+  EXPECT_FALSE(MakeZDeployment(doc, seed, opt).ok());
   opt.r = ZPoly({1, 2});  // non-monic
-  EXPECT_FALSE(OutsourceZ(doc, seed, opt).ok());
+  EXPECT_FALSE(MakeZDeployment(doc, seed, opt).ok());
 }
 
-TEST(OutsourceZTest, SafeValueBudgetEnforced) {
+TEST(ZOutsourceTest, SafeValueBudgetEnforced) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf seed = DeterministicPrf::FromString("budget");
   ZOutsourceOptions opt;
   opt.max_tag_value = 3;  // far too few safe values for 3 tags
-  EXPECT_FALSE(OutsourceZ(doc, seed, opt).ok());
+  EXPECT_FALSE(MakeZDeployment(doc, seed, opt).ok());
 }
 
-TEST(OutsourceZTest, HigherDegreeModulusEndToEnd) {
+TEST(ZOutsourceTest, HigherDegreeModulusEndToEnd) {
   // Degree-4 cyclotomic modulus: more wrap-free nodes, bigger residues.
   XmlNode doc = MakeMedicalRecordsDocument(6, 131);
   DeterministicPrf seed = DeterministicPrf::FromString("deg4");
   ZOutsourceOptions opt;
   opt.r = ZPoly({1, 1, 1, 1, 1});
-  ZDeployment dep = OutsourceZ(doc, seed, opt).value();
+  ZDeployment dep = MakeZDeployment(doc, seed, opt).value();
   EXPECT_EQ(dep.ring.degree(), 4);
-  QuerySession<ZQuotientRing> session(&dep.client, &dep.server);
+  TestSession<ZQuotientRing> session(&dep.client, &dep.server);
   for (const char* tag : {"patient", "drug", "lab"}) {
     auto r = session.Lookup(tag, VerifyMode::kVerified);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -86,8 +93,8 @@ TEST(PipelineTest, RawXmlStringToQueryResults) {
   auto doc = ParseXml(kXml);
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
   DeterministicPrf seed = DeterministicPrf::FromString("pipeline");
-  FpDeployment dep = OutsourceFp(*doc, seed).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(*doc, seed).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
 
   auto items = session.Lookup("item", VerifyMode::kVerified).value();
   EXPECT_EQ(items.matches.size(), 3u);
@@ -106,8 +113,8 @@ TEST(PipelineTest, TagsWithNamespacePunctuation) {
       "<ns:root><ns:a-b/><c.d_e/><ns:a-b/></ns:root>");
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
   DeterministicPrf seed = DeterministicPrf::FromString("ns");
-  FpDeployment dep = OutsourceFp(*doc, seed).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(*doc, seed).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
   EXPECT_EQ(session.Lookup("ns:a-b", VerifyMode::kVerified)->matches.size(),
             2u);
   EXPECT_EQ(session.Lookup("c.d_e", VerifyMode::kVerified)->matches.size(),
@@ -127,9 +134,9 @@ TEST(PipelineTest, LargeAlphabetSmallDocument) {
     cur = &cur->AddChild(tag);
   }
   DeterministicPrf seed = DeterministicPrf::FromString("wide");
-  FpDeployment dep = OutsourceFp(root, seed).value();
+  FpDeployment dep = MakeFpDeployment(root, seed).value();
   EXPECT_GE(dep.ring.p(), 62u);
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
   for (int i : {0, 17, 42, 59}) {
     std::string tag = "t";
     tag += std::to_string(i);
@@ -147,14 +154,14 @@ TEST(PipelineTest, DistinctSeedsIsolateDeployments) {
   // evaluations combine to garbage and verified lookups reject or miss.
   XmlNode doc = MakeFig1Document();
   FpDeployment dep_a =
-      OutsourceFp(doc, DeterministicPrf::FromString("seed-A")).value();
+      MakeFpDeployment(doc, DeterministicPrf::FromString("seed-A")).value();
   FpDeployment dep_b =
-      OutsourceFp(doc, DeterministicPrf::FromString("seed-B")).value();
+      MakeFpDeployment(doc, DeterministicPrf::FromString("seed-B")).value();
   // Client A against server B (same ring/p, same tag names — but B's map
   // may differ; use A's).
   auto client_a = ClientContext<FpCyclotomicRing>::SeedOnly(
       dep_a.ring, dep_a.client.tag_map(), DeterministicPrf::FromString("seed-A"));
-  QuerySession<FpCyclotomicRing> cross(&client_a, &dep_b.server);
+  TestSession<FpCyclotomicRing> cross(&client_a, &dep_b.server);
   auto r = cross.Lookup("client", VerifyMode::kVerified);
   if (r.ok()) {
     // Shares don't align: combined polynomials are random, so either no

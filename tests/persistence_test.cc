@@ -8,15 +8,22 @@
 #include "core/outsource.h"
 #include "core/persistence.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 
 namespace polysse {
 namespace {
 
+using testing::FpDeployment;
+using testing::ZDeployment;
+using testing::MakeFpDeployment;
+using testing::MakeZDeployment;
+using testing::TestSession;
+
 TEST(PersistenceTest, FpStoreRoundTrip) {
   XmlNode doc = MakeMedicalRecordsDocument(10, 91);
   DeterministicPrf seed = DeterministicPrf::FromString("persist-fp");
-  FpDeployment dep = OutsourceFp(doc, seed).value();
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
 
   ByteWriter w;
   SaveServerStore(dep.server, &w);
@@ -43,7 +50,7 @@ TEST(PersistenceTest, FpStoreRoundTrip) {
 TEST(PersistenceTest, ZStoreRoundTrip) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf seed = DeterministicPrf::FromString("persist-z");
-  ZDeployment dep = OutsourceZ(doc, seed).value();
+  ZDeployment dep = MakeZDeployment(doc, seed).value();
 
   ByteWriter w;
   SaveServerStore(dep.server, &w);
@@ -61,7 +68,7 @@ TEST(PersistenceTest, ZStoreRoundTrip) {
 TEST(PersistenceTest, QueriesWorkAgainstReloadedStore) {
   XmlNode doc = MakeMedicalRecordsDocument(8, 92);
   DeterministicPrf seed = DeterministicPrf::FromString("persist-q");
-  FpDeployment dep = OutsourceFp(doc, seed).value();
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
 
   ByteWriter w;
   SaveServerStore(dep.server, &w);
@@ -70,7 +77,7 @@ TEST(PersistenceTest, QueriesWorkAgainstReloadedStore) {
 
   auto client = ClientContext<FpCyclotomicRing>::SeedOnly(
       reloaded.ring(), dep.client.tag_map(), seed);
-  QuerySession<FpCyclotomicRing> session(&client, &reloaded);
+  TestSession<FpCyclotomicRing> session(&client, &reloaded);
   auto result = session.Lookup("patient", VerifyMode::kVerified).value();
   EXPECT_EQ(result.matches.size(), 8u);
 }
@@ -78,7 +85,7 @@ TEST(PersistenceTest, QueriesWorkAgainstReloadedStore) {
 TEST(PersistenceTest, WrongLoaderRejected) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf seed = DeterministicPrf::FromString("wrong");
-  FpDeployment fp = OutsourceFp(doc, seed).value();
+  FpDeployment fp = MakeFpDeployment(doc, seed).value();
   ByteWriter w;
   SaveServerStore(fp.server, &w);
   ByteReader r(w.span());
@@ -99,7 +106,7 @@ TEST(PersistenceTest, HeaderValidation) {
 TEST(PersistenceTest, RandomCorruptionNeverCrashes) {
   XmlNode doc = MakeMedicalRecordsDocument(4, 93);
   DeterministicPrf seed = DeterministicPrf::FromString("fuzz");
-  FpDeployment dep = OutsourceFp(doc, seed).value();
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
   ByteWriter w;
   SaveServerStore(dep.server, &w);
   std::vector<uint8_t> bytes = w.Take();

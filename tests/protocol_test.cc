@@ -6,10 +6,16 @@
 #include "core/outsource.h"
 #include "core/protocol.h"
 #include "core/storage_model.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 
 namespace polysse {
 namespace {
+
+using testing::FpDeployment;
+using testing::ZDeployment;
+using testing::MakeFpDeployment;
+using testing::MakeZDeployment;
 
 TEST(ProtocolTest, EvalRequestRoundTrip) {
   EvalRequest req;
@@ -145,14 +151,14 @@ TEST(StorageModelTest, MeasuredReportsAreConsistent) {
   XmlNode doc = GenerateXmlTree(gen);
   DeterministicPrf seed = DeterministicPrf::FromString("sm");
 
-  FpDeployment fp = OutsourceFp(doc, seed).value();
+  FpDeployment fp = MakeFpDeployment(doc, seed).value();
   StorageReport r = MeasureStorage(fp.ring, doc, fp.server);
   EXPECT_EQ(r.n_nodes, 60u);
   EXPECT_GT(r.plaintext_xml_bytes, 0u);
   EXPECT_GT(r.server_measured_bytes, r.plaintext_model_bytes);
   EXPECT_GT(r.blowup_measured, 0.0);
 
-  ZDeployment z = OutsourceZ(doc, seed).value();
+  ZDeployment z = MakeZDeployment(doc, seed).value();
   StorageReport zr = MeasureStorage(z.ring, doc, z.server, fp.ring.p());
   EXPECT_EQ(zr.ring_degree, 2u);
   EXPECT_GT(zr.max_coeff_bits, 0u);

@@ -9,11 +9,16 @@
 #include "core/endpoint.h"
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "xml/xml_generator.h"
 #include "xpath/xpath.h"
 
 namespace polysse {
 namespace {
+
+using testing::FpDeployment;
+using testing::MakeFpDeployment;
+using testing::TestSession;
 
 std::vector<std::string> MatchPaths(const LookupResult& r) {
   std::vector<std::string> out;
@@ -48,7 +53,7 @@ TEST(QueryFpTest, Fig5ClientLookup) {
   SharedTrees<FpCyclotomicRing> shares = SplitShares(ring, data, prf);
   ServerStore<FpCyclotomicRing> server(ring, std::move(shares.server));
   auto client = ClientContext<FpCyclotomicRing>::SeedOnly(ring, map, prf);
-  QuerySession<FpCyclotomicRing> session(&client, &server);
+  TestSession<FpCyclotomicRing> session(&client, &server);
 
   auto result = session.Lookup("client", VerifyMode::kOptimistic).value();
   EXPECT_EQ(MatchPaths(result), (std::vector<std::string>{"0", "1"}));
@@ -75,7 +80,7 @@ TEST(QueryFpTest, Fig5NameLookupFindsLeaves) {
   SharedTrees<FpCyclotomicRing> shares = SplitShares(ring, data, prf);
   ServerStore<FpCyclotomicRing> server(ring, std::move(shares.server));
   auto client = ClientContext<FpCyclotomicRing>::SeedOnly(ring, map, prf);
-  QuerySession<FpCyclotomicRing> session(&client, &server);
+  TestSession<FpCyclotomicRing> session(&client, &server);
 
   // NOTE: name maps to 4 = p-1 in the paper's own figure; the query still
   // works because evaluation at 4 is well defined.
@@ -86,8 +91,8 @@ TEST(QueryFpTest, Fig5NameLookupFindsLeaves) {
 TEST(QueryFpTest, UnmappedTagShortCircuits) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf prf = DeterministicPrf::FromString("um");
-  FpDeployment dep = OutsourceFp(doc, prf).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(doc, prf).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
   auto result = session.Lookup("nonexistent", VerifyMode::kVerified).value();
   EXPECT_TRUE(result.matches.empty());
   EXPECT_EQ(result.stats.transport.messages_up, 0u);  // never contacted server
@@ -114,8 +119,8 @@ TEST_P(FpOracleSweep, LookupMatchesPlaintextOracle) {
   XmlNode doc = GenerateXmlTree(gen);
   DeterministicPrf prf =
       DeterministicPrf::FromString("sweep" + std::to_string(c.seed));
-  FpDeployment dep = OutsourceFp(doc, prf).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(doc, prf).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
 
   for (const std::string& tag : doc.DistinctTags()) {
     auto oracle = OraclePaths(doc, "//" + tag);
@@ -151,8 +156,8 @@ TEST_P(FpOracleSweep, XPathBothStrategiesMatchOracle) {
   XmlNode doc = GenerateXmlTree(gen);
   DeterministicPrf prf =
       DeterministicPrf::FromString("xp" + std::to_string(c.seed));
-  FpDeployment dep = OutsourceFp(doc, prf).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(doc, prf).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
 
   std::vector<std::string> tags = doc.DistinctTags();
   auto tag = [&](size_t i) { return tags[i % tags.size()]; };
@@ -203,8 +208,8 @@ TEST(QueryFpTest, DeadBranchesAreNeverVisited) {
     root.AddChild(std::move(branch));
   }
   DeterministicPrf prf = DeterministicPrf::FromString("prune");
-  FpDeployment dep = OutsourceFp(root, prf).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(root, prf).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
 
   auto result = session.Lookup("needle", VerifyMode::kOptimistic).value();
   ASSERT_EQ(result.matches.size(), 1u);
@@ -229,8 +234,8 @@ TEST(QueryFpTest, TrustedConstOnlySavesBandwidth) {
   DeterministicPrf prf = DeterministicPrf::FromString("bw");
   FpOutsourceOptions opt;
   opt.p = 101;  // wrap-free for the whole document (n = 60 < 99)
-  FpDeployment dep = OutsourceFp(doc, prf, opt).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(doc, prf, opt).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
 
   const std::string tag = doc.DistinctTags()[1];
   auto verified = session.Lookup(tag, VerifyMode::kVerified).value();
@@ -248,7 +253,7 @@ TEST(QueryFpTest, TrustedConstOnlySavesBandwidth) {
 TEST(QueryFpTest, VerifiedModeDetectsTamperedPolynomial) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf prf = DeterministicPrf::FromString("cheat");
-  FpDeployment dep = OutsourceFp(doc, prf).value();
+  FpDeployment dep = MakeFpDeployment(doc, prf).value();
   const uint64_t e = dep.client.tag_map().Value("client").value();
 
   // A cheating server rewrites fetched shares in flight: node 1 (a matching
@@ -288,7 +293,7 @@ TEST(QueryFpTest, VerifiedModeDetectsTamperedEvaluation) {
   // nonzero - are undetectable by any scheme that prunes.)
   XmlNode doc = MakeFig1Document();
   DeterministicPrf prf = DeterministicPrf::FromString("cheat2");
-  FpDeployment dep = OutsourceFp(doc, prf).value();
+  FpDeployment dep = MakeFpDeployment(doc, prf).value();
 
   LoopbackEndpoint honest(&dep.server);
   FaultConfig faults;
@@ -341,8 +346,8 @@ TEST(QueryFpTest, SeedOnlyAndMaterializedClientsAgree) {
   EXPECT_LT(thin.PersistedBytes(), 1000u);
   EXPECT_GT(fat.PersistedBytes(), thin.PersistedBytes() * 5);
 
-  QuerySession<FpCyclotomicRing> s1(&thin, &server1);
-  QuerySession<FpCyclotomicRing> s2(&fat, &server2);
+  TestSession<FpCyclotomicRing> s1(&thin, &server1);
+  TestSession<FpCyclotomicRing> s2(&fat, &server2);
   for (const std::string& tag : doc.DistinctTags()) {
     auto r1 = s1.Lookup(tag, VerifyMode::kVerified).value();
     auto r2 = s2.Lookup(tag, VerifyMode::kVerified).value();
@@ -361,8 +366,8 @@ TEST(QueryFpTest, MediumDocumentEndToEnd) {
   gen.seed = 99;
   XmlNode doc = GenerateXmlTree(gen);
   DeterministicPrf prf = DeterministicPrf::FromString("med");
-  FpDeployment dep = OutsourceFp(doc, prf).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(doc, prf).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
   for (const std::string& tag :
        {doc.DistinctTags()[0], doc.DistinctTags()[15]}) {
     auto result = session.Lookup(tag, VerifyMode::kVerified).value();

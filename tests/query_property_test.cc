@@ -11,6 +11,7 @@
 #include "core/outsource.h"
 #include "core/query_session.h"
 #include "index/secure_document.h"
+#include "testing/deploy_helpers.h"
 #include "testing/query_helpers.h"
 #include "testing/share_roundtrip.h"
 #include "testing/xml_builders.h"
@@ -20,6 +21,12 @@
 
 namespace polysse {
 namespace {
+
+using testing::FpDeployment;
+using testing::ZDeployment;
+using testing::MakeFpDeployment;
+using testing::MakeZDeployment;
+using testing::TestSession;
 
 using testing::MakeChainDocument;
 using testing::MakeRandomDocument;
@@ -47,8 +54,8 @@ class DegenerateShapes : public ::testing::TestWithParam<ShapeCase> {};
 TEST_P(DegenerateShapes, AllTagsAllModesMatchOracle) {
   XmlNode doc = GetParam().make();
   DeterministicPrf seed = DeterministicPrf::FromString(GetParam().name);
-  FpDeployment dep = OutsourceFp(doc, seed).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
   for (const std::string& tag : doc.DistinctTags()) {
     auto oracle = OraclePaths(doc, "//" + tag);
     for (VerifyMode mode :
@@ -128,8 +135,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ShareRoundtripSweep,
 TEST(QuerySessionPropertyTest, RepeatedQueriesAreDeterministic) {
   XmlNode doc = MakeMedicalRecordsDocument(12, 101);
   DeterministicPrf seed = DeterministicPrf::FromString("repeat");
-  FpDeployment dep = OutsourceFp(doc, seed).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
   auto first = session.Lookup("record", VerifyMode::kVerified).value();
   for (int i = 0; i < 5; ++i) {
     auto again = session.Lookup("record", VerifyMode::kVerified).value();
@@ -150,8 +157,8 @@ TEST_P(MultiLookupSweep, AgreesWithSingleLookupsAndCostsLess) {
                                    /*seed=*/GetParam());
   DeterministicPrf seed =
       DeterministicPrf::FromString("multi" + std::to_string(GetParam()));
-  FpDeployment dep = OutsourceFp(doc, seed).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
 
   std::vector<std::string> tags = doc.DistinctTags();
   tags.push_back("unmapped-tag");  // must yield an empty entry, not an error
@@ -178,8 +185,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MultiLookupSweep,
 TEST(MultiLookupTest, DuplicateTagsShareWork) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf seed = DeterministicPrf::FromString("dup");
-  FpDeployment dep = OutsourceFp(doc, seed).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
   auto multi = session
                    .LookupMany({"client", "client", "name"},
                                VerifyMode::kVerified)
@@ -192,8 +199,8 @@ TEST(MultiLookupTest, DuplicateTagsShareWork) {
 TEST(MultiLookupTest, OptimisticModePartitionsCandidates) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf seed = DeterministicPrf::FromString("opt");
-  FpDeployment dep = OutsourceFp(doc, seed).value();
-  QuerySession<FpCyclotomicRing> session(&dep.client, &dep.server);
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
+  TestSession<FpCyclotomicRing> session(&dep.client, &dep.server);
   auto multi =
       session.LookupMany({"customers", "client"}, VerifyMode::kOptimistic)
           .value();
@@ -268,10 +275,10 @@ TEST_P(CrossRingSweep, BothRingsAnswerIdentically) {
                                    /*seed=*/GetParam(), /*max_fanout=*/3);
   DeterministicPrf seed =
       DeterministicPrf::FromString("xr" + std::to_string(GetParam()));
-  FpDeployment fp = OutsourceFp(doc, seed).value();
-  ZDeployment z = OutsourceZ(doc, seed).value();
-  QuerySession<FpCyclotomicRing> fs(&fp.client, &fp.server);
-  QuerySession<ZQuotientRing> zs(&z.client, &z.server);
+  FpDeployment fp = MakeFpDeployment(doc, seed).value();
+  ZDeployment z = MakeZDeployment(doc, seed).value();
+  TestSession<FpCyclotomicRing> fs(&fp.client, &fp.server);
+  TestSession<ZQuotientRing> zs(&z.client, &z.server);
   for (const std::string& tag : doc.DistinctTags()) {
     auto fr = fs.Lookup(tag, VerifyMode::kVerified).value();
     auto zr = zs.Lookup(tag, VerifyMode::kVerified).value();

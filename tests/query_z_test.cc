@@ -7,12 +7,17 @@
 
 #include "core/outsource.h"
 #include "core/query_session.h"
+#include "testing/deploy_helpers.h"
 #include "testing/store_test_access.h"
 #include "xml/xml_generator.h"
 #include "xpath/xpath.h"
 
 namespace polysse {
 namespace {
+
+using testing::ZDeployment;
+using testing::MakeZDeployment;
+using testing::TestSession;
 
 std::vector<std::string> MatchPaths(const LookupResult& r) {
   std::vector<std::string> out;
@@ -40,7 +45,7 @@ TEST(QueryZTest, Fig6ClientLookup) {
   SharedTrees<ZQuotientRing> shares = SplitShares(ring, data, prf);
   ServerStore<ZQuotientRing> server(ring, std::move(shares.server));
   auto client = ClientContext<ZQuotientRing>::SeedOnly(ring, map, prf);
-  QuerySession<ZQuotientRing> session(&client, &server);
+  TestSession<ZQuotientRing> session(&client, &server);
 
   auto result = session.Lookup("client", VerifyMode::kVerified).value();
   EXPECT_EQ(MatchPaths(result), (std::vector<std::string>{"0", "1"}));
@@ -56,8 +61,8 @@ TEST(QueryZTest, SafeMappingOracleEquivalence) {
     XmlNode doc = GenerateXmlTree(gen);
     DeterministicPrf prf =
         DeterministicPrf::FromString("zsweep" + std::to_string(seed));
-    ZDeployment dep = OutsourceZ(doc, prf).value();
-    QuerySession<ZQuotientRing> session(&dep.client, &dep.server);
+    ZDeployment dep = MakeZDeployment(doc, prf).value();
+    TestSession<ZQuotientRing> session(&dep.client, &dep.server);
     for (const std::string& tag : doc.DistinctTags()) {
       auto verified = session.Lookup(tag, VerifyMode::kVerified).value();
       EXPECT_EQ(MatchPaths(verified), OraclePaths(doc, "//" + tag)) << tag;
@@ -73,8 +78,8 @@ TEST(QueryZTest, SafeMappingOracleEquivalence) {
 TEST(QueryZTest, XPathStrategiesMatchOracle) {
   XmlNode doc = MakeMedicalRecordsDocument(8, 41);
   DeterministicPrf prf = DeterministicPrf::FromString("zxpath");
-  ZDeployment dep = OutsourceZ(doc, prf).value();
-  QuerySession<ZQuotientRing> session(&dep.client, &dep.server);
+  ZDeployment dep = MakeZDeployment(doc, prf).value();
+  TestSession<ZQuotientRing> session(&dep.client, &dep.server);
   for (const std::string& q :
        {std::string("//prescription"), std::string("//patient/record"),
         std::string("//record//drug"),
@@ -105,7 +110,7 @@ TEST(QueryZTest, UnsafeMappingCreatesFilterFalsePositives) {
   SharedTrees<ZQuotientRing> shares = SplitShares(ring, data, prf);
   ServerStore<ZQuotientRing> server(ring, std::move(shares.server));
   auto client = ClientContext<ZQuotientRing>::SeedOnly(ring, map, prf);
-  QuerySession<ZQuotientRing> session(&client, &server);
+  TestSession<ZQuotientRing> session(&client, &server);
 
   // Optimistic mode reports the b-leaves as (false) matches.
   auto optimistic = session.Lookup("a", VerifyMode::kOptimistic).value();
@@ -120,8 +125,8 @@ TEST(QueryZTest, UnsafeMappingCreatesFilterFalsePositives) {
 TEST(QueryZTest, VerifiedModeDetectsTampering) {
   XmlNode doc = MakeFig1Document();
   DeterministicPrf prf = DeterministicPrf::FromString("zcheat");
-  ZDeployment dep = OutsourceZ(doc, prf).value();
-  QuerySession<ZQuotientRing> session(&dep.client, &dep.server);
+  ZDeployment dep = MakeZDeployment(doc, prf).value();
+  TestSession<ZQuotientRing> session(&dep.client, &dep.server);
   const uint64_t e = dep.client.tag_map().Value("client").value();
 
   // Find the server node for path "0" (first client element). Stored-state
@@ -153,7 +158,7 @@ TEST(QueryZTest, CoefficientGrowthVisibleInBandwidth) {
 
   auto run = [&](const XmlGeneratorOptions& gen) {
     XmlNode doc = GenerateXmlTree(gen);
-    ZDeployment dep = OutsourceZ(doc, prf).value();
+    ZDeployment dep = MakeZDeployment(doc, prf).value();
     size_t max_bytes = 0;
     for (const auto& node : dep.server.tree().nodes) {
       max_bytes = std::max(max_bytes, dep.ring.SerializedSize(node.poly));
@@ -180,8 +185,8 @@ TEST(QueryZTest, SeedOnlyClientAgreesWithMaterialized) {
   auto thin = ClientContext<ZQuotientRing>::SeedOnly(ring, map, prf);
   auto fat = ClientContext<ZQuotientRing>::Materialized(
       ring, map, prf, std::move(shares.client));
-  QuerySession<ZQuotientRing> s1(&thin, &server1);
-  QuerySession<ZQuotientRing> s2(&fat, &server2);
+  TestSession<ZQuotientRing> s1(&thin, &server1);
+  TestSession<ZQuotientRing> s2(&fat, &server2);
   for (const char* tag : {"patient", "drug", "insurance"}) {
     auto r1 = s1.Lookup(tag, VerifyMode::kVerified).value();
     auto r2 = s2.Lookup(tag, VerifyMode::kVerified).value();

@@ -1,0 +1,226 @@
+// End-to-end tests of the net/ layer: outsource a document, serve the
+// share store(s) over real loopback TCP via SocketServer, query through
+// SocketEndpoint-backed sessions, and verify the answers — plus framing
+// robustness against garbage, oversized announcements and dropped
+// connections.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/socket_endpoint.h"
+#include "testing/deploy_helpers.h"
+#include "testing/query_helpers.h"
+#include "xml/xml_generator.h"
+
+namespace polysse {
+namespace {
+
+using testing::FpDeployment;
+using testing::MakeFpDeployment;
+using testing::SortedMatchPaths;
+using testing::TestSession;
+
+XmlNode MakeDoc(uint64_t seed, size_t num_nodes = 60) {
+  XmlGeneratorOptions gen;
+  gen.num_nodes = num_nodes;
+  gen.tag_alphabet = 7;
+  gen.max_fanout = 4;
+  gen.seed = seed;
+  return GenerateXmlTree(gen);
+}
+
+TEST(SocketEndpointTest, TwoPartyLookupOverRealTcp) {
+  XmlNode doc = MakeDoc(301);
+  DeterministicPrf seed = DeterministicPrf::FromString("socket-2p");
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
+
+  auto server = SocketServer::Listen(&dep.server, /*port=*/0);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_GT((*server)->port(), 0);
+
+  auto ep = SocketEndpoint::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+  QuerySession<FpCyclotomicRing> session(&dep.client,
+                                         EndpointGroup::TwoParty(ep->get()));
+
+  // Oracle: the same store through an in-process loopback session.
+  FpDeployment oracle_dep = MakeFpDeployment(doc, seed).value();
+  TestSession<FpCyclotomicRing> oracle(&oracle_dep.client, &oracle_dep.server);
+
+  for (const std::string& tag : doc.DistinctTags()) {
+    for (VerifyMode mode : {VerifyMode::kOptimistic, VerifyMode::kVerified,
+                            VerifyMode::kTrustedConstOnly}) {
+      auto over_tcp = session.Lookup(tag, mode);
+      ASSERT_TRUE(over_tcp.ok()) << tag << ": "
+                                 << over_tcp.status().ToString();
+      auto local = oracle.Lookup(tag, mode).value();
+      EXPECT_EQ(SortedMatchPaths(over_tcp->matches),
+                SortedMatchPaths(local.matches))
+          << "//" << tag;
+      EXPECT_EQ(SortedMatchPaths(over_tcp->possible),
+                SortedMatchPaths(local.possible))
+          << "//" << tag;
+    }
+  }
+  // Real bytes crossed the wire (payload + 5-byte frame headers).
+  auto counters = (*ep)->counters();
+  EXPECT_GT(counters.bytes_up, 0u);
+  EXPECT_GT(counters.bytes_down, counters.messages_down * 5);
+  EXPECT_EQ((*server)->connections_accepted(), 1u);
+}
+
+TEST(SocketEndpointTest, ShamirGroupOverTcpWithParallelFanOut) {
+  // Full multi-server path: n socket servers, one endpoint each, Shamir
+  // recombination, pooled fan-out — answers must match the all-in-process
+  // engine, and a killed server must fail over.
+  XmlNode doc = MakeDoc(302, 40);
+  DeterministicPrf seed = DeterministicPrf::FromString("socket-shamir");
+  FpEngine::Deploy deploy;
+  deploy.scheme = ShareScheme::kShamir;
+  deploy.num_servers = 4;
+  deploy.threshold = 2;
+  auto engine = FpEngine::Outsource(doc, seed, deploy).value();
+  const std::string tag = doc.DistinctTags()[1];
+  auto oracle = engine->Lookup(tag, VerifyMode::kVerified).value();
+
+  // Serve each engine-owned store over its own TCP port. The stores keep
+  // serving their in-process endpoints too; handlers are thread-safe.
+  std::vector<std::unique_ptr<SocketServer>> servers;
+  std::vector<std::unique_ptr<SocketEndpoint>> endpoints;
+  std::vector<ServerEndpoint*> eps;
+  for (size_t s = 0; s < 4; ++s) {
+    auto srv = SocketServer::Listen(engine->handler(s), 0);
+    ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+    auto ep = SocketEndpoint::Connect("127.0.0.1", (*srv)->port());
+    ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+    servers.push_back(std::move(*srv));
+    endpoints.push_back(std::move(*ep));
+    eps.push_back(endpoints.back().get());
+  }
+  ThreadPool pool(4);
+  EndpointGroup group = EndpointGroup::Shamir(eps, 2);
+  group.executor = &pool;
+  // The Shamir client holds no share; a copy of the engine's secret state
+  // (tag map + seed) is all a remote client needs.
+  ClientContext<FpCyclotomicRing> client = engine->client();
+  QuerySession<FpCyclotomicRing> session(&client, group);
+
+  auto over_tcp = session.Lookup(tag, VerifyMode::kVerified);
+  ASSERT_TRUE(over_tcp.ok()) << over_tcp.status().ToString();
+  EXPECT_EQ(SortedMatchPaths(over_tcp->matches),
+            SortedMatchPaths(oracle.matches));
+
+  // Kill the first server's process: its connection drops, the session
+  // marks it dead mid-query and fails over to a live replacement over TCP.
+  servers[0]->Stop();
+  auto after = session.Lookup(tag, VerifyMode::kVerified);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(SortedMatchPaths(after->matches), SortedMatchPaths(oracle.matches));
+  EXPECT_GE(after->stats.server_failovers, 1u);
+}
+
+TEST(SocketEndpointTest, ServerSurvivesGarbageAndReportsWireErrors) {
+  XmlNode doc = MakeDoc(303, 20);
+  DeterministicPrf seed = DeterministicPrf::FromString("socket-garbage");
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
+  auto server = SocketServer::Listen(&dep.server, 0);
+  ASSERT_TRUE(server.ok());
+
+  // Raw socket, hand-written frames.
+  auto send_raw = [&](const std::vector<uint8_t>& bytes,
+                      bool expect_reply) -> std::vector<uint8_t> {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons((*server)->port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    EXPECT_EQ(::write(fd, bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+    std::vector<uint8_t> reply(4096);
+    ssize_t n = expect_reply ? ::read(fd, reply.data(), reply.size()) : 0;
+    ::close(fd);
+    reply.resize(n > 0 ? static_cast<size_t>(n) : 0);
+    return reply;
+  };
+
+  // Unknown message kind: framed error response, connection stays sane.
+  std::vector<uint8_t> unknown_kind = {0x77, 0, 0, 0, 0};
+  auto reply = send_raw(unknown_kind, /*expect_reply=*/true);
+  ASSERT_GE(reply.size(), 5u);
+  EXPECT_EQ(reply[0], static_cast<uint8_t>(StatusCode::kInvalidArgument));
+
+  // Garbage payload under a valid kind: dispatch decodes, fails, reports.
+  std::vector<uint8_t> garbage = {static_cast<uint8_t>(MessageKind::kEval),
+                                  4, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF};
+  reply = send_raw(garbage, /*expect_reply=*/true);
+  ASSERT_GE(reply.size(), 5u);
+  EXPECT_NE(reply[0], static_cast<uint8_t>(StatusCode::kOk));
+
+  // A length announcement beyond the frame cap closes the connection
+  // without allocating; the server must keep serving afterwards.
+  std::vector<uint8_t> bomb = {static_cast<uint8_t>(MessageKind::kEval),
+                               0xFF, 0xFF, 0xFF, 0xFF};
+  send_raw(bomb, /*expect_reply=*/false);
+
+  auto ep = SocketEndpoint::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(ep.ok());
+  EvalRequest req;
+  req.points = {1};
+  req.node_ids = {0};
+  auto resp = (*ep)->Eval(req);
+  EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+}
+
+TEST(SocketEndpointTest, StoppedServerYieldsUnavailable) {
+  XmlNode doc = MakeDoc(304, 20);
+  DeterministicPrf seed = DeterministicPrf::FromString("socket-stop");
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
+  auto server = SocketServer::Listen(&dep.server, 0);
+  ASSERT_TRUE(server.ok());
+  auto ep = SocketEndpoint::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(ep.ok());
+
+  EvalRequest req;
+  req.points = {1};
+  req.node_ids = {0};
+  ASSERT_TRUE((*ep)->Eval(req).ok());
+
+  (*server)->Stop();
+  auto r = (*ep)->Eval(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketEndpointTest, ConnectToNothingFailsCleanly) {
+  // Grab an ephemeral port, close it again, then connect to it.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  auto ep = SocketEndpoint::Connect("127.0.0.1", dead_port);
+  ASSERT_FALSE(ep.ok());
+  EXPECT_EQ(ep.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(SocketEndpoint::Connect("not-an-ip", 1).ok());
+}
+
+}  // namespace
+}  // namespace polysse

@@ -1,0 +1,90 @@
+// White-box deployment builders for tests and benches. The product API is
+// polysse::Engine (core/engine.h); suites that assert on the individual
+// pieces — the ring, the thin client, a raw ServerStore, an explicitly
+// wired endpoint — build them here from the same public primitives the
+// engine uses (PrepareOutsource + SplitShares), with none of the engine's
+// ownership wrapping in the way.
+#ifndef POLYSSE_TESTS_TESTING_DEPLOY_HELPERS_H_
+#define POLYSSE_TESTS_TESTING_DEPLOY_HELPERS_H_
+
+#include <utility>
+
+#include "core/client_context.h"
+#include "core/endpoint.h"
+#include "core/outsource.h"
+#include "core/query_session.h"
+#include "core/server_store.h"
+#include "core/sharing.h"
+
+namespace polysse {
+namespace testing {
+
+/// The pieces of one two-party deployment, exposed individually.
+template <typename Ring>
+struct TwoPartyDeployment {
+  Ring ring;
+  ClientContext<Ring> client;
+  ServerStore<Ring> server;
+};
+
+using FpDeployment = TwoPartyDeployment<FpCyclotomicRing>;
+using ZDeployment = TwoPartyDeployment<ZQuotientRing>;
+
+/// Document -> {ring, thin client, server store} over F_p, split exactly
+/// like an engine two-party deployment.
+inline Result<FpDeployment> MakeFpDeployment(
+    const XmlNode& document, const DeterministicPrf& seed,
+    const FpOutsourceOptions& options = {}) {
+  ASSIGN_OR_RETURN(PreparedOutsource<FpCyclotomicRing> prep,
+                   PrepareOutsource(document, seed, options));
+  SharedTrees<FpCyclotomicRing> shares =
+      SplitShares(prep.ring, prep.data, seed);
+  return FpDeployment{
+      prep.ring,
+      ClientContext<FpCyclotomicRing>::SeedOnly(prep.ring,
+                                                std::move(prep.tag_map), seed),
+      ServerStore<FpCyclotomicRing>(prep.ring, std::move(shares.server))};
+}
+
+/// Document -> {ring, thin client, server store} over Z[x]/(r).
+inline Result<ZDeployment> MakeZDeployment(const XmlNode& document,
+                                           const DeterministicPrf& seed,
+                                           const ZOutsourceOptions& options = {}) {
+  ASSIGN_OR_RETURN(PreparedOutsource<ZQuotientRing> prep,
+                   PrepareOutsource(document, seed, options));
+  SharedTrees<ZQuotientRing> shares =
+      SplitShares(prep.ring, prep.data, seed, prep.split_options);
+  return ZDeployment{
+      prep.ring,
+      ClientContext<ZQuotientRing>::SeedOnly(prep.ring,
+                                             std::move(prep.tag_map), seed,
+                                             prep.split_options),
+      ServerStore<ZQuotientRing>(prep.ring, std::move(shares.server))};
+}
+
+namespace internal {
+/// Base-from-member holder so the endpoint outlives the QuerySession base
+/// below (bases initialize before members, so the session cannot point at
+/// a not-yet-constructed endpoint).
+struct OwnedLoopback {
+  explicit OwnedLoopback(ServerHandler* handler) : endpoint(handler) {}
+  LoopbackEndpoint endpoint;
+};
+}  // namespace internal
+
+/// A QuerySession over one in-process store with every message serialized
+/// both ways — the session shape most suites drive. Owns its loopback
+/// endpoint; use it exactly like the QuerySession it is.
+template <typename Ring>
+class TestSession : private internal::OwnedLoopback,
+                    public QuerySession<Ring> {
+ public:
+  TestSession(ClientContext<Ring>* client, ServerStore<Ring>* store)
+      : internal::OwnedLoopback(store),
+        QuerySession<Ring>(client, EndpointGroup::TwoParty(&endpoint)) {}
+};
+
+}  // namespace testing
+}  // namespace polysse
+
+#endif  // POLYSSE_TESTS_TESTING_DEPLOY_HELPERS_H_
