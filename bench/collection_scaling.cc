@@ -1,0 +1,181 @@
+// Cross-document query scaling — the collection redesign's headline claim:
+// searching a D-document collection is ONE shared-frontier walk (per round
+// a single EvalRequest per server covers every document), not D sequential
+// per-document walks. This driver measures both strategies over the same
+// live deployment at D in {1, 16, 128} and reports BFS rounds, wire
+// messages, and wall time.
+//
+//   collection_scaling [--json PATH]
+//
+// With --json it also writes the numbers in the bench/baselines entry
+// schema (compare_baselines.py consumes either side).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/collection.h"
+#include "xml/xml_generator.h"
+
+namespace polysse {
+namespace {
+
+constexpr size_t kDocNodes = 40;
+constexpr size_t kTagAlphabet = 8;
+const char* kQueryTag = "tag0";
+
+XmlNode MakeDoc(uint64_t seed) {
+  XmlGeneratorOptions gen;
+  gen.num_nodes = kDocNodes;
+  gen.tag_alphabet = kTagAlphabet;
+  gen.max_fanout = 4;
+  gen.seed = seed;
+  return GenerateXmlTree(gen);
+}
+
+double MedianWallUs(const std::vector<double>& runs_in) {
+  std::vector<double> runs = runs_in;
+  std::sort(runs.begin(), runs.end());
+  return runs[runs.size() / 2];
+}
+
+struct Cost {
+  size_t rounds = 0;
+  size_t messages_up = 0;
+  double wall_us = 0;
+};
+
+template <typename Fn>
+Cost Measure(Fn&& run) {
+  // One warm-up (session caches are per-query, but allocators warm), then
+  // median wall of three timed runs; counters from the last run.
+  run();
+  std::vector<double> walls;
+  Cost cost;
+  for (int i = 0; i < 3; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    Cost c = run();
+    auto t1 = std::chrono::steady_clock::now();
+    walls.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    cost = c;
+  }
+  cost.wall_us = MedianWallUs(walls);
+  return cost;
+}
+
+int Run(const std::string& json_path) {
+  std::string json_entries;
+  auto add_entry = [&](const std::string& name, double value) {
+    if (!json_entries.empty()) json_entries += ",\n";
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "    \"%s\": %.1f", name.c_str(), value);
+    json_entries += buf;
+  };
+
+  std::printf(
+      "cross-document //%s, %zu-node docs, 2-party loopback.\n"
+      "'walk' = optimistic mode (the pruned index walk itself); 'verified'\n"
+      "adds the per-candidate reconstruction fetches, which cost the same\n"
+      "under either strategy. 'wall @200us/msg' re-runs the walk with 200us\n"
+      "injected per-message latency — the regime a real network lives in.\n\n",
+      kQueryTag, kDocNodes);
+  std::printf("%6s | %13s %13s | %13s %13s | %17s\n", "", "walk rounds",
+              "walk msgs", "verified msgs", "verified wall",
+              "walk wall @200us/msg");
+  std::printf("%6s | %6s %6s  %6s %6s | %6s %6s  %6s %6s | %8s %8s\n", "docs",
+              "shared", "seq", "shared", "seq", "shared", "seq", "ms", "ms",
+              "shared ms", "seq ms");
+
+  for (size_t docs : {1u, 16u, 128u}) {
+    DeterministicPrf seed = DeterministicPrf::FromString("col-scaling");
+    auto col = FpCollection::Create(seed).value();
+    for (size_t d = 0; d < docs; ++d) {
+      Status s = col->Add(static_cast<DocId>(d), MakeDoc(1000 + d));
+      if (!s.ok()) {
+        std::fprintf(stderr, "add failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+
+    auto shared_cost = [&](VerifyMode mode) {
+      return Measure([&, mode]() -> Cost {
+        auto r = col->Search(kQueryTag, mode).value();
+        return {r.stats.rounds, r.stats.transport.messages_up, 0};
+      });
+    };
+    auto sequential_cost = [&](VerifyMode mode) {
+      return Measure([&, mode]() -> Cost {
+        Cost sum;
+        for (size_t d = 0; d < docs; ++d) {
+          auto r =
+              col->SearchDoc(static_cast<DocId>(d), kQueryTag, mode).value();
+          sum.rounds += r.stats.rounds;
+          sum.messages_up += r.stats.transport.messages_up;
+        }
+        return sum;
+      });
+    };
+
+    const Cost shared_walk = shared_cost(VerifyMode::kOptimistic);
+    const Cost seq_walk = sequential_cost(VerifyMode::kOptimistic);
+    const Cost shared_ver = shared_cost(VerifyMode::kVerified);
+    const Cost seq_ver = sequential_cost(VerifyMode::kVerified);
+
+    // The same walk against a server 200us of latency away: round trips
+    // are now the cost, and the shared frontier pays D-fold fewer.
+    FaultConfig lag;
+    lag.latency_us = 200;
+    col->InjectFaults(0, lag);
+    const Cost shared_lag = shared_cost(VerifyMode::kOptimistic);
+    const Cost seq_lag = sequential_cost(VerifyMode::kOptimistic);
+
+    std::printf("%6zu | %6zu %6zu  %6zu %6zu | %6zu %6zu  %6.1f %6.1f | %8.1f %8.1f\n",
+                docs, shared_walk.rounds, seq_walk.rounds,
+                shared_walk.messages_up, seq_walk.messages_up,
+                shared_ver.messages_up, seq_ver.messages_up,
+                shared_ver.wall_us / 1000.0, seq_ver.wall_us / 1000.0,
+                shared_lag.wall_us / 1000.0, seq_lag.wall_us / 1000.0);
+
+    const std::string suffix = "_D" + std::to_string(docs);
+    add_entry("shared_walk_rounds" + suffix,
+              static_cast<double>(shared_walk.rounds));
+    add_entry("sequential_walk_rounds" + suffix,
+              static_cast<double>(seq_walk.rounds));
+    add_entry("shared_walk_messages" + suffix,
+              static_cast<double>(shared_walk.messages_up));
+    add_entry("sequential_walk_messages" + suffix,
+              static_cast<double>(seq_walk.messages_up));
+    add_entry("shared_verified_messages" + suffix,
+              static_cast<double>(shared_ver.messages_up));
+    add_entry("sequential_verified_messages" + suffix,
+              static_cast<double>(seq_ver.messages_up));
+    add_entry("shared_lag_wall_us" + suffix, shared_lag.wall_us);
+    add_entry("sequential_lag_wall_us" + suffix, seq_lag.wall_us);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"collection_scaling\",\n  \"entries\": {\n%s\n  }\n}\n",
+                 json_entries.c_str());
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace polysse
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+  return polysse::Run(json_path);
+}

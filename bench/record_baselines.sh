@@ -73,8 +73,32 @@ print(f"wrote {out_path} (median of {runs})")
 EOF
 }
 
+record_self_json() {  # $1 = binary stem emitting baseline-schema JSON via --json
+  local stem="$1"
+  local raw="/tmp/polysse_${stem}_baseline.json"
+  echo "=== recording ${stem} (self-reported entries) ==="
+  "${BUILD_DIR}/bench/${stem}" --json "$raw"
+  python3 - "$stem" "$raw" "${OUT_DIR}/${stem}.json" <<'EOF'
+import datetime, json, os, platform, sys
+stem, raw_path, out_path = sys.argv[1:4]
+raw = json.load(open(raw_path))
+doc = {
+    "bench": stem,
+    "recorded": datetime.date.today().isoformat(),
+    "host": {"machine": platform.machine(), "system": platform.system(),
+             "cpus": os.cpu_count()},
+    "entries": raw["entries"],
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(raw['entries'])} entries)")
+EOF
+}
+
 record_gbench ring_ops
 record_gbench query_scaling
 record_wall fig2_reduction
+record_self_json collection_scaling
 
 echo "baselines recorded under ${OUT_DIR}/"

@@ -1,12 +1,24 @@
 // A small end-to-end command line tool around the library — the workflow a
-// real deployment would script. Built on the polysse::Engine facade:
+// real deployment would script. Built on the polysse::Collection facade
+// (polysse::Engine for the single-document commands):
 //
 //   polysse_cli outsource <doc.xml> <store.bin> <client.key> [passphrase]
-//       parse the document, split it, write the server store and the
+//       parse one document, split it, write the server store and the
 //       client's secret key file (seed + private tag map)
 //
 //   polysse_cli query <store.bin> <client.key> <xpath> [--trusted|--optimistic]
 //       run an XPath query against the store with the client key
+//
+//   polysse_cli add <store.bin> <client.key> <doc-id> <doc.xml> [passphrase]
+//       add one document to a collection (files are created on first add);
+//       existing documents are NOT re-outsourced
+//
+//   polysse_cli remove <store.bin> <client.key> <doc-id>
+//       retire one document from a collection
+//
+//   polysse_cli search <store.bin> <client.key> <tag-or-xpath>
+//       cross-document search: one shared walk over every document,
+//       results grouped per doc-id
 //
 //   polysse_cli shamir <doc.xml> <xpath> [--servers N] [--threshold t]
 //       demo Shamir t-of-n over server endpoints: outsource the document
@@ -14,12 +26,13 @@
 //       any t answering and fewer than t failing cleanly
 //
 //   polysse_cli serve <store.bin> [port]
-//       host a share store over TCP (port 0 = pick one); blocks until
-//       killed — run one per server of a deployment
+//       host a share store (single tree or multi-document registry) over
+//       TCP (port 0 = pick one); blocks until killed — run one per server
 //
-//   polysse_cli connect <client.key> <xpath> <host:port> [host:port ...]
+//   polysse_cli connect <client.key> <query> <host:port> [host:port ...]
 //       query a deployment whose servers run elsewhere: the key file
-//       carries the ring + scheme, each host:port is one live server
+//       carries the ring + scheme + document table, each host:port is one
+//       live server
 //
 //   polysse_cli inspect <store.bin>
 //       print what an attacker with the server file alone can see
@@ -32,8 +45,10 @@
 #include <string>
 #include <vector>
 
+#include "core/collection.h"
 #include "core/engine.h"
 #include "core/persistence.h"
+#include "core/store_registry.h"
 #include "net/socket_endpoint.h"
 #include "xml/xml_parser.h"
 
@@ -46,11 +61,41 @@ int Fail(const Status& s) {
   return 1;
 }
 
+Result<XmlNode> ParseXmlFile(const std::string& xml_path) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(xml_path));
+  return ParseXml(std::string(bytes.begin(), bytes.end()));
+}
+
+void PrintQueryStats(const QueryStats& s) {
+  std::printf("visited %zu/%zu nodes, %zu B up, %zu B down, %zu rounds\n",
+              s.nodes_visited, s.total_server_nodes, s.transport.bytes_up,
+              s.transport.bytes_down, s.rounds);
+}
+
+/// Runs `query` ("tag" or an XPath starting with '/') across a collection.
+Result<CollectionResult> RunCollectionQuery(FpCollection& col,
+                                            const std::string& query) {
+  if (!query.empty() && query[0] == '/') return col.SearchXPath(query);
+  return col.Search(query);
+}
+
+void PrintCollectionResult(const CollectionResult& r, const std::string& query,
+                           size_t num_docs) {
+  size_t total = 0;
+  for (const auto& [doc_id, result] : r.per_doc) total += result.matches.size();
+  std::printf("%zu match(es) for %s across %zu document(s):\n", total,
+              query.c_str(), num_docs);
+  for (const auto& [doc_id, result] : r.per_doc) {
+    std::printf("  doc %llu:\n", static_cast<unsigned long long>(doc_id));
+    for (const auto& m : result.matches)
+      std::printf("    node %d @ \"%s\"\n", m.node_id, m.path.c_str());
+  }
+  PrintQueryStats(r.stats);
+}
+
 int CmdOutsource(const std::string& xml_path, const std::string& store_path,
                  const std::string& key_path, const std::string& passphrase) {
-  auto xml_bytes = ReadFileBytes(xml_path);
-  if (!xml_bytes.ok()) return Fail(xml_bytes.status());
-  auto doc = ParseXml(std::string(xml_bytes->begin(), xml_bytes->end()));
+  auto doc = ParseXmlFile(xml_path);
   if (!doc.ok()) return Fail(doc.status());
 
   DeterministicPrf seed = passphrase.empty()
@@ -86,10 +131,64 @@ int CmdQuery(const std::string& store_path, const std::string& key_path,
               xpath.c_str());
   for (const auto& m : result->matches)
     std::printf("  node %d @ \"%s\"\n", m.node_id, m.path.c_str());
-  const QueryStats& s = result->stats;
-  std::printf("visited %zu/%zu nodes, %zu B up, %zu B down, %zu rounds\n",
-              s.nodes_visited, s.total_server_nodes, s.transport.bytes_up,
-              s.transport.bytes_down, s.rounds);
+  PrintQueryStats(result->stats);
+  return 0;
+}
+
+int CmdAdd(const std::string& store_path, const std::string& key_path,
+           DocId doc_id, const std::string& xml_path,
+           const std::string& passphrase) {
+  auto doc = ParseXmlFile(xml_path);
+  if (!doc.ok()) return Fail(doc.status());
+
+  // Open an existing collection; only a MISSING KEY starts a new one. A
+  // present-but-corrupt key, or a present key whose store file is gone,
+  // must fail — never silently replace the client secret.
+  std::unique_ptr<FpCollection> col;
+  auto opened = FpCollection::Open(store_path, key_path);
+  if (opened.ok()) {
+    col = std::move(*opened);
+  } else if (opened.status().code() == StatusCode::kNotFound &&
+             ReadFileBytes(key_path).status().code() ==
+                 StatusCode::kNotFound) {
+    DeterministicPrf seed = passphrase.empty()
+                                ? DeterministicPrf(RandomSeed())
+                                : DeterministicPrf::FromString(passphrase);
+    auto created = FpCollection::Create(seed);
+    if (!created.ok()) return Fail(created.status());
+    col = std::move(*created);
+    std::printf("created new collection (p = %llu)\n",
+                static_cast<unsigned long long>(col->ring().p()));
+  } else {
+    return Fail(opened.status());
+  }
+  if (Status s = col->Add(doc_id, *doc); !s.ok()) return Fail(s);
+  if (Status s = col->Save(store_path, key_path); !s.ok()) return Fail(s);
+  std::printf("added doc %llu; collection now holds %zu document(s), "
+              "%zu shared nodes\n",
+              static_cast<unsigned long long>(doc_id), col->num_docs(),
+              col->total_nodes());
+  return 0;
+}
+
+int CmdRemove(const std::string& store_path, const std::string& key_path,
+              DocId doc_id) {
+  auto col = FpCollection::Open(store_path, key_path);
+  if (!col.ok()) return Fail(col.status());
+  if (Status s = (*col)->Remove(doc_id); !s.ok()) return Fail(s);
+  if (Status s = (*col)->Save(store_path, key_path); !s.ok()) return Fail(s);
+  std::printf("removed doc %llu; collection now holds %zu document(s)\n",
+              static_cast<unsigned long long>(doc_id), (*col)->num_docs());
+  return 0;
+}
+
+int CmdSearch(const std::string& store_path, const std::string& key_path,
+              const std::string& query) {
+  auto col = FpCollection::Open(store_path, key_path);
+  if (!col.ok()) return Fail(col.status());
+  auto result = RunCollectionQuery(**col, query);
+  if (!result.ok()) return Fail(result.status());
+  PrintCollectionResult(*result, query, (*col)->num_docs());
   return 0;
 }
 
@@ -98,9 +197,7 @@ int CmdShamir(const std::string& xml_path, const std::string& xpath,
   if (num_servers < 1 || threshold < 1 || threshold > num_servers)
     return Fail(Status::InvalidArgument(
         "need --servers N >= --threshold t >= 1"));
-  auto xml_bytes = ReadFileBytes(xml_path);
-  if (!xml_bytes.ok()) return Fail(xml_bytes.status());
-  auto doc = ParseXml(std::string(xml_bytes->begin(), xml_bytes->end()));
+  auto doc = ParseXmlFile(xml_path);
   if (!doc.ok()) return Fail(doc.status());
 
   DeterministicPrf seed = DeterministicPrf(RandomSeed());
@@ -142,51 +239,44 @@ int CmdShamir(const std::string& xml_path, const std::string& xpath,
   return 0;
 }
 
-int CmdServe(const std::string& store_path, uint16_t port) {
-  auto store_bytes = ReadFileBytes(store_path);
-  if (!store_bytes.ok()) return Fail(store_bytes.status());
-  auto kind = PeekStoredRingKind(*store_bytes);
-  if (!kind.ok()) return Fail(kind.status());
-  ByteReader reader(*store_bytes);
-  if (*kind != StoredRingKind::kFpCyclotomic)
-    return Fail(Status::Unimplemented("serve covers Fp stores (like query)"));
-  auto store = LoadFpServerStore(&reader);
-  if (!store.ok()) return Fail(store.status());
+/// Loads a store file as a servable registry (single tree or container).
+Result<std::unique_ptr<FpStoreRegistry>> LoadServableStore(
+    const std::string& store_path) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(store_path));
+  ASSIGN_OR_RETURN(StoredRingKind kind, PeekStoredRingKind(bytes));
+  if (kind != StoredRingKind::kFpCyclotomic)
+    return Status::Unimplemented("serve covers Fp stores (like query)");
+  return LoadStoreRegistry<FpCyclotomicRing>(bytes);
+}
 
-  auto server = SocketServer::Listen(&*store, port);
+int CmdServe(const std::string& store_path, uint16_t port) {
+  auto registry = LoadServableStore(store_path);
+  if (!registry.ok()) return Fail(registry.status());
+
+  auto server = SocketServer::Listen(registry->get(), port);
   if (!server.ok()) return Fail(server.status());
-  std::printf("serving %zu shared nodes on 127.0.0.1:%u — the process sees "
-              "only random-looking polynomials; ctrl-c to stop\n",
-              store->size(), (*server)->port());
+  std::printf("serving %zu document(s), %zu shared nodes on 127.0.0.1:%u — "
+              "the process sees only random-looking polynomials; ctrl-c to "
+              "stop\n",
+              (*registry)->num_docs(), (*registry)->total_nodes(),
+              (*server)->port());
   for (;;) pause();  // the accept loop does the work
 }
 
-/// Builds {ring, thin client, endpoint group} from a key file plus live
-/// server addresses, runs the query, prints matches.
-int CmdConnect(const std::string& key_path, const std::string& xpath,
+/// Builds a connected collection client from a key file plus live server
+/// addresses, runs the query, prints per-document matches.
+int CmdConnect(const std::string& key_path, const std::string& query,
                const std::vector<std::string>& addresses) {
   auto key_bytes = ReadFileBytes(key_path);
   if (!key_bytes.ok()) return Fail(key_bytes.status());
   ByteReader key_reader(*key_bytes);
   auto key = ClientSecretFile::Deserialize(&key_reader);
   if (!key.ok()) return Fail(key.status());
-  if (key->ring_kind != static_cast<uint8_t>(StoredRingKind::kFpCyclotomic))
-    return Fail(Status::Unimplemented(
-        "connect needs a v2 Fp key file (re-save with this build)"));
-  auto ring = FpCyclotomicRing::Create(key->fp_p);
-  if (!ring.ok()) return Fail(ring.status());
-  auto client = ClientContext<FpCyclotomicRing>::SeedOnly(
-      *ring, key->tag_map, DeterministicPrf(key->seed));
 
   // The address list is positional: address i is server i of the saved
   // deployment (additive shares and Shamir x-coordinates are per-slot, so
   // a subset or reordering would recombine garbage). Dead servers still
   // get listed; Shamir fails over around them.
-  if (addresses.size() != static_cast<size_t>(key->num_servers))
-    return Fail(Status::InvalidArgument(
-        "this key file names " + std::to_string(key->num_servers) +
-        " server(s); pass exactly that many host:port arguments, in server "
-        "order (list unreachable ones too — Shamir fails over)"));
 
   // Placeholder for a server that refused the connection: keeps its slot
   // (and so every other server's x-coordinate) while always failing, which
@@ -221,36 +311,16 @@ int CmdConnect(const std::string& key_path, const std::string& xpath,
     eps.push_back(owned.back().get());
   }
 
-  EndpointGroup group;
-  switch (key->scheme) {
-    case ShareScheme::kTwoParty:
-      group = EndpointGroup::TwoParty(eps[0]);
-      break;
-    case ShareScheme::kAdditive:
-      group = EndpointGroup::Additive(eps);
-      break;
-    case ShareScheme::kShamir:
-      group = EndpointGroup::Shamir(eps, key->threshold);
-      break;
-  }
   // Overlap the per-server round trips when several servers answer.
   ThreadPool pool(eps.size() > 1 ? eps.size() : 1);
-  if (eps.size() > 1) group.executor = &pool;
-  QuerySession<FpCyclotomicRing> session(&client, group);
+  auto col = FpCollection::Connect(*key, eps,
+                                   eps.size() > 1 ? &pool : nullptr);
+  if (!col.ok()) return Fail(col.status());
 
-  auto query = XPathQuery::Parse(xpath);
-  if (!query.ok()) return Fail(query.status());
-  auto result = session.EvaluateXPath(*query, XPathStrategy::kAllAtOnce,
-                                      VerifyMode::kVerified);
+  auto result = RunCollectionQuery(**col, query);
   if (!result.ok()) return Fail(result.status());
-  std::printf("%zu match(es) for %s over %zu TCP server(s):\n",
-              result->matches.size(), xpath.c_str(), eps.size());
-  for (const auto& m : result->matches)
-    std::printf("  node %d @ \"%s\"\n", m.node_id, m.path.c_str());
-  const QueryStats& s = result->stats;
-  std::printf("visited %zu/%zu nodes, %zu B up, %zu B down, %zu rounds\n",
-              s.nodes_visited, s.total_server_nodes, s.transport.bytes_up,
-              s.transport.bytes_down, s.rounds);
+  std::printf("over %zu TCP server(s): ", eps.size());
+  PrintCollectionResult(*result, query, (*col)->num_docs());
   return 0;
 }
 
@@ -259,25 +329,89 @@ int CmdInspect(const std::string& store_path) {
   if (!store_bytes.ok()) return Fail(store_bytes.status());
   auto kind = PeekStoredRingKind(*store_bytes);
   if (!kind.ok()) return Fail(kind.status());
-  ByteReader reader(*store_bytes);
   if (*kind != StoredRingKind::kFpCyclotomic) {
     std::printf("Z-ring store (inspection demo covers Fp stores)\n");
     return 0;
   }
-  auto server = LoadFpServerStore(&reader);
-  if (!server.ok()) return Fail(server.status());
+  auto registry = LoadStoreRegistry<FpCyclotomicRing>(*store_bytes);
+  if (!registry.ok()) return Fail(registry.status());
   std::printf("what the server/attacker sees in %s:\n", store_path.c_str());
   std::printf("  ring            : F_%llu[x]/(x^%llu - 1)\n",
-              static_cast<unsigned long long>(server->ring().p()),
-              static_cast<unsigned long long>(server->ring().p() - 1));
-  std::printf("  tree shape      : %zu nodes (structure is NOT hidden)\n",
-              server->size());
-  std::printf("  polynomials     : uniformly random-looking shares, e.g. "
-              "root = %s\n",
-              server->ring().ToString(server->tree().nodes[0].poly).c_str());
+              static_cast<unsigned long long>((*registry)->ring().p()),
+              static_cast<unsigned long long>((*registry)->ring().p() - 1));
+  std::printf("  documents       : %zu (ids and tree shapes are NOT hidden)\n",
+              (*registry)->num_docs());
+  for (const auto& doc : (*registry)->docs()) {
+    const ServerStore<FpCyclotomicRing>* store =
+        (*registry)->store(doc.doc_id).value();
+    std::printf("    doc %llu: %zu nodes, e.g. root share = %s\n",
+                static_cast<unsigned long long>(doc.doc_id), doc.nodes,
+                store->ring().ToString(store->tree().nodes[0].poly).c_str());
+  }
   std::printf("  tag names       : (none stored)\n");
   std::printf("  tag map / seed  : (client-side only)\n");
   return 0;
+}
+
+int SelfDemo() {
+  std::printf("running self-demo in /tmp ...\n");
+  auto write_doc = [](const char* path, const char* xml) {
+    return WriteFileBytes(
+        path, std::span<const uint8_t>(
+                  reinterpret_cast<const uint8_t*>(xml), std::strlen(xml)));
+  };
+
+  // Single-document workflow (engine).
+  const char* kDoc =
+      "<library><shelf><book/><book/></shelf><shelf><book/></shelf>"
+      "</library>";
+  if (Status s = write_doc("/tmp/polysse_demo.xml", kDoc); !s.ok())
+    return Fail(s);
+  int rc = CmdOutsource("/tmp/polysse_demo.xml", "/tmp/polysse_store.bin",
+                        "/tmp/polysse_client.key", "demo-passphrase");
+  if (rc != 0) return rc;
+  rc = CmdQuery("/tmp/polysse_store.bin", "/tmp/polysse_client.key",
+                "//book", VerifyMode::kVerified);
+  if (rc != 0) return rc;
+  rc = CmdShamir("/tmp/polysse_demo.xml", "//book", 5, 3);
+  if (rc != 0) return rc;
+
+  // Collection workflow: incremental add/remove + cross-document search.
+  std::printf("\ncollection demo: two documents, one key ...\n");
+  std::remove("/tmp/polysse_col.bin");
+  std::remove("/tmp/polysse_col.key");
+  const char* kDoc2 =
+      "<archive><box><book/></box><box><scroll/><book/></box></archive>";
+  if (Status s = write_doc("/tmp/polysse_demo2.xml", kDoc2); !s.ok())
+    return Fail(s);
+  rc = CmdAdd("/tmp/polysse_col.bin", "/tmp/polysse_col.key", 1,
+              "/tmp/polysse_demo.xml", "demo-passphrase");
+  if (rc != 0) return rc;
+  rc = CmdAdd("/tmp/polysse_col.bin", "/tmp/polysse_col.key", 2,
+              "/tmp/polysse_demo2.xml", "");
+  if (rc != 0) return rc;
+  rc = CmdSearch("/tmp/polysse_col.bin", "/tmp/polysse_col.key", "book");
+  if (rc != 0) return rc;
+  rc = CmdRemove("/tmp/polysse_col.bin", "/tmp/polysse_col.key", 1);
+  if (rc != 0) return rc;
+  rc = CmdSearch("/tmp/polysse_col.bin", "/tmp/polysse_col.key", "book");
+  if (rc != 0) return rc;
+
+  // serve/connect leg: host the collection registry over real loopback
+  // TCP in this process, then query it exactly like a remote client.
+  {
+    auto registry = LoadServableStore("/tmp/polysse_col.bin");
+    if (!registry.ok()) return Fail(registry.status());
+    auto server = SocketServer::Listen(registry->get(), /*port=*/0);
+    if (!server.ok()) return Fail(server.status());
+    std::printf("\nserving the collection on 127.0.0.1:%u; querying over "
+                "TCP ...\n",
+                (*server)->port());
+    rc = CmdConnect("/tmp/polysse_col.key", "//book",
+                    {"127.0.0.1:" + std::to_string((*server)->port())});
+    if (rc != 0) return rc;
+  }
+  return CmdInspect("/tmp/polysse_col.bin");
 }
 
 }  // namespace
@@ -296,6 +430,18 @@ int main(int argc, char** argv) {
         mode = VerifyMode::kOptimistic;
     }
     return CmdQuery(argv[2], argv[3], argv[4], mode);
+  }
+  if (cmd == "add" && (argc == 6 || argc == 7)) {
+    return CmdAdd(argv[2], argv[3],
+                  static_cast<DocId>(std::strtoull(argv[4], nullptr, 10)),
+                  argv[5], argc == 7 ? argv[6] : "");
+  }
+  if (cmd == "remove" && argc == 5) {
+    return CmdRemove(argv[2], argv[3],
+                     static_cast<DocId>(std::strtoull(argv[4], nullptr, 10)));
+  }
+  if (cmd == "search" && argc == 5) {
+    return CmdSearch(argv[2], argv[3], argv[4]);
   }
   if (cmd == "shamir" && argc >= 4) {
     int num_servers = 5, threshold = 3;
@@ -325,48 +471,15 @@ int main(int argc, char** argv) {
               "[passphrase]\n"
               "  polysse_cli query <store.bin> <client.key> <xpath> "
               "[--trusted|--optimistic]\n"
+              "  polysse_cli add <store.bin> <client.key> <doc-id> <doc.xml> "
+              "[passphrase]\n"
+              "  polysse_cli remove <store.bin> <client.key> <doc-id>\n"
+              "  polysse_cli search <store.bin> <client.key> <tag-or-xpath>\n"
               "  polysse_cli shamir <doc.xml> <xpath> [--servers N] "
               "[--threshold t]\n"
               "  polysse_cli serve <store.bin> [port]\n"
-              "  polysse_cli connect <client.key> <xpath> <host:port> "
+              "  polysse_cli connect <client.key> <query> <host:port> "
               "[host:port ...]\n"
               "  polysse_cli inspect <store.bin>\n\n");
-  std::printf("running self-demo in /tmp ...\n");
-  {
-    const char* kDoc =
-        "<library><shelf><book/><book/></shelf><shelf><book/></shelf>"
-        "</library>";
-    if (Status s = WriteFileBytes(
-            "/tmp/polysse_demo.xml",
-            std::span<const uint8_t>(
-                reinterpret_cast<const uint8_t*>(kDoc), std::strlen(kDoc)));
-        !s.ok())
-      return Fail(s);
-    int rc = CmdOutsource("/tmp/polysse_demo.xml", "/tmp/polysse_store.bin",
-                          "/tmp/polysse_client.key", "demo-passphrase");
-    if (rc != 0) return rc;
-    rc = CmdQuery("/tmp/polysse_store.bin", "/tmp/polysse_client.key",
-                  "//book", VerifyMode::kVerified);
-    if (rc != 0) return rc;
-    rc = CmdShamir("/tmp/polysse_demo.xml", "//book", 5, 3);
-    if (rc != 0) return rc;
-    // serve/connect leg: host the saved store over real loopback TCP in
-    // this process, then query it exactly like a remote client would.
-    {
-      auto store_bytes = ReadFileBytes("/tmp/polysse_store.bin");
-      if (!store_bytes.ok()) return Fail(store_bytes.status());
-      ByteReader reader(*store_bytes);
-      auto store = LoadFpServerStore(&reader);
-      if (!store.ok()) return Fail(store.status());
-      auto server = SocketServer::Listen(&*store, /*port=*/0);
-      if (!server.ok()) return Fail(server.status());
-      std::printf("\nserving the store on 127.0.0.1:%u; querying over "
-                  "TCP ...\n",
-                  (*server)->port());
-      rc = CmdConnect("/tmp/polysse_client.key", "//book",
-                      {"127.0.0.1:" + std::to_string((*server)->port())});
-      if (rc != 0) return rc;
-    }
-    return CmdInspect("/tmp/polysse_store.bin");
-  }
+  return SelfDemo();
 }

@@ -1,0 +1,12 @@
+#include "core/collection.h"
+
+namespace polysse {
+
+std::string JoinSharePath(const std::string& prefix,
+                          const std::string& path) {
+  if (prefix.empty()) return path;
+  if (path.empty()) return prefix;
+  return prefix + "/" + path;
+}
+
+}  // namespace polysse

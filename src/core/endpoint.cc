@@ -24,6 +24,19 @@ Result<std::vector<uint8_t>> DispatchSerialized(
       resp.Serialize(&out);
       break;
     }
+    case MessageKind::kAddDoc: {
+      ASSIGN_OR_RETURN(AddDocRequest req, AddDocRequest::Deserialize(&in));
+      ASSIGN_OR_RETURN(AdminAck resp, handler->HandleAddDoc(req));
+      resp.Serialize(&out);
+      break;
+    }
+    case MessageKind::kRemoveDoc: {
+      ASSIGN_OR_RETURN(RemoveDocRequest req,
+                       RemoveDocRequest::Deserialize(&in));
+      ASSIGN_OR_RETURN(AdminAck resp, handler->HandleRemoveDoc(req));
+      resp.Serialize(&out);
+      break;
+    }
     default:
       return Status::InvalidArgument("unknown message kind");
   }
@@ -42,6 +55,20 @@ Result<EvalResponse> InProcessEndpoint::Eval(const EvalRequest& req) {
 Result<FetchResponse> InProcessEndpoint::Fetch(const FetchRequest& req) {
   CountUp(0);
   ASSIGN_OR_RETURN(FetchResponse resp, handler_->HandleFetch(req));
+  CountDown(0);
+  return resp;
+}
+
+Result<AdminAck> InProcessEndpoint::AddDoc(const AddDocRequest& req) {
+  CountUp(0);
+  ASSIGN_OR_RETURN(AdminAck resp, handler_->HandleAddDoc(req));
+  CountDown(0);
+  return resp;
+}
+
+Result<AdminAck> InProcessEndpoint::RemoveDoc(const RemoveDocRequest& req) {
+  CountUp(0);
+  ASSIGN_OR_RETURN(AdminAck resp, handler_->HandleRemoveDoc(req));
   CountDown(0);
   return resp;
 }
@@ -69,6 +96,30 @@ Result<FetchResponse> LoopbackEndpoint::Fetch(const FetchRequest& req) {
   CountDown(down.size());
   ByteReader down_r(down);
   return FetchResponse::Deserialize(&down_r);
+}
+
+Result<AdminAck> LoopbackEndpoint::AddDoc(const AddDocRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  CountUp(up.size());
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> down,
+      DispatchSerialized(handler_, MessageKind::kAddDoc, up.span()));
+  CountDown(down.size());
+  ByteReader down_r(down);
+  return AdminAck::Deserialize(&down_r);
+}
+
+Result<AdminAck> LoopbackEndpoint::RemoveDoc(const RemoveDocRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  CountUp(up.size());
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> down,
+      DispatchSerialized(handler_, MessageKind::kRemoveDoc, up.span()));
+  CountDown(down.size());
+  ByteReader down_r(down);
+  return AdminAck::Deserialize(&down_r);
 }
 
 // --------------------------------------------------------- fault injection
@@ -119,6 +170,17 @@ Result<FetchResponse> FaultInjectingEndpoint::Fetch(const FetchRequest& req) {
   if (config_.tamper_fetch) config_.tamper_fetch(resp);
   if (config_.corrupt_response_bytes) return CorruptBytes(resp, calls());
   return resp;
+}
+
+Result<AdminAck> FaultInjectingEndpoint::AddDoc(const AddDocRequest& req) {
+  RETURN_IF_ERROR(Admit());
+  return inner_->AddDoc(req);
+}
+
+Result<AdminAck> FaultInjectingEndpoint::RemoveDoc(
+    const RemoveDocRequest& req) {
+  RETURN_IF_ERROR(Admit());
+  return inner_->RemoveDoc(req);
 }
 
 // ----------------------------------------------------------- group checks

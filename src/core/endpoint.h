@@ -43,12 +43,26 @@ class ServerHandler {
   virtual ~ServerHandler() = default;
   virtual Result<EvalResponse> HandleEval(const EvalRequest& req) = 0;
   virtual Result<FetchResponse> HandleFetch(const FetchRequest& req) = 0;
+
+  /// Registry administration (multi-document collections). Plain
+  /// single-tree servers don't manage documents, so the default refuses;
+  /// ServerStoreRegistry overrides both.
+  virtual Result<AdminAck> HandleAddDoc(const AddDocRequest&) {
+    return Status::Unimplemented(
+        "this server does not manage a document registry");
+  }
+  virtual Result<AdminAck> HandleRemoveDoc(const RemoveDocRequest&) {
+    return Status::Unimplemented(
+        "this server does not manage a document registry");
+  }
 };
 
 /// Wire message discriminator for the serialized dispatch path.
 enum class MessageKind : uint8_t {
   kEval = 1,
   kFetch = 2,
+  kAddDoc = 3,
+  kRemoveDoc = 4,
 };
 
 /// Bytes-in/bytes-out server dispatch: decode the request, run the handler,
@@ -70,6 +84,15 @@ class ServerEndpoint {
 
   virtual Result<EvalResponse> Eval(const EvalRequest& req) = 0;
   virtual Result<FetchResponse> Fetch(const FetchRequest& req) = 0;
+
+  /// Registry administration. Defaults refuse: only endpoints fronting a
+  /// document registry (all the concrete ones here do) forward these.
+  virtual Result<AdminAck> AddDoc(const AddDocRequest&) {
+    return Status::Unimplemented("endpoint does not support AddDoc");
+  }
+  virtual Result<AdminAck> RemoveDoc(const RemoveDocRequest&) {
+    return Status::Unimplemented("endpoint does not support RemoveDoc");
+  }
 
   /// Snapshot of the cumulative wire-cost counters since construction.
   virtual TransportCounters counters() const {
@@ -105,6 +128,8 @@ class InProcessEndpoint final : public ServerEndpoint {
 
   Result<EvalResponse> Eval(const EvalRequest& req) override;
   Result<FetchResponse> Fetch(const FetchRequest& req) override;
+  Result<AdminAck> AddDoc(const AddDocRequest& req) override;
+  Result<AdminAck> RemoveDoc(const RemoveDocRequest& req) override;
 
  private:
   ServerHandler* handler_;
@@ -118,6 +143,8 @@ class LoopbackEndpoint final : public ServerEndpoint {
 
   Result<EvalResponse> Eval(const EvalRequest& req) override;
   Result<FetchResponse> Fetch(const FetchRequest& req) override;
+  Result<AdminAck> AddDoc(const AddDocRequest& req) override;
+  Result<AdminAck> RemoveDoc(const RemoveDocRequest& req) override;
 
  private:
   ServerHandler* handler_;
@@ -149,6 +176,8 @@ class FaultInjectingEndpoint final : public ServerEndpoint {
 
   Result<EvalResponse> Eval(const EvalRequest& req) override;
   Result<FetchResponse> Fetch(const FetchRequest& req) override;
+  Result<AdminAck> AddDoc(const AddDocRequest& req) override;
+  Result<AdminAck> RemoveDoc(const RemoveDocRequest& req) override;
 
   TransportCounters counters() const override { return inner_->counters(); }
 

@@ -1,4 +1,4 @@
-// The library's front door: one facade over outsourcing, transports,
+// The single-document front door: one facade over outsourcing, transports,
 // querying and persistence.
 //
 //   auto engine = FpEngine::Outsource(doc, seed).value();        // 2-party
@@ -13,13 +13,21 @@
 //   engine->RunQueries(queries);   // batched: one shared BFS walk answers
 //                                  // many concurrent //tag queries
 //
-// The engine owns the demo-grade server side (one ServerStore per server,
-// fronted by InProcess or Loopback endpoints); a networked deployment
-// instead hands QuerySession endpoints that speak to remote processes (see
-// net/socket_endpoint.h for the TCP transport over DispatchSerialized).
-// With Deploy::worker_threads > 1 the engine owns a ThreadPool and the
-// per-server subrequests of every round fan out concurrently, so k-server
-// wall time tracks one server's latency instead of the sum of all k.
+// Since the collection redesign, Engine IS a one-entry
+// polysse::Collection (core/collection.h) — the single code path for
+// outsourcing, serving and querying. Use a Collection directly when you
+// have more than one document; Engine stays the ergonomic special case
+// (and the compatibility shell for pre-collection key/store files, whose
+// shares it keeps deriving identically via Deploy::legacy_share_paths).
+//
+// The engine owns the demo-grade server side (one ServerStoreRegistry per
+// server, fronted by InProcess or Loopback endpoints); a networked
+// deployment instead hands QuerySession endpoints that speak to remote
+// processes (see net/socket_endpoint.h for the TCP transport over
+// DispatchSerialized). With Deploy::worker_threads > 1 the engine owns a
+// ThreadPool and the per-server subrequests of every round fan out
+// concurrently, so k-server wall time tracks one server's latency instead
+// of the sum of all k.
 #ifndef POLYSSE_CORE_ENGINE_H_
 #define POLYSSE_CORE_ENGINE_H_
 
@@ -31,51 +39,18 @@
 #include <utility>
 #include <vector>
 
-#include "core/endpoint.h"
-#include "core/multi_server.h"
-#include "core/outsource.h"
-#include "core/persistence.h"
-#include "core/query_session.h"
-#include "core/server_store.h"
-#include "core/sharing.h"
-#include "nt/primes.h"
-#include "xpath/xpath.h"
+#include "core/collection.h"
 
 namespace polysse {
-
-/// Which transport fronts the engine-owned in-process servers.
-enum class EndpointKind {
-  /// Serialize every message both ways: real byte counters, codecs
-  /// exercised on every query (the measured-deployment default).
-  kLoopback,
-  /// Direct handler calls — zero-copy fast path for embedded use.
-  kInProcess,
-};
-
-/// Facade-level name for one element lookup of a batch.
-using Query = TagQuery;
 
 template <typename Ring>
 class Engine {
  public:
   /// Ring-specific outsourcing knobs (field size / modulus polynomial).
-  using OutsourceOptions =
-      std::conditional_t<std::is_same_v<Ring, FpCyclotomicRing>,
-                         FpOutsourceOptions, ZOutsourceOptions>;
+  using OutsourceOptions = typename Collection<Ring>::OutsourceOptions;
 
   /// Server-side deployment shape.
-  struct Deploy {
-    ShareScheme scheme = ShareScheme::kTwoParty;
-    /// Additive: k (all required). Shamir: n.
-    int num_servers = 1;
-    /// Shamir: t servers needed to answer; 0 means all of them.
-    int threshold = 0;
-    EndpointKind transport = EndpointKind::kLoopback;
-    /// Fan-out workers: <= 1 runs per-server subrequests sequentially on
-    /// the caller thread (deterministic); larger values give the engine a
-    /// ThreadPool so the k per-round server calls overlap in wall time.
-    int worker_threads = 0;
-  };
+  using Deploy = typename Collection<Ring>::Deploy;
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -88,122 +63,44 @@ class Engine {
       const XmlNode& document, const DeterministicPrf& seed,
       const Deploy& deploy = {}, const OutsourceOptions& options = {}) {
     OutsourceOptions effective = options;
+    Deploy shape = deploy;
+    shape.legacy_share_paths = true;  // pre-collection PRF namespace
     if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
-      // Shamir party points live at x = 1..n inside F_p, so the
-      // auto-selected field must leave room for every server too.
-      if (deploy.scheme == ShareScheme::kShamir && effective.p == 0) {
-        effective.p = NextPrime(
-            std::max(PrimeForAlphabet(document.DistinctTags().size()),
-                     static_cast<uint64_t>(deploy.num_servers) + 1));
-      }
-    }
-    ASSIGN_OR_RETURN(PreparedOutsource<Ring> prep,
-                     PrepareOutsource(document, seed, effective));
-    std::vector<PolyTree<Ring>> trees;
-    switch (deploy.scheme) {
-      case ShareScheme::kTwoParty: {
-        if (deploy.num_servers != 1)
-          return Status::InvalidArgument("two-party scheme takes one server");
-        SharedTrees<Ring> shares =
-            SplitShares(prep.ring, prep.data, seed, prep.split_options);
-        trees.push_back(std::move(shares.server));
-        break;
-      }
-      case ShareScheme::kAdditive: {
-        ASSIGN_OR_RETURN(
-            trees, SplitSharesAcrossServers(prep.ring, prep.data, seed,
-                                            deploy.num_servers,
-                                            prep.split_options));
-        break;
-      }
-      case ShareScheme::kShamir: {
-        if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
-          ChaChaRng rng = seed.Stream("shamir-split");
-          ASSIGN_OR_RETURN(
-              trees, SplitSharesShamir(prep.ring, prep.data,
-                                       EffectiveThreshold(deploy),
-                                       deploy.num_servers, rng));
-        } else {
-          return Status::Unimplemented("Shamir t-of-n requires the F_p ring");
+      // The single-document engine sizes the field for exactly this
+      // document's alphabet (the historical behavior); Shamir party points
+      // live at x = 1..n inside F_p, so the auto-selected field must leave
+      // room for every server too.
+      if (effective.p == 0) {
+        effective.p = PrimeForAlphabet(document.DistinctTags().size());
+        if (deploy.scheme == ShareScheme::kShamir) {
+          effective.p = NextPrime(
+              std::max(effective.p,
+                       static_cast<uint64_t>(deploy.num_servers) + 1));
         }
-        break;
       }
     }
-    auto engine = std::unique_ptr<Engine>(new Engine(
-        prep.ring,
-        ClientContext<Ring>::SeedOnly(prep.ring, std::move(prep.tag_map),
-                                      seed, prep.split_options),
-        seed));
-    for (PolyTree<Ring>& tree : trees) {
-      engine->stores_.push_back(
-          std::make_unique<ServerStore<Ring>>(engine->ring_, std::move(tree)));
-    }
-    engine->SetWorkerThreadCount(deploy.worker_threads);
-    RETURN_IF_ERROR(engine->AttachEndpoints(deploy.transport, deploy.scheme,
-                                            EffectiveThreshold(deploy)));
-    return engine;
+    ASSIGN_OR_RETURN(std::unique_ptr<Collection<Ring>> collection,
+                     Collection<Ring>::Create(seed, shape, effective));
+    RETURN_IF_ERROR(collection->Add(kDocId, document));
+    return std::unique_ptr<Engine>(new Engine(std::move(collection)));
   }
 
   /// Reopens a persisted deployment from the client's secret key file
   /// (seed + tag map + deployment shape) and the server store file(s) Save
   /// wrote: one file at `store_path` for two-party, one per server at
   /// MultiServerStorePath(store_path, i) for additive/Shamir deployments.
+  /// v1/v2 single-document files load unchanged; a multi-document
+  /// collection opens too (queries then span every document).
   static Result<std::unique_ptr<Engine>> Open(
       const std::string& store_path, const std::string& key_path,
       EndpointKind transport = EndpointKind::kLoopback) {
-    ASSIGN_OR_RETURN(std::vector<uint8_t> key_bytes, ReadFileBytes(key_path));
-    ByteReader key_reader(key_bytes);
-    ASSIGN_OR_RETURN(ClientSecretFile key,
-                     ClientSecretFile::Deserialize(&key_reader));
-    ShareSplitOptions split_options;
-    split_options.z_coeff_bits = key.z_coeff_bits;
-    DeterministicPrf prf(key.seed);
-
-    const int num_servers = key.scheme == ShareScheme::kTwoParty
-                                ? 1
-                                : key.num_servers;
-    if (num_servers < 1)
-      return Status::Corruption("key file names no servers");
-    std::vector<std::unique_ptr<ServerStore<Ring>>> stores;
-    for (int s = 0; s < num_servers; ++s) {
-      const std::string path = key.scheme == ShareScheme::kTwoParty
-                                   ? store_path
-                                   : MultiServerStorePath(store_path, s);
-      ASSIGN_OR_RETURN(std::vector<uint8_t> store_bytes, ReadFileBytes(path));
-      ByteReader store_reader(store_bytes);
-      auto store_or = [&] {
-        if constexpr (std::is_same_v<Ring, FpCyclotomicRing>)
-          return LoadFpServerStore(&store_reader);
-        else
-          return LoadZServerStore(&store_reader);
-      }();
-      RETURN_IF_ERROR(store_or.status());
-      stores.push_back(
-          std::make_unique<ServerStore<Ring>>(std::move(*store_or)));
-    }
-    auto same_ring = [](const Ring& a, const Ring& b) {
-      if constexpr (std::is_same_v<Ring, FpCyclotomicRing>)
-        return a.p() == b.p();
-      else
-        return a.modulus() == b.modulus();
-    };
-    for (const auto& store : stores) {
-      if (!same_ring(store->ring(), stores[0]->ring()))
-        return Status::Corruption("server stores disagree on ring parameters");
-      if (store->size() != stores[0]->size())
-        return Status::Corruption("server stores disagree on tree size");
-    }
-
-    Ring ring = stores[0]->ring();
-    auto engine = std::unique_ptr<Engine>(new Engine(
-        ring,
-        ClientContext<Ring>::SeedOnly(ring, std::move(key.tag_map), prf,
-                                      split_options),
-        prf));
-    engine->stores_ = std::move(stores);
-    RETURN_IF_ERROR(
-        engine->AttachEndpoints(transport, key.scheme, key.threshold));
-    return engine;
+    ASSIGN_OR_RETURN(std::unique_ptr<Collection<Ring>> collection,
+                     Collection<Ring>::Open(store_path, key_path, transport));
+    if (collection->num_docs() == 0)
+      return Status::FailedPrecondition(
+          "the engine facade needs at least one document; open empty "
+          "collections with Collection::Open");
+    return std::unique_ptr<Engine>(new Engine(std::move(collection)));
   }
 
   /// Persists the deployment as {server store file(s), client key file}.
@@ -213,37 +110,13 @@ class Engine {
   /// file i to server i and nothing else.
   Status Save(const std::string& store_path,
               const std::string& key_path) const {
-    for (size_t s = 0; s < stores_.size(); ++s) {
-      ByteWriter store_bytes;
-      SaveServerStore(*stores_[s], &store_bytes);
-      const std::string path = group_.scheme == ShareScheme::kTwoParty
-                                   ? store_path
-                                   : MultiServerStorePath(store_path, s);
-      RETURN_IF_ERROR(WriteFileBytes(path, store_bytes.span()));
-    }
-    ClientSecretFile key;
-    key.seed = seed_.seed();
-    key.tag_map = client_.tag_map();
-    key.z_coeff_bits = client_.split_options().z_coeff_bits;
-    key.scheme = group_.scheme;
-    key.num_servers = static_cast<int>(stores_.size());
-    key.threshold = group_.threshold;
-    if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
-      key.ring_kind = static_cast<uint8_t>(StoredRingKind::kFpCyclotomic);
-      key.fp_p = ring_.p();
-    } else {
-      key.ring_kind = static_cast<uint8_t>(StoredRingKind::kZQuotient);
-      key.z_modulus = ring_.modulus();
-    }
-    ByteWriter key_bytes;
-    key.Serialize(&key_bytes);
-    return WriteFileBytes(key_path, key_bytes.span());
+    return collection_->Save(store_path, key_path);
   }
 
   /// Where Save puts server `i`'s share file of a multi-server deployment.
   static std::string MultiServerStorePath(const std::string& store_path,
                                           size_t i) {
-    return store_path + ".s" + std::to_string(i);
+    return Collection<Ring>::MultiServerStorePath(store_path, i);
   }
 
   // ------------------------------------------------------------- queries
@@ -251,7 +124,7 @@ class Engine {
   /// Element lookup //tag.
   Result<LookupResult> Lookup(std::string_view tag,
                               VerifyMode mode = VerifyMode::kVerified) {
-    return session_->Lookup(tag, mode);
+    return session().Lookup(tag, mode);
   }
 
   /// Batched multi-query execution: the BFS frontiers of all queries
@@ -259,8 +132,7 @@ class Engine {
   /// evaluates the union of points × nodes, so 16 concurrent queries cost
   /// far fewer round trips than 16 sequential walks.
   Result<MultiLookupResult> RunQueries(std::span<const Query> queries) {
-    return session_->LookupBatch(
-        std::vector<Query>(queries.begin(), queries.end()));
+    return session().LookupBatch(queries);
   }
 
   /// Advanced XPath query (§4.3).
@@ -269,107 +141,55 @@ class Engine {
       XPathStrategy strategy = XPathStrategy::kAllAtOnce,
       VerifyMode mode = VerifyMode::kVerified) {
     ASSIGN_OR_RETURN(XPathQuery query, XPathQuery::Parse(std::string(xpath)));
-    return session_->EvaluateXPath(query, strategy, mode);
+    return session().EvaluateXPath(query, strategy, mode);
   }
 
   // -------------------------------------------------------- introspection
 
-  const Ring& ring() const { return ring_; }
-  const ClientContext<Ring>& client() const { return client_; }
-  ShareScheme scheme() const { return group_.scheme; }
-  size_t num_servers() const { return stores_.size(); }
-  const ServerStore<Ring>& store(size_t i = 0) const { return *stores_[i]; }
+  const Ring& ring() const { return collection_->ring(); }
+  const ClientContext<Ring>& client() const { return collection_->client(); }
+  ShareScheme scheme() const { return collection_->scheme(); }
+  size_t num_servers() const { return collection_->num_servers(); }
+  /// Server `i`'s share store for the engine's document.
+  const ServerStore<Ring>& store(size_t i = 0) const {
+    return *collection_->doc_store(i, collection_->doc_ids().front()).value();
+  }
   /// Server `i`'s protocol handler — what a network frontend (e.g.
   /// SocketServer) serves. Handlers are thread-safe.
-  ServerHandler* handler(size_t i = 0) { return stores_[i].get(); }
+  ServerHandler* handler(size_t i = 0) { return collection_->handler(i); }
   /// The session, for callers needing the full §4.3 API surface.
-  QuerySession<Ring>& session() { return *session_; }
-  const QueryStats& last_stats() const { return session_->last_stats(); }
+  QuerySession<Ring>& session() { return collection_->session(); }
+  const QueryStats& last_stats() const { return collection_->last_stats(); }
+  /// The one-entry collection under the hood — escape hatch for callers
+  /// growing into multiple documents.
+  Collection<Ring>& collection() { return *collection_; }
 
   /// Wraps server `i`'s endpoint in a FaultInjectingEndpoint (latency,
   /// failures, tampering) and returns it for mid-run reconfiguration, or
   /// null when `i` is not a server index. Composable: wrapping twice
   /// stacks faults.
   FaultInjectingEndpoint* InjectFaults(size_t i, FaultConfig config) {
-    if (i >= group_.endpoints.size()) return nullptr;
-    faults_.push_back(std::make_unique<FaultInjectingEndpoint>(
-        group_.endpoints[i], std::move(config)));
-    group_.endpoints[i] = faults_.back().get();
-    RebuildSession();
-    return faults_.back().get();
+    return collection_->InjectFaults(i, std::move(config));
   }
 
   /// Reconfigures the fan-out executor: <= 1 reverts to sequential inline
   /// dispatch, larger values (re)build the worker pool. Answers are
   /// bit-identical either way; only wall time changes.
   void SetWorkerThreadCount(int worker_threads) {
-    SetUpPool(worker_threads);
-    group_.executor = pool_.get();
-    if (session_ != nullptr) RebuildSession();
+    collection_->SetWorkerThreadCount(worker_threads);
   }
 
   /// The executor fan-out currently runs on (null = sequential inline).
-  Executor* executor() const { return pool_.get(); }
+  Executor* executor() const { return collection_->executor(); }
 
  private:
-  Engine(Ring ring, ClientContext<Ring> client, DeterministicPrf seed)
-      : ring_(std::move(ring)),
-        client_(std::move(client)),
-        seed_(std::move(seed)) {}
+  /// The engine's single document registers under this id.
+  static constexpr DocId kDocId = 0;
 
-  static int EffectiveThreshold(const Deploy& deploy) {
-    return deploy.threshold > 0 ? deploy.threshold : deploy.num_servers;
-  }
+  explicit Engine(std::unique_ptr<Collection<Ring>> collection)
+      : collection_(std::move(collection)) {}
 
-  Status AttachEndpoints(EndpointKind kind, ShareScheme scheme,
-                         int threshold) {
-    std::vector<ServerEndpoint*> eps;
-    for (const auto& store : stores_) {
-      if (kind == EndpointKind::kLoopback) {
-        endpoints_.push_back(std::make_unique<LoopbackEndpoint>(store.get()));
-      } else {
-        endpoints_.push_back(std::make_unique<InProcessEndpoint>(store.get()));
-      }
-      eps.push_back(endpoints_.back().get());
-    }
-    switch (scheme) {
-      case ShareScheme::kTwoParty:
-        group_ = EndpointGroup::TwoParty(eps[0]);
-        break;
-      case ShareScheme::kAdditive:
-        group_ = EndpointGroup::Additive(std::move(eps));
-        break;
-      case ShareScheme::kShamir:
-        group_ = EndpointGroup::Shamir(std::move(eps), threshold);
-        break;
-    }
-    group_.executor = pool_.get();
-    RETURN_IF_ERROR(group_.Validate());
-    RebuildSession();
-    return Status::Ok();
-  }
-
-  void SetUpPool(int worker_threads) {
-    if (worker_threads > 1) {
-      pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(worker_threads));
-    } else {
-      pool_.reset();
-    }
-  }
-
-  void RebuildSession() {
-    session_ = std::make_unique<QuerySession<Ring>>(&client_, group_);
-  }
-
-  Ring ring_;
-  ClientContext<Ring> client_;
-  DeterministicPrf seed_;
-  std::vector<std::unique_ptr<ServerStore<Ring>>> stores_;
-  std::vector<std::unique_ptr<ServerEndpoint>> endpoints_;
-  std::vector<std::unique_ptr<FaultInjectingEndpoint>> faults_;
-  std::unique_ptr<ThreadPool> pool_;
-  EndpointGroup group_;
-  std::unique_ptr<QuerySession<Ring>> session_;
+  std::unique_ptr<Collection<Ring>> collection_;
 };
 
 using FpEngine = Engine<FpCyclotomicRing>;

@@ -1,7 +1,9 @@
 #include "core/persistence.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <unordered_set>
 
 namespace polysse {
 
@@ -9,9 +11,10 @@ namespace {
 
 constexpr char kMagic[4] = {'P', 'S', 'S', 'E'};
 constexpr uint8_t kFormatVersion = 1;
-/// Client key files: v2 appends the deployment-shape trailer; v1 files
-/// (two-party only) remain loadable.
-constexpr uint8_t kKeyFormatVersion = 2;
+/// Client key files: v2 appends the deployment-shape trailer, v3 the
+/// collection document table; v1/v2 files remain loadable (see the format
+/// comment on ClientSecretFile in persistence.h).
+constexpr uint8_t kKeyFormatVersion = 3;
 
 void WriteHeader(StoredRingKind kind, ByteWriter* out) {
   out->PutBytes(std::span<const uint8_t>(
@@ -98,8 +101,24 @@ void SaveServerStore(const ServerStore<ZQuotientRing>& store,
 }
 
 Result<StoredRingKind> PeekStoredRingKind(std::span<const uint8_t> bytes) {
+  if (IsCollectionStoreFile(bytes)) {
+    // Container header: magic | container version | ring kind — the kind
+    // byte sits where the single-store header puts it.
+    if (bytes.size() <= kStoreRingKindOffset)
+      return Status::Corruption("truncated collection store header");
+    const uint8_t kind = bytes[kStoreRingKindOffset];
+    if (kind != static_cast<uint8_t>(StoredRingKind::kFpCyclotomic) &&
+        kind != static_cast<uint8_t>(StoredRingKind::kZQuotient))
+      return Status::Corruption("unknown ring kind in store header");
+    return static_cast<StoredRingKind>(kind);
+  }
   ByteReader reader(bytes);
   return ReadHeader(&reader);
+}
+
+bool IsCollectionStoreFile(std::span<const uint8_t> bytes) {
+  return bytes.size() >= 4 &&
+         std::memcmp(bytes.data(), kCollectionStoreMagic, 4) == 0;
 }
 
 Result<ServerStore<FpCyclotomicRing>> LoadFpServerStore(ByteReader* in) {
@@ -141,6 +160,16 @@ void ClientSecretFile::Serialize(ByteWriter* out) const {
   } else if (ring_kind == static_cast<uint8_t>(StoredRingKind::kZQuotient)) {
     z_modulus.Serialize(out);
   }
+  // v3 collection trailer: the document table.
+  out->PutVarint64(docs.size());
+  for (const DocEntry& doc : docs) {
+    out->PutVarint64(doc.doc_id);
+    out->PutVarint64(static_cast<uint32_t>(doc.base));
+    out->PutVarint64(static_cast<uint64_t>(doc.size));
+    out->PutLengthPrefixedString(doc.share_prefix);
+  }
+  out->PutVarint64(static_cast<uint64_t>(next_base));
+  out->PutVarint64(next_epoch);
 }
 
 Result<ClientSecretFile> ClientSecretFile::Deserialize(ByteReader* in) {
@@ -148,9 +177,10 @@ Result<ClientSecretFile> ClientSecretFile::Deserialize(ByteReader* in) {
   if (std::memcmp(magic.data(), "PKEY", 4) != 0)
     return Status::Corruption("not a polysse client key file");
   ASSIGN_OR_RETURN(uint8_t version, in->GetU8());
-  if (version != 1 && version != kKeyFormatVersion)
+  if (version < 1 || version > kKeyFormatVersion)
     return Status::Corruption("unsupported key file version");
   ClientSecretFile out;
+  out.version = version;
   ASSIGN_OR_RETURN(std::vector<uint8_t> seed_bytes,
                    in->GetBytes(DeterministicPrf::kSeedSize));
   std::copy(seed_bytes.begin(), seed_bytes.end(), out.seed.begin());
@@ -181,6 +211,53 @@ Result<ClientSecretFile> ClientSecretFile::Deserialize(ByteReader* in) {
   } else if (out.ring_kind != 0) {
     return Status::Corruption("unknown ring kind in key file");
   }
+  if (version == 2) return out;  // v2 key: single legacy document
+
+  ASSIGN_OR_RETURN(uint64_t doc_count, in->GetVarint64());
+  if (doc_count > in->remaining())
+    return Status::Corruption("absurd document count in key file");
+  out.docs.reserve(doc_count);
+  for (uint64_t i = 0; i < doc_count; ++i) {
+    DocEntry doc;
+    ASSIGN_OR_RETURN(doc.doc_id, in->GetVarint64());
+    ASSIGN_OR_RETURN(uint64_t base, in->GetVarint64());
+    ASSIGN_OR_RETURN(uint64_t size, in->GetVarint64());
+    if (base > static_cast<uint64_t>(INT32_MAX) || size == 0 ||
+        size > static_cast<uint64_t>(INT32_MAX) ||
+        base + size - 1 > static_cast<uint64_t>(INT32_MAX))
+      return Status::Corruption("implausible document range in key file");
+    doc.base = static_cast<int32_t>(base);
+    doc.size = static_cast<int64_t>(size);
+    ASSIGN_OR_RETURN(doc.share_prefix, in->GetLengthPrefixedString());
+    out.docs.push_back(std::move(doc));
+  }
+  // Table-level sanity: ids unique, node-id ranges disjoint. Connect
+  // trusts this table without server stores to cross-check against, so a
+  // corrupt table must fail here rather than mis-attribute results.
+  {
+    std::vector<const DocEntry*> by_base;
+    by_base.reserve(out.docs.size());
+    std::unordered_set<uint64_t> ids;
+    for (const DocEntry& doc : out.docs) {
+      if (!ids.insert(doc.doc_id).second)
+        return Status::Corruption("duplicate doc id in key file table");
+      by_base.push_back(&doc);
+    }
+    std::sort(by_base.begin(), by_base.end(),
+              [](const DocEntry* a, const DocEntry* b) {
+                return a->base < b->base;
+              });
+    for (size_t i = 1; i < by_base.size(); ++i) {
+      if (by_base[i]->base < by_base[i - 1]->base + by_base[i - 1]->size)
+        return Status::Corruption(
+            "overlapping document ranges in key file table");
+    }
+  }
+  ASSIGN_OR_RETURN(uint64_t next_base, in->GetVarint64());
+  if (next_base > static_cast<uint64_t>(INT32_MAX) + 1)
+    return Status::Corruption("implausible next_base in key file");
+  out.next_base = static_cast<int64_t>(next_base);
+  ASSIGN_OR_RETURN(out.next_epoch, in->GetVarint64());
   return out;
 }
 

@@ -28,23 +28,64 @@ enum class StoredRingKind : uint8_t {
   kZQuotient = 2,
 };
 
+/// Multi-document collection store container header (store_registry.h
+/// writes/reads the body): magic | u8 container version | u8 ring kind.
+/// The single authority for the "PSSC" layout — the sniffers here and the
+/// registry (de)serializers both build on these constants.
+inline constexpr char kCollectionStoreMagic[4] = {'P', 'S', 'S', 'C'};
+inline constexpr uint8_t kCollectionStoreVersion = 1;
+/// Byte offset of the ring-kind byte in both store header layouts.
+inline constexpr size_t kStoreRingKindOffset = 5;
+
 /// Serializes a server store (ring parameters + share tree).
 void SaveServerStore(const ServerStore<FpCyclotomicRing>& store,
                      ByteWriter* out);
 void SaveServerStore(const ServerStore<ZQuotientRing>& store, ByteWriter* out);
 
 /// Peeks at the header to learn the ring kind without consuming the reader.
+/// Understands both single-store ("PSSE") and collection-container ("PSSC")
+/// files — the ring kind sits at the same offset in both.
 Result<StoredRingKind> PeekStoredRingKind(std::span<const uint8_t> bytes);
+
+/// True when `bytes` start a multi-document collection container ("PSSC",
+/// store_registry.h) rather than a single share tree.
+bool IsCollectionStoreFile(std::span<const uint8_t> bytes);
 
 /// Loads a store saved by the matching SaveServerStore overload.
 Result<ServerStore<FpCyclotomicRing>> LoadFpServerStore(ByteReader* in);
 Result<ServerStore<ZQuotientRing>> LoadZServerStore(ByteReader* in);
 
 /// Client secret state: master seed + private tag map (+ split options),
-/// plus the deployment shape so Engine::Open can rebuild a multi-server
-/// group. Format v1 files (no deployment trailer) still load and default
-/// to a two-party deployment.
+/// plus the deployment shape so Engine/Collection::Open can rebuild a
+/// multi-server group.
+///
+/// Key-file wire format (all versions start "PKEY" | u8 version | seed |
+/// z_coeff_bits varint | tag map):
+///   v1: nothing further — a two-party single-document deployment.
+///   v2: + deployment trailer: scheme u8 | num_servers | threshold |
+///       ring_kind u8 | ring params (fp_p varint, or z_modulus) — enough
+///       for a purely networked client to rebuild its ring and group.
+///   v3: + collection trailer: doc count | per doc {doc_id | base | size |
+///       length-prefixed share_prefix} | next_base | next_epoch — the
+///       document table of a multi-document collection. The share_prefix
+///       namespaces each document's PRF-derived client shares (and is ""
+///       for the single legacy document of an upgraded v1/v2 key, so old
+///       deployments keep deriving identical shares); next_base/next_epoch
+///       let Add continue assigning fresh node-id ranges and prefixes
+///       without ever reusing either.
+/// Serialize always writes v3; v1 and v2 files still load (empty doc table
+/// = one legacy document at base 0 with prefix "").
 struct ClientSecretFile {
+  /// One outsourced document of a collection (v3+).
+  struct DocEntry {
+    uint64_t doc_id = 0;
+    /// First node id of the document's global range; size = node count.
+    int32_t base = 0;
+    int64_t size = 0;
+    /// PRF namespace for this document's derived shares ("" = legacy).
+    std::string share_prefix;
+  };
+
   std::array<uint8_t, DeterministicPrf::kSeedSize> seed{};
   TagMap tag_map;
   size_t z_coeff_bits = 256;
@@ -57,6 +98,15 @@ struct ClientSecretFile {
   uint8_t ring_kind = 0;  ///< StoredRingKind value, or 0
   uint64_t fp_p = 0;      ///< kFpCyclotomic: the field modulus
   ZPoly z_modulus;        ///< kZQuotient: the quotient polynomial r(x)
+
+  /// Collection document table (v3+). Empty on v1/v2 keys, whose one
+  /// legacy document Open synthesizes as {0, base 0, prefix ""}.
+  std::vector<DocEntry> docs;
+  int64_t next_base = 0;
+  uint64_t next_epoch = 0;
+  /// The format the file was read with (1, 2 or 3); informational — lets
+  /// Open distinguish "v3 empty collection" from "legacy single-doc key".
+  uint8_t version = 3;
 
   void Serialize(ByteWriter* out) const;
   static Result<ClientSecretFile> Deserialize(ByteReader* in);

@@ -125,4 +125,44 @@ Result<FetchResponse> FetchResponse::Deserialize(ByteReader* in) {
   return out;
 }
 
+void AddDocRequest::Serialize(ByteWriter* out) const {
+  out->PutVarint64(doc_id);
+  out->PutVarint64(static_cast<uint32_t>(base));
+  out->PutLengthPrefixed(store_bytes);
+}
+
+Result<AddDocRequest> AddDocRequest::Deserialize(ByteReader* in) {
+  AddDocRequest out;
+  ASSIGN_OR_RETURN(out.doc_id, in->GetVarint64());
+  ASSIGN_OR_RETURN(uint64_t base, in->GetVarint64());
+  if (base > static_cast<uint64_t>(INT32_MAX))
+    return Status::Corruption("AddDocRequest: base exceeds the id space");
+  out.base = static_cast<int32_t>(base);
+  // GetLengthPrefixed bounds the claimed length by the bytes actually left.
+  ASSIGN_OR_RETURN(out.store_bytes, in->GetLengthPrefixed());
+  return out;
+}
+
+void RemoveDocRequest::Serialize(ByteWriter* out) const {
+  out->PutVarint64(doc_id);
+}
+
+Result<RemoveDocRequest> RemoveDocRequest::Deserialize(ByteReader* in) {
+  RemoveDocRequest out;
+  ASSIGN_OR_RETURN(out.doc_id, in->GetVarint64());
+  return out;
+}
+
+void AdminAck::Serialize(ByteWriter* out) const {
+  out->PutVarint64(doc_count);
+  out->PutVarint64(node_count);
+}
+
+Result<AdminAck> AdminAck::Deserialize(ByteReader* in) {
+  AdminAck out;
+  ASSIGN_OR_RETURN(out.doc_count, in->GetVarint64());
+  ASSIGN_OR_RETURN(out.node_count, in->GetVarint64());
+  return out;
+}
+
 }  // namespace polysse

@@ -76,6 +76,47 @@ struct FetchResponse {
   static Result<FetchResponse> Deserialize(ByteReader* in);
 };
 
+// ------------------------------------------------- registry administration
+//
+// A server hosting a *collection* keeps one share tree per outsourced
+// document in a ServerStoreRegistry (core/store_registry.h), every document
+// owning a disjoint range of the server's node-id space. The client manages
+// the registry incrementally over the same wire: AddDoc ships one new
+// document's share tree (the other documents' trees never cross the wire
+// again), RemoveDoc retires one. Servers that are not registries answer
+// both with Unimplemented.
+
+/// Registers one document's share tree under `doc_id`. `base` is the first
+/// node id of the document's range (the client assigns ranges so every
+/// server agrees); `store_bytes` is the tree in the standard single-store
+/// serialization (persistence.h), ring header included.
+struct AddDocRequest {
+  uint64_t doc_id = 0;
+  int32_t base = 0;
+  std::vector<uint8_t> store_bytes;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<AddDocRequest> Deserialize(ByteReader* in);
+};
+
+/// Retires the document registered under `doc_id`.
+struct RemoveDocRequest {
+  uint64_t doc_id = 0;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<RemoveDocRequest> Deserialize(ByteReader* in);
+};
+
+/// Acknowledgement of either admin request: the registry's state after the
+/// operation, so the client can cross-check that all servers agree.
+struct AdminAck {
+  uint64_t doc_count = 0;
+  uint64_t node_count = 0;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<AdminAck> Deserialize(ByteReader* in);
+};
+
 /// Byte/message counters for one direction pair.
 struct TransportCounters {
   size_t bytes_up = 0;    ///< client -> server

@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
@@ -95,6 +96,17 @@ struct TagQuery {
   VerifyMode mode = VerifyMode::kVerified;
 };
 
+/// One starting point of a session's walks. A single-document deployment
+/// has the one root {0, ""}; a collection session carries one root per
+/// document — the document's global root id plus its client-share path
+/// prefix — and every walk descends all of them in one shared frontier.
+struct SessionRoot {
+  int32_t node_id = 0;
+  /// The root node's path in the client-share PRF namespace ("" for the
+  /// single legacy document; a collection uses per-document prefixes).
+  std::string path;
+};
+
 /// Result of a batched multi-tag lookup: one entry per requested tag, plus
 /// the shared protocol cost (a single BFS walk answers all tags at once via
 /// multi-point evaluation requests).
@@ -106,15 +118,21 @@ struct MultiLookupResult {
 template <typename Ring>
 class QuerySession {
  public:
-  /// Transport-aware session: the scheme and servers come from `group`.
-  QuerySession(ClientContext<Ring>* client, EndpointGroup group)
-      : client_(client), group_(std::move(group)) {
+  /// Transport-aware session: the scheme and servers come from `group`,
+  /// the walk starts from `roots` (default: the single document root 0).
+  /// A collection passes one root per document; every query then runs one
+  /// shared BFS over all of them — per round ONE EvalRequest per server
+  /// covers the whole cross-document frontier.
+  QuerySession(ClientContext<Ring>* client, EndpointGroup group,
+               std::vector<SessionRoot> roots = {{0, ""}})
+      : client_(client), group_(std::move(group)), roots_(std::move(roots)) {
     init_status_ = group_.Validate();
     if (init_status_.ok() && group_.scheme == ShareScheme::kShamir &&
         !std::is_same_v<Ring, FpCyclotomicRing>) {
       init_status_ =
           Status::Unimplemented("Shamir t-of-n requires the F_p ring");
     }
+    for (const SessionRoot& r : roots_) root_ids_.insert(r.node_id);
     dead_.assign(group_.endpoints.size(), 0);
   }
 
@@ -131,7 +149,7 @@ class QuerySession {
     const uint64_t e = *e_or;
     RETURN_IF_ERROR(client_->ring().QueryModulus(e).status());
 
-    ASSIGN_OR_RETURN(std::vector<int32_t> zeros, PrunedDescend({0}, {e}));
+    ASSIGN_OR_RETURN(std::vector<int32_t> zeros, PrunedDescend(RootIds(), {e}));
     for (int32_t z : zeros) {
       RETURN_IF_ERROR(ResolveCandidate(z, e, mode, &result.matches,
                                        &result.possible));
@@ -148,7 +166,7 @@ class QuerySession {
   /// cost is a word per node instead of a full round. Unmapped tags yield
   /// empty entries. Each query resolves under its own verify mode; the
   /// fetch/reconstruction caches are shared across the whole batch.
-  Result<MultiLookupResult> LookupBatch(const std::vector<TagQuery>& queries) {
+  Result<MultiLookupResult> LookupBatch(std::span<const TagQuery> queries) {
     RETURN_IF_ERROR(BeginQuery());
     MultiLookupResult out;
     out.per_tag.resize(queries.size());
@@ -174,7 +192,7 @@ class QuerySession {
     }
 
     // Shared BFS: expand while ANY point vanishes.
-    std::vector<int32_t> frontier = {0};
+    std::vector<int32_t> frontier = RootIds();
     std::unordered_set<int32_t> seen(frontier.begin(), frontier.end());
     std::vector<std::vector<int32_t>> zeros_per_point(points.size());
     while (!frontier.empty()) {
@@ -281,12 +299,22 @@ class QuerySession {
     return group_.scheme != ShareScheme::kShamir;
   }
 
+  /// The node ids every walk starts from (one per document).
+  std::vector<int32_t> RootIds() const {
+    std::vector<int32_t> ids;
+    ids.reserve(roots_.size());
+    for (const SessionRoot& r : roots_) ids.push_back(r.node_id);
+    return ids;
+  }
+
   Status BeginQuery() {
     RETURN_IF_ERROR(init_status_);
     stats_ = QueryStats();
     counters_before_ = SumCounters();
     info_.clear();
-    info_[0].path = "";  // the root's path is known a priori
+    // Root paths are known a priori (the client assigned them at
+    // outsourcing time); everything else is learned from EvalResponses.
+    for (const SessionRoot& r : roots_) info_[r.node_id].path = r.path;
     combined_evals_.clear();
     combined_polys_.clear();
     combined_consts_.clear();
@@ -495,14 +523,14 @@ class QuerySession {
         info.children = entry.children;
         info.subtree_size = entry.subtree_size;
         info.known = true;
-        if (entry.node_id == 0) {
-          // The root's subtree is the whole tree: the client's only honest
-          // view of the server-side node count.
-          stats_.total_server_nodes = static_cast<size_t>(entry.subtree_size);
+        if (root_ids_.count(entry.node_id)) {
+          // A root's subtree is its whole document: summed over the roots,
+          // the client's only honest view of the server-side node count.
+          stats_.total_server_nodes += static_cast<size_t>(entry.subtree_size);
         }
         for (size_t i = 0; i < entry.children.size(); ++i) {
           NodeInfo& child = info_[entry.children[i]];
-          if (child.path.empty() && entry.children[i] != 0) {
+          if (child.path.empty() && !root_ids_.count(entry.children[i])) {
             child.path = info.path.empty()
                              ? std::to_string(i)
                              : info.path + "/" + std::to_string(i);
@@ -725,7 +753,7 @@ class QuerySession {
       for (int32_t ctx : contexts) {
         std::vector<int32_t> roots;
         if (ctx == kVirtualRoot) {
-          roots = {0};
+          roots = RootIds();
         } else {
           RETURN_IF_ERROR(EnsureStructure(ctx));
           roots.assign(info_[ctx].children.begin(), info_[ctx].children.end());
@@ -776,7 +804,7 @@ class QuerySession {
 
     std::vector<int32_t> roots;
     if (ctx == kVirtualRoot) {
-      roots = {0};
+      roots = RootIds();
     } else {
       RETURN_IF_ERROR(EnsureStructure(ctx));
       roots.assign(info_[ctx].children.begin(), info_[ctx].children.end());
@@ -813,6 +841,8 @@ class QuerySession {
 
   ClientContext<Ring>* client_;
   EndpointGroup group_;
+  std::vector<SessionRoot> roots_;
+  std::unordered_set<int32_t> root_ids_;
   Status init_status_;
   std::vector<char> dead_;  ///< Shamir: endpoints that stopped answering
 

@@ -8,9 +8,20 @@ namespace polysse {
 Result<TagMap> TagMap::Build(const std::vector<std::string>& tags,
                              const Options& options,
                              const DeterministicPrf& prf) {
+  std::unordered_set<std::string> distinct;
+  for (const std::string& tag : tags) {
+    if (!distinct.insert(tag).second)
+      return Status::InvalidArgument("TagMap: duplicate tag '" + tag + "'");
+  }
   TagMap out;
+  RETURN_IF_ERROR(out.Extend(tags, options, prf));
+  return out;
+}
 
+Status TagMap::Extend(const std::vector<std::string>& tags,
+                      const Options& options, const DeterministicPrf& prf) {
   std::vector<uint64_t> pool;
+  uint64_t max_value = 0;
   if (!options.allowed_values.empty()) {
     pool = options.allowed_values;
     std::sort(pool.begin(), pool.end());
@@ -22,46 +33,65 @@ Result<TagMap> TagMap::Build(const std::vector<std::string>& tags,
         return Status::InvalidArgument(
             "TagMap: allowed value exceeds max_value");
     }
-    out.max_value_ = options.max_value != 0 ? options.max_value : pool.back();
+    max_value = options.max_value != 0 ? options.max_value : pool.back();
   } else {
     if (options.max_value == 0)
       return Status::InvalidArgument(
           "TagMap: max_value (or an allowed_values list) is required");
-    out.max_value_ = options.max_value;
+    max_value = options.max_value;
   }
-
-  const uint64_t capacity =
-      pool.empty() ? out.max_value_ : static_cast<uint64_t>(pool.size());
-  if (tags.size() > capacity)
+  if (!to_value_.empty() && max_value != max_value_)
     return Status::InvalidArgument(
-        "TagMap: alphabet of " + std::to_string(tags.size()) +
+        "TagMap: extension options disagree with the map's value range");
+
+  std::vector<std::string> fresh;
+  std::unordered_set<std::string> fresh_seen;
+  for (const std::string& tag : tags) {
+    if (!to_value_.count(tag) && fresh_seen.insert(tag).second)
+      fresh.push_back(tag);
+  }
+  const uint64_t capacity =
+      pool.empty() ? max_value : static_cast<uint64_t>(pool.size());
+  if (to_value_.size() + fresh.size() > capacity)
+    return Status::InvalidArgument(
+        "TagMap: alphabet of " + std::to_string(to_value_.size() + fresh.size()) +
         " tags does not fit into " + std::to_string(capacity) +
         " available values — choose a larger p / modulus");
 
+  // Work on a copy so a sampler failure leaves the map untouched. The
+  // sampler stream restarts from the label on every extension; earlier
+  // draws are occupied and rejected, so later extensions deterministically
+  // continue along the same pseudorandom sequence.
+  TagMap next = *this;
+  next.max_value_ = max_value;
   ChaChaRng rng = prf.Stream("tagmap/assignment");
   std::unordered_set<uint64_t> used;
-  for (const std::string& tag : tags) {
-    if (out.to_value_.count(tag))
-      return Status::InvalidArgument("TagMap: duplicate tag '" + tag + "'");
+  used.reserve(next.to_tag_.size());
+  for (const auto& [value, tag] : next.to_tag_) used.insert(value);
+  for (const std::string& tag : fresh) {
     uint64_t value = 0;
     if (options.assignment == Options::Assignment::kSequential) {
       value = pool.empty() ? used.size() + 1 : pool[used.size()];
+      if (used.count(value))
+        return Status::InvalidArgument(
+            "TagMap: sequential extension collides with an assigned value");
     } else {
       // Rejection-sample an unused value; with load <= 1 the expected number
       // of draws per tag is below 1/(1 - load) and bounded by the guard.
       int guard = 0;
       do {
-        value = pool.empty() ? 1 + rng.NextBelow(out.max_value_)
+        value = pool.empty() ? 1 + rng.NextBelow(next.max_value_)
                              : pool[rng.NextBelow(pool.size())];
         if (++guard > 100000)
           return Status::Internal("TagMap: sampler failed to find a free value");
       } while (used.count(value));
     }
     used.insert(value);
-    out.to_value_[tag] = value;
-    out.to_tag_[value] = tag;
+    next.to_value_[tag] = value;
+    next.to_tag_[value] = tag;
   }
-  return out;
+  *this = std::move(next);
+  return Status::Ok();
 }
 
 Result<TagMap> TagMap::FromExplicit(

@@ -41,6 +41,16 @@ class TagMap {
                               const Options& options,
                               const DeterministicPrf& prf);
 
+  /// Extends the map in place with every not-yet-mapped tag of `tags`,
+  /// drawing values with the same keyed sampler as Build — extending an
+  /// empty map is identical to building it, so a collection's first
+  /// document gets the exact map a single-document deployment would.
+  /// Already-mapped tags are kept (documents share vocabulary). The options
+  /// must match the ones the map was built with (same max_value / pool).
+  /// All-or-nothing: on error the map is unchanged.
+  Status Extend(const std::vector<std::string>& tags, const Options& options,
+                const DeterministicPrf& prf);
+
   /// Builds from explicit pairs — used to reproduce Fig. 1(b) verbatim.
   static Result<TagMap> FromExplicit(
       const std::vector<std::pair<std::string, uint64_t>>& pairs);

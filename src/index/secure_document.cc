@@ -1,53 +1,44 @@
 #include "index/secure_document.h"
 
+#include "nt/primes.h"
+
 namespace polysse {
 
 Result<std::unique_ptr<SecureDocumentService>> SecureDocumentService::Outsource(
     const XmlNode& document, const DeterministicPrf& seed,
     const FpOutsourceOptions& options) {
-  ASSIGN_OR_RETURN(std::unique_ptr<FpEngine> engine,
-                   FpEngine::Outsource(document, seed, {}, options));
-  PayloadCodec codec(seed);
-  PayloadStore payloads = codec.Encrypt(document);
+  // Size the field for exactly this document's alphabet (the historical
+  // single-document behavior) and keep the pre-collection share namespace.
+  FpOutsourceOptions effective = options;
+  if (effective.p == 0)
+    effective.p = PrimeForAlphabet(document.DistinctTags().size());
+  FpCollection::Deploy deploy;
+  deploy.legacy_share_paths = true;
+  ASSIGN_OR_RETURN(
+      std::unique_ptr<SecureCollectionService> service,
+      SecureCollectionService::Create(seed, deploy, effective));
+  RETURN_IF_ERROR(service->Add(kDocId, document));
   // Not make_unique: the constructor is private.
-  return std::unique_ptr<SecureDocumentService>(new SecureDocumentService(
-      std::move(engine), std::move(payloads), std::move(codec)));
-}
-
-Result<std::vector<ContentMatch>> SecureDocumentService::ResolveContent(
-    const std::vector<MatchedNode>& matches) {
-  std::vector<ContentMatch> out;
-  out.reserve(matches.size());
-  last_payload_bytes_ = 0;
-  for (const MatchedNode& m : matches) {
-    // Payload ids are preorder node ids, identical to the share tree's.
-    ASSIGN_OR_RETURN(const PayloadStore::Entry* entry,
-                     payloads_.Get(static_cast<size_t>(m.node_id)));
-    if (entry->path != m.path)
-      return Status::Internal("payload/structure id misalignment at " +
-                              m.path);
-    last_payload_bytes_ += entry->ciphertext.size();
-    ASSIGN_OR_RETURN(std::string text, codec_.Decrypt(*entry));
-    out.push_back({m.path, std::move(text)});
-  }
-  return out;
+  return std::unique_ptr<SecureDocumentService>(
+      new SecureDocumentService(std::move(service)));
 }
 
 Result<std::vector<ContentMatch>> SecureDocumentService::Query(
     const std::string& xpath, XPathStrategy strategy, VerifyMode mode) {
-  ASSIGN_OR_RETURN(XPathQuery query, XPathQuery::Parse(xpath));
-  ASSIGN_OR_RETURN(LookupResult result,
-                   engine_->session().EvaluateXPath(query, strategy, mode));
-  last_stats_ = result.stats;
-  return ResolveContent(result.matches);
+  ASSIGN_OR_RETURN(SecureCollectionService::ContentResults results,
+                   service_->Query(xpath, strategy, mode));
+  auto it = results.find(kDocId);
+  if (it == results.end()) return std::vector<ContentMatch>{};
+  return std::move(it->second);
 }
 
 Result<std::vector<ContentMatch>> SecureDocumentService::Lookup(
     const std::string& tagname, VerifyMode mode) {
-  ASSIGN_OR_RETURN(LookupResult result,
-                   engine_->session().Lookup(tagname, mode));
-  last_stats_ = result.stats;
-  return ResolveContent(result.matches);
+  ASSIGN_OR_RETURN(SecureCollectionService::ContentResults results,
+                   service_->Lookup(tagname, mode));
+  auto it = results.find(kDocId);
+  if (it == results.end()) return std::vector<ContentMatch>{};
+  return std::move(it->second);
 }
 
 }  // namespace polysse

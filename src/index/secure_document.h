@@ -1,7 +1,9 @@
-// Facade joining the paper's structural index (core) with the §6 encrypted
-// content layer (index/payload_store): one object that outsources a whole
-// document and answers "give me the decrypted text of every element
-// matching this XPath" — the API a downstream application actually wants.
+// One-document convenience face of SecureCollectionService
+// (index/secure_collection.h): outsources a single document's structure and
+// encrypted content and answers "give me the decrypted text of every
+// element matching this XPath". Since the collection redesign this is a
+// thin wrapper over a one-entry collection service — a single code path
+// for the content layer.
 #ifndef POLYSSE_INDEX_SECURE_DOCUMENT_H_
 #define POLYSSE_INDEX_SECURE_DOCUMENT_H_
 
@@ -9,20 +11,13 @@
 #include <string>
 #include <vector>
 
-#include "core/engine.h"
-#include "index/payload_store.h"
+#include "index/secure_collection.h"
 
 namespace polysse {
 
-/// One matched element with its decrypted text.
-struct ContentMatch {
-  std::string path;
-  std::string text;
-};
-
-/// A complete outsourced document: structural engine deployment + encrypted
+/// A complete outsourced document: structural deployment + encrypted
 /// payloads, with a query API that spans both layers. Created behind a
-/// unique_ptr for a stable address (matching the engine it wraps).
+/// unique_ptr for a stable address (matching the service it wraps).
 class SecureDocumentService {
  public:
   /// Outsources structure (F_p ring) and content in one pass.
@@ -46,30 +41,26 @@ class SecureDocumentService {
       const std::string& tagname, VerifyMode mode = VerifyMode::kVerified);
 
   /// Stats of the most recent structural query.
-  const QueryStats& last_stats() const { return last_stats_; }
+  const QueryStats& last_stats() const { return service_->last_stats(); }
   /// Bytes of encrypted payloads fetched by the most recent query.
-  size_t last_payload_bytes() const { return last_payload_bytes_; }
+  size_t last_payload_bytes() const { return service_->last_payload_bytes(); }
 
   size_t server_structure_bytes() const {
-    return engine_->store().PersistedBytes();
+    return service_->server_structure_bytes();
   }
-  size_t server_payload_bytes() const { return payloads_.PersistedBytes(); }
+  size_t server_payload_bytes() const {
+    return service_->server_payload_bytes();
+  }
 
  private:
-  SecureDocumentService(std::unique_ptr<FpEngine> engine,
-                        PayloadStore payloads, PayloadCodec codec)
-      : engine_(std::move(engine)),
-        payloads_(std::move(payloads)),
-        codec_(std::move(codec)) {}
+  /// The wrapper's single document registers under this id.
+  static constexpr DocId kDocId = 0;
 
-  Result<std::vector<ContentMatch>> ResolveContent(
-      const std::vector<MatchedNode>& matches);
+  explicit SecureDocumentService(
+      std::unique_ptr<SecureCollectionService> service)
+      : service_(std::move(service)) {}
 
-  std::unique_ptr<FpEngine> engine_;
-  PayloadStore payloads_;
-  PayloadCodec codec_;
-  QueryStats last_stats_;
-  size_t last_payload_bytes_ = 0;
+  std::unique_ptr<SecureCollectionService> service_;
 };
 
 }  // namespace polysse

@@ -240,8 +240,8 @@ void SocketServer::ServeConnection(Connection* conn, int fd) {
     auto frame = ReadFrame(fd);
     if (!frame.ok() || frame->clean_eof) break;  // garbage or disconnect
     Result<std::vector<uint8_t>> reply =
-        frame->tag == static_cast<uint8_t>(MessageKind::kEval) ||
-                frame->tag == static_cast<uint8_t>(MessageKind::kFetch)
+        frame->tag >= static_cast<uint8_t>(MessageKind::kEval) &&
+                frame->tag <= static_cast<uint8_t>(MessageKind::kRemoveDoc)
             ? DispatchSerialized(handler_,
                                  static_cast<MessageKind>(frame->tag),
                                  frame->payload)
@@ -268,8 +268,10 @@ void SocketServer::ServeConnection(Connection* conn, int fd) {
 
 // --------------------------------------------------------------- client
 
-Result<std::unique_ptr<SocketEndpoint>> SocketEndpoint::Connect(
-    const std::string& host, uint16_t port) {
+namespace {
+
+/// Dials host:port, returning a connected fd with TCP_NODELAY set.
+Result<int> DialTcp(const std::string& host, uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -284,16 +286,21 @@ Result<std::unique_ptr<SocketEndpoint>> SocketEndpoint::Connect(
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return std::unique_ptr<SocketEndpoint>(new SocketEndpoint(fd));
+  return fd;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SocketEndpoint>> SocketEndpoint::Connect(
+    const std::string& host, uint16_t port) {
+  ASSIGN_OR_RETURN(int fd, DialTcp(host, port));
+  return std::unique_ptr<SocketEndpoint>(new SocketEndpoint(host, port, fd));
 }
 
 SocketEndpoint::~SocketEndpoint() { CloseFd(fd_); }
 
-Result<std::vector<uint8_t>> SocketEndpoint::RoundTrip(
+Result<std::vector<uint8_t>> SocketEndpoint::TryRoundTrip(
     MessageKind kind, std::span<const uint8_t> payload) {
-  std::lock_guard<std::mutex> lock(io_mu_);
-  if (fd_ < 0)
-    return Status::Unavailable("connection closed after an earlier error");
   // Any transport/framing failure poisons the connection: the stream may
   // hold half a frame, and resynchronizing a length-prefixed protocol
   // mid-stream is not possible. Server-reported error frames keep it —
@@ -319,6 +326,32 @@ Result<std::vector<uint8_t>> SocketEndpoint::RoundTrip(
   return std::move(frame->payload);
 }
 
+Result<std::vector<uint8_t>> SocketEndpoint::RoundTrip(
+    MessageKind kind, std::span<const uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  // Up to two exchange attempts per call, each over a live connection:
+  // a poisoned fd (from this call or an earlier one) earns one redial
+  // before the failure surfaces as Unavailable.
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0) {
+      auto fd = DialTcp(host_, port_);
+      if (!fd.ok()) {
+        return last.ok() ? fd.status()
+                         : Status::Unavailable(last.message() +
+                                               "; reconnect failed: " +
+                                               fd.status().message());
+      }
+      fd_ = *fd;
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Result<std::vector<uint8_t>> result = TryRoundTrip(kind, payload);
+    if (result.ok() || fd_ >= 0) return result;  // success or server error
+    last = result.status();  // transport failure: fd_ poisoned, retry once
+  }
+  return last;
+}
+
 Result<EvalResponse> SocketEndpoint::Eval(const EvalRequest& req) {
   ByteWriter up;
   req.Serialize(&up);
@@ -335,6 +368,24 @@ Result<FetchResponse> SocketEndpoint::Fetch(const FetchRequest& req) {
                    RoundTrip(MessageKind::kFetch, up.span()));
   ByteReader r(down);
   return FetchResponse::Deserialize(&r);
+}
+
+Result<AdminAck> SocketEndpoint::AddDoc(const AddDocRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> down,
+                   RoundTrip(MessageKind::kAddDoc, up.span()));
+  ByteReader r(down);
+  return AdminAck::Deserialize(&r);
+}
+
+Result<AdminAck> SocketEndpoint::RemoveDoc(const RemoveDocRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> down,
+                   RoundTrip(MessageKind::kRemoveDoc, up.span()));
+  ByteReader r(down);
+  return AdminAck::Deserialize(&r);
 }
 
 }  // namespace polysse

@@ -100,6 +100,15 @@ class SocketServer {
 
 /// Client-side TCP endpoint: one connection to one SocketServer. Counters
 /// report the actual framed bytes on the wire.
+///
+/// Reconnect policy: a transport/framing failure poisons the current
+/// connection (the stream cannot be resynchronized mid-frame), and each
+/// round trip makes ONE automatic attempt to dial the server again —
+/// riding out a server restart or a dropped connection — before surfacing
+/// Unavailable, which multi-server failover then routes around. Eval and
+/// Fetch are idempotent reads, so retrying a request whose response was
+/// lost is safe; AddDoc/RemoveDoc retries can double-apply, which the
+/// registry reports cleanly (duplicate id / not registered).
 class SocketEndpoint final : public ServerEndpoint {
  public:
   /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
@@ -112,20 +121,34 @@ class SocketEndpoint final : public ServerEndpoint {
 
   Result<EvalResponse> Eval(const EvalRequest& req) override;
   Result<FetchResponse> Fetch(const FetchRequest& req) override;
+  Result<AdminAck> AddDoc(const AddDocRequest& req) override;
+  Result<AdminAck> RemoveDoc(const RemoveDocRequest& req) override;
+
+  /// Successful automatic reconnects so far (test/diagnostic visibility).
+  size_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
 
  private:
-  explicit SocketEndpoint(int fd) : fd_(fd) {}
+  SocketEndpoint(std::string host, uint16_t port, int fd)
+      : host_(std::move(host)), port_(port), fd_(fd) {}
 
-  /// Sends one framed request and reads the matching framed response.
-  /// Serialized with a mutex: one in-flight exchange per connection. A
-  /// transport/framing failure closes the connection permanently (the
-  /// stream cannot be resynchronized); later calls fail fast with
-  /// Unavailable, which multi-server failover routes around.
+  /// Sends one framed request and reads the matching framed response,
+  /// reconnecting once per call when the connection is (or turns out to
+  /// be) broken. Serialized with a mutex: one in-flight exchange per
+  /// connection.
   Result<std::vector<uint8_t>> RoundTrip(MessageKind kind,
                                          std::span<const uint8_t> payload);
+  /// One exchange over the current fd; poisons it (fd_ = -1) on any
+  /// transport failure.
+  Result<std::vector<uint8_t>> TryRoundTrip(MessageKind kind,
+                                            std::span<const uint8_t> payload);
 
+  const std::string host_;
+  const uint16_t port_;
   std::mutex io_mu_;
   int fd_;
+  std::atomic<size_t> reconnects_{0};
 };
 
 }  // namespace polysse

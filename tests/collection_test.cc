@@ -1,0 +1,468 @@
+// End-to-end tests of the polysse::Collection facade:
+//  * cross-document Search/SearchXPath answers match per-document oracles,
+//    under every verify mode and every share scheme;
+//  * the shared frontier costs strictly fewer wire messages (and no more
+//    rounds) than walking the documents sequentially;
+//  * Add/Remove against a live deployment leave the other documents'
+//    answers bit-identical, and never re-outsource them;
+//  * Save/Open round-trips multi-document additive and Shamir collections,
+//    and v1/v2 single-document key/store files still open;
+//  * clean failures: duplicate ids, missing ids, exhausted tag capacity.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/collection.h"
+#include "core/engine.h"
+#include "index/secure_collection.h"
+#include "testing/deploy_helpers.h"
+#include "testing/query_helpers.h"
+#include "xml/xml_generator.h"
+#include "xml/xml_parser.h"
+
+namespace polysse {
+namespace {
+
+using testing::MakeFpDeployment;
+using testing::SortedMatchPaths;
+using testing::TestSession;
+
+XmlNode MakeDoc(uint64_t seed, size_t num_nodes = 40, size_t alphabet = 6) {
+  XmlGeneratorOptions gen;
+  gen.num_nodes = num_nodes;
+  gen.tag_alphabet = alphabet;
+  gen.max_fanout = 4;
+  gen.seed = seed;
+  return GenerateXmlTree(gen);
+}
+
+constexpr VerifyMode kAllModes[] = {VerifyMode::kOptimistic,
+                                    VerifyMode::kVerified,
+                                    VerifyMode::kTrustedConstOnly};
+
+/// Plaintext oracle: every element of `doc` whose tag is `tag`, as paths.
+std::vector<std::string> PlaintextMatches(const XmlNode& doc,
+                                          const std::string& tag) {
+  std::vector<std::string> out;
+  doc.Preorder([&](const XmlNode& n, const std::vector<int>& path) {
+    if (n.name() == tag) out.push_back(PathToString(path));
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(CollectionTest, CrossDocumentSearchMatchesPlaintextPerDoc) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-basic");
+  std::map<DocId, XmlNode> docs = {
+      {7, MakeDoc(901)}, {13, MakeDoc(902, 30, 5)}, {2, MakeDoc(903, 50, 7)}};
+
+  for (ShareScheme scheme :
+       {ShareScheme::kTwoParty, ShareScheme::kAdditive, ShareScheme::kShamir}) {
+    FpCollection::Deploy deploy;
+    deploy.scheme = scheme;
+    deploy.num_servers = scheme == ShareScheme::kTwoParty ? 1 : 3;
+    deploy.threshold = scheme == ShareScheme::kShamir ? 2 : 0;
+    auto col = FpCollection::Create(seed, deploy);
+    ASSERT_TRUE(col.ok()) << col.status().ToString();
+    for (const auto& [id, doc] : docs)
+      ASSERT_TRUE((*col)->Add(id, doc).ok()) << id;
+    EXPECT_EQ((*col)->num_docs(), 3u);
+
+    // Collect every tag appearing anywhere in the collection.
+    std::vector<std::string> all_tags;
+    for (const auto& [id, doc] : docs)
+      for (const std::string& t : doc.DistinctTags())
+        if (std::find(all_tags.begin(), all_tags.end(), t) == all_tags.end())
+          all_tags.push_back(t);
+
+    for (const std::string& tag : all_tags) {
+      for (VerifyMode mode : kAllModes) {
+        auto r = (*col)->Search(tag, mode);
+        ASSERT_TRUE(r.ok()) << tag << ": " << r.status().ToString();
+        for (const auto& [id, doc] : docs) {
+          std::vector<std::string> expected = PlaintextMatches(doc, tag);
+          auto it = r->per_doc.find(id);
+          std::vector<std::string> got =
+              it == r->per_doc.end()
+                  ? std::vector<std::string>{}
+                  : SortedMatchPaths(it->second.matches);
+          if (mode == VerifyMode::kOptimistic) {
+            // Optimistic answers may under-report as "possible"; definite
+            // matches must still be a subset of the truth.
+            for (const std::string& path : got)
+              EXPECT_TRUE(std::find(expected.begin(), expected.end(), path) !=
+                          expected.end())
+                  << "//" << tag << " doc " << id;
+          } else {
+            EXPECT_EQ(got, expected)
+                << "//" << tag << " doc " << id << " mode "
+                << static_cast<int>(mode);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CollectionTest, SearchDocMatchesCollectionPartition) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-perdoc");
+  auto col = FpCollection::Create(seed).value();
+  XmlNode a = MakeDoc(911), b = MakeDoc(912, 30, 5);
+  ASSERT_TRUE(col->Add(1, a).ok());
+  ASSERT_TRUE(col->Add(2, b).ok());
+  for (const std::string& tag : a.DistinctTags()) {
+    auto whole = col->Search(tag).value();
+    auto solo = col->SearchDoc(1, tag).value();
+    std::vector<std::string> from_whole =
+        whole.per_doc.count(1)
+            ? SortedMatchPaths(whole.per_doc.at(1).matches)
+            : std::vector<std::string>{};
+    EXPECT_EQ(SortedMatchPaths(solo.matches), from_whole) << tag;
+  }
+}
+
+TEST(CollectionTest, SharedFrontierBeatsSequentialWalks) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-frontier");
+  auto col = FpCollection::Create(seed).value();
+  constexpr int kDocs = 8;
+  for (int d = 0; d < kDocs; ++d)
+    ASSERT_TRUE(col->Add(static_cast<DocId>(d), MakeDoc(920 + d)).ok());
+  const std::string tag = "tag0";  // generator tags are tag0..tagN
+
+  // Sequential: one pruned walk per document.
+  size_t seq_rounds = 0, seq_messages = 0;
+  for (int d = 0; d < kDocs; ++d) {
+    auto r = col->SearchDoc(static_cast<DocId>(d), tag).value();
+    seq_rounds += r.stats.rounds;
+    seq_messages += r.stats.transport.messages_up;
+  }
+
+  // Collection-wide: ONE walk whose frontier spans all documents.
+  auto shared = col->Search(tag).value();
+  EXPECT_LT(shared.stats.rounds, seq_rounds)
+      << "shared frontier must coalesce per-document rounds";
+  EXPECT_LT(shared.stats.transport.messages_up, seq_messages);
+  // Rounds of the shared walk track the DEEPEST document, not the sum.
+  size_t max_rounds = 0;
+  for (int d = 0; d < kDocs; ++d) {
+    auto r = col->SearchDoc(static_cast<DocId>(d), tag).value();
+    max_rounds = std::max(max_rounds, r.stats.rounds);
+  }
+  // The shared walk needs at most a couple of extra rounds beyond the
+  // deepest doc (verification fetches don't add rounds).
+  EXPECT_LE(shared.stats.rounds, max_rounds + 1);
+}
+
+TEST(CollectionTest, AddAndRemoveLeaveOtherDocumentsBitIdentical) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-stable");
+  auto col = FpCollection::Create(seed).value();
+  XmlNode a = MakeDoc(931), b = MakeDoc(932, 30, 5), c = MakeDoc(933, 20, 4);
+  ASSERT_TRUE(col->Add(1, a).ok());
+  ASSERT_TRUE(col->Add(2, b).ok());
+
+  auto snapshot = [&](DocId id, const XmlNode& doc) {
+    std::map<std::string, std::vector<std::string>> out;
+    for (const std::string& tag : doc.DistinctTags())
+      out[tag] = SortedMatchPaths(col->SearchDoc(id, tag).value().matches);
+    return out;
+  };
+  auto before_a = snapshot(1, a);
+  auto before_b = snapshot(2, b);
+
+  // Live add: docs 1 and 2 must answer identically afterwards.
+  ASSERT_TRUE(col->Add(3, c).ok());
+  EXPECT_EQ(snapshot(1, a), before_a);
+  EXPECT_EQ(snapshot(2, b), before_b);
+
+  // Live remove: the removed doc vanishes, the others stay identical.
+  ASSERT_TRUE(col->Remove(2).ok());
+  EXPECT_EQ(snapshot(1, a), before_a);
+  auto r = col->Search(b.DistinctTags().front()).value();
+  EXPECT_EQ(r.per_doc.count(2), 0u);
+  EXPECT_FALSE(col->contains(2));
+
+  // Node-id ranges are never reused: re-adding under the same id works and
+  // the doc's fresh share namespace differs from the retired one.
+  ASSERT_TRUE(col->Add(2, b).ok());
+  EXPECT_EQ(snapshot(2, b), before_b);
+  EXPECT_EQ(snapshot(1, a), before_a);
+}
+
+TEST(CollectionTest, AddDoesNotReOutsourceExistingDocuments) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-incremental");
+  auto col = FpCollection::Create(seed).value();
+  ASSERT_TRUE(col->Add(0, MakeDoc(941)).ok());
+  // Snapshot server 0's share tree for doc 0 (stable pointer).
+  const ServerStore<FpCyclotomicRing>* store0 = col->doc_store(0, 0).value();
+  const auto root_before = store0->tree().nodes[0].poly;
+  const size_t size_before = store0->size();
+
+  for (int d = 1; d <= 20; ++d)
+    ASSERT_TRUE(col->Add(static_cast<DocId>(d), MakeDoc(941 + d, 15, 4)).ok());
+
+  // Doc 0's registered store object is untouched — not re-split, not
+  // re-registered.
+  EXPECT_EQ(col->doc_store(0, 0).value(), store0);
+  EXPECT_EQ(store0->size(), size_before);
+  EXPECT_TRUE(col->ring().Equal(store0->tree().nodes[0].poly, root_before));
+}
+
+TEST(CollectionTest, BatchedSearchManySharesOneWalk) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-batch");
+  auto col = FpCollection::Create(seed).value();
+  XmlNode a = MakeDoc(951), b = MakeDoc(952, 30, 5);
+  ASSERT_TRUE(col->Add(1, a).ok());
+  ASSERT_TRUE(col->Add(2, b).ok());
+
+  std::vector<Query> queries;
+  for (const std::string& tag : a.DistinctTags())
+    queries.push_back({tag, VerifyMode::kVerified});
+  auto batched = col->SearchMany(queries).value();
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto solo = col->Search(queries[i].tag).value();
+    for (DocId id : {DocId{1}, DocId{2}}) {
+      std::vector<std::string> b_paths =
+          batched[i].per_doc.count(id)
+              ? SortedMatchPaths(batched[i].per_doc.at(id).matches)
+              : std::vector<std::string>{};
+      std::vector<std::string> s_paths =
+          solo.per_doc.count(id)
+              ? SortedMatchPaths(solo.per_doc.at(id).matches)
+              : std::vector<std::string>{};
+      EXPECT_EQ(b_paths, s_paths) << queries[i].tag << " doc " << id;
+    }
+  }
+}
+
+TEST(CollectionTest, CrossDocumentXPath) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-xpath");
+  auto col = FpCollection::Create(seed).value();
+  auto parse = [](const std::string& s) { return ParseXml(s).value(); };
+  ASSERT_TRUE(
+      col->Add(1, parse("<lib><shelf><book/><pen/></shelf></lib>")).ok());
+  ASSERT_TRUE(
+      col->Add(2, parse("<lib><box><book/></box><book/></lib>")).ok());
+  ASSERT_TRUE(col->Add(3, parse("<lib><pen/></lib>")).ok());
+
+  auto r = col->SearchXPath("//shelf/book").value();
+  ASSERT_EQ(r.per_doc.size(), 1u);
+  EXPECT_EQ(SortedMatchPaths(r.per_doc.at(1).matches),
+            (std::vector<std::string>{"0/0"}));
+
+  auto all_books = col->SearchXPath("//book").value();
+  ASSERT_EQ(all_books.per_doc.size(), 2u);
+  EXPECT_EQ(all_books.per_doc.at(1).matches.size(), 1u);
+  EXPECT_EQ(all_books.per_doc.at(2).matches.size(), 2u);
+}
+
+TEST(CollectionTest, CleanFailures) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-fail");
+  auto col = FpCollection::Create(seed).value();
+
+  // Empty collection: queries answer empty, not crash.
+  auto empty = col->Search("anything");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->per_doc.empty());
+
+  ASSERT_TRUE(col->Add(1, MakeDoc(961)).ok());
+  EXPECT_EQ(col->Add(1, MakeDoc(962)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(col->Remove(99).code(), StatusCode::kNotFound);
+
+  // Tag capacity exhaustion: a tiny explicit field fills up; the failing
+  // Add leaves the collection fully usable.
+  FpOutsourceOptions tiny;
+  tiny.p = 5;  // values {1..3}
+  auto small = FpCollection::Create(seed, {}, tiny).value();
+  ASSERT_TRUE(
+      small->Add(1, ParseXml("<a><b/><c/></a>").value()).ok());
+  Status s = small->Add(2, ParseXml("<d><e/><f/></d>").value());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  EXPECT_EQ(small->num_docs(), 1u);
+  auto still = small->Search("b");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still->per_doc.at(1).matches.size(), 1u);
+}
+
+TEST(CollectionTest, SaveOpenRoundTripsMultiDocSchemes) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-persist");
+  std::map<DocId, XmlNode> docs = {{5, MakeDoc(971)},
+                                   {9, MakeDoc(972, 30, 5)},
+                                   {11, MakeDoc(973, 20, 4)}};
+
+  struct Case {
+    const char* label;
+    FpCollection::Deploy deploy;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"2party", {}});
+  Case additive{"additive-3", {}};
+  additive.deploy.scheme = ShareScheme::kAdditive;
+  additive.deploy.num_servers = 3;
+  cases.push_back(additive);
+  Case shamir{"shamir-2of4", {}};
+  shamir.deploy.scheme = ShareScheme::kShamir;
+  shamir.deploy.num_servers = 4;
+  shamir.deploy.threshold = 2;
+  cases.push_back(shamir);
+
+  for (const Case& c : cases) {
+    auto col = FpCollection::Create(seed, c.deploy).value();
+    for (const auto& [id, doc] : docs) ASSERT_TRUE(col->Add(id, doc).ok());
+
+    const std::string store = std::string("/tmp/polysse_col_") + c.label;
+    const std::string key = store + ".key";
+    ASSERT_TRUE(col->Save(store, key).ok()) << c.label;
+
+    auto back = FpCollection::Open(store, key);
+    ASSERT_TRUE(back.ok()) << c.label << ": " << back.status().ToString();
+    EXPECT_EQ((*back)->num_docs(), 3u);
+    EXPECT_EQ((*back)->doc_ids(), col->doc_ids());
+    for (const auto& [id, doc] : docs) {
+      for (const std::string& tag : doc.DistinctTags()) {
+        auto expect = col->Search(tag).value();
+        auto got = (*back)->Search(tag).value();
+        ASSERT_EQ(got.per_doc.count(id), expect.per_doc.count(id))
+            << c.label << " doc " << id << " //" << tag;
+        if (expect.per_doc.count(id)) {
+          EXPECT_EQ(SortedMatchPaths(got.per_doc.at(id).matches),
+                    SortedMatchPaths(expect.per_doc.at(id).matches))
+              << c.label << " doc " << id << " //" << tag;
+        }
+      }
+    }
+
+    // The reopened collection keeps growing: Add must keep working with
+    // fresh node-id ranges.
+    XmlNode extra = MakeDoc(974, 15, 4);
+    ASSERT_TRUE((*back)->Add(21, extra).ok()) << c.label;
+    auto extra_r = (*back)->SearchDoc(21, extra.DistinctTags().front());
+    ASSERT_TRUE(extra_r.ok());
+  }
+}
+
+TEST(CollectionTest, V2SingleDocKeyOpensAsOneDocCollection) {
+  // Hand-write a v2-era key file + v1 single-tree store (the formats an
+  // older build produced) and open them through the collection path: the
+  // legacy document must answer exactly like a legacy two-party session.
+  XmlNode doc = MakeDoc(981);
+  DeterministicPrf seed = DeterministicPrf::FromString("col-v2compat");
+  auto dep = MakeFpDeployment(doc, seed).value();
+
+  ByteWriter store_bytes;
+  SaveServerStore(dep.server, &store_bytes);
+  ASSERT_TRUE(WriteFileBytes("/tmp/polysse_v2_store.bin", store_bytes.span())
+                  .ok());
+
+  // v2 key layout: "PKEY" | 2 | seed | z_coeff_bits | tag map | scheme |
+  // num_servers | threshold | ring_kind | p.
+  ByteWriter key_bytes;
+  // Byte-wise magic: PutString's range-insert into the empty buffer trips
+  // a GCC 12 -Wstringop-overflow false positive at -O2 when inlined here.
+  for (char ch : {'P', 'K', 'E', 'Y'})
+    key_bytes.PutU8(static_cast<uint8_t>(ch));
+  key_bytes.PutU8(2);
+  key_bytes.PutBytes(std::span<const uint8_t>(seed.seed().data(),
+                                              seed.seed().size()));
+  key_bytes.PutVarint64(256);
+  dep.client.tag_map().Serialize(&key_bytes);
+  key_bytes.PutU8(static_cast<uint8_t>(ShareScheme::kTwoParty));
+  key_bytes.PutVarint64(1);
+  key_bytes.PutVarint64(0);
+  key_bytes.PutU8(1);  // kFpCyclotomic
+  key_bytes.PutVarint64(dep.ring.p());
+  ASSERT_TRUE(
+      WriteFileBytes("/tmp/polysse_v2.key", key_bytes.span()).ok());
+
+  auto col = FpCollection::Open("/tmp/polysse_v2_store.bin",
+                                "/tmp/polysse_v2.key");
+  ASSERT_TRUE(col.ok()) << col.status().ToString();
+  EXPECT_EQ((*col)->num_docs(), 1u);
+
+  TestSession<FpCyclotomicRing> oracle(&dep.client, &dep.server);
+  for (const std::string& tag : doc.DistinctTags()) {
+    auto legacy = oracle.Lookup(tag, VerifyMode::kVerified).value();
+    auto r = (*col)->Search(tag).value();
+    std::vector<std::string> got =
+        r.per_doc.count(0) ? SortedMatchPaths(r.per_doc.at(0).matches)
+                           : std::vector<std::string>{};
+    EXPECT_EQ(got, SortedMatchPaths(legacy.matches)) << tag;
+  }
+
+  // Engine::Open accepts the same legacy pair (it wraps the collection).
+  auto engine = FpEngine::Open("/tmp/polysse_v2_store.bin",
+                               "/tmp/polysse_v2.key");
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const std::string tag = doc.DistinctTags().front();
+  EXPECT_EQ(SortedMatchPaths((*engine)->Lookup(tag).value().matches),
+            SortedMatchPaths(oracle.Lookup(tag, VerifyMode::kVerified)
+                                 .value()
+                                 .matches));
+}
+
+TEST(CollectionTest, LegacySharePrefixNeverReusedAfterRemove) {
+  // The engine's legacy mode hands its FIRST document the pre-collection
+  // PRF namespace (prefix ""). After a remove/re-add cycle through the
+  // collection escape hatch, a fresh document must NOT inherit it — a
+  // reused namespace would reuse share masks across different plaintexts.
+  XmlNode doc = MakeDoc(991);
+  DeterministicPrf seed = DeterministicPrf::FromString("col-prefix");
+  auto engine = FpEngine::Outsource(doc, seed).value();
+  FpCollection& col = engine->collection();
+  EXPECT_EQ(col.share_prefix(0).value(), "");
+
+  ASSERT_TRUE(col.Remove(0).ok());
+  ASSERT_TRUE(col.Add(0, doc).ok());
+  EXPECT_NE(col.share_prefix(0).value(), "");
+  auto r = col.SearchDoc(0, doc.DistinctTags().front());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(CollectionTest, ZRingCollectionWorks) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-z");
+  auto col = ZCollection::Create(seed).value();
+  auto parse = [](const std::string& s) { return ParseXml(s).value(); };
+  ASSERT_TRUE(col->Add(1, parse("<r><a/><b/></r>")).ok());
+  ASSERT_TRUE(col->Add(2, parse("<r><a/><a/><c/></r>")).ok());
+  auto r = col->Search("a").value();
+  ASSERT_EQ(r.per_doc.size(), 2u);
+  EXPECT_EQ(r.per_doc.at(1).matches.size(), 1u);
+  EXPECT_EQ(r.per_doc.at(2).matches.size(), 2u);
+
+  ASSERT_TRUE(col->Save("/tmp/polysse_colz.bin", "/tmp/polysse_colz.key")
+                  .ok());
+  auto back = ZCollection::Open("/tmp/polysse_colz.bin",
+                                "/tmp/polysse_colz.key");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  auto again = (*back)->Search("a").value();
+  EXPECT_EQ(again.per_doc.at(2).matches.size(), 2u);
+}
+
+TEST(CollectionTest, SecureCollectionServiceDecryptsPerDocument) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-content");
+  auto svc = SecureCollectionService::Create(seed).value();
+  auto parse = [](const std::string& s) { return ParseXml(s).value(); };
+  ASSERT_TRUE(svc->Add(1, parse("<mail><subject>hello</subject>"
+                                "<body>first body</body></mail>"))
+                  .ok());
+  ASSERT_TRUE(svc->Add(2, parse("<mail><subject>again</subject>"
+                                "<body>second body</body></mail>"))
+                  .ok());
+
+  auto bodies = svc->Query("//body").value();
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_EQ(bodies.at(1)[0].text, "first body");
+  EXPECT_EQ(bodies.at(2)[0].text, "second body");
+  EXPECT_GT(svc->last_payload_bytes(), 0u);
+
+  ASSERT_TRUE(svc->Remove(1).ok());
+  auto after = svc->Lookup("body").value();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after.at(2)[0].text, "second body");
+}
+
+}  // namespace
+}  // namespace polysse

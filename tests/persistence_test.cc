@@ -3,8 +3,10 @@
 // querying a reloaded deployment.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <random>
 
+#include "core/engine.h"
 #include "core/outsource.h"
 #include "core/persistence.h"
 #include "core/query_session.h"
@@ -142,6 +144,129 @@ TEST(PersistenceTest, ClientSecretFileRoundTrip) {
   EXPECT_EQ(back->seed, key.seed);
   EXPECT_EQ(back->z_coeff_bits, 192u);
   EXPECT_EQ(back->tag_map.Value("client").value(), 2u);
+}
+
+// ------------------------------------- Engine::Open failure paths --------
+// Broken deployments must come back as clean Status errors — a missing
+// share file, servers whose stores diverged, a key naming no servers —
+// never a crash or a silently wrong deployment.
+
+XmlNode OpenFailDoc(uint64_t seed) {
+  XmlGeneratorOptions gen;
+  gen.num_nodes = 30;
+  gen.tag_alphabet = 5;
+  gen.seed = seed;
+  return GenerateXmlTree(gen);
+}
+
+TEST(PersistenceTest, OpenFailsCleanlyOnMissingServerStoreFile) {
+  DeterministicPrf seed = DeterministicPrf::FromString("open-missing");
+  FpEngine::Deploy deploy;
+  deploy.scheme = ShareScheme::kAdditive;
+  deploy.num_servers = 3;
+  auto engine = FpEngine::Outsource(OpenFailDoc(601), seed, deploy).value();
+  const std::string store = "/tmp/polysse_open_missing.bin";
+  const std::string key = store + ".key";
+  ASSERT_TRUE(engine->Save(store, key).ok());
+
+  // Server 1's share file vanishes (disk loss, wrong rsync, ...).
+  ASSERT_EQ(std::remove(FpEngine::MultiServerStorePath(store, 1).c_str()), 0);
+  auto reopened = FpEngine::Open(store, key);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kNotFound)
+      << reopened.status().ToString();
+}
+
+TEST(PersistenceTest, OpenRejectsServerStoresDisagreeingOnRing) {
+  DeterministicPrf seed = DeterministicPrf::FromString("open-ring");
+  FpEngine::Deploy deploy;
+  deploy.scheme = ShareScheme::kAdditive;
+  deploy.num_servers = 2;
+  auto engine = FpEngine::Outsource(OpenFailDoc(602), seed, deploy).value();
+  const std::string store = "/tmp/polysse_open_ring.bin";
+  ASSERT_TRUE(engine->Save(store, store + ".key").ok());
+
+  // Overwrite server 1's file with a same-shape store from a DIFFERENT
+  // field (p forced larger): the ring parameters cannot agree.
+  FpOutsourceOptions big;
+  big.p = 257;
+  auto other =
+      FpEngine::Outsource(OpenFailDoc(602), seed, deploy, big).value();
+  const std::string other_store = "/tmp/polysse_open_ring_other.bin";
+  ASSERT_TRUE(other->Save(other_store, other_store + ".key").ok());
+  auto bytes =
+      ReadFileBytes(FpEngine::MultiServerStorePath(other_store, 1)).value();
+  ASSERT_TRUE(
+      WriteFileBytes(FpEngine::MultiServerStorePath(store, 1), bytes).ok());
+
+  auto reopened = FpEngine::Open(store, store + ".key");
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(reopened.status().message().find("ring"), std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST(PersistenceTest, OpenRejectsServerStoresDisagreeingOnSize) {
+  DeterministicPrf seed = DeterministicPrf::FromString("open-size");
+  FpEngine::Deploy deploy;
+  deploy.scheme = ShareScheme::kAdditive;
+  deploy.num_servers = 2;
+  auto engine = FpEngine::Outsource(OpenFailDoc(603), seed, deploy).value();
+  const std::string store = "/tmp/polysse_open_size.bin";
+  ASSERT_TRUE(engine->Save(store, store + ".key").ok());
+
+  // Server 1's file replaced by a store of a different document (same
+  // ring, different node count).
+  FpOutsourceOptions same_p;
+  same_p.p = engine->ring().p();
+  XmlGeneratorOptions gen;
+  gen.num_nodes = 12;
+  gen.tag_alphabet = 5;
+  gen.seed = 604;
+  auto other =
+      FpEngine::Outsource(GenerateXmlTree(gen), seed, deploy, same_p).value();
+  const std::string other_store = "/tmp/polysse_open_size_other.bin";
+  ASSERT_TRUE(other->Save(other_store, other_store + ".key").ok());
+  auto bytes =
+      ReadFileBytes(FpEngine::MultiServerStorePath(other_store, 1)).value();
+  ASSERT_TRUE(
+      WriteFileBytes(FpEngine::MultiServerStorePath(store, 1), bytes).ok());
+
+  auto reopened = FpEngine::Open(store, store + ".key");
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption)
+      << reopened.status().ToString();
+}
+
+TEST(PersistenceTest, OpenRejectsKeyNamingZeroServers) {
+  // A v2-layout key whose deployment trailer claims zero servers must be
+  // rejected while decoding — never reach the store-loading loop.
+  DeterministicPrf seed = DeterministicPrf::FromString("open-zero");
+  auto dep = MakeFpDeployment(OpenFailDoc(605), seed).value();
+  ByteWriter w;
+  for (char ch : {'P', 'K', 'E', 'Y'}) w.PutU8(static_cast<uint8_t>(ch));
+  w.PutU8(2);  // v2
+  w.PutBytes(std::span<const uint8_t>(seed.seed().data(),
+                                      seed.seed().size()));
+  w.PutVarint64(256);
+  dep.client.tag_map().Serialize(&w);
+  w.PutU8(static_cast<uint8_t>(ShareScheme::kAdditive));
+  w.PutVarint64(0);  // zero servers
+  w.PutVarint64(0);
+  w.PutU8(1);
+  w.PutVarint64(dep.ring.p());
+  const std::string key = "/tmp/polysse_open_zero.key";
+  ASSERT_TRUE(WriteFileBytes(key, w.span()).ok());
+
+  ByteWriter store_bytes;
+  SaveServerStore(dep.server, &store_bytes);
+  const std::string store = "/tmp/polysse_open_zero.bin";
+  ASSERT_TRUE(WriteFileBytes(store, store_bytes.span()).ok());
+
+  auto reopened = FpEngine::Open(store, key);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption)
+      << reopened.status().ToString();
 }
 
 TEST(PersistenceTest, FileIoRoundTrip) {

@@ -143,6 +143,31 @@ TEST(ProtocolFuzzTest, FetchResponseSurvivesCorruptBuffers) {
   FuzzMessage<FetchResponse>(SeedFetchResponse(), 0xF2);
 }
 
+TEST(ProtocolFuzzTest, AddDocRequestSurvivesCorruptBuffers) {
+  AddDocRequest req;
+  req.doc_id = 42;
+  req.base = 1 << 20;
+  req.store_bytes = {'P', 'S', 'S', 'E', 1, 1, 9, 9, 9};
+  ByteWriter w;
+  req.Serialize(&w);
+  FuzzMessage<AddDocRequest>(w.Take(), 0xA1);
+}
+
+TEST(ProtocolFuzzTest, RemoveDocRequestAndAckSurviveCorruptBuffers) {
+  RemoveDocRequest req;
+  req.doc_id = 7;
+  ByteWriter w;
+  req.Serialize(&w);
+  FuzzMessage<RemoveDocRequest>(w.Take(), 0xA2);
+
+  AdminAck ack;
+  ack.doc_count = 3;
+  ack.node_count = 999;
+  ByteWriter wa;
+  ack.Serialize(&wa);
+  FuzzMessage<AdminAck>(wa.Take(), 0xA3);
+}
+
 TEST(ProtocolFuzzTest, ElementCountsAreBoundedByInputSize) {
   // A 6-byte buffer claiming 2^24 points must be rejected up front (the
   // allocation-bomb guard), not limp along until end-of-buffer.

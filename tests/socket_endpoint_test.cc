@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "core/collection.h"
 #include "core/engine.h"
+#include "core/store_registry.h"
 #include "net/socket_endpoint.h"
 #include "testing/deploy_helpers.h"
 #include "testing/query_helpers.h"
@@ -200,6 +202,123 @@ TEST(SocketEndpointTest, StoppedServerYieldsUnavailable) {
   auto r = (*ep)->Eval(req);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketEndpointTest, ReconnectsAfterServerRestart) {
+  // Kill the server between queries, bring a fresh one up on the SAME
+  // port: the endpoint's one automatic reconnect attempt must ride out
+  // the restart without the caller noticing anything but the answer.
+  XmlNode doc = MakeDoc(305, 30);
+  DeterministicPrf seed = DeterministicPrf::FromString("socket-restart");
+  FpDeployment dep = MakeFpDeployment(doc, seed).value();
+
+  auto server = SocketServer::Listen(&dep.server, 0);
+  ASSERT_TRUE(server.ok());
+  const uint16_t port = (*server)->port();
+  auto ep = SocketEndpoint::Connect("127.0.0.1", port);
+  ASSERT_TRUE(ep.ok());
+
+  QuerySession<FpCyclotomicRing> session(&dep.client,
+                                         EndpointGroup::TwoParty(ep->get()));
+  const std::string tag = doc.DistinctTags().front();
+  auto before = session.Lookup(tag, VerifyMode::kVerified);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ((*ep)->reconnects(), 0u);
+
+  // Restart: the old connection is dead, the port is live again.
+  (*server)->Stop();
+  server->reset();
+  auto restarted = SocketServer::Listen(&dep.server, port);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+
+  auto after = session.Lookup(tag, VerifyMode::kVerified);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(SortedMatchPaths(after->matches),
+            SortedMatchPaths(before->matches));
+  EXPECT_GE((*ep)->reconnects(), 1u);
+
+  // With the server gone for good, the reconnect attempt fails too and
+  // the call surfaces Unavailable.
+  (*restarted)->Stop();
+  auto dead = session.Lookup(tag, VerifyMode::kVerified);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketEndpointTest, CollectionRegistryServedOverTcpWithLiveAddRemove) {
+  // The multi-document flow across a real network boundary: an authoring
+  // client saves a two-document collection, a server process loads the
+  // registry and serves it over TCP, and a connected client searches it,
+  // ADDS a third document over the wire (nothing about docs 1/2 crosses
+  // again), then removes one.
+  DeterministicPrf seed = DeterministicPrf::FromString("socket-collection");
+  auto authoring = FpCollection::Create(seed).value();
+  XmlNode a = MakeDoc(306, 30), b = MakeDoc(307, 40);
+  ASSERT_TRUE(authoring->Add(1, a).ok());
+  ASSERT_TRUE(authoring->Add(2, b).ok());
+  ASSERT_TRUE(authoring->Save("/tmp/polysse_sock_col.bin",
+                              "/tmp/polysse_sock_col.key")
+                  .ok());
+
+  // "Server process": load the registry from the store file and serve it.
+  auto store_bytes = ReadFileBytes("/tmp/polysse_sock_col.bin").value();
+  auto registry = LoadStoreRegistry<FpCyclotomicRing>(store_bytes);
+  ASSERT_TRUE(registry.ok()) << registry.status().ToString();
+  auto server = SocketServer::Listen(registry->get(), 0);
+  ASSERT_TRUE(server.ok());
+
+  // "Client process": key file + one TCP endpoint.
+  auto key_bytes = ReadFileBytes("/tmp/polysse_sock_col.key").value();
+  ByteReader key_reader(key_bytes);
+  auto key = ClientSecretFile::Deserialize(&key_reader).value();
+  auto ep = SocketEndpoint::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(ep.ok());
+  auto col = FpCollection::Connect(key, {ep->get()});
+  ASSERT_TRUE(col.ok()) << col.status().ToString();
+  EXPECT_EQ((*col)->num_docs(), 2u);
+
+  const std::string tag = a.DistinctTags().front();
+  auto over_tcp = (*col)->Search(tag).value();
+  auto local = authoring->Search(tag).value();
+  ASSERT_EQ(over_tcp.per_doc.size(), local.per_doc.size());
+  for (const auto& [id, result] : local.per_doc) {
+    EXPECT_EQ(SortedMatchPaths(over_tcp.per_doc.at(id).matches),
+              SortedMatchPaths(result.matches))
+        << "doc " << id;
+  }
+
+  // Incremental add over TCP: only doc 3's share tree crosses the wire.
+  const size_t bytes_before = (*ep)->counters().bytes_up;
+  XmlNode c = MakeDoc(308, 20);
+  ASSERT_TRUE((*col)->Add(3, c).ok());
+  EXPECT_EQ((*registry)->num_docs(), 3u);
+  const size_t add_bytes = (*ep)->counters().bytes_up - bytes_before;
+  ByteWriter one_doc;
+  SaveServerStore(*(*registry)->store(3).value(), &one_doc);
+  // The admin message is the one document's store (plus small framing) —
+  // nowhere near a re-upload of the whole collection.
+  EXPECT_LT(add_bytes, one_doc.size() + 128);
+
+  auto c_hits = (*col)->SearchDoc(3, c.DistinctTags().front());
+  ASSERT_TRUE(c_hits.ok()) << c_hits.status().ToString();
+
+  // Remove over TCP; the server's registry shrinks, searches move on.
+  ASSERT_TRUE((*col)->Remove(1).ok());
+  EXPECT_EQ((*registry)->num_docs(), 2u);
+  auto after = (*col)->Search(tag).value();
+  EXPECT_EQ(after.per_doc.count(1), 0u);
+
+  // The connected client can persist its updated key and reconnect later.
+  ASSERT_TRUE((*col)->SaveKey("/tmp/polysse_sock_col.key").ok());
+  auto key_bytes2 = ReadFileBytes("/tmp/polysse_sock_col.key").value();
+  ByteReader key_reader2(key_bytes2);
+  auto key2 = ClientSecretFile::Deserialize(&key_reader2).value();
+  auto col2 = FpCollection::Connect(key2, {ep->get()});
+  ASSERT_TRUE(col2.ok());
+  EXPECT_EQ((*col2)->num_docs(), 2u);
+  auto again = (*col2)->SearchDoc(3, c.DistinctTags().front());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(SortedMatchPaths(again->matches), SortedMatchPaths(c_hits->matches));
 }
 
 TEST(SocketEndpointTest, ConnectToNothingFailsCleanly) {
