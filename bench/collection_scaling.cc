@@ -42,7 +42,9 @@ double MedianWallUs(const std::vector<double>& runs_in) {
 
 struct Cost {
   size_t rounds = 0;
+  size_t fetch_rounds = 0;
   size_t messages_up = 0;
+  size_t bytes_up = 0;
   double wall_us = 0;
 };
 
@@ -102,7 +104,8 @@ int Run(const std::string& json_path) {
     auto shared_cost = [&](VerifyMode mode) {
       return Measure([&, mode]() -> Cost {
         auto r = col->Search(kQueryTag, mode).value();
-        return {r.stats.rounds, r.stats.transport.messages_up, 0};
+        return {r.stats.rounds, r.stats.fetch_rounds,
+                r.stats.transport.messages_up, r.stats.transport.bytes_up, 0};
       });
     };
     auto sequential_cost = [&](VerifyMode mode) {
@@ -112,7 +115,9 @@ int Run(const std::string& json_path) {
           auto r =
               col->SearchDoc(static_cast<DocId>(d), kQueryTag, mode).value();
           sum.rounds += r.stats.rounds;
+          sum.fetch_rounds += r.stats.fetch_rounds;
           sum.messages_up += r.stats.transport.messages_up;
+          sum.bytes_up += r.stats.transport.bytes_up;
         }
         return sum;
       });
@@ -122,6 +127,17 @@ int Run(const std::string& json_path) {
     const Cost seq_walk = sequential_cost(VerifyMode::kOptimistic);
     const Cost shared_ver = shared_cost(VerifyMode::kVerified);
     const Cost seq_ver = sequential_cost(VerifyMode::kVerified);
+    const Cost shared_trusted = shared_cost(VerifyMode::kTrustedConstOnly);
+
+    // Hot-query cache: an identical repeat is answered from client memory;
+    // count the wire messages it still sends (the headline: zero).
+    col->SetQueryCacheCapacity(4);
+    (void)col->Search(kQueryTag, VerifyMode::kVerified).value();  // fill
+    const TransportCounters cache_before = col->transport_totals();
+    (void)col->Search(kQueryTag, VerifyMode::kVerified).value();  // hit
+    const size_t cached_repeat_msgs =
+        col->transport_totals().messages_up - cache_before.messages_up;
+    col->SetQueryCacheCapacity(0);
 
     // The same walk against a server 200us of latency away: round trips
     // are now the cost, and the shared frontier pays D-fold fewer.
@@ -137,6 +153,13 @@ int Run(const std::string& json_path) {
                 shared_ver.messages_up, seq_ver.messages_up,
                 shared_ver.wall_us / 1000.0, seq_ver.wall_us / 1000.0,
                 shared_lag.wall_us / 1000.0, seq_lag.wall_us / 1000.0);
+    std::printf(
+        "       | verified fetch rounds: shared %zu, sequential %zu; "
+        "verified KB up: shared %.1f, seq %.1f; trusted msgs %zu; "
+        "cached repeat msgs %zu\n",
+        shared_ver.fetch_rounds, seq_ver.fetch_rounds,
+        shared_ver.bytes_up / 1024.0, seq_ver.bytes_up / 1024.0,
+        shared_trusted.messages_up, cached_repeat_msgs);
 
     const std::string suffix = "_D" + std::to_string(docs);
     add_entry("shared_walk_rounds" + suffix,
@@ -151,6 +174,16 @@ int Run(const std::string& json_path) {
               static_cast<double>(shared_ver.messages_up));
     add_entry("sequential_verified_messages" + suffix,
               static_cast<double>(seq_ver.messages_up));
+    add_entry("shared_verified_fetch_rounds" + suffix,
+              static_cast<double>(shared_ver.fetch_rounds));
+    add_entry("sequential_verified_fetch_rounds" + suffix,
+              static_cast<double>(seq_ver.fetch_rounds));
+    add_entry("shared_verified_bytes_up" + suffix,
+              static_cast<double>(shared_ver.bytes_up));
+    add_entry("shared_trusted_messages" + suffix,
+              static_cast<double>(shared_trusted.messages_up));
+    add_entry("cached_repeat_messages" + suffix,
+              static_cast<double>(cached_repeat_msgs));
     add_entry("shared_lag_wall_us" + suffix, shared_lag.wall_us);
     add_entry("sequential_lag_wall_us" + suffix, seq_lag.wall_us);
   }

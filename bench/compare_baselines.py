@@ -3,7 +3,7 @@
 
 Usage:
   compare_baselines.py BASELINE.json CURRENT.json [--report-only]
-                       [--threshold-pct 25]
+                       [--threshold-pct 25] [--entries-regex PATTERN]
 
 BASELINE.json is a file from bench/baselines/ (schema below). CURRENT.json
 is either another baseline-schema file or a raw google-benchmark
@@ -22,10 +22,15 @@ A benchmark regresses when current/baseline exceeds 1 + threshold/100
 present on only one side are reported but never fail the run (benchmarks
 come and go; the gate is for the ones we can compare). Exit status is 1
 when any comparable entry regresses, unless --report-only.
+
+--entries-regex narrows the comparison to matching entry names. This is
+how CI enforces the deterministic protocol-cost counters (rounds, message
+counts) strictly while leaving noisy wall-time entries report-only.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -52,10 +57,21 @@ def main():
                     help="always exit 0; print the comparison only")
     ap.add_argument("--threshold-pct", type=float, default=25.0,
                     help="regression threshold in percent (default 25)")
+    ap.add_argument("--entries-regex", default=None,
+                    help="compare only entries whose name matches this "
+                         "regular expression (re.search)")
     args = ap.parse_args()
 
     base = load_entries(args.baseline)
     cur = load_entries(args.current)
+    if args.entries_regex:
+        pat = re.compile(args.entries_regex)
+        base = {k: v for k, v in base.items() if pat.search(k)}
+        cur = {k: v for k, v in cur.items() if pat.search(k)}
+        if not base:
+            print(f"no baseline entries match {args.entries_regex!r}",
+                  file=sys.stderr)
+            return 1
     limit = 1.0 + args.threshold_pct / 100.0
 
     regressions = []
@@ -65,7 +81,12 @@ def main():
         if name not in cur:
             print(f"{name:<{width}}  {base[name]:>12.0f}  {'MISSING':>12}  -")
             continue
-        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        if base[name] > 0:
+            ratio = cur[name] / base[name]
+        else:
+            # A zero baseline (e.g. "a cache hit sends zero messages") only
+            # regresses when the current run is nonzero.
+            ratio = 1.0 if cur[name] == 0 else float("inf")
         flag = ""
         if ratio > limit:
             flag = f"  REGRESSION (> +{args.threshold_pct:.0f}%)"

@@ -25,6 +25,8 @@
 #define POLYSSE_CORE_COLLECTION_H_
 
 #include <algorithm>
+#include <array>
+#include <list>
 #include <map>
 #include <memory>
 #include <span>
@@ -44,6 +46,7 @@
 #include "core/server_store.h"
 #include "core/sharing.h"
 #include "core/store_registry.h"
+#include "index/bloom_index.h"
 #include "nt/primes.h"
 #include "util/thread_pool.h"
 #include "xpath/xpath.h"
@@ -344,6 +347,16 @@ class Collection {
     docs_.push_back({doc_id, base, size, prefix});
     next_base_ += size;
     ++next_epoch_;
+    // Only Add sees the plaintext, so this is the one chance to build the
+    // document's pre-filter; docs outsourced before the knob was turned on
+    // simply have none and are always walked.
+    if (prefilter_enabled_) {
+      filters_.emplace(doc_id,
+                       DocBloomFilter::Build(seed_, prefix,
+                                             document.DistinctTags(),
+                                             prefilter_options_));
+    }
+    ++generation_;
     RebuildSession();
     return Status::Ok();
   }
@@ -371,6 +384,8 @@ class Collection {
     }
     RETURN_IF_ERROR(first_error);
     docs_.erase(docs_.begin() + (doc - docs_.data()));
+    filters_.erase(doc_id);
+    ++generation_;
     RebuildSession();
     return Status::Ok();
   }
@@ -382,21 +397,42 @@ class Collection {
   /// server covers all documents, instead of one walk per document.
   Result<CollectionResult> Search(std::string_view tag,
                                   VerifyMode mode = VerifyMode::kVerified) {
+    std::string key;
+    if (cache_capacity_ > 0) {
+      key = CacheKey("tag", static_cast<int>(mode), tag);
+      if (const auto* hit = CacheFind(key)) return (*hit)[0];
+    }
     ASSIGN_OR_RETURN(LookupResult r, session_->Lookup(tag, mode));
-    return Partition(std::move(r));
+    ASSIGN_OR_RETURN(CollectionResult c, Partition(std::move(r)));
+    if (!key.empty()) CacheStore(std::move(key), {c});
+    return c;
   }
 
   /// Batched cross-document lookup: several //tag queries AND all
-  /// documents share one walk. Entry i answers queries[i].
+  /// documents share one walk. Entry i answers queries[i]. With the Bloom
+  /// pre-filter enabled, documents whose filter rejects every queried tag
+  /// never enter the shared frontier.
   Result<std::vector<CollectionResult>> SearchMany(
       std::span<const Query> queries) {
-    ASSIGN_OR_RETURN(MultiLookupResult multi, session_->LookupBatch(queries));
+    std::string key;
+    if (cache_capacity_ > 0) {
+      key = "many";
+      for (const Query& q : queries) {
+        key += '\x1f';
+        key += static_cast<char>('0' + static_cast<int>(q.mode));
+        key += '\x1e';
+        key += q.tag;
+      }
+      if (const auto* hit = CacheFind(key)) return *hit;
+    }
+    ASSIGN_OR_RETURN(MultiLookupResult multi, RunBatch(queries));
     std::vector<CollectionResult> out;
     out.reserve(multi.per_tag.size());
     for (LookupResult& r : multi.per_tag) {
       ASSIGN_OR_RETURN(CollectionResult c, Partition(std::move(r)));
       out.push_back(std::move(c));
     }
+    if (!key.empty()) CacheStore(std::move(key), out);
     return out;
   }
 
@@ -406,10 +442,18 @@ class Collection {
       std::string_view xpath,
       XPathStrategy strategy = XPathStrategy::kAllAtOnce,
       VerifyMode mode = VerifyMode::kVerified) {
+    std::string key;
+    if (cache_capacity_ > 0) {
+      key = CacheKey("xpath", static_cast<int>(mode) * 4 +
+                                  static_cast<int>(strategy), xpath);
+      if (const auto* hit = CacheFind(key)) return (*hit)[0];
+    }
     ASSIGN_OR_RETURN(XPathQuery query, XPathQuery::Parse(std::string(xpath)));
     ASSIGN_OR_RETURN(LookupResult r,
                      session_->EvaluateXPath(query, strategy, mode));
-    return Partition(std::move(r));
+    ASSIGN_OR_RETURN(CollectionResult c, Partition(std::move(r)));
+    if (!key.empty()) CacheStore(std::move(key), {c});
+    return c;
   }
 
   /// Lookup restricted to one document (its own pruned walk). Node ids and
@@ -545,6 +589,7 @@ class Collection {
     faults_.push_back(std::make_unique<FaultInjectingEndpoint>(
         group_.endpoints[i], std::move(config)));
     group_.endpoints[i] = faults_.back().get();
+    ++generation_;  // cached answers predate the faults; don't serve them
     RebuildSession();
     return faults_.back().get();
   }
@@ -561,6 +606,43 @@ class Collection {
   /// The executor fan-out currently runs on (null = sequential inline).
   Executor* executor() const {
     return pool_ != nullptr ? pool_.get() : external_executor_;
+  }
+
+  // ------------------------------------------------- client-side caching
+
+  /// Enables (capacity > 0) or disables (0, the default) the hot-query
+  /// cache: a repeated identical Search/SearchMany/SearchXPath is answered
+  /// from the client's memory with ZERO protocol messages. Entries are
+  /// generation-stamped and die on any Add/Remove, so cached answers are
+  /// always what a cold session would return. Least-recently-used entries
+  /// are evicted past `capacity`.
+  void SetQueryCacheCapacity(size_t capacity) {
+    cache_capacity_ = capacity;
+    while (cache_.size() > cache_capacity_) EvictOldest();
+  }
+  size_t query_cache_entries() const { return cache_.size(); }
+
+  /// Turns on the per-document Bloom pre-filter for documents added FROM
+  /// NOW ON (only Add sees the plaintext tag set the filter is built
+  /// from). At query time, SearchMany skips any filtered document whose
+  /// filter rejects every queried tag — a Bloom filter has no false
+  /// negatives, so answers stay bit-identical; false positives only cost
+  /// walk work. Unfiltered documents (added before this call, or loaded
+  /// via Connect/Open) are always walked.
+  void EnableBloomPrefilter(DocBloomFilter::Options options = {}) {
+    prefilter_enabled_ = true;
+    prefilter_options_ = options;
+  }
+  /// Documents the pre-filter excluded from the last SearchMany frontier.
+  size_t last_prefilter_skipped() const { return last_prefilter_skipped_; }
+
+  /// Cumulative wire cost across every server endpoint since attachment —
+  /// unlike last_stats(), this moves only when messages actually flow, so
+  /// a cache hit shows up as an unchanged snapshot.
+  TransportCounters transport_totals() const {
+    TransportCounters sum;
+    for (const ServerEndpoint* ep : group_.endpoints) sum.Add(ep->counters());
+    return sum;
   }
 
   /// Resolves the document owning global node id `id` together with its
@@ -799,6 +881,82 @@ class Collection {
         std::make_unique<QuerySession<Ring>>(client_.get(), group_, Roots());
   }
 
+  /// Runs the shared-walk batch, narrowing the frontier to documents whose
+  /// Bloom filter admits at least one queried tag (when enabled). A filter
+  /// built under a different num_hashes than the current options cannot be
+  /// tested soundly, so such documents are conservatively walked.
+  Result<MultiLookupResult> RunBatch(std::span<const Query> queries) {
+    last_prefilter_skipped_ = 0;
+    if (!prefilter_enabled_ || filters_.empty())
+      return session_->LookupBatch(queries);
+    std::vector<std::vector<std::array<uint8_t, 32>>> trapdoors;
+    trapdoors.reserve(queries.size());
+    for (const Query& q : queries)
+      trapdoors.push_back(
+          DocBloomFilter::QueryTrapdoors(seed_, q.tag, prefilter_options_));
+    std::vector<SessionRoot> roots;
+    roots.reserve(docs_.size());
+    for (const Doc& doc : docs_) {
+      auto it = filters_.find(doc.id);
+      bool include =
+          it == filters_.end() ||
+          it->second.num_hashes() != prefilter_options_.num_hashes;
+      for (size_t i = 0; !include && i < trapdoors.size(); ++i)
+        include = it->second.MayContain(trapdoors[i]);
+      if (include) {
+        roots.push_back({doc.base, doc.prefix});
+      } else {
+        ++last_prefilter_skipped_;
+      }
+    }
+    if (roots.size() == docs_.size()) return session_->LookupBatch(queries);
+    QuerySession<Ring> session(client_.get(), group_, std::move(roots));
+    return session.LookupBatch(queries);
+  }
+
+  static std::string CacheKey(std::string_view kind, int variant,
+                              std::string_view text) {
+    std::string key(kind);
+    key += static_cast<char>('0' + variant);
+    key += '\x1f';
+    key += text;
+    return key;
+  }
+
+  /// A cache hit only counts when the entry's generation is current; stale
+  /// entries are reaped on contact instead of by sweeping at Add/Remove.
+  const std::vector<CollectionResult>* CacheFind(const std::string& key) {
+    auto it = cache_.find(key);
+    if (it == cache_.end()) return nullptr;
+    if (it->second.generation != generation_) {
+      cache_order_.erase(it->second.order);
+      cache_.erase(it);
+      return nullptr;
+    }
+    cache_order_.splice(cache_order_.begin(), cache_order_, it->second.order);
+    return &it->second.results;
+  }
+
+  void CacheStore(std::string key, std::vector<CollectionResult> results) {
+    if (cache_capacity_ == 0) return;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      cache_order_.erase(it->second.order);
+      cache_.erase(it);
+    }
+    while (cache_.size() >= cache_capacity_) EvictOldest();
+    cache_order_.push_front(std::move(key));
+    cache_.emplace(cache_order_.front(),
+                   CacheEntry{generation_, std::move(results),
+                              cache_order_.begin()});
+  }
+
+  void EvictOldest() {
+    if (cache_order_.empty()) return;
+    cache_.erase(cache_order_.back());
+    cache_order_.pop_back();
+  }
+
   const Doc* FindDoc(DocId doc_id) const {
     for (const Doc& doc : docs_)
       if (doc.id == doc_id) return &doc;
@@ -875,6 +1033,23 @@ class Collection {
   std::vector<Doc> docs_;  ///< sorted by base
   int64_t next_base_ = 0;
   uint64_t next_epoch_ = 0;
+
+  // Hot-query cache (off until SetQueryCacheCapacity).
+  struct CacheEntry {
+    uint64_t generation = 0;
+    std::vector<CollectionResult> results;
+    std::list<std::string>::iterator order;  ///< position in cache_order_
+  };
+  size_t cache_capacity_ = 0;
+  uint64_t generation_ = 0;  ///< bumped by Add/Remove/InjectFaults
+  std::list<std::string> cache_order_;  ///< most-recently-used first
+  std::map<std::string, CacheEntry> cache_;
+
+  // Bloom pre-filter (off until EnableBloomPrefilter).
+  bool prefilter_enabled_ = false;
+  DocBloomFilter::Options prefilter_options_;
+  std::map<DocId, DocBloomFilter> filters_;
+  size_t last_prefilter_skipped_ = 0;
 };
 
 using FpCollection = Collection<FpCyclotomicRing>;

@@ -140,6 +140,7 @@ struct QueryStats {
   size_t client_evals = 0;    ///< (node, point) evaluations at the client
   size_t client_share_derivations = 0;  ///< PRF-derived share polynomials
   size_t rounds = 0;          ///< BFS round trips
+  size_t fetch_rounds = 0;    ///< batched verification-fetch round trips
   size_t zero_candidates = 0; ///< nodes whose combined evaluation was 0
   size_t reconstructions = 0; ///< Theorem 1/2 tag recoveries performed
   size_t polys_fetched_full = 0;

@@ -150,6 +150,12 @@ class QuerySession {
     RETURN_IF_ERROR(client_->ring().QueryModulus(e).status());
 
     ASSIGN_OR_RETURN(std::vector<int32_t> zeros, PrunedDescend(RootIds(), {e}));
+    // Round-planned verification: every share the candidates need arrives
+    // in one batched fetch round, not one FetchRequest per node.
+    std::vector<int32_t> consts, polys;
+    RETURN_IF_ERROR(PlanCandidateFetches(zeros, mode, &consts, &polys));
+    RETURN_IF_ERROR(PrefetchConsts(consts));
+    RETURN_IF_ERROR(PrefetchPolys(polys));
     for (int32_t z : zeros) {
       RETURN_IF_ERROR(ResolveCandidate(z, e, mode, &result.matches,
                                        &result.possible));
@@ -215,6 +221,16 @@ class QuerySession {
     }
 
     // Resolve answers per query, sharing the fetch/reconstruction caches.
+    // All queries' verification needs are planned into shared batched fetch
+    // rounds up front (one const-only, one full, per server).
+    std::vector<int32_t> consts, polys;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (tag_point[i] < 0) continue;
+      RETURN_IF_ERROR(PlanCandidateFetches(zeros_per_point[tag_point[i]],
+                                           queries[i].mode, &consts, &polys));
+    }
+    RETURN_IF_ERROR(PrefetchConsts(consts));
+    RETURN_IF_ERROR(PrefetchPolys(polys));
     for (size_t i = 0; i < queries.size(); ++i) {
       if (tag_point[i] < 0) continue;  // unmapped
       const uint64_t e = points[tag_point[i]];
@@ -397,9 +413,12 @@ class QuerySession {
   /// Additive schemes require every server; Shamir asks the first
   /// `threshold` live servers, marks failing ones dead and retries with
   /// replacements as long as at least `threshold` remain, recomputing
-  /// Lagrange weights for whichever subset answered.
+  /// Lagrange weights for whichever subset answered. When `sources` is
+  /// non-null it receives the endpoint index each response came from, so
+  /// callers that detect a malformed answer can attribute it to a server.
   template <typename Resp, typename Fn>
-  Result<std::vector<Resp>> FanOut(Fn&& fn, std::vector<uint64_t>* weights) {
+  Result<std::vector<Resp>> FanOut(Fn&& fn, std::vector<uint64_t>* weights,
+                                   std::vector<size_t>* sources = nullptr) {
     std::vector<Resp> responses;
     if (group_.scheme != ShareScheme::kShamir) {
       std::vector<size_t> all(group_.endpoints.size());
@@ -411,6 +430,7 @@ class QuerySession {
         responses.push_back(std::move(r).value());
       }
       weights->assign(responses.size(), 1);
+      if (sources != nullptr) *sources = std::move(all);
       return responses;
     }
     const size_t t = static_cast<size_t>(group_.threshold);
@@ -424,6 +444,7 @@ class QuerySession {
             std::to_string(t) + " servers are reachable");
       std::vector<Result<Resp>> results = Dispatch<Resp>(chosen, fn);
       responses.clear();
+      std::vector<size_t> answered;
       std::vector<uint64_t> xs;
       bool failed = false;
       for (size_t j = 0; j < chosen.size(); ++j) {
@@ -434,6 +455,7 @@ class QuerySession {
           continue;
         }
         responses.push_back(std::move(results[j]).value());
+        answered.push_back(chosen[j]);
         xs.push_back(group_.shamir_x[chosen[j]]);
       }
       if (failed) continue;
@@ -441,6 +463,7 @@ class QuerySession {
         ASSIGN_OR_RETURN(*weights,
                          LagrangeWeightsAtZero(client_->ring().field(), xs));
       }
+      if (sources != nullptr) *sources = std::move(answered);
       return responses;
     }
   }
@@ -614,65 +637,151 @@ class QuerySession {
 
   // -------------------------------------------------------- reconstruction
 
+  /// Issues ONE FetchRequest for `need` to every active server and checks
+  /// the response shape before anything indexes into it: every server must
+  /// answer with exactly one entry per requested id, in request order. A
+  /// malformed answer identifies its server as lying; under Shamir that
+  /// server is marked dead (a failover, like one that stopped answering)
+  /// and the round retries with a replacement, while the all-servers
+  /// schemes must refuse with Corruption.
+  Result<std::pair<std::vector<FetchResponse>, std::vector<uint64_t>>>
+  FetchRound(FetchMode mode, const std::vector<int32_t>& need) {
+    FetchRequest req;
+    req.mode = mode;
+    req.node_ids = need;
+    for (;;) {
+      std::vector<uint64_t> weights;
+      std::vector<size_t> sources;
+      ASSIGN_OR_RETURN(
+          std::vector<FetchResponse> resps,
+          FanOut<FetchResponse>(
+              [&](ServerEndpoint* ep) { return ep->Fetch(req); }, &weights,
+              &sources));
+      ++stats_.fetch_rounds;
+      bool retry = false;
+      for (size_t s = 0; s < resps.size(); ++s) {
+        bool bad = resps[s].entries.size() != need.size();
+        for (size_t j = 0; !bad && j < need.size(); ++j)
+          bad = resps[s].entries[j].node_id != need[j];
+        if (!bad) continue;
+        if (group_.scheme != ShareScheme::kShamir)
+          return Status::Corruption(
+              "fetch response misaligned with the request");
+        dead_[sources[s]] = 1;  // an identified liar: replaceable
+        ++stats_.server_failovers;
+        retry = true;
+      }
+      if (!retry) return std::make_pair(std::move(resps), std::move(weights));
+    }
+  }
+
+  /// Fetches and combines the full share polynomials of every id in `ids`
+  /// not already cached, in ONE FetchRequest per server.
+  Status PrefetchPolys(const std::vector<int32_t>& ids) {
+    std::vector<int32_t> need;
+    for (int32_t id : ids) {
+      if (combined_polys_.count(id)) continue;
+      if (std::find(need.begin(), need.end(), id) == need.end())
+        need.push_back(id);
+    }
+    if (need.empty()) return Status::Ok();
+    ASSIGN_OR_RETURN(auto round, FetchRound(FetchMode::kFull, need));
+    std::vector<FetchResponse>& resps = round.first;
+    const std::vector<uint64_t>& weights = round.second;
+    stats_.polys_fetched_full += need.size();
+    const Ring& ring = client_->ring();
+    for (size_t j = 0; j < need.size(); ++j) {
+      Elem combined = ring.Zero();
+      for (size_t s = 0; s < resps.size(); ++s) {
+        ByteReader r(resps[s].entries[j].payload);
+        ASSIGN_OR_RETURN(Elem part, ring.Deserialize(&r));
+        combined = ring.Add(combined, ScaledPart(std::move(part), weights[s]));
+      }
+      if (include_client()) {
+        ASSIGN_OR_RETURN(const Elem* share, ClientShare(need[j]));
+        combined = ring.Add(combined, *share);
+      }
+      combined_polys_.emplace(need[j], std::move(combined));
+    }
+    return Status::Ok();
+  }
+
+  /// Const-coefficient counterpart of PrefetchPolys (trusted mode).
+  Status PrefetchConsts(const std::vector<int32_t>& ids) {
+    std::vector<int32_t> need;
+    for (int32_t id : ids) {
+      if (combined_consts_.count(id)) continue;
+      if (std::find(need.begin(), need.end(), id) == need.end())
+        need.push_back(id);
+    }
+    if (need.empty()) return Status::Ok();
+    ASSIGN_OR_RETURN(auto round, FetchRound(FetchMode::kConstOnly, need));
+    std::vector<FetchResponse>& resps = round.first;
+    const std::vector<uint64_t>& weights = round.second;
+    stats_.consts_fetched += need.size();
+    const Ring& ring = client_->ring();
+    for (size_t j = 0; j < need.size(); ++j) {
+      Scalar combined = ring.ConstTerm(ring.Zero());
+      for (size_t s = 0; s < resps.size(); ++s) {
+        ByteReader r(resps[s].entries[j].payload);
+        ASSIGN_OR_RETURN(Scalar c0, ring.DeserializeScalar(&r));
+        combined =
+            ring.AddScalars(combined, ScaledScalar(std::move(c0), weights[s]));
+      }
+      if (include_client()) {
+        ASSIGN_OR_RETURN(const Elem* share, ClientShare(need[j]));
+        combined = ring.AddScalars(combined, ring.ConstTerm(*share));
+      }
+      combined_consts_.emplace(need[j], std::move(combined));
+    }
+    return Status::Ok();
+  }
+
   Result<const Elem*> FetchCombinedPoly(int32_t id) {
     auto it = combined_polys_.find(id);
-    if (it != combined_polys_.end()) return &it->second;
-    FetchRequest req;
-    req.mode = FetchMode::kFull;
-    req.node_ids = {id};
-    std::vector<uint64_t> weights;
-    ASSIGN_OR_RETURN(
-        std::vector<FetchResponse> resps,
-        FanOut<FetchResponse>(
-            [&](ServerEndpoint* ep) { return ep->Fetch(req); }, &weights));
-    ++stats_.polys_fetched_full;
-    const Ring& ring = client_->ring();
-    Elem combined = ring.Zero();
-    for (size_t s = 0; s < resps.size(); ++s) {
-      if (resps[s].entries.size() != 1 || resps[s].entries[0].node_id != id)
-        return Status::Corruption("bad fetch response");
-      ByteReader r(resps[s].entries[0].payload);
-      ASSIGN_OR_RETURN(Elem part, ring.Deserialize(&r));
-      combined = ring.Add(combined, ScaledPart(std::move(part), weights[s]));
+    if (it == combined_polys_.end()) {
+      RETURN_IF_ERROR(PrefetchPolys({id}));
+      it = combined_polys_.find(id);
     }
-    if (include_client()) {
-      ASSIGN_OR_RETURN(const Elem* share, ClientShare(id));
-      combined = ring.Add(combined, *share);
-    }
-    return &combined_polys_.emplace(id, std::move(combined)).first->second;
+    return &it->second;
   }
 
   Result<const Scalar*> FetchCombinedConst(int32_t id) {
     auto it = combined_consts_.find(id);
-    if (it != combined_consts_.end()) return &it->second;
-    FetchRequest req;
-    req.mode = FetchMode::kConstOnly;
-    req.node_ids = {id};
-    std::vector<uint64_t> weights;
-    ASSIGN_OR_RETURN(
-        std::vector<FetchResponse> resps,
-        FanOut<FetchResponse>(
-            [&](ServerEndpoint* ep) { return ep->Fetch(req); }, &weights));
-    ++stats_.consts_fetched;
-    const Ring& ring = client_->ring();
-    Scalar combined = ring.ConstTerm(ring.Zero());
-    for (size_t s = 0; s < resps.size(); ++s) {
-      if (resps[s].entries.size() != 1 || resps[s].entries[0].node_id != id)
-        return Status::Corruption("bad fetch response");
-      ByteReader r(resps[s].entries[0].payload);
-      ASSIGN_OR_RETURN(Scalar c0, ring.DeserializeScalar(&r));
-      combined =
-          ring.AddScalars(combined, ScaledScalar(std::move(c0), weights[s]));
+    if (it == combined_consts_.end()) {
+      RETURN_IF_ERROR(PrefetchConsts({id}));
+      it = combined_consts_.find(id);
     }
-    if (include_client()) {
-      ASSIGN_OR_RETURN(const Elem* share, ClientShare(id));
-      combined = ring.AddScalars(combined, ring.ConstTerm(*share));
+    return &it->second;
+  }
+
+  /// Collects every node id the verification of `zeros` will need — each
+  /// candidate plus its direct children, routed to the const-only set for
+  /// wrap-free nodes under the trusted mode and to the full-polynomial set
+  /// otherwise. Appends to the caller's sets so several queries of a batch
+  /// plan into the same fetch rounds.
+  Status PlanCandidateFetches(const std::vector<int32_t>& zeros,
+                              VerifyMode mode, std::vector<int32_t>* consts,
+                              std::vector<int32_t>* polys) {
+    if (mode == VerifyMode::kOptimistic) return Status::Ok();
+    for (int32_t z : zeros) {
+      RETURN_IF_ERROR(EnsureStructure(z));
+      const bool const_only =
+          mode == VerifyMode::kTrustedConstOnly &&
+          static_cast<size_t>(info_[z].subtree_size) <=
+              MaxResidueDegree(client_->ring());
+      std::vector<int32_t>* dst = const_only ? consts : polys;
+      dst->push_back(z);
+      for (int32_t c : info_[z].children) dst->push_back(c);
     }
-    return &combined_consts_.emplace(id, std::move(combined)).first->second;
+    return Status::Ok();
   }
 
   /// Theorem 1/2 tag recovery for node `id` ("reconstruct the non-shared
-  /// polynomials of both the element and all its direct children").
+  /// polynomials of both the element and all its direct children"). The
+  /// node's and its children's shares arrive in ONE batched FetchRequest
+  /// per server per round — cache-deduped, so a caller that already
+  /// prefetched (PlanCandidateFetches) pays no further round.
   Result<uint64_t> ReconstructTag(int32_t id, VerifyMode mode) {
     RETURN_IF_ERROR(EnsureStructure(id));
     ++stats_.reconstructions;
@@ -684,6 +793,10 @@ class QuerySession {
       const bool wrap_free =
           static_cast<size_t>(info_[id].subtree_size) <= MaxResidueDegree(ring);
       if (wrap_free) {
+        std::vector<int32_t> need = {id};
+        need.insert(need.end(), info_[id].children.begin(),
+                    info_[id].children.end());
+        RETURN_IF_ERROR(PrefetchConsts(need));
         ASSIGN_OR_RETURN(const Scalar* f0, FetchCombinedConst(id));
         Scalar f0_copy = *f0;  // later fetches may rehash the cache
         Scalar g0 = ring.OneScalar();
@@ -699,6 +812,10 @@ class QuerySession {
       // fall through to the full reconstruction below
     }
 
+    std::vector<int32_t> need = {id};
+    need.insert(need.end(), info_[id].children.begin(),
+                info_[id].children.end());
+    RETURN_IF_ERROR(PrefetchPolys(need));
     ASSIGN_OR_RETURN(const Elem* f_ptr, FetchCombinedPoly(id));
     Elem f = *f_ptr;  // copy: subsequent fetches may invalidate the pointer
     Elem g = ring.One();

@@ -12,6 +12,8 @@
 #ifndef POLYSSE_INDEX_BLOOM_INDEX_H_
 #define POLYSSE_INDEX_BLOOM_INDEX_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,6 +70,14 @@ class BloomIndex {
 
   size_t PersistedBytes() const;
 
+  /// Goh's level-1 derivation, reusable outside the per-node index:
+  /// HMAC(seed, "bloom/<j>/<word>") for j in [0, num_hashes).
+  static std::vector<std::array<uint8_t, 32>> WordTrapdoors(
+      const DeterministicPrf& prf, int num_hashes, const std::string& word);
+  /// Level-2 derivation: filter position of a trapdoor under `path`'s salt.
+  static size_t Position(const std::array<uint8_t, 32>& trapdoor,
+                         const std::string& path);
+
  private:
   struct NodeFilter {
     std::string path;
@@ -79,12 +89,54 @@ class BloomIndex {
       : prf_(std::move(prf)), options_(options), nodes_(std::move(nodes)) {}
 
   std::vector<std::array<uint8_t, 32>> Trapdoors(const std::string& word) const;
-  static size_t Position(const std::array<uint8_t, 32>& trapdoor,
-                         const std::string& path);
 
   DeterministicPrf prf_;
   Options options_;
   std::vector<NodeFilter> nodes_;
+};
+
+/// One whole-document Bloom filter over a word set (e.g. a document's
+/// distinct tags), salted per document so identical words set unlinkable
+/// bits across documents. The collection query path uses it as a
+/// pre-filter: a document whose filter rejects every queried word can
+/// never match (no false negatives), so it is skipped before the shared
+/// BFS frontier even forms; false positives only cost walk work.
+class DocBloomFilter {
+ public:
+  struct Options {
+    size_t bits_per_doc = 512;  ///< filter size m
+    int num_hashes = 4;         ///< r independent codeword keys
+  };
+
+  /// Builds the filter for one document: `salt` must be unique per
+  /// document (the share prefix is a natural choice), `words` its indexed
+  /// word set.
+  static DocBloomFilter Build(const DeterministicPrf& seed,
+                              const std::string& salt,
+                              const std::vector<std::string>& words,
+                              const Options& options);
+
+  /// The query-side half of one word's test, computed once per query and
+  /// reused against every document's filter.
+  static std::vector<std::array<uint8_t, 32>> QueryTrapdoors(
+      const DeterministicPrf& seed, const std::string& word,
+      const Options& options);
+
+  /// False means the word is definitively absent from the document.
+  bool MayContain(
+      const std::vector<std::array<uint8_t, 32>>& trapdoors) const;
+
+  size_t bit_count() const { return filter_.bit_count(); }
+  /// How many trapdoors one membership test expects (the build-time r).
+  int num_hashes() const { return options_.num_hashes; }
+
+ private:
+  DocBloomFilter(std::string salt, Options options, BloomFilter filter)
+      : salt_(std::move(salt)), options_(options), filter_(std::move(filter)) {}
+
+  std::string salt_;
+  Options options_;
+  BloomFilter filter_;
 };
 
 }  // namespace polysse

@@ -464,5 +464,268 @@ TEST(CollectionTest, SecureCollectionServiceDecryptsPerDocument) {
   EXPECT_EQ(after.at(2)[0].text, "second body");
 }
 
+/// Bit-identical answers: same docs, same node ids, same paths, same
+/// possible sets (both sides are SortMatches-ordered already).
+void ExpectSameAnswers(const CollectionResult& want,
+                       const CollectionResult& got) {
+  ASSERT_EQ(want.per_doc.size(), got.per_doc.size());
+  for (const auto& [id, r] : want.per_doc) {
+    auto it = got.per_doc.find(id);
+    ASSERT_NE(it, got.per_doc.end()) << "doc " << id;
+    EXPECT_EQ(r.matches, it->second.matches) << "doc " << id;
+    EXPECT_EQ(r.possible, it->second.possible) << "doc " << id;
+  }
+}
+
+TEST(CollectionTest, QueryCacheRepeatIsFreeAndInvalidatesOnMutation) {
+  std::map<DocId, XmlNode> docs = {{1, MakeDoc(921)}, {2, MakeDoc(922, 30, 5)}};
+  XmlNode extra = MakeDoc(923, 20, 5);
+  for (ShareScheme scheme :
+       {ShareScheme::kTwoParty, ShareScheme::kAdditive, ShareScheme::kShamir}) {
+    DeterministicPrf seed = DeterministicPrf::FromString("col-cache");
+    FpCollection::Deploy deploy;
+    deploy.scheme = scheme;
+    deploy.num_servers = scheme == ShareScheme::kTwoParty ? 1 : 3;
+    deploy.threshold = scheme == ShareScheme::kShamir ? 2 : 0;
+    auto col = FpCollection::Create(seed, deploy).value();
+    for (const auto& [id, doc] : docs) ASSERT_TRUE(col->Add(id, doc).ok());
+    col->SetQueryCacheCapacity(4);
+
+    const std::string tag = docs.at(1).DistinctTags()[0];
+    auto cold = col->Search(tag).value();
+    TransportCounters before = col->transport_totals();
+    auto warm = col->Search(tag).value();
+    TransportCounters after = col->transport_totals();
+    EXPECT_EQ(after.messages_up, before.messages_up)
+        << "cache hit must not touch the wire";
+    EXPECT_EQ(after.messages_down, before.messages_down);
+    ExpectSameAnswers(cold, warm);
+
+    // Add invalidates: the re-query hits the wire again and equals what a
+    // cold session over the mutated collection answers.
+    ASSERT_TRUE(col->Add(3, extra).ok());
+    before = col->transport_totals();
+    auto fresh = col->Search(tag).value();
+    EXPECT_GT(col->transport_totals().messages_up, before.messages_up);
+    auto ref = FpCollection::Create(seed, deploy).value();
+    for (const auto& [id, doc] : docs) ASSERT_TRUE(ref->Add(id, doc).ok());
+    ASSERT_TRUE(ref->Add(3, extra).ok());
+    ExpectSameAnswers(ref->Search(tag).value(), fresh);
+
+    // Remove invalidates too.
+    ASSERT_TRUE(col->Remove(1).ok());
+    auto post = col->Search(tag).value();
+    EXPECT_EQ(post.per_doc.count(1), 0u);
+    ASSERT_TRUE(ref->Remove(1).ok());
+    ExpectSameAnswers(ref->Search(tag).value(), post);
+  }
+}
+
+TEST(CollectionTest, CachedSearchManyAndXPathAreZeroMessage) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-cache-many");
+  auto col = FpCollection::Create(seed).value();
+  XmlNode a = MakeDoc(931), b = MakeDoc(932, 30, 5);
+  ASSERT_TRUE(col->Add(1, a).ok());
+  ASSERT_TRUE(col->Add(2, b).ok());
+  col->SetQueryCacheCapacity(8);
+
+  std::vector<Query> queries = {
+      {a.DistinctTags()[0], VerifyMode::kVerified},
+      {b.DistinctTags()[0], VerifyMode::kTrustedConstOnly}};
+  auto cold = col->SearchMany(queries).value();
+  const std::string xpath = "//" + a.DistinctTags()[0];
+  auto x_cold = col->SearchXPath(xpath).value();
+
+  TransportCounters before = col->transport_totals();
+  auto warm = col->SearchMany(queries).value();
+  auto x_warm = col->SearchXPath(xpath).value();
+  TransportCounters after = col->transport_totals();
+  EXPECT_EQ(after.messages_up, before.messages_up);
+  EXPECT_EQ(after.messages_down, before.messages_down);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (size_t i = 0; i < cold.size(); ++i) ExpectSameAnswers(cold[i], warm[i]);
+  ExpectSameAnswers(x_cold, x_warm);
+
+  // A different verify mode is a different cache entry, not a stale hit.
+  before = col->transport_totals();
+  auto other = col->Search(queries[0].tag, VerifyMode::kTrustedConstOnly);
+  ASSERT_TRUE(other.ok());
+  EXPECT_GT(col->transport_totals().messages_up, before.messages_up);
+
+  // Eviction past capacity keeps the cache bounded.
+  col->SetQueryCacheCapacity(1);
+  EXPECT_LE(col->query_cache_entries(), 1u);
+}
+
+TEST(CollectionTest, BloomPrefilterSkipsNonMatchingDocsKeepsAnswers) {
+  auto parse = [](const std::string& s) { return ParseXml(s).value(); };
+  XmlNode d0 = parse("<t><e/><a/></t>");   // added before the knob: no filter
+  XmlNode d1 = parse("<r><a/><b/><a/></r>");
+  XmlNode d2 = parse("<s><c/><d/></s>");
+
+  DeterministicPrf seed = DeterministicPrf::FromString("col-bloom");
+  auto plain = FpCollection::Create(seed).value();
+  auto pre = FpCollection::Create(seed).value();
+  ASSERT_TRUE(plain->Add(10, d0).ok());
+  ASSERT_TRUE(pre->Add(10, d0).ok());
+  pre->EnableBloomPrefilter();
+  for (auto& [id, doc] : std::map<DocId, XmlNode>{{11, d1}, {12, d2}}) {
+    ASSERT_TRUE(plain->Add(id, doc).ok());
+    ASSERT_TRUE(pre->Add(id, doc).ok());
+  }
+
+  // "a" lives in d0 and d1; d2's filter rejects it and d2 is skipped.
+  std::vector<Query> q_a = {{"a", VerifyMode::kVerified}};
+  auto want = plain->SearchMany(q_a).value();
+  auto got = pre->SearchMany(q_a).value();
+  ASSERT_EQ(got.size(), 1u);
+  ExpectSameAnswers(want[0], got[0]);
+  EXPECT_EQ(pre->last_prefilter_skipped(), 1u);
+
+  // A tag in no filtered document: both are skipped; unfiltered d0 is
+  // still walked (it predates the knob, so it can never be ruled out).
+  std::vector<Query> q_e = {{"e", VerifyMode::kVerified}};
+  auto only_d0 = pre->SearchMany(q_e).value();
+  EXPECT_EQ(pre->last_prefilter_skipped(), 2u);
+  ASSERT_EQ(only_d0.size(), 1u);
+  ExpectSameAnswers(plain->SearchMany(q_e).value()[0], only_d0[0]);
+
+  // A document stays in the frontier if ANY query of the batch may match.
+  std::vector<Query> q_ac = {{"a", VerifyMode::kVerified},
+                             {"c", VerifyMode::kVerified}};
+  auto both = pre->SearchMany(q_ac).value();
+  EXPECT_EQ(pre->last_prefilter_skipped(), 0u);
+  auto both_want = plain->SearchMany(q_ac).value();
+  ASSERT_EQ(both.size(), both_want.size());
+  for (size_t i = 0; i < both.size(); ++i)
+    ExpectSameAnswers(both_want[i], both[i]);
+
+  // Removal drops the filter with the document.
+  ASSERT_TRUE(pre->Remove(12).ok());
+  auto after = pre->SearchMany(q_a).value();
+  EXPECT_EQ(pre->last_prefilter_skipped(), 0u);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].per_doc.count(12), 0u);
+}
+
+TEST(CollectionTest, VerifiedLookupsBatchFetchesIntoFewRounds) {
+  DeterministicPrf seed = DeterministicPrf::FromString("col-rounds");
+  std::map<DocId, XmlNode> docs;
+  for (uint64_t i = 0; i < 8; ++i) docs.emplace(i, MakeDoc(940 + i, 30, 5));
+  for (ShareScheme scheme :
+       {ShareScheme::kTwoParty, ShareScheme::kAdditive, ShareScheme::kShamir}) {
+    FpCollection::Deploy deploy;
+    deploy.scheme = scheme;
+    deploy.num_servers = scheme == ShareScheme::kTwoParty ? 1 : 3;
+    deploy.threshold = scheme == ShareScheme::kShamir ? 2 : 0;
+    auto col = FpCollection::Create(seed, deploy).value();
+    for (const auto& [id, doc] : docs) ASSERT_TRUE(col->Add(id, doc).ok());
+
+    const std::string tag = docs.at(0).DistinctTags()[0];
+    auto verified = col->Search(tag, VerifyMode::kVerified).value();
+    ASSERT_GT(verified.stats.reconstructions, 0u);
+    // All candidates' shares arrive in ONE planned round, not one
+    // FetchRequest per node.
+    EXPECT_LE(verified.stats.fetch_rounds, 1u)
+        << "scheme " << static_cast<int>(scheme);
+
+    auto trusted = col->Search(tag, VerifyMode::kTrustedConstOnly).value();
+    // One const-only round up front; each runtime fallback re-fetches one
+    // candidate's full shares as its own round.
+    EXPECT_LE(trusted.stats.fetch_rounds,
+              1 + trusted.stats.trusted_fallbacks)
+        << "scheme " << static_cast<int>(scheme);
+
+    auto optimistic = col->Search(tag, VerifyMode::kOptimistic).value();
+    EXPECT_EQ(optimistic.stats.fetch_rounds, 0u);
+  }
+}
+
+TEST(CollectionTest, ShortFetchResponseFromLyingServerIsCorruption) {
+  auto parse = [](const std::string& s) { return ParseXml(s).value(); };
+  DeterministicPrf seed = DeterministicPrf::FromString("col-short-fetch");
+  FpCollection::Deploy deploy;
+  deploy.scheme = ShareScheme::kAdditive;
+  deploy.num_servers = 3;
+  auto col = FpCollection::Create(seed, deploy).value();
+  ASSERT_TRUE(col->Add(1, parse("<r><a/><b/><a/></r>")).ok());
+
+  FaultConfig fc;
+  fc.tamper_fetch = [](FetchResponse& resp) {
+    if (!resp.entries.empty()) resp.entries.pop_back();
+  };
+  ASSERT_NE(col->InjectFaults(0, std::move(fc)), nullptr);
+
+  // Every required scheme (all-of-k additive) must fail loudly — a short
+  // response can never be silently mis-indexed against the request.
+  auto r = col->Search("a", VerifyMode::kVerified);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CollectionTest, ShamirFailsOverShortFetchResponse) {
+  auto parse = [](const std::string& s) { return ParseXml(s).value(); };
+  DeterministicPrf seed = DeterministicPrf::FromString("col-short-shamir");
+  FpCollection::Deploy deploy;
+  deploy.scheme = ShareScheme::kShamir;
+  deploy.num_servers = 4;
+  deploy.threshold = 2;
+  auto col = FpCollection::Create(seed, deploy).value();
+  XmlNode doc = parse("<r><a/><b/><a/></r>");
+  ASSERT_TRUE(col->Add(1, doc).ok());
+
+  FaultConfig fc;
+  fc.tamper_fetch = [](FetchResponse& resp) {
+    if (!resp.entries.empty()) resp.entries.pop_back();
+  };
+  ASSERT_NE(col->InjectFaults(0, std::move(fc)), nullptr);
+
+  // t-of-n identifies the malformed responder, fails over past it, and
+  // still answers correctly.
+  auto r = col->Search("a", VerifyMode::kVerified);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(SortedMatchPaths(r->per_doc.at(1).matches),
+            PlaintextMatches(doc, "a"));
+  EXPECT_GE(r->stats.server_failovers, 1u);
+}
+
+TEST(CollectionTest, RegistryHandlesBatchSpanningDocsOutOfOrder) {
+  auto parse = [](const std::string& s) { return ParseXml(s).value(); };
+  DeterministicPrf seed = DeterministicPrf::FromString("col-reg-batch");
+  auto col = FpCollection::Create(seed).value();
+  // Three docs: ids land at bases 0, 4, 7.
+  ASSERT_TRUE(col->Add(1, parse("<r><a/><b/><a/></r>")).ok());
+  ASSERT_TRUE(col->Add(2, parse("<s><c/><d/></s>")).ok());
+  ASSERT_TRUE(col->Add(3, parse("<t><a/></t>")).ok());
+  ServerHandler* handler = col->handler(0);
+  ASSERT_NE(handler, nullptr);
+
+  // One batch touching all three docs, deliberately out of registration
+  // order and with a duplicate: the response must align entry-for-entry.
+  FetchRequest req;
+  req.mode = FetchMode::kConstOnly;
+  req.node_ids = {8, 0, 5, 8, 2};
+  auto resp = handler->HandleFetch(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->entries.size(), req.node_ids.size());
+  for (size_t i = 0; i < req.node_ids.size(); ++i) {
+    EXPECT_EQ(resp->entries[i].node_id, req.node_ids[i]) << i;
+    EXPECT_FALSE(resp->entries[i].payload.empty()) << i;
+  }
+  // Duplicated ids answer identically.
+  EXPECT_EQ(resp->entries[0].payload, resp->entries[3].payload);
+
+  // An empty batch is a valid no-op, not an error.
+  FetchRequest empty;
+  auto empty_resp = handler->HandleFetch(empty);
+  ASSERT_TRUE(empty_resp.ok()) << empty_resp.status().ToString();
+  EXPECT_TRUE(empty_resp->entries.empty());
+
+  // An id outside every document's range fails cleanly.
+  FetchRequest bad;
+  bad.node_ids = {99};
+  EXPECT_FALSE(handler->HandleFetch(bad).ok());
+}
+
 }  // namespace
 }  // namespace polysse

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <span>
+#include <string>
 
+#include "crypto/sha256.h"
 #include "index/bloom_index.h"
 #include "index/data_poly_index.h"
 #include "index/payload_store.h"
@@ -190,6 +193,72 @@ TEST(BloomIndexTest, StorageIsLinearInNodes) {
   double node_ratio = static_cast<double>(doc40.SubtreeSize()) /
                       static_cast<double>(doc10.SubtreeSize());
   EXPECT_NEAR(ratio, node_ratio, node_ratio * 0.3);
+}
+
+// Pins the exact trapdoor derivation: HMAC(seed, "bloom/<j>/<word>") over
+// the message's own bytes. The original code sized the span as
+// word.size() + 8 + len(j) — one past the real length — silently hashing
+// the temporary string's NUL terminator into every trapdoor.
+TEST(BloomIndexTest, TrapdoorHashesExactMessageBytes) {
+  DeterministicPrf prf = DeterministicPrf::FromString("msg-pin");
+  auto trapdoors = BloomIndex::WordTrapdoors(prf, 2, "diagnosis");
+  ASSERT_EQ(trapdoors.size(), 2u);
+  for (int j = 0; j < 2; ++j) {
+    const std::string message = "bloom/" + std::to_string(j) + "/diagnosis";
+    auto seed_span =
+        std::span<const uint8_t>(prf.seed().data(), prf.seed().size());
+    auto want = HmacSha256(
+        seed_span,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(message.data()), message.size()));
+    EXPECT_EQ(trapdoors[j], want) << "j=" << j;
+
+    std::string with_nul = message;
+    with_nul.push_back('\0');
+    auto buggy = HmacSha256(
+        seed_span,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(with_nul.data()),
+            with_nul.size()));
+    EXPECT_NE(trapdoors[j], buggy) << "j=" << j;
+  }
+}
+
+TEST(DocBloomFilterTest, NoFalseNegativesAndMostAbsentWordsRejected) {
+  DeterministicPrf seed = DeterministicPrf::FromString("docbloom");
+  std::vector<std::string> words = {"alpha", "beta", "gamma", "delta"};
+  DocBloomFilter::Options opt;
+  DocBloomFilter filter = DocBloomFilter::Build(seed, "d1.0", words, opt);
+
+  for (const std::string& w : words)
+    EXPECT_TRUE(filter.MayContain(DocBloomFilter::QueryTrapdoors(seed, w, opt)))
+        << w;
+
+  size_t rejected = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string absent = "absent" + std::to_string(i);
+    if (!filter.MayContain(
+            DocBloomFilter::QueryTrapdoors(seed, absent, opt)))
+      ++rejected;
+  }
+  // 16 of 512 bits set: the false-positive rate is far below 1 in 200.
+  EXPECT_GE(rejected, 195u);
+}
+
+TEST(DocBloomFilterTest, SaltSeparatesDocumentsWithoutFalseNegatives) {
+  DeterministicPrf seed = DeterministicPrf::FromString("docbloom-salt");
+  DocBloomFilter::Options opt;
+  DocBloomFilter f1 = DocBloomFilter::Build(seed, "d1.0", {"surgery"}, opt);
+  DocBloomFilter f2 = DocBloomFilter::Build(seed, "d2.1", {"billing"}, opt);
+
+  auto surgery = DocBloomFilter::QueryTrapdoors(seed, "surgery", opt);
+  auto billing = DocBloomFilter::QueryTrapdoors(seed, "billing", opt);
+  EXPECT_TRUE(f1.MayContain(surgery));
+  EXPECT_TRUE(f2.MayContain(billing));
+  // Different salts give the same word different bit positions, so one
+  // document's content never leaks membership into another's filter.
+  EXPECT_FALSE(f1.MayContain(billing));
+  EXPECT_FALSE(f2.MayContain(surgery));
 }
 
 }  // namespace

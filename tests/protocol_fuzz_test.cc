@@ -139,6 +139,39 @@ TEST(ProtocolFuzzTest, FetchRequestSurvivesCorruptBuffers) {
   FuzzMessage<FetchRequest>(SeedFetchRequest(), 0xF1);
 }
 
+// Batched verification fetches made degenerate id lists a normal part of
+// the protocol: an empty plan and heavily duplicated ids must both encode,
+// survive the corruption drill, and round-trip losslessly.
+TEST(ProtocolFuzzTest, FetchRequestEmptyNodeIdsSurvivesCorruptBuffers) {
+  FetchRequest req;
+  req.mode = FetchMode::kFull;
+  ByteWriter w;
+  req.Serialize(&w);
+  const std::vector<uint8_t> valid = w.Take();
+  FuzzMessage<FetchRequest>(valid, 0xF3);
+
+  ByteReader in(valid);
+  auto back = FetchRequest::Deserialize(&in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->node_ids.empty());
+  EXPECT_EQ(back->mode, FetchMode::kFull);
+}
+
+TEST(ProtocolFuzzTest, FetchRequestDuplicatedNodeIdsSurviveCorruptBuffers) {
+  FetchRequest req;
+  req.mode = FetchMode::kConstOnly;
+  req.node_ids = {7, 7, 7, 2, 2, 7, 0, 7};
+  ByteWriter w;
+  req.Serialize(&w);
+  const std::vector<uint8_t> valid = w.Take();
+  FuzzMessage<FetchRequest>(valid, 0xF4);
+
+  ByteReader in(valid);
+  auto back = FetchRequest::Deserialize(&in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->node_ids, req.node_ids);  // duplicates preserved verbatim
+}
+
 TEST(ProtocolFuzzTest, FetchResponseSurvivesCorruptBuffers) {
   FuzzMessage<FetchResponse>(SeedFetchResponse(), 0xF2);
 }
