@@ -100,5 +100,6 @@ record_gbench ring_ops
 record_gbench query_scaling
 record_wall fig2_reduction
 record_self_json collection_scaling
+record_self_json pipelined_transport
 
 echo "baselines recorded under ${OUT_DIR}/"

@@ -24,7 +24,9 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/protocol.h"
@@ -71,6 +73,41 @@ Result<std::vector<uint8_t>> DispatchSerialized(
     ServerHandler* handler, MessageKind kind,
     std::span<const uint8_t> request_bytes);
 
+/// A response that may still be in flight. Begin* methods return one:
+/// pipelined transports submit the request immediately and Await() blocks
+/// until its response frame arrives, so many requests overlap on one
+/// connection; synchronous transports resolve at Begin* time and Await()
+/// just hands the stored result back. Await() at most once.
+template <typename T>
+class Deferred {
+ public:
+  /// An already-resolved deferred (the synchronous default).
+  explicit Deferred(Result<T> ready) : ready_(std::move(ready)) {}
+  /// A genuinely in-flight deferred: `await` blocks until the response.
+  explicit Deferred(std::function<Result<T>()> await)
+      : await_(std::move(await)) {}
+
+  Deferred(Deferred&&) = default;
+  Deferred& operator=(Deferred&&) = default;
+
+  Result<T> Await() {
+    if (await_) {
+      auto thunk = std::move(await_);
+      await_ = nullptr;
+      return thunk();
+    }
+    if (!ready_.has_value())
+      return Status::FailedPrecondition("Deferred awaited twice");
+    auto out = std::move(*ready_);
+    ready_.reset();
+    return out;
+  }
+
+ private:
+  std::optional<Result<T>> ready_;
+  std::function<Result<T>()> await_;
+};
+
 /// Client-side message port to one server. Implementations decide whether
 /// the typed messages actually cross a serialization boundary; `counters()`
 /// reports whatever bytes/messages did.
@@ -93,6 +130,22 @@ class ServerEndpoint {
   virtual Result<AdminAck> RemoveDoc(const RemoveDocRequest&) {
     return Status::Unimplemented("endpoint does not support RemoveDoc");
   }
+
+  /// Async submit/await seam. The defaults resolve synchronously (correct
+  /// for every transport, concurrent for none); pipelined transports
+  /// override to put the request on the wire at Begin* time and block only
+  /// in Await, letting callers keep many requests in flight.
+  virtual Deferred<EvalResponse> BeginEval(const EvalRequest& req) {
+    return Deferred<EvalResponse>(Eval(req));
+  }
+  virtual Deferred<FetchResponse> BeginFetch(const FetchRequest& req) {
+    return Deferred<FetchResponse>(Fetch(req));
+  }
+
+  /// True when Begin* genuinely overlaps requests (and out-of-order
+  /// completion costs nothing). Schedulers use this to decide whether
+  /// issuing work early buys latency or merely reorders it.
+  virtual bool SupportsPipelining() const { return false; }
 
   /// Snapshot of the cumulative wire-cost counters since construction.
   virtual TransportCounters counters() const {

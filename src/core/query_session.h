@@ -138,31 +138,15 @@ class QuerySession {
 
   /// Element lookup //tagname. An unmapped tag short-circuits to an empty
   /// result without contacting the server (the map is client-private).
+  /// A one-query LookupBatch: the shared-frontier walk degenerates to
+  /// exactly the classic pruned descent (same requests, same rounds), and
+  /// single lookups inherit the batch path's pipelined fetch overlap.
   Result<LookupResult> Lookup(std::string_view tagname, VerifyMode mode) {
-    RETURN_IF_ERROR(BeginQuery());
-    LookupResult result;
-    auto e_or = client_->tag_map().Value(tagname);
-    if (!e_or.ok()) {
-      FinishStats(&result.stats);
-      return result;
-    }
-    const uint64_t e = *e_or;
-    RETURN_IF_ERROR(client_->ring().QueryModulus(e).status());
-
-    ASSIGN_OR_RETURN(std::vector<int32_t> zeros, PrunedDescend(RootIds(), {e}));
-    // Round-planned verification: every share the candidates need arrives
-    // in one batched fetch round, not one FetchRequest per node.
-    std::vector<int32_t> consts, polys;
-    RETURN_IF_ERROR(PlanCandidateFetches(zeros, mode, &consts, &polys));
-    RETURN_IF_ERROR(PrefetchConsts(consts));
-    RETURN_IF_ERROR(PrefetchPolys(polys));
-    for (int32_t z : zeros) {
-      RETURN_IF_ERROR(ResolveCandidate(z, e, mode, &result.matches,
-                                       &result.possible));
-    }
-    SortMatches(&result.matches);
-    SortMatches(&result.possible);
-    FinishStats(&result.stats);
+    TagQuery query{std::string(tagname), mode};
+    ASSIGN_OR_RETURN(MultiLookupResult multi,
+                     LookupBatch(std::span<const TagQuery>(&query, 1)));
+    LookupResult result = std::move(multi.per_tag[0]);
+    result.stats = multi.stats;
     return result;
   }
 
@@ -197,18 +181,27 @@ class QuerySession {
       return out;
     }
 
-    // Shared BFS: expand while ANY point vanishes.
+    // Shared BFS: expand while ANY point vanishes. Over a pipelined
+    // transport the verification fetches for each round's zero candidates
+    // are submitted as soon as the round's evaluations land — the next BFS
+    // round's EvalRequests then go out while those fetches drain, keeping
+    // several protocol rounds in flight on one connection. Sequential
+    // transports skip this: they'd gain nothing and the classic
+    // plan-then-fetch shape keeps their round/message counts bit-stable.
+    const bool overlap = AllEndpointsPipelined();
     std::vector<int32_t> frontier = RootIds();
     std::unordered_set<int32_t> seen(frontier.begin(), frontier.end());
     std::vector<std::vector<int32_t>> zeros_per_point(points.size());
     while (!frontier.empty()) {
       RETURN_IF_ERROR(EnsureEvals(frontier, points));
       std::vector<int32_t> next;
+      std::vector<std::vector<int32_t>> round_zeros(points.size());
       for (int32_t id : frontier) {
         bool any_zero = false;
         for (size_t k = 0; k < points.size(); ++k) {
           if (combined_evals_.at({id, points[k]}) == 0) {
             zeros_per_point[k].push_back(id);
+            round_zeros[k].push_back(id);
             any_zero = true;
           }
         }
@@ -217,12 +210,25 @@ class QuerySession {
           if (seen.insert(c).second) next.push_back(c);
         }
       }
+      if (overlap) {
+        std::vector<int32_t> round_consts, round_polys;
+        for (size_t i = 0; i < queries.size(); ++i) {
+          if (tag_point[i] < 0) continue;
+          RETURN_IF_ERROR(PlanCandidateFetches(round_zeros[tag_point[i]],
+                                               queries[i].mode, &round_consts,
+                                               &round_polys));
+        }
+        StartFetchRound(FetchMode::kConstOnly, round_consts);
+        StartFetchRound(FetchMode::kFull, round_polys);
+      }
       frontier = std::move(next);
     }
+    if (overlap) RETURN_IF_ERROR(AwaitInflightFetches());
 
     // Resolve answers per query, sharing the fetch/reconstruction caches.
     // All queries' verification needs are planned into shared batched fetch
-    // rounds up front (one const-only, one full, per server).
+    // rounds up front (one const-only, one full, per server); with the
+    // pipelined overlap above these are cache hits and cost no round.
     std::vector<int32_t> consts, polys;
     for (size_t i = 0; i < queries.size(); ++i) {
       if (tag_point[i] < 0) continue;
@@ -336,6 +342,9 @@ class QuerySession {
     combined_consts_.clear();
     client_shares_.clear();
     visited_.clear();
+    inflight_fetches_.clear();
+    early_consts_requested_.clear();
+    early_polys_requested_.clear();
     return Status::Ok();
   }
 
@@ -675,19 +684,11 @@ class QuerySession {
     }
   }
 
-  /// Fetches and combines the full share polynomials of every id in `ids`
-  /// not already cached, in ONE FetchRequest per server.
-  Status PrefetchPolys(const std::vector<int32_t>& ids) {
-    std::vector<int32_t> need;
-    for (int32_t id : ids) {
-      if (combined_polys_.count(id)) continue;
-      if (std::find(need.begin(), need.end(), id) == need.end())
-        need.push_back(id);
-    }
-    if (need.empty()) return Status::Ok();
-    ASSIGN_OR_RETURN(auto round, FetchRound(FetchMode::kFull, need));
-    std::vector<FetchResponse>& resps = round.first;
-    const std::vector<uint64_t>& weights = round.second;
+  /// Folds one answered full-polynomial round into the combined-poly cache
+  /// (shared by the synchronous prefetch and the pipelined overlap path).
+  Status CombinePolyRound(const std::vector<int32_t>& need,
+                          std::vector<FetchResponse>& resps,
+                          const std::vector<uint64_t>& weights) {
     stats_.polys_fetched_full += need.size();
     const Ring& ring = client_->ring();
     for (size_t j = 0; j < need.size(); ++j) {
@@ -706,18 +707,10 @@ class QuerySession {
     return Status::Ok();
   }
 
-  /// Const-coefficient counterpart of PrefetchPolys (trusted mode).
-  Status PrefetchConsts(const std::vector<int32_t>& ids) {
-    std::vector<int32_t> need;
-    for (int32_t id : ids) {
-      if (combined_consts_.count(id)) continue;
-      if (std::find(need.begin(), need.end(), id) == need.end())
-        need.push_back(id);
-    }
-    if (need.empty()) return Status::Ok();
-    ASSIGN_OR_RETURN(auto round, FetchRound(FetchMode::kConstOnly, need));
-    std::vector<FetchResponse>& resps = round.first;
-    const std::vector<uint64_t>& weights = round.second;
+  /// Const-coefficient counterpart of CombinePolyRound.
+  Status CombineConstRound(const std::vector<int32_t>& need,
+                           std::vector<FetchResponse>& resps,
+                           const std::vector<uint64_t>& weights) {
     stats_.consts_fetched += need.size();
     const Ring& ring = client_->ring();
     for (size_t j = 0; j < need.size(); ++j) {
@@ -735,6 +728,169 @@ class QuerySession {
       combined_consts_.emplace(need[j], std::move(combined));
     }
     return Status::Ok();
+  }
+
+  /// Fetches and combines the full share polynomials of every id in `ids`
+  /// not already cached, in ONE FetchRequest per server.
+  Status PrefetchPolys(const std::vector<int32_t>& ids) {
+    std::vector<int32_t> need;
+    for (int32_t id : ids) {
+      if (combined_polys_.count(id)) continue;
+      if (std::find(need.begin(), need.end(), id) == need.end())
+        need.push_back(id);
+    }
+    if (need.empty()) return Status::Ok();
+    ASSIGN_OR_RETURN(auto round, FetchRound(FetchMode::kFull, need));
+    return CombinePolyRound(need, round.first, round.second);
+  }
+
+  /// Const-coefficient counterpart of PrefetchPolys (trusted mode).
+  Status PrefetchConsts(const std::vector<int32_t>& ids) {
+    std::vector<int32_t> need;
+    for (int32_t id : ids) {
+      if (combined_consts_.count(id)) continue;
+      if (std::find(need.begin(), need.end(), id) == need.end())
+        need.push_back(id);
+    }
+    if (need.empty()) return Status::Ok();
+    ASSIGN_OR_RETURN(auto round, FetchRound(FetchMode::kConstOnly, need));
+    return CombineConstRound(need, round.first, round.second);
+  }
+
+  // ------------------------------------------------- pipelined fetch overlap
+
+  /// True when every endpoint genuinely pipelines (BeginFetch submits
+  /// immediately). Only then does issuing fetches early buy wall time; on
+  /// sequential transports it would merely reorder the same round trips.
+  bool AllEndpointsPipelined() const {
+    if (group_.endpoints.empty()) return false;
+    for (const ServerEndpoint* ep : group_.endpoints)
+      if (!ep->SupportsPipelining()) return false;
+    return true;
+  }
+
+  /// One fetch round submitted on the wire but not yet awaited.
+  struct InflightFetchRound {
+    FetchMode mode = FetchMode::kFull;
+    std::vector<int32_t> need;
+    std::vector<size_t> chosen;  ///< endpoint indices asked
+    std::vector<Deferred<FetchResponse>> deferred;  ///< aligned with chosen
+  };
+
+  /// Submits one batched FetchRequest per active server for every id of
+  /// `ids` that is neither cached nor already requested by an earlier
+  /// in-flight round, and parks the deferred responses. Failures (if any)
+  /// surface in AwaitInflightFetches. No-op when nothing new is needed or
+  /// (under Shamir) too few servers are live — the synchronous catch-all
+  /// pass after the walk handles both.
+  void StartFetchRound(FetchMode mode, const std::vector<int32_t>& ids) {
+    const bool const_mode = mode == FetchMode::kConstOnly;
+    auto& requested = const_mode ? early_consts_requested_ : early_polys_requested_;
+    std::vector<int32_t> need;
+    for (int32_t id : ids) {
+      const bool cached = const_mode ? combined_consts_.count(id) > 0
+                                     : combined_polys_.count(id) > 0;
+      if (cached || !requested.insert(id).second) continue;
+      need.push_back(id);
+    }
+    if (need.empty()) return;
+
+    std::vector<size_t> chosen;
+    if (group_.scheme == ShareScheme::kShamir) {
+      const size_t t = static_cast<size_t>(group_.threshold);
+      for (size_t i = 0; i < group_.endpoints.size() && chosen.size() < t; ++i)
+        if (!dead_[i]) chosen.push_back(i);
+      if (chosen.size() < t) {
+        for (int32_t id : need) requested.erase(id);
+        return;  // let the synchronous path report Unavailable
+      }
+    } else {
+      for (size_t i = 0; i < group_.endpoints.size(); ++i) chosen.push_back(i);
+    }
+
+    InflightFetchRound round;
+    round.mode = mode;
+    round.need = std::move(need);
+    round.chosen = std::move(chosen);
+    FetchRequest req;
+    req.mode = mode;
+    req.node_ids = round.need;
+    round.deferred.reserve(round.chosen.size());
+    for (size_t idx : round.chosen)
+      round.deferred.push_back(group_.endpoints[idx]->BeginFetch(req));
+    inflight_fetches_.push_back(std::move(round));
+  }
+
+  /// Awaits every in-flight fetch round (always all of them — nothing may
+  /// stay pending) and folds the answers into the combined caches. A round
+  /// that failed or misbehaved falls back to the synchronous prefetch path:
+  /// under Shamir the offender is first marked dead (failover), so the
+  /// retry picks a replacement; the all-servers schemes surface the error
+  /// exactly as the synchronous path would.
+  Status AwaitInflightFetches() {
+    std::vector<InflightFetchRound> rounds;
+    rounds.swap(inflight_fetches_);
+    Status overall = Status::Ok();
+    for (InflightFetchRound& round : rounds) {
+      Status s = SettleFetchRound(round);
+      if (!s.ok() && overall.ok()) overall = s;
+    }
+    return overall;
+  }
+
+  Status SettleFetchRound(InflightFetchRound& round) {
+    std::vector<Result<FetchResponse>> results;
+    results.reserve(round.deferred.size());
+    for (Deferred<FetchResponse>& d : round.deferred)
+      results.push_back(d.Await());
+
+    bool trouble = false;
+    Status first_error = Status::Ok();
+    for (size_t s = 0; s < results.size(); ++s) {
+      bool bad = !results[s].ok();
+      if (bad && first_error.ok()) first_error = results[s].status();
+      if (!bad) {
+        const FetchResponse& resp = results[s].value();
+        bad = resp.entries.size() != round.need.size();
+        for (size_t j = 0; !bad && j < round.need.size(); ++j)
+          bad = resp.entries[j].node_id != round.need[j];
+        if (bad && first_error.ok())
+          first_error =
+              Status::Corruption("fetch response misaligned with the request");
+      }
+      if (!bad) continue;
+      trouble = true;
+      if (group_.scheme == ShareScheme::kShamir) {
+        dead_[round.chosen[s]] = 1;
+        ++stats_.server_failovers;
+      }
+    }
+    if (trouble) {
+      if (group_.scheme != ShareScheme::kShamir) return first_error;
+      // Retry with replacements through the synchronous path (the ids are
+      // not cached yet, so this issues a fresh round).
+      return round.mode == FetchMode::kConstOnly ? PrefetchConsts(round.need)
+                                                 : PrefetchPolys(round.need);
+    }
+
+    ++stats_.fetch_rounds;
+    std::vector<FetchResponse> resps;
+    resps.reserve(results.size());
+    for (Result<FetchResponse>& r : results)
+      resps.push_back(std::move(r).value());
+    std::vector<uint64_t> weights(resps.size(), 1);
+    if constexpr (std::is_same_v<Ring, FpCyclotomicRing>) {
+      if (group_.scheme == ShareScheme::kShamir) {
+        std::vector<uint64_t> xs;
+        xs.reserve(round.chosen.size());
+        for (size_t idx : round.chosen) xs.push_back(group_.shamir_x[idx]);
+        ASSIGN_OR_RETURN(weights,
+                         LagrangeWeightsAtZero(client_->ring().field(), xs));
+      }
+    }
+    return round.mode == FetchMode::kConstOnly
+               ? CombineConstRound(round.need, resps, weights)
+               : CombinePolyRound(round.need, resps, weights);
   }
 
   Result<const Elem*> FetchCombinedPoly(int32_t id) {
@@ -971,6 +1127,12 @@ class QuerySession {
   std::unordered_map<int32_t, Scalar> combined_consts_;
   std::unordered_map<int32_t, Elem> client_shares_;
   std::unordered_set<int32_t> visited_;
+
+  // Pipelined fetch overlap (cleared per query): rounds on the wire, plus
+  // the ids they cover so later rounds don't re-request them.
+  std::vector<InflightFetchRound> inflight_fetches_;
+  std::unordered_set<int32_t> early_consts_requested_;
+  std::unordered_set<int32_t> early_polys_requested_;
 };
 
 }  // namespace polysse

@@ -19,256 +19,9 @@ Status Errno(const std::string& what) {
   return Status::Unavailable(what + ": " + std::strerror(errno));
 }
 
-/// send() until done (handles partial writes and EINTR). MSG_NOSIGNAL: a
-/// peer that hung up yields EPIPE instead of killing the process.
-Status WriteFull(int fd, const uint8_t* data, size_t len) {
-  while (len > 0) {
-    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Errno("socket write");
-    }
-    data += n;
-    len -= static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
-
-/// read() until `len` bytes arrived. EOF mid-frame is an error; EOF before
-/// the first byte of a frame reports Unavailable("connection closed").
-Status ReadFull(int fd, uint8_t* data, size_t len, bool* clean_eof_at_start) {
-  bool first = true;
-  while (len > 0) {
-    ssize_t n = ::read(fd, data, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Errno("socket read");
-    }
-    if (n == 0) {
-      if (first && clean_eof_at_start != nullptr) *clean_eof_at_start = true;
-      return Status::Unavailable("connection closed");
-    }
-    first = false;
-    data += n;
-    len -= static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
-
-/// [u8 tag][u32le len][payload]
-Status WriteFrame(int fd, uint8_t tag, std::span<const uint8_t> payload) {
-  uint8_t header[5];
-  header[0] = tag;
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  header[1] = static_cast<uint8_t>(len);
-  header[2] = static_cast<uint8_t>(len >> 8);
-  header[3] = static_cast<uint8_t>(len >> 16);
-  header[4] = static_cast<uint8_t>(len >> 24);
-  RETURN_IF_ERROR(WriteFull(fd, header, sizeof header));
-  return WriteFull(fd, payload.data(), payload.size());
-}
-
-struct Frame {
-  uint8_t tag = 0;
-  std::vector<uint8_t> payload;
-  bool clean_eof = false;  ///< peer closed between frames (not an error)
-};
-
-Result<Frame> ReadFrame(int fd) {
-  Frame frame;
-  uint8_t header[5];
-  Status s = ReadFull(fd, header, sizeof header, &frame.clean_eof);
-  if (!s.ok()) {
-    if (frame.clean_eof) return frame;  // caller decides what EOF means
-    return s;
-  }
-  frame.tag = header[0];
-  const uint32_t len = static_cast<uint32_t>(header[1]) |
-                       static_cast<uint32_t>(header[2]) << 8 |
-                       static_cast<uint32_t>(header[3]) << 16 |
-                       static_cast<uint32_t>(header[4]) << 24;
-  if (len > kMaxSocketFrameBytes)
-    return Status::Corruption("frame length " + std::to_string(len) +
-                              " exceeds the " +
-                              std::to_string(kMaxSocketFrameBytes) +
-                              "-byte limit");
-  frame.payload.resize(len);
-  RETURN_IF_ERROR(ReadFull(fd, frame.payload.data(), len, nullptr));
-  return frame;
-}
-
-/// Rebuilds a Status of the code a server reported across the wire.
-Status StatusFromWire(uint8_t code, std::string msg) {
-  switch (static_cast<StatusCode>(code)) {
-    case StatusCode::kOk:
-      return Status::Ok();
-    case StatusCode::kInvalidArgument:
-      return Status::InvalidArgument(std::move(msg));
-    case StatusCode::kNotFound:
-      return Status::NotFound(std::move(msg));
-    case StatusCode::kOutOfRange:
-      return Status::OutOfRange(std::move(msg));
-    case StatusCode::kCorruption:
-      return Status::Corruption(std::move(msg));
-    case StatusCode::kFailedPrecondition:
-      return Status::FailedPrecondition(std::move(msg));
-    case StatusCode::kVerificationFailed:
-      return Status::VerificationFailed(std::move(msg));
-    case StatusCode::kUnimplemented:
-      return Status::Unimplemented(std::move(msg));
-    case StatusCode::kInternal:
-      return Status::Internal(std::move(msg));
-    case StatusCode::kUnavailable:
-      return Status::Unavailable(std::move(msg));
-  }
-  return Status::Corruption("server reported unknown status code " +
-                            std::to_string(code));
-}
-
 void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
-
-}  // namespace
-
-// --------------------------------------------------------------- server
-
-Result<std::unique_ptr<SocketServer>> SocketServer::Listen(
-    ServerHandler* handler, uint16_t port) {
-  if (handler == nullptr)
-    return Status::InvalidArgument("SocketServer needs a handler");
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Errno("socket");
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    Status s = Errno("bind");
-    CloseFd(fd);
-    return s;
-  }
-  if (::listen(fd, 64) != 0) {
-    Status s = Errno("listen");
-    CloseFd(fd);
-    return s;
-  }
-  socklen_t addr_len = sizeof addr;
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
-    Status s = Errno("getsockname");
-    CloseFd(fd);
-    return s;
-  }
-  return std::unique_ptr<SocketServer>(
-      new SocketServer(handler, fd, ntohs(addr.sin_port)));
-}
-
-SocketServer::SocketServer(ServerHandler* handler, int listen_fd,
-                           uint16_t port)
-    : handler_(handler), listen_fd_(listen_fd), port_(port) {
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-}
-
-SocketServer::~SocketServer() { Stop(); }
-
-void SocketServer::Stop() {
-  bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) {
-    // Already stopped; joins below happened on the first call.
-    return;
-  }
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  CloseFd(listen_fd_);
-  std::vector<std::unique_ptr<Connection>> conns;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    // Wake connection threads idling in read(); each still closes its own
-    // fd (the -1 marking under this mutex prevents fd-recycle races).
-    for (const auto& conn : connections_)
-      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-    conns.swap(connections_);
-  }
-  for (const auto& conn : conns) conn->thread.join();
-}
-
-void SocketServer::ReapFinishedConnections() {
-  std::vector<std::unique_ptr<Connection>> finished;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (size_t i = connections_.size(); i-- > 0;) {
-      if (!connections_[i]->done) continue;
-      finished.push_back(std::move(connections_[i]));
-      connections_.erase(connections_.begin() + static_cast<long>(i));
-    }
-  }
-  // Joining outside the lock: the threads are already past their last
-  // conn_mu_ critical section (done is set there, last).
-  for (const auto& conn : finished) conn->thread.join();
-}
-
-void SocketServer::AcceptLoop() {
-  for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listen socket shut down (Stop) or fatal error
-    }
-    if (stopping_.load(std::memory_order_relaxed)) {
-      CloseFd(fd);
-      return;
-    }
-    // Long-running servers would otherwise accumulate one joinable zombie
-    // thread (and its stack) per past connection.
-    ReapFinishedConnections();
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    connections_.push_back(std::make_unique<Connection>());
-    Connection* conn = connections_.back().get();
-    conn->fd = fd;
-    conn->thread = std::thread([this, conn, fd] { ServeConnection(conn, fd); });
-  }
-}
-
-void SocketServer::ServeConnection(Connection* conn, int fd) {
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  for (;;) {
-    auto frame = ReadFrame(fd);
-    if (!frame.ok() || frame->clean_eof) break;  // garbage or disconnect
-    Result<std::vector<uint8_t>> reply =
-        frame->tag >= static_cast<uint8_t>(MessageKind::kEval) &&
-                frame->tag <= static_cast<uint8_t>(MessageKind::kRemoveDoc)
-            ? DispatchSerialized(handler_,
-                                 static_cast<MessageKind>(frame->tag),
-                                 frame->payload)
-            : Result<std::vector<uint8_t>>(
-                  Status::InvalidArgument("unknown message kind"));
-    Status write_status;
-    if (reply.ok()) {
-      write_status =
-          WriteFrame(fd, static_cast<uint8_t>(StatusCode::kOk), *reply);
-    } else {
-      const std::string& msg = reply.status().message();
-      write_status = WriteFrame(
-          fd, static_cast<uint8_t>(reply.status().code()),
-          std::span<const uint8_t>(
-              reinterpret_cast<const uint8_t*>(msg.data()), msg.size()));
-    }
-    if (!write_status.ok()) break;
-  }
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  CloseFd(fd);
-  conn->fd = -1;
-  conn->done = true;  // last: after this the accept loop may reap us
-}
-
-// --------------------------------------------------------------- client
-
-namespace {
 
 /// Dials host:port, returning a connected fd with TCP_NODELAY set.
 Result<int> DialTcp(const std::string& host, uint16_t port) {
@@ -289,67 +42,317 @@ Result<int> DialTcp(const std::string& host, uint16_t port) {
   return fd;
 }
 
+/// Reads one tagged frame synchronously (the hello exchange happens before
+/// the reader thread exists).
+Result<std::pair<TaggedFrameHeader, std::vector<uint8_t>>> ReadTaggedFrame(
+    int fd) {
+  uint8_t header[kTaggedFrameHeaderBytes];
+  RETURN_IF_ERROR(ReadFull(fd, header, sizeof header, nullptr));
+  ASSIGN_OR_RETURN(TaggedFrameHeader h,
+                   DecodeTaggedFrameHeader(
+                       std::span<const uint8_t>(header, sizeof header)));
+  std::vector<uint8_t> payload(h.len);
+  if (h.len > 0)
+    RETURN_IF_ERROR(ReadFull(fd, payload.data(), payload.size(), nullptr));
+  return std::make_pair(h, std::move(payload));
+}
+
 }  // namespace
 
 Result<std::unique_ptr<SocketEndpoint>> SocketEndpoint::Connect(
     const std::string& host, uint16_t port) {
-  ASSIGN_OR_RETURN(int fd, DialTcp(host, port));
-  return std::unique_ptr<SocketEndpoint>(new SocketEndpoint(host, port, fd));
+  return Connect(host, port, ConnectOptions());
 }
 
-SocketEndpoint::~SocketEndpoint() { CloseFd(fd_); }
+Result<std::unique_ptr<SocketEndpoint>> SocketEndpoint::Connect(
+    const std::string& host, uint16_t port, ConnectOptions options) {
+  auto endpoint = std::unique_ptr<SocketEndpoint>(
+      new SocketEndpoint(host, port, options));
+  ASSIGN_OR_RETURN(auto wire, endpoint->Dial());
+  endpoint->wire_ = std::move(wire);
+  return endpoint;
+}
 
-Result<std::vector<uint8_t>> SocketEndpoint::TryRoundTrip(
+SocketEndpoint::~SocketEndpoint() {
+  std::shared_ptr<Wire> wire;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    wire = std::move(wire_);
+  }
+  if (wire) {
+    Poison(wire);
+    Teardown(wire);
+  }
+}
+
+size_t SocketEndpoint::pending() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return wire_ && wire_->router ? wire_->router->pending() : 0;
+}
+
+Result<std::shared_ptr<SocketEndpoint::Wire>> SocketEndpoint::Dial() {
+  ASSIGN_OR_RETURN(int fd, DialTcp(host_, port_));
+  auto wire = std::make_shared<Wire>();
+  wire->fd = fd;
+  if (!options_.pipeline) return wire;
+
+  // Version negotiation: hello out, ack back, all before any request. The
+  // hello byte is outside the MessageKind range, so this is what flips the
+  // server's connection state machine into tagged mode.
+  std::vector<uint8_t> hello;
+  const uint8_t version[] = {kPipelineProtocolVersion};
+  AppendTaggedFrame(&hello, kHelloFrameKind, /*tag=*/0, version);
+  Status s = WriteFull(fd, hello.data(), hello.size());
+  if (s.ok()) {
+    auto ack = ReadTaggedFrame(fd);
+    if (!ack.ok()) {
+      s = ack.status();
+    } else if (ack->first.kind != static_cast<uint8_t>(StatusCode::kOk)) {
+      s = StatusFromWire(ack->first.kind,
+                         std::string(ack->second.begin(), ack->second.end()));
+    } else if (ack->second.size() != 1 ||
+               ack->second[0] != kPipelineProtocolVersion) {
+      s = Status::Corruption("malformed hello ack from server");
+    }
+  }
+  if (!s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  wire->pipelined = true;
+  wire->router = std::make_shared<TagRouter>(options_.max_pending);
+  wire->reader = std::thread([this, wire] { ReaderLoop(wire); });
+  return wire;
+}
+
+Result<std::shared_ptr<SocketEndpoint::Wire>> SocketEndpoint::EnsureWire() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (wire_ && !wire_->poisoned.load(std::memory_order_acquire))
+    return wire_;
+  if (wire_) {
+    Poison(wire_);
+    Teardown(wire_);
+    wire_.reset();
+  }
+  ASSIGN_OR_RETURN(auto wire, Dial());
+  wire_ = std::move(wire);
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  return wire_;
+}
+
+void SocketEndpoint::Poison(const std::shared_ptr<Wire>& wire) {
+  wire->poisoned.store(true, std::memory_order_release);
+  if (wire->fd >= 0) ::shutdown(wire->fd, SHUT_RDWR);
+}
+
+void SocketEndpoint::Teardown(const std::shared_ptr<Wire>& wire) {
+  if (wire->reader.joinable()) wire->reader.join();
+  // Closing under write_mu (and parking fd at -1 first) keeps a submitter
+  // mid-WriteFull from racing the close into a recycled descriptor.
+  std::lock_guard<std::mutex> lock(wire->write_mu);
+  CloseFd(wire->fd);
+  wire->fd = -1;
+}
+
+void SocketEndpoint::ReaderLoop(std::shared_ptr<Wire> wire) {
+  Status cause = Status::Unavailable("connection closed");
+  for (;;) {
+    uint8_t header[kTaggedFrameHeaderBytes];
+    bool clean_eof = false;
+    Status s = ReadFull(wire->fd, header, sizeof header, &clean_eof);
+    if (!s.ok()) {
+      cause = clean_eof ? Status::Unavailable("server closed connection")
+                        : std::move(s);
+      break;
+    }
+    auto h = DecodeTaggedFrameHeader(
+        std::span<const uint8_t>(header, sizeof header));
+    if (!h.ok()) {
+      cause = h.status();
+      break;
+    }
+    std::vector<uint8_t> payload(h->len);
+    if (h->len > 0) {
+      s = ReadFull(wire->fd, payload.data(), payload.size(), nullptr);
+      if (!s.ok()) {
+        cause = std::move(s);
+        break;
+      }
+    }
+    CountDown(kTaggedFrameHeaderBytes + payload.size());
+    Result<std::vector<uint8_t>> result =
+        h->kind == static_cast<uint8_t>(StatusCode::kOk)
+            ? Result<std::vector<uint8_t>>(std::move(payload))
+            : Result<std::vector<uint8_t>>(StatusFromWire(
+                  h->kind, std::string(payload.begin(), payload.end())));
+    Status routed = wire->router->Complete(h->tag, std::move(result));
+    if (!routed.ok()) {
+      // Unknown or duplicate tag: the stream is lying about what it
+      // carries, and a tag-multiplexed protocol cannot resynchronize.
+      cause = std::move(routed);
+      break;
+    }
+  }
+  wire->poisoned.store(true, std::memory_order_release);
+  wire->router->FailAll(cause);
+}
+
+Result<SocketEndpoint::SubmitHandle> SocketEndpoint::SubmitFrame(
     MessageKind kind, std::span<const uint8_t> payload) {
+  ASSIGN_OR_RETURN(auto wire, EnsureWire());
+  ASSIGN_OR_RETURN(auto registered, wire->router->Register());
+  std::vector<uint8_t> frame;
+  AppendTaggedFrame(&frame, static_cast<uint8_t>(kind), registered.first,
+                    payload);
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(wire->write_mu);
+    sent = wire->fd >= 0
+               ? WriteFull(wire->fd, frame.data(), frame.size())
+               : Status::Unavailable("connection closed");
+  }
+  if (sent.ok()) {
+    CountUp(frame.size());
+  } else {
+    // The reader wakes on the shutdown, fails every pending slot
+    // (including the one just registered) and exits.
+    Poison(wire);
+  }
+  return SubmitHandle{std::move(wire), std::move(registered.second)};
+}
+
+Result<std::vector<uint8_t>> SocketEndpoint::AwaitWithRetry(
+    MessageKind kind, const std::vector<uint8_t>& payload, SubmitHandle h) {
+  Result<std::vector<uint8_t>> result = h.slot->Await();
+  if (result.ok() || !h.wire->poisoned.load(std::memory_order_acquire))
+    return result;  // success, or a server-reported error (framing intact)
+  // Transport failure: the connection died with this request in flight.
+  // One resubmit over a redialed connection, mirroring the legacy
+  // reconnect-once policy.
+  Status first = result.status();
+  auto resubmitted = SubmitFrame(kind, payload);
+  if (!resubmitted.ok()) {
+    return Status::Unavailable(first.message() + "; reconnect failed: " +
+                               resubmitted.status().message());
+  }
+  return resubmitted->slot->Await();
+}
+
+Result<std::vector<uint8_t>> SocketEndpoint::TryLegacyRoundTrip(
+    const std::shared_ptr<Wire>& wire, MessageKind kind,
+    std::span<const uint8_t> payload) {
   // Any transport/framing failure poisons the connection: the stream may
   // hold half a frame, and resynchronizing a length-prefixed protocol
   // mid-stream is not possible. Server-reported error frames keep it —
   // the framing stayed aligned.
-  auto poison = [this](Status s) {
-    CloseFd(fd_);
-    fd_ = -1;
+  auto poison = [&wire](Status s) {
+    Poison(wire);
     return s;
   };
-  Status sent = WriteFrame(fd_, static_cast<uint8_t>(kind), payload);
+  std::vector<uint8_t> frame;
+  AppendLegacyFrame(&frame, static_cast<uint8_t>(kind), payload);
+  Status sent = WriteFull(wire->fd, frame.data(), frame.size());
   if (!sent.ok()) return poison(std::move(sent));
-  CountUp(5 + payload.size());
-  Result<Frame> frame = ReadFrame(fd_);
-  if (!frame.ok()) return poison(frame.status());
-  if (frame->clean_eof)
-    return poison(Status::Unavailable("server closed connection"));
-  CountDown(5 + frame->payload.size());
-  if (frame->tag != static_cast<uint8_t>(StatusCode::kOk)) {
-    return StatusFromWire(frame->tag,
-                          std::string(frame->payload.begin(),
-                                      frame->payload.end()));
+  CountUp(frame.size());
+
+  uint8_t header[kLegacyFrameHeaderBytes];
+  bool clean_eof = false;
+  Status s = ReadFull(wire->fd, header, sizeof header, &clean_eof);
+  if (!s.ok()) {
+    return poison(clean_eof
+                      ? Status::Unavailable("server closed connection")
+                      : std::move(s));
   }
-  return std::move(frame->payload);
+  const uint32_t len = static_cast<uint32_t>(header[1]) |
+                       static_cast<uint32_t>(header[2]) << 8 |
+                       static_cast<uint32_t>(header[3]) << 16 |
+                       static_cast<uint32_t>(header[4]) << 24;
+  if (len > kMaxSocketFrameBytes) {
+    return poison(Status::Corruption(
+        "frame length " + std::to_string(len) + " exceeds the " +
+        std::to_string(kMaxSocketFrameBytes) + "-byte limit"));
+  }
+  std::vector<uint8_t> down(len);
+  if (len > 0) {
+    s = ReadFull(wire->fd, down.data(), down.size(), nullptr);
+    if (!s.ok()) return poison(std::move(s));
+  }
+  CountDown(kLegacyFrameHeaderBytes + down.size());
+  if (header[0] != static_cast<uint8_t>(StatusCode::kOk)) {
+    return StatusFromWire(header[0],
+                          std::string(down.begin(), down.end()));
+  }
+  return down;
 }
 
 Result<std::vector<uint8_t>> SocketEndpoint::RoundTrip(
     MessageKind kind, std::span<const uint8_t> payload) {
+  if (options_.pipeline) {
+    std::vector<uint8_t> copy(payload.begin(), payload.end());
+    ASSIGN_OR_RETURN(SubmitHandle handle, SubmitFrame(kind, copy));
+    return AwaitWithRetry(kind, copy, std::move(handle));
+  }
   std::lock_guard<std::mutex> lock(io_mu_);
   // Up to two exchange attempts per call, each over a live connection:
-  // a poisoned fd (from this call or an earlier one) earns one redial
+  // a poisoned wire (from this call or an earlier one) earns one redial
   // before the failure surfaces as Unavailable.
   Status last = Status::Ok();
   for (int attempt = 0; attempt < 2; ++attempt) {
-    if (fd_ < 0) {
-      auto fd = DialTcp(host_, port_);
-      if (!fd.ok()) {
-        return last.ok() ? fd.status()
-                         : Status::Unavailable(last.message() +
-                                               "; reconnect failed: " +
-                                               fd.status().message());
-      }
-      fd_ = *fd;
-      reconnects_.fetch_add(1, std::memory_order_relaxed);
+    auto wire = EnsureWire();
+    if (!wire.ok()) {
+      return last.ok() ? wire.status()
+                       : Status::Unavailable(last.message() +
+                                             "; reconnect failed: " +
+                                             wire.status().message());
     }
-    Result<std::vector<uint8_t>> result = TryRoundTrip(kind, payload);
-    if (result.ok() || fd_ >= 0) return result;  // success or server error
-    last = result.status();  // transport failure: fd_ poisoned, retry once
+    Result<std::vector<uint8_t>> result =
+        TryLegacyRoundTrip(*wire, kind, payload);
+    if (result.ok() || !(*wire)->poisoned.load(std::memory_order_acquire))
+      return result;  // success or server-reported error
+    last = result.status();  // transport failure: wire poisoned, retry once
   }
   return last;
+}
+
+Deferred<EvalResponse> SocketEndpoint::BeginEval(const EvalRequest& req) {
+  if (!options_.pipeline) return Deferred<EvalResponse>(Eval(req));
+  ByteWriter up;
+  req.Serialize(&up);
+  auto payload = std::make_shared<std::vector<uint8_t>>(up.span().begin(),
+                                                        up.span().end());
+  auto submitted = SubmitFrame(MessageKind::kEval, *payload);
+  if (!submitted.ok())
+    return Deferred<EvalResponse>(Result<EvalResponse>(submitted.status()));
+  auto handle = std::make_shared<SubmitHandle>(std::move(*submitted));
+  return Deferred<EvalResponse>(std::function<Result<EvalResponse>()>(
+      [this, payload, handle]() -> Result<EvalResponse> {
+        ASSIGN_OR_RETURN(
+            std::vector<uint8_t> down,
+            AwaitWithRetry(MessageKind::kEval, *payload, std::move(*handle)));
+        ByteReader r(down);
+        return EvalResponse::Deserialize(&r);
+      }));
+}
+
+Deferred<FetchResponse> SocketEndpoint::BeginFetch(const FetchRequest& req) {
+  if (!options_.pipeline) return Deferred<FetchResponse>(Fetch(req));
+  ByteWriter up;
+  req.Serialize(&up);
+  auto payload = std::make_shared<std::vector<uint8_t>>(up.span().begin(),
+                                                        up.span().end());
+  auto submitted = SubmitFrame(MessageKind::kFetch, *payload);
+  if (!submitted.ok())
+    return Deferred<FetchResponse>(Result<FetchResponse>(submitted.status()));
+  auto handle = std::make_shared<SubmitHandle>(std::move(*submitted));
+  return Deferred<FetchResponse>(std::function<Result<FetchResponse>()>(
+      [this, payload, handle]() -> Result<FetchResponse> {
+        ASSIGN_OR_RETURN(
+            std::vector<uint8_t> down,
+            AwaitWithRetry(MessageKind::kFetch, *payload,
+                           std::move(*handle)));
+        ByteReader r(down);
+        return FetchResponse::Deserialize(&r);
+      }));
 }
 
 Result<EvalResponse> SocketEndpoint::Eval(const EvalRequest& req) {

@@ -1,14 +1,24 @@
 // Real network transport for the §4.3 wire protocol: a ServerEndpoint that
-// speaks length-prefixed frames over TCP to a SocketServer wrapping any
+// speaks framed messages over TCP to a SocketServer wrapping any
 // ServerHandler through DispatchSerialized. Bytes are the only thing that
 // crosses the trust boundary — exactly the property the serialized dispatch
 // path was built for.
 //
-// Frame layout (little-endian u32 length, payload follows):
-//   request :  [u8 MessageKind][u32 len][len bytes: serialized request]
-//   response:  [u8 StatusCode ][u32 len][len bytes: serialized response,
-//                                        or UTF-8 error message when the
-//                                        status is non-OK]
+// Two protocol generations (see net/frame.h for the byte layout):
+//
+//   legacy (v1):  [kind][len][payload], strict request-response — one
+//                 in-flight exchange per connection;
+//   tagged (v2):  [kind][tag][len][payload], pipelined — any number of
+//                 requests overlap on one connection and responses return
+//                 in completion order, routed back by tag.
+//
+// A pipelined endpoint performs a synchronous hello exchange at dial time
+// (version negotiation), then starts a reader thread that routes every
+// response frame to the submitter waiting on its tag. Eval/Fetch/AddDoc/
+// RemoveDoc stay synchronous per call, but concurrent callers now share
+// the connection without queueing behind each other, and BeginEval/
+// BeginFetch expose the submit/await split directly — QuerySession uses it
+// to keep whole BFS rounds in flight.
 //
 //   // server process
 //   auto server = SocketServer::Listen(&store, /*port=*/0);
@@ -18,11 +28,6 @@
 //   auto ep = SocketEndpoint::Connect("127.0.0.1", port);
 //   QuerySession<FpCyclotomicRing> session(
 //       &client, EndpointGroup::TwoParty(ep->get()));
-//
-// One SocketEndpoint serializes its request/response exchanges with a
-// mutex, so a session (or the parallel fan-out) can share it safely; use
-// one endpoint per server for true concurrency, which is the deployment
-// shape anyway.
 #ifndef POLYSSE_NET_SOCKET_ENDPOINT_H_
 #define POLYSSE_NET_SOCKET_ENDPOINT_H_
 
@@ -35,85 +40,41 @@
 #include <vector>
 
 #include "core/endpoint.h"
+#include "net/frame.h"
+#include "net/socket_server.h"
 #include "util/status.h"
 
 namespace polysse {
 
-/// Upper bound on a single frame's payload; a peer announcing more is
-/// treated as corrupt (alloc-bomb guard, mirrors the codec-level limits).
-inline constexpr uint32_t kMaxSocketFrameBytes = 256u << 20;  // 256 MiB
-
-/// Serves one ServerHandler over loopback-reachable TCP. Every accepted
-/// connection gets its own thread running the read-dispatch-write loop, so
-/// concurrent clients (or one client's pooled fan-out) are served in
-/// parallel; the handler must be thread-safe (ServerStore is).
-class SocketServer {
- public:
-  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read `port()`),
-  /// starts the accept loop, and serves until Stop() or destruction.
-  static Result<std::unique_ptr<SocketServer>> Listen(ServerHandler* handler,
-                                                      uint16_t port);
-
-  ~SocketServer();
-  SocketServer(const SocketServer&) = delete;
-  SocketServer& operator=(const SocketServer&) = delete;
-
-  /// The bound TCP port.
-  uint16_t port() const { return port_; }
-
-  /// Connections accepted so far (test/diagnostic visibility).
-  size_t connections_accepted() const {
-    return connections_accepted_.load(std::memory_order_relaxed);
-  }
-
-  /// Stops accepting, closes the listen socket and joins every connection
-  /// thread. Idempotent; the destructor calls it.
-  void Stop();
-
- private:
-  SocketServer(ServerHandler* handler, int listen_fd, uint16_t port);
-
-  /// One live (or finished-but-unjoined) connection. Heap-allocated so the
-  /// serving thread's back-pointer stays stable while the accept loop
-  /// reaps finished entries out of the vector.
-  struct Connection {
-    std::thread thread;
-    int fd = -1;        ///< -1 once the serving thread closed it
-    bool done = false;  ///< set last by the serving thread, under conn_mu_
-  };
-
-  void AcceptLoop();
-  void ServeConnection(Connection* conn, int fd);
-  /// Joins and erases finished connections (called with conn_mu_ held is
-  /// NOT allowed — it joins threads that briefly take the lock).
-  void ReapFinishedConnections();
-
-  ServerHandler* handler_;
-  int listen_fd_;
-  uint16_t port_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<size_t> connections_accepted_{0};
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
-};
-
 /// Client-side TCP endpoint: one connection to one SocketServer. Counters
-/// report the actual framed bytes on the wire.
+/// report the actual framed bytes on the wire (hello negotiation frames
+/// excluded — they are connection setup, not protocol messages).
 ///
 /// Reconnect policy: a transport/framing failure poisons the current
 /// connection (the stream cannot be resynchronized mid-frame), and each
-/// round trip makes ONE automatic attempt to dial the server again —
-/// riding out a server restart or a dropped connection — before surfacing
+/// call makes ONE automatic attempt to dial the server again — riding out
+/// a server restart or a dropped connection — before surfacing
 /// Unavailable, which multi-server failover then routes around. Eval and
 /// Fetch are idempotent reads, so retrying a request whose response was
 /// lost is safe; AddDoc/RemoveDoc retries can double-apply, which the
-/// registry reports cleanly (duplicate id / not registered).
+/// registry reports cleanly (duplicate id / not registered). On a
+/// pipelined connection a transport failure fails every in-flight request;
+/// each affected call retries independently over the redialed connection.
 class SocketEndpoint final : public ServerEndpoint {
  public:
+  struct ConnectOptions {
+    /// Negotiate the tagged (v2) protocol and pipeline requests. Off =
+    /// legacy request-response frames, exactly the v1 client behavior.
+    bool pipeline = true;
+    /// Cap on concurrently pending requests (the TagRouter map bound).
+    size_t max_pending = TagRouter::kDefaultMaxPending;
+  };
+
   /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
   static Result<std::unique_ptr<SocketEndpoint>> Connect(
       const std::string& host, uint16_t port);
+  static Result<std::unique_ptr<SocketEndpoint>> Connect(
+      const std::string& host, uint16_t port, ConnectOptions options);
 
   ~SocketEndpoint() override;
   SocketEndpoint(const SocketEndpoint&) = delete;
@@ -124,30 +85,85 @@ class SocketEndpoint final : public ServerEndpoint {
   Result<AdminAck> AddDoc(const AddDocRequest& req) override;
   Result<AdminAck> RemoveDoc(const RemoveDocRequest& req) override;
 
+  /// Pipelined submit/await: the request goes on the wire before Begin*
+  /// returns; Await blocks until its tagged response arrives. On a
+  /// non-pipelined endpoint these degrade to the synchronous defaults.
+  Deferred<EvalResponse> BeginEval(const EvalRequest& req) override;
+  Deferred<FetchResponse> BeginFetch(const FetchRequest& req) override;
+  bool SupportsPipelining() const override { return options_.pipeline; }
+
   /// Successful automatic reconnects so far (test/diagnostic visibility).
   size_t reconnects() const {
     return reconnects_.load(std::memory_order_relaxed);
   }
 
- private:
-  SocketEndpoint(std::string host, uint16_t port, int fd)
-      : host_(std::move(host)), port_(port), fd_(fd) {}
+  /// Requests currently awaiting responses (pipelined mode; 0 otherwise).
+  size_t pending() const;
 
-  /// Sends one framed request and reads the matching framed response,
-  /// reconnecting once per call when the connection is (or turns out to
-  /// be) broken. Serialized with a mutex: one in-flight exchange per
-  /// connection.
+ private:
+  /// One live connection. Reference-counted so a caller awaiting a
+  /// response keeps its connection's state alive across a concurrent
+  /// teardown/redial by another caller.
+  struct Wire {
+    int fd = -1;
+    bool pipelined = false;  ///< negotiated, not just requested
+    std::atomic<bool> poisoned{false};
+    std::mutex write_mu;  ///< serializes frame writes from submitters
+    std::shared_ptr<TagRouter> router;  ///< pipelined only
+    std::thread reader;                 ///< pipelined only
+  };
+
+  /// A submitted pipelined request: where to wait and on which wire.
+  struct SubmitHandle {
+    std::shared_ptr<Wire> wire;
+    std::shared_ptr<PendingFrameSlot> slot;
+  };
+
+  SocketEndpoint(std::string host, uint16_t port, ConnectOptions options)
+      : host_(std::move(host)), port_(port), options_(options) {}
+
+  /// Dials, performs the hello exchange when pipelining, and starts the
+  /// reader thread. Pure function of host/port/options — no member state.
+  Result<std::shared_ptr<Wire>> Dial();
+  /// Returns the live wire, tearing down a poisoned one and dialing a
+  /// replacement (counted in reconnects_) when needed.
+  Result<std::shared_ptr<Wire>> EnsureWire();
+  /// Marks the wire dead and shuts the socket down so the reader thread
+  /// wakes, fails all pending requests and exits.
+  static void Poison(const std::shared_ptr<Wire>& wire);
+  /// Joins the reader and closes the fd. Caller must hold conn_mu_ or be
+  /// the destructor.
+  static void Teardown(const std::shared_ptr<Wire>& wire);
+  /// Reads response frames and routes them by tag until the connection
+  /// dies; then fails every pending request with the cause.
+  void ReaderLoop(std::shared_ptr<Wire> wire);
+
+  /// Registers a tag and writes one tagged request frame.
+  Result<SubmitHandle> SubmitFrame(MessageKind kind,
+                                   std::span<const uint8_t> payload);
+  /// Waits for a submitted request; on transport failure resubmits once
+  /// over a redialed connection (the reconnect policy above).
+  Result<std::vector<uint8_t>> AwaitWithRetry(
+      MessageKind kind, const std::vector<uint8_t>& payload, SubmitHandle h);
+
+  /// Synchronous exchange: pipelined mode submits and awaits; legacy mode
+  /// runs the classic one-at-a-time framed round trip under io_mu_.
   Result<std::vector<uint8_t>> RoundTrip(MessageKind kind,
                                          std::span<const uint8_t> payload);
-  /// One exchange over the current fd; poisons it (fd_ = -1) on any
-  /// transport failure.
-  Result<std::vector<uint8_t>> TryRoundTrip(MessageKind kind,
-                                            std::span<const uint8_t> payload);
+  /// One legacy exchange over `wire`; poisons it on transport failure.
+  Result<std::vector<uint8_t>> TryLegacyRoundTrip(
+      const std::shared_ptr<Wire>& wire, MessageKind kind,
+      std::span<const uint8_t> payload);
 
   const std::string host_;
   const uint16_t port_;
-  std::mutex io_mu_;
-  int fd_;
+  const ConnectOptions options_;
+
+  mutable std::mutex conn_mu_;  ///< guards wire_ (replace/teardown)
+  std::shared_ptr<Wire> wire_;
+
+  std::mutex io_mu_;  ///< legacy mode: one in-flight exchange per endpoint
+
   std::atomic<size_t> reconnects_{0};
 };
 

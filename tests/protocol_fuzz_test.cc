@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/protocol.h"
+#include "net/frame.h"
 #include "testing/deterministic_rng.h"
 #include "util/bytes.h"
 
@@ -199,6 +200,144 @@ TEST(ProtocolFuzzTest, RemoveDocRequestAndAckSurviveCorruptBuffers) {
   ByteWriter wa;
   ack.Serialize(&wa);
   FuzzMessage<AdminAck>(wa.Take(), 0xA3);
+}
+
+// ------------------------------------------- tagged-frame (v2) drills --
+
+TEST(TaggedFrameFuzzTest, TruncatedTagHeadersAreCleanErrors) {
+  // A well-formed 9-byte header round-trips...
+  std::vector<uint8_t> frame;
+  const uint8_t payload[] = {0xAB, 0xCD};
+  AppendTaggedFrame(&frame, /*kind=*/1, /*tag=*/0x01020304, payload);
+  auto hdr = DecodeTaggedFrameHeader(frame);
+  ASSERT_TRUE(hdr.ok());
+  EXPECT_EQ(hdr->kind, 1);
+  EXPECT_EQ(hdr->tag, 0x01020304u);
+  EXPECT_EQ(hdr->len, 2u);
+  EXPECT_EQ(frame.size(), kTaggedFrameHeaderBytes + 2);
+
+  // ...but every truncation of the header fails cleanly, without reading
+  // past the buffer.
+  for (size_t len = 0; len < kTaggedFrameHeaderBytes; ++len) {
+    std::vector<uint8_t> cut(frame.begin(), frame.begin() + len);
+    auto r = DecodeTaggedFrameHeader(cut);
+    ASSERT_FALSE(r.ok()) << "header decoded from " << len << " bytes";
+    EXPECT_FALSE(r.status().message().empty());
+  }
+}
+
+TEST(TaggedFrameFuzzTest, OversizeLengthAnnouncementRejectedBeforeAlloc) {
+  // kind + tag + a length claiming ~4 GiB: rejected up front.
+  std::vector<uint8_t> bomb = {1, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF};
+  auto r = DecodeTaggedFrameHeader(bomb);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+
+  // Exactly at the cap is still acceptable as an announcement.
+  std::vector<uint8_t> at_cap = {1, 0, 0, 0, 1, 0, 0, 0, 0};
+  const uint32_t cap = kMaxSocketFrameBytes;
+  at_cap[5] = static_cast<uint8_t>(cap);
+  at_cap[6] = static_cast<uint8_t>(cap >> 8);
+  at_cap[7] = static_cast<uint8_t>(cap >> 16);
+  at_cap[8] = static_cast<uint8_t>(cap >> 24);
+  EXPECT_TRUE(DecodeTaggedFrameHeader(at_cap).ok());
+}
+
+TEST(TaggedFrameFuzzTest, RandomHeaderBytesNeverCrashTheDecoder) {
+  DeterministicRng rng(0x7A66);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<uint8_t> junk(rng.UniformInt(0, 12));
+    for (uint8_t& b : junk) b = static_cast<uint8_t>(rng());
+    auto r = DecodeTaggedFrameHeader(junk);
+    if (r.ok()) {
+      EXPECT_GE(junk.size(), kTaggedFrameHeaderBytes);
+      EXPECT_LE(r->len, kMaxSocketFrameBytes);
+    }
+  }
+}
+
+TEST(TaggedFrameFuzzTest, UnknownResponseTagIsCorruption) {
+  TagRouter router;
+  auto reg = router.Register();
+  ASSERT_TRUE(reg.ok());
+  const uint32_t tag = reg->first;
+
+  // A response tag the client never issued is a protocol violation.
+  Status s = router.Complete(tag + 999, std::vector<uint8_t>{1, 2, 3});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+
+  // The legitimate in-flight request is unharmed by the bad frame.
+  ASSERT_TRUE(router.Complete(tag, std::vector<uint8_t>{4, 5}).ok());
+  auto got = reg->second->Await();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (std::vector<uint8_t>{4, 5}));
+}
+
+TEST(TaggedFrameFuzzTest, DuplicateResponseTagIsCorruption) {
+  TagRouter router;
+  auto reg = router.Register();
+  ASSERT_TRUE(reg.ok());
+  const uint32_t tag = reg->first;
+
+  ASSERT_TRUE(router.Complete(tag, std::vector<uint8_t>{7}).ok());
+  // Second answer for the same tag: rejected, and the first delivery is
+  // not disturbed (first wins, never double-complete).
+  Status dup = router.Complete(tag, std::vector<uint8_t>{9});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kCorruption);
+  auto got = reg->second->Await();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (std::vector<uint8_t>{7}));
+}
+
+TEST(TaggedFrameFuzzTest, TagFloodHitsPendingCapNotTheAllocator) {
+  // The pending map is capacity-bounded: a runaway submitter gets
+  // FailedPrecondition at the cap; the map never exceeds it.
+  constexpr size_t kCap = 32;
+  TagRouter router(kCap);
+  std::vector<std::shared_ptr<PendingFrameSlot>> slots;
+  for (size_t i = 0; i < kCap; ++i) {
+    auto reg = router.Register();
+    ASSERT_TRUE(reg.ok()) << "register " << i;
+    slots.push_back(reg->second);
+  }
+  EXPECT_EQ(router.pending(), kCap);
+  for (int extra = 0; extra < 100; ++extra) {
+    auto reg = router.Register();
+    ASSERT_FALSE(reg.ok());
+    EXPECT_EQ(reg.status().code(), StatusCode::kFailedPrecondition);
+  }
+  EXPECT_EQ(router.pending(), kCap);
+
+  // Draining one slot frees capacity for exactly one more.
+  ASSERT_TRUE(router.Complete(1, std::vector<uint8_t>{}).ok());
+  EXPECT_TRUE(router.Register().ok());
+  EXPECT_FALSE(router.Register().ok());
+}
+
+TEST(TaggedFrameFuzzTest, FailAllFlushesPendingAndClosesRouter) {
+  TagRouter router;
+  auto a = router.Register();
+  auto b = router.Register();
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  router.FailAll(Status::Unavailable("wire died"));
+  for (auto* reg : {&*a, &*b}) {
+    auto got = reg->second->Await();
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_TRUE(router.closed());
+  EXPECT_EQ(router.pending(), 0u);
+
+  // Closed router: new registrations refuse, stale completions are
+  // unknown-tag violations, and a second FailAll is a no-op.
+  auto late = router.Register();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(router.Complete(a->first, std::vector<uint8_t>{}).ok());
+  router.FailAll(Status::Unavailable("again"));
 }
 
 TEST(ProtocolFuzzTest, ElementCountsAreBoundedByInputSize) {
