@@ -101,5 +101,6 @@ record_gbench query_scaling
 record_wall fig2_reduction
 record_self_json collection_scaling
 record_self_json pipelined_transport
+record_self_json shard_scaling
 
 echo "baselines recorded under ${OUT_DIR}/"

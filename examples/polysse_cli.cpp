@@ -34,8 +34,14 @@
 //       carries the ring + scheme + document table, each host:port is one
 //       live server
 //
-//   polysse_cli inspect <store.bin>
-//       print what an attacker with the server file alone can see
+//   polysse_cli inspect <store.bin | client.key>
+//       store file: print what an attacker with the server file alone can
+//       see; key file: print the deployment summary, including the shard
+//       layout of a sharded collection
+//
+//   polysse_cli probe <host> <port>
+//       health-probe one server over the wire ping message: prints its
+//       document/node inventory when alive
 #include <unistd.h>
 
 #include <cstdio>
@@ -50,6 +56,7 @@
 #include "core/persistence.h"
 #include "core/store_registry.h"
 #include "net/socket_endpoint.h"
+#include "shard/sharded_collection.h"
 #include "xml/xml_parser.h"
 
 using namespace polysse;
@@ -324,9 +331,62 @@ int CmdConnect(const std::string& key_path, const std::string& query,
   return 0;
 }
 
+const char* SchemeName(ShareScheme scheme) {
+  switch (scheme) {
+    case ShareScheme::kTwoParty: return "two-party";
+    case ShareScheme::kAdditive: return "additive";
+    case ShareScheme::kShamir: return "shamir";
+  }
+  return "?";
+}
+
+/// Key-file inspection: the deployment summary the CLIENT sees — notably
+/// the shard layout of a sharded collection (shard -> documents -> node-id
+/// range -> server group).
+int InspectKeyFile(const std::string& path,
+                   std::span<const uint8_t> bytes) {
+  ByteReader reader(bytes);
+  auto key = ClientSecretFile::Deserialize(&reader);
+  if (!key.ok()) return Fail(key.status());
+  std::printf("client key file %s (format v%u — keep secret):\n",
+              path.c_str(), key->version);
+  std::printf("  scheme          : %s, %d server(s)%s per group\n",
+              SchemeName(key->scheme), key->num_servers,
+              key->scheme == ShareScheme::kShamir
+                  ? (", threshold " + std::to_string(key->threshold)).c_str()
+                  : "");
+  std::printf("  documents       : %zu\n", key->docs.size());
+  if (key->shards.empty()) {
+    std::printf("  shards          : (unsharded collection)\n");
+    return 0;
+  }
+  std::vector<ClientSecretFile::ShardEntry> shards = key->shards;
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) {
+              return a.shard_id < b.shard_id;
+            });
+  std::printf("  shard layout    : %zu shard(s)\n", shards.size());
+  for (const auto& shard : shards) {
+    size_t docs_here = 0;
+    for (const auto& doc : key->docs) {
+      if (doc.base >= shard.base && doc.base + doc.size <= shard.base + shard.span)
+        ++docs_here;
+    }
+    std::printf("    shard %u: %zu doc(s), node ids [%d, %lld), "
+                "next free offset %lld, group of %d server(s)\n",
+                shard.shard_id, docs_here, shard.base,
+                static_cast<long long>(shard.base + shard.span),
+                static_cast<long long>(shard.next), key->num_servers);
+  }
+  return 0;
+}
+
 int CmdInspect(const std::string& store_path) {
   auto store_bytes = ReadFileBytes(store_path);
   if (!store_bytes.ok()) return Fail(store_bytes.status());
+  if (store_bytes->size() >= 4 &&
+      std::memcmp(store_bytes->data(), "PKEY", 4) == 0)
+    return InspectKeyFile(store_path, *store_bytes);
   auto kind = PeekStoredRingKind(*store_bytes);
   if (!kind.ok()) return Fail(kind.status());
   if (*kind != StoredRingKind::kFpCyclotomic) {
@@ -350,6 +410,22 @@ int CmdInspect(const std::string& store_path) {
   }
   std::printf("  tag names       : (none stored)\n");
   std::printf("  tag map / seed  : (client-side only)\n");
+  return 0;
+}
+
+int CmdProbe(const std::string& host, uint16_t port) {
+  auto ep = SocketEndpoint::Connect(host, port);
+  if (!ep.ok()) return Fail(ep.status());
+  PingRequest req;
+  req.nonce = 0x706f6c79;
+  auto pong = (*ep)->Ping(req);
+  if (!pong.ok()) return Fail(pong.status());
+  if (pong->nonce != req.nonce)
+    return Fail(Status::Corruption("server echoed the wrong nonce"));
+  std::printf("alive: %s:%u serves %llu document(s), %llu node(s)\n",
+              host.c_str(), port,
+              static_cast<unsigned long long>(pong->doc_count),
+              static_cast<unsigned long long>(pong->node_count));
   return 0;
 }
 
@@ -398,20 +474,61 @@ int SelfDemo() {
   if (rc != 0) return rc;
 
   // serve/connect leg: host the collection registry over real loopback
-  // TCP in this process, then query it exactly like a remote client.
+  // TCP in this process, then query it exactly like a remote client —
+  // probing its health first, the way scatter-gather skips dead groups.
   {
     auto registry = LoadServableStore("/tmp/polysse_col.bin");
     if (!registry.ok()) return Fail(registry.status());
     auto server = SocketServer::Listen(registry->get(), /*port=*/0);
     if (!server.ok()) return Fail(server.status());
-    std::printf("\nserving the collection on 127.0.0.1:%u; querying over "
-                "TCP ...\n",
+    std::printf("\nserving the collection on 127.0.0.1:%u; probing, then "
+                "querying over TCP ...\n",
                 (*server)->port());
+    rc = CmdProbe("127.0.0.1", (*server)->port());
+    if (rc != 0) return rc;
     rc = CmdConnect("/tmp/polysse_col.key", "//book",
                     {"127.0.0.1:" + std::to_string((*server)->port())});
     if (rc != 0) return rc;
   }
-  return CmdInspect("/tmp/polysse_col.bin");
+  rc = CmdInspect("/tmp/polysse_col.bin");
+  if (rc != 0) return rc;
+
+  // Sharded-collection leg: two server groups, scatter-gather search, an
+  // online split, and the shard layout as `inspect` reports it.
+  std::printf("\nsharded demo: two groups, scatter-gather search ...\n");
+  {
+    ShardDeploy deploy;
+    deploy.num_shards = 2;
+    auto sharded = FpShardedCollection::Create(
+        DeterministicPrf::FromString("demo-passphrase"), deploy);
+    if (!sharded.ok()) return Fail(sharded.status());
+    auto doc1 = ParseXmlFile("/tmp/polysse_demo.xml");
+    auto doc2 = ParseXmlFile("/tmp/polysse_demo2.xml");
+    if (!doc1.ok()) return Fail(doc1.status());
+    if (!doc2.ok()) return Fail(doc2.status());
+    if (Status s = (*sharded)->Add(1, *doc1); !s.ok()) return Fail(s);
+    if (Status s = (*sharded)->Add(2, *doc2); !s.ok()) return Fail(s);
+    auto r = (*sharded)->Search("book");
+    if (!r.ok()) return Fail(r.status());
+    size_t total = 0;
+    for (const auto& [doc_id, result] : r->per_doc)
+      total += result.matches.size();
+    std::printf("%zu match(es) across %zu shard(s); deepest shard walked "
+                "%zu round(s)\n",
+                total, r->per_shard.size(), r->stats.rounds);
+    if (Status s = (*sharded)->SplitShard(0, 2); !s.ok()) return Fail(s);
+    auto r2 = (*sharded)->Search("book");
+    if (!r2.ok()) return Fail(r2.status());
+    bool same = r->per_doc.size() == r2->per_doc.size();
+    for (auto a = r->per_doc.begin(), b = r2->per_doc.begin();
+         same && a != r->per_doc.end(); ++a, ++b)
+      same = a->first == b->first && a->second.matches == b->second.matches;
+    std::printf("after splitting shard 0 -> 2: answers %s\n",
+                same ? "unchanged" : "CHANGED (bug!)");
+    if (Status s = (*sharded)->SaveKey("/tmp/polysse_shard.key"); !s.ok())
+      return Fail(s);
+  }
+  return CmdInspect("/tmp/polysse_shard.key");
 }
 
 }  // namespace
@@ -465,6 +582,9 @@ int main(int argc, char** argv) {
   if (cmd == "inspect" && argc == 3) {
     return CmdInspect(argv[2]);
   }
+  if (cmd == "probe" && argc == 4) {
+    return CmdProbe(argv[2], static_cast<uint16_t>(std::atoi(argv[3])));
+  }
   // Self-demonstration when run without arguments.
   std::printf("usage:\n"
               "  polysse_cli outsource <doc.xml> <store.bin> <client.key> "
@@ -480,6 +600,7 @@ int main(int argc, char** argv) {
               "  polysse_cli serve <store.bin> [port]\n"
               "  polysse_cli connect <client.key> <query> <host:port> "
               "[host:port ...]\n"
-              "  polysse_cli inspect <store.bin>\n\n");
+              "  polysse_cli inspect <store.bin | client.key>\n"
+              "  polysse_cli probe <host> <port>\n\n");
   return SelfDemo();
 }

@@ -37,10 +37,47 @@ Result<std::vector<uint8_t>> DispatchSerialized(
       resp.Serialize(&out);
       break;
     }
+    case MessageKind::kExportDoc: {
+      ASSIGN_OR_RETURN(ExportDocRequest req,
+                       ExportDocRequest::Deserialize(&in));
+      ASSIGN_OR_RETURN(ExportDocResponse resp, handler->HandleExportDoc(req));
+      resp.Serialize(&out);
+      break;
+    }
+    case MessageKind::kRebaseDoc: {
+      ASSIGN_OR_RETURN(RebaseDocRequest req,
+                       RebaseDocRequest::Deserialize(&in));
+      ASSIGN_OR_RETURN(AdminAck resp, handler->HandleRebaseDoc(req));
+      resp.Serialize(&out);
+      break;
+    }
+    case MessageKind::kPing: {
+      ASSIGN_OR_RETURN(PingRequest req, PingRequest::Deserialize(&in));
+      ASSIGN_OR_RETURN(PingResponse resp, handler->HandlePing(req));
+      resp.Serialize(&out);
+      break;
+    }
     default:
       return Status::InvalidArgument("unknown message kind");
   }
   return out.Take();
+}
+
+Status ServerEndpoint::Probe() {
+  // Distinct nonces across probes so a transport replaying a stale pong
+  // (or a handler echoing a constant) is caught.
+  static std::atomic<uint64_t> next_nonce{0x9e3779b97f4a7c15ull};
+  PingRequest req;
+  req.nonce = next_nonce.fetch_add(0x9e3779b9, std::memory_order_relaxed);
+  auto resp = Ping(req);
+  if (!resp.ok()) {
+    if (resp.status().code() == StatusCode::kUnimplemented)
+      return Status::Ok();  // pre-ping endpoint: unprobeable, not dead
+    return resp.status();
+  }
+  if (resp->nonce != req.nonce)
+    return Status::Corruption("ping response echoed the wrong nonce");
+  return Status::Ok();
 }
 
 // ------------------------------------------------------------- in-process
@@ -69,6 +106,28 @@ Result<AdminAck> InProcessEndpoint::AddDoc(const AddDocRequest& req) {
 Result<AdminAck> InProcessEndpoint::RemoveDoc(const RemoveDocRequest& req) {
   CountUp(0);
   ASSIGN_OR_RETURN(AdminAck resp, handler_->HandleRemoveDoc(req));
+  CountDown(0);
+  return resp;
+}
+
+Result<ExportDocResponse> InProcessEndpoint::ExportDoc(
+    const ExportDocRequest& req) {
+  CountUp(0);
+  ASSIGN_OR_RETURN(ExportDocResponse resp, handler_->HandleExportDoc(req));
+  CountDown(0);
+  return resp;
+}
+
+Result<AdminAck> InProcessEndpoint::RebaseDoc(const RebaseDocRequest& req) {
+  CountUp(0);
+  ASSIGN_OR_RETURN(AdminAck resp, handler_->HandleRebaseDoc(req));
+  CountDown(0);
+  return resp;
+}
+
+Result<PingResponse> InProcessEndpoint::Ping(const PingRequest& req) {
+  CountUp(0);
+  ASSIGN_OR_RETURN(PingResponse resp, handler_->HandlePing(req));
   CountDown(0);
   return resp;
 }
@@ -120,6 +179,43 @@ Result<AdminAck> LoopbackEndpoint::RemoveDoc(const RemoveDocRequest& req) {
   CountDown(down.size());
   ByteReader down_r(down);
   return AdminAck::Deserialize(&down_r);
+}
+
+Result<ExportDocResponse> LoopbackEndpoint::ExportDoc(
+    const ExportDocRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  CountUp(up.size());
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> down,
+      DispatchSerialized(handler_, MessageKind::kExportDoc, up.span()));
+  CountDown(down.size());
+  ByteReader down_r(down);
+  return ExportDocResponse::Deserialize(&down_r);
+}
+
+Result<AdminAck> LoopbackEndpoint::RebaseDoc(const RebaseDocRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  CountUp(up.size());
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> down,
+      DispatchSerialized(handler_, MessageKind::kRebaseDoc, up.span()));
+  CountDown(down.size());
+  ByteReader down_r(down);
+  return AdminAck::Deserialize(&down_r);
+}
+
+Result<PingResponse> LoopbackEndpoint::Ping(const PingRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  CountUp(up.size());
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> down,
+      DispatchSerialized(handler_, MessageKind::kPing, up.span()));
+  CountDown(down.size());
+  ByteReader down_r(down);
+  return PingResponse::Deserialize(&down_r);
 }
 
 // --------------------------------------------------------- fault injection
@@ -181,6 +277,23 @@ Result<AdminAck> FaultInjectingEndpoint::RemoveDoc(
     const RemoveDocRequest& req) {
   RETURN_IF_ERROR(Admit());
   return inner_->RemoveDoc(req);
+}
+
+Result<ExportDocResponse> FaultInjectingEndpoint::ExportDoc(
+    const ExportDocRequest& req) {
+  RETURN_IF_ERROR(Admit());
+  return inner_->ExportDoc(req);
+}
+
+Result<AdminAck> FaultInjectingEndpoint::RebaseDoc(
+    const RebaseDocRequest& req) {
+  RETURN_IF_ERROR(Admit());
+  return inner_->RebaseDoc(req);
+}
+
+Result<PingResponse> FaultInjectingEndpoint::Ping(const PingRequest& req) {
+  RETURN_IF_ERROR(Admit());
+  return inner_->Ping(req);
 }
 
 // ----------------------------------------------------------- group checks

@@ -57,6 +57,25 @@ class ServerHandler {
     return Status::Unimplemented(
         "this server does not manage a document registry");
   }
+
+  /// Shard administration (document migration between server groups).
+  /// Like the registry admin pair, only ServerStoreRegistry implements
+  /// these; plain single-tree servers refuse.
+  virtual Result<ExportDocResponse> HandleExportDoc(const ExportDocRequest&) {
+    return Status::Unimplemented(
+        "this server does not manage a document registry");
+  }
+  virtual Result<AdminAck> HandleRebaseDoc(const RebaseDocRequest&) {
+    return Status::Unimplemented(
+        "this server does not manage a document registry");
+  }
+
+  /// Health probe: every live handler answers by echoing the nonce, so a
+  /// probe distinguishes "server reachable" from "server gone" without
+  /// touching any store. Registries override to report their inventory.
+  virtual Result<PingResponse> HandlePing(const PingRequest& req) {
+    return PingResponse{req.nonce, 0, 0};
+  }
 };
 
 /// Wire message discriminator for the serialized dispatch path.
@@ -65,6 +84,9 @@ enum class MessageKind : uint8_t {
   kFetch = 2,
   kAddDoc = 3,
   kRemoveDoc = 4,
+  kExportDoc = 5,
+  kRebaseDoc = 6,
+  kPing = 7,
 };
 
 /// Bytes-in/bytes-out server dispatch: decode the request, run the handler,
@@ -131,6 +153,28 @@ class ServerEndpoint {
     return Status::Unimplemented("endpoint does not support RemoveDoc");
   }
 
+  /// Shard administration (document migration). Defaults refuse, matching
+  /// the handler-side defaults.
+  virtual Result<ExportDocResponse> ExportDoc(const ExportDocRequest&) {
+    return Status::Unimplemented("endpoint does not support ExportDoc");
+  }
+  virtual Result<AdminAck> RebaseDoc(const RebaseDocRequest&) {
+    return Status::Unimplemented("endpoint does not support RebaseDoc");
+  }
+
+  /// Health probe round trip. The default refuses; concrete endpoints
+  /// forward to their handler (or put a ping frame on the wire).
+  virtual Result<PingResponse> Ping(const PingRequest&) {
+    return Status::Unimplemented("endpoint does not support Ping");
+  }
+
+  /// Liveness check built on Ping: Ok when the server answered with the
+  /// right nonce, the transport error otherwise. An endpoint that predates
+  /// the ping kind (Unimplemented) counts as alive — unprobeable is not
+  /// dead. Scatter-gather schedulers probe before fanning out so a dead
+  /// group costs one fast refusal instead of a full walk's timeouts.
+  Status Probe();
+
   /// Async submit/await seam. The defaults resolve synchronously (correct
   /// for every transport, concurrent for none); pipelined transports
   /// override to put the request on the wire at Begin* time and block only
@@ -183,6 +227,9 @@ class InProcessEndpoint final : public ServerEndpoint {
   Result<FetchResponse> Fetch(const FetchRequest& req) override;
   Result<AdminAck> AddDoc(const AddDocRequest& req) override;
   Result<AdminAck> RemoveDoc(const RemoveDocRequest& req) override;
+  Result<ExportDocResponse> ExportDoc(const ExportDocRequest& req) override;
+  Result<AdminAck> RebaseDoc(const RebaseDocRequest& req) override;
+  Result<PingResponse> Ping(const PingRequest& req) override;
 
  private:
   ServerHandler* handler_;
@@ -198,6 +245,9 @@ class LoopbackEndpoint final : public ServerEndpoint {
   Result<FetchResponse> Fetch(const FetchRequest& req) override;
   Result<AdminAck> AddDoc(const AddDocRequest& req) override;
   Result<AdminAck> RemoveDoc(const RemoveDocRequest& req) override;
+  Result<ExportDocResponse> ExportDoc(const ExportDocRequest& req) override;
+  Result<AdminAck> RebaseDoc(const RebaseDocRequest& req) override;
+  Result<PingResponse> Ping(const PingRequest& req) override;
 
  private:
   ServerHandler* handler_;
@@ -231,6 +281,11 @@ class FaultInjectingEndpoint final : public ServerEndpoint {
   Result<FetchResponse> Fetch(const FetchRequest& req) override;
   Result<AdminAck> AddDoc(const AddDocRequest& req) override;
   Result<AdminAck> RemoveDoc(const RemoveDocRequest& req) override;
+  Result<ExportDocResponse> ExportDoc(const ExportDocRequest& req) override;
+  Result<AdminAck> RebaseDoc(const RebaseDocRequest& req) override;
+  /// Probes go through the same fault gate: a dead server fails its pings,
+  /// which is exactly what a scatter-gather health check must observe.
+  Result<PingResponse> Ping(const PingRequest& req) override;
 
   TransportCounters counters() const override { return inner_->counters(); }
 

@@ -12,9 +12,10 @@ namespace {
 constexpr char kMagic[4] = {'P', 'S', 'S', 'E'};
 constexpr uint8_t kFormatVersion = 1;
 /// Client key files: v2 appends the deployment-shape trailer, v3 the
-/// collection document table; v1/v2 files remain loadable (see the format
-/// comment on ClientSecretFile in persistence.h).
-constexpr uint8_t kKeyFormatVersion = 3;
+/// collection document table, v4 the shard table; every older version
+/// remains loadable (see the compatibility matrix on ClientSecretFile in
+/// persistence.h).
+constexpr uint8_t kKeyFormatVersion = 4;
 
 void WriteHeader(StoredRingKind kind, ByteWriter* out) {
   out->PutBytes(std::span<const uint8_t>(
@@ -170,6 +171,14 @@ void ClientSecretFile::Serialize(ByteWriter* out) const {
   }
   out->PutVarint64(static_cast<uint64_t>(next_base));
   out->PutVarint64(next_epoch);
+  // v4 shard trailer: the shard table (empty for unsharded collections).
+  out->PutVarint64(shards.size());
+  for (const ShardEntry& shard : shards) {
+    out->PutVarint64(shard.shard_id);
+    out->PutVarint64(static_cast<uint32_t>(shard.base));
+    out->PutVarint64(static_cast<uint64_t>(shard.span));
+    out->PutVarint64(static_cast<uint64_t>(shard.next));
+  }
 }
 
 Result<ClientSecretFile> ClientSecretFile::Deserialize(ByteReader* in) {
@@ -258,6 +267,69 @@ Result<ClientSecretFile> ClientSecretFile::Deserialize(ByteReader* in) {
     return Status::Corruption("implausible next_base in key file");
   out.next_base = static_cast<int64_t>(next_base);
   ASSIGN_OR_RETURN(out.next_epoch, in->GetVarint64());
+  if (version == 3) return out;  // v3 key: unsharded collection
+
+  ASSIGN_OR_RETURN(uint64_t shard_count, in->GetVarint64());
+  if (shard_count > in->remaining())
+    return Status::Corruption("absurd shard count in key file");
+  out.shards.reserve(shard_count);
+  for (uint64_t i = 0; i < shard_count; ++i) {
+    ShardEntry shard;
+    ASSIGN_OR_RETURN(uint64_t shard_id, in->GetVarint64());
+    if (shard_id > UINT32_MAX)
+      return Status::Corruption("implausible shard id in key file");
+    shard.shard_id = static_cast<uint32_t>(shard_id);
+    ASSIGN_OR_RETURN(uint64_t base, in->GetVarint64());
+    ASSIGN_OR_RETURN(uint64_t span, in->GetVarint64());
+    ASSIGN_OR_RETURN(uint64_t next, in->GetVarint64());
+    if (base > static_cast<uint64_t>(INT32_MAX) || span == 0 ||
+        span > static_cast<uint64_t>(INT32_MAX) + 1 ||
+        base + span > static_cast<uint64_t>(INT32_MAX) + 1)
+      return Status::Corruption("implausible shard range in key file");
+    if (next > span)
+      return Status::Corruption(
+          "shard allocation offset exceeds its span in key file");
+    shard.base = static_cast<int32_t>(base);
+    shard.span = static_cast<int64_t>(span);
+    shard.next = static_cast<int64_t>(next);
+    out.shards.push_back(shard);
+  }
+  // Shard-table sanity: ids unique, ranges disjoint, and when the table is
+  // non-empty every document sits inside exactly one shard — scatter-gather
+  // routes by this table, so a bogus assignment must fail here rather than
+  // send a document's queries to the wrong group.
+  if (!out.shards.empty()) {
+    std::unordered_set<uint64_t> shard_ids;
+    for (const ShardEntry& shard : out.shards) {
+      if (!shard_ids.insert(shard.shard_id).second)
+        return Status::Corruption("duplicate shard id in key file table");
+    }
+    std::vector<const ShardEntry*> by_base;
+    by_base.reserve(out.shards.size());
+    for (const ShardEntry& shard : out.shards) by_base.push_back(&shard);
+    std::sort(by_base.begin(), by_base.end(),
+              [](const ShardEntry* a, const ShardEntry* b) {
+                return a->base < b->base;
+              });
+    for (size_t i = 1; i < by_base.size(); ++i) {
+      if (by_base[i]->base < by_base[i - 1]->base + by_base[i - 1]->span)
+        return Status::Corruption(
+            "overlapping shard ranges in key file table");
+    }
+    for (const DocEntry& doc : out.docs) {
+      bool owned = false;
+      for (const ShardEntry& shard : out.shards) {
+        if (doc.base >= shard.base &&
+            doc.base + doc.size <= shard.base + shard.span) {
+          owned = true;
+          break;
+        }
+      }
+      if (!owned)
+        return Status::Corruption(
+            "document outside every shard range in key file table");
+    }
+  }
   return out;
 }
 

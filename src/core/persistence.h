@@ -73,8 +73,21 @@ Result<ServerStore<ZQuotientRing>> LoadZServerStore(ByteReader* in);
 ///       deployments keep deriving identical shares); next_base/next_epoch
 ///       let Add continue assigning fresh node-id ranges and prefixes
 ///       without ever reusing either.
-/// Serialize always writes v3; v1 and v2 files still load (empty doc table
-/// = one legacy document at base 0 with prefix "").
+///   v4: + shard trailer: shard count | per shard {shard_id | base | span |
+///       next} — the shard table of a sharded collection (shard/). Each
+///       shard owns the disjoint node-id range [base, base + span) and
+///       allocates document bases at base + next; every document range in
+///       the v3 table must sit inside exactly one shard. An empty table
+///       (count 0) is an unsharded collection.
+///
+/// Compatibility matrix (loader behavior per stored version):
+///   version | deployment shape | doc table            | shard table
+///   --------+------------------+----------------------+----------------
+///   v1      | two-party defaults | one legacy doc (synthesized) | none
+///   v2      | stored           | one legacy doc (synthesized) | none
+///   v3      | stored           | stored               | none
+///   v4      | stored           | stored               | stored
+/// Serialize always writes v4; every older version still loads.
 struct ClientSecretFile {
   /// One outsourced document of a collection (v3+).
   struct DocEntry {
@@ -99,14 +112,27 @@ struct ClientSecretFile {
   uint64_t fp_p = 0;      ///< kFpCyclotomic: the field modulus
   ZPoly z_modulus;        ///< kZQuotient: the quotient polynomial r(x)
 
+  /// One shard of a sharded collection (v4+): the server group
+  /// `shard_id` owns node ids [base, base + span) and hands out document
+  /// bases at base + next.
+  struct ShardEntry {
+    uint32_t shard_id = 0;
+    int32_t base = 0;
+    int64_t span = 0;
+    /// Allocation offset within the shard's range (0 <= next <= span).
+    int64_t next = 0;
+  };
+
   /// Collection document table (v3+). Empty on v1/v2 keys, whose one
   /// legacy document Open synthesizes as {0, base 0, prefix ""}.
   std::vector<DocEntry> docs;
   int64_t next_base = 0;
   uint64_t next_epoch = 0;
-  /// The format the file was read with (1, 2 or 3); informational — lets
-  /// Open distinguish "v3 empty collection" from "legacy single-doc key".
-  uint8_t version = 3;
+  /// Shard table (v4+). Empty = unsharded collection.
+  std::vector<ShardEntry> shards;
+  /// The format the file was read with (1–4); informational — lets Open
+  /// distinguish "v3 empty collection" from "legacy single-doc key".
+  uint8_t version = 4;
 
   void Serialize(ByteWriter* out) const;
   static Result<ClientSecretFile> Deserialize(ByteReader* in);

@@ -165,4 +165,69 @@ Result<AdminAck> AdminAck::Deserialize(ByteReader* in) {
   return out;
 }
 
+void ExportDocRequest::Serialize(ByteWriter* out) const {
+  out->PutVarint64(doc_id);
+}
+
+Result<ExportDocRequest> ExportDocRequest::Deserialize(ByteReader* in) {
+  ExportDocRequest out;
+  ASSIGN_OR_RETURN(out.doc_id, in->GetVarint64());
+  return out;
+}
+
+void ExportDocResponse::Serialize(ByteWriter* out) const {
+  out->PutVarint64(static_cast<uint32_t>(base));
+  out->PutLengthPrefixed(store_bytes);
+}
+
+Result<ExportDocResponse> ExportDocResponse::Deserialize(ByteReader* in) {
+  ExportDocResponse out;
+  ASSIGN_OR_RETURN(uint64_t base, in->GetVarint64());
+  if (base > static_cast<uint64_t>(INT32_MAX))
+    return Status::Corruption("ExportDocResponse: base exceeds the id space");
+  out.base = static_cast<int32_t>(base);
+  // GetLengthPrefixed bounds the claimed length by the bytes actually left.
+  ASSIGN_OR_RETURN(out.store_bytes, in->GetLengthPrefixed());
+  return out;
+}
+
+void RebaseDocRequest::Serialize(ByteWriter* out) const {
+  out->PutVarint64(doc_id);
+  out->PutVarint64(static_cast<uint32_t>(new_base));
+}
+
+Result<RebaseDocRequest> RebaseDocRequest::Deserialize(ByteReader* in) {
+  RebaseDocRequest out;
+  ASSIGN_OR_RETURN(out.doc_id, in->GetVarint64());
+  ASSIGN_OR_RETURN(uint64_t base, in->GetVarint64());
+  if (base > static_cast<uint64_t>(INT32_MAX))
+    return Status::Corruption("RebaseDocRequest: base exceeds the id space");
+  out.new_base = static_cast<int32_t>(base);
+  return out;
+}
+
+void PingRequest::Serialize(ByteWriter* out) const {
+  out->PutVarint64(nonce);
+}
+
+Result<PingRequest> PingRequest::Deserialize(ByteReader* in) {
+  PingRequest out;
+  ASSIGN_OR_RETURN(out.nonce, in->GetVarint64());
+  return out;
+}
+
+void PingResponse::Serialize(ByteWriter* out) const {
+  out->PutVarint64(nonce);
+  out->PutVarint64(doc_count);
+  out->PutVarint64(node_count);
+}
+
+Result<PingResponse> PingResponse::Deserialize(ByteReader* in) {
+  PingResponse out;
+  ASSIGN_OR_RETURN(out.nonce, in->GetVarint64());
+  ASSIGN_OR_RETURN(out.doc_count, in->GetVarint64());
+  ASSIGN_OR_RETURN(out.node_count, in->GetVarint64());
+  return out;
+}
+
 }  // namespace polysse

@@ -107,7 +107,7 @@ struct RemoveDocRequest {
   static Result<RemoveDocRequest> Deserialize(ByteReader* in);
 };
 
-/// Acknowledgement of either admin request: the registry's state after the
+/// Acknowledgement of an admin request: the registry's state after the
 /// operation, so the client can cross-check that all servers agree.
 struct AdminAck {
   uint64_t doc_count = 0;
@@ -115,6 +115,72 @@ struct AdminAck {
 
   void Serialize(ByteWriter* out) const;
   static Result<AdminAck> Deserialize(ByteReader* in);
+};
+
+// ------------------------------------------------------ shard administration
+//
+// A sharded collection (shard/sharded_collection.h) migrates documents
+// between server groups: split moves half a shard's documents to a new
+// group, merge drains a retiring shard into a surviving one and then
+// compacts the survivor's node-id space. Two admin messages make those
+// moves pure wire operations — the client never needs local access to a
+// registry's stores:
+//   ExportDoc  pulls one document's share tree off a server (the exact
+//              bytes a later AddDocRequest re-registers elsewhere);
+//   RebaseDoc  slides one document to a new node-id base in place, which
+//              is how compaction reclaims leaked id ranges without the
+//              share tree ever crossing the wire again.
+
+/// Asks a registry server for one document's serialized share tree.
+struct ExportDocRequest {
+  uint64_t doc_id = 0;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<ExportDocRequest> Deserialize(ByteReader* in);
+};
+
+/// The document's current base plus its store in the standard single-store
+/// serialization — AddDocRequest::store_bytes compatible, so a move is
+/// export + add (at the destination base) + remove.
+struct ExportDocResponse {
+  int32_t base = 0;
+  std::vector<uint8_t> store_bytes;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<ExportDocResponse> Deserialize(ByteReader* in);
+};
+
+/// Re-registers the document under `doc_id` at node-id base `new_base`,
+/// keeping its share tree. The registry rejects a target range that would
+/// overlap another document.
+struct RebaseDocRequest {
+  uint64_t doc_id = 0;
+  int32_t new_base = 0;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<RebaseDocRequest> Deserialize(ByteReader* in);
+};
+
+// ------------------------------------------------------------ health probe
+
+/// Liveness probe. Any server answers — the scatter-gather scheduler uses
+/// probes to skip dead groups without burning a query round's timeout.
+struct PingRequest {
+  uint64_t nonce = 0;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<PingRequest> Deserialize(ByteReader* in);
+};
+
+/// Echoes the nonce; registry servers also report their document/node
+/// counts so a probe doubles as a cheap remote-inventory check.
+struct PingResponse {
+  uint64_t nonce = 0;
+  uint64_t doc_count = 0;
+  uint64_t node_count = 0;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<PingResponse> Deserialize(ByteReader* in);
 };
 
 /// Byte/message counters for one direction pair.

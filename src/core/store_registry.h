@@ -15,6 +15,7 @@
 #ifndef POLYSSE_CORE_STORE_REGISTRY_H_
 #define POLYSSE_CORE_STORE_REGISTRY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -138,6 +139,52 @@ class ServerStoreRegistry : public ServerHandler {
                             " is not registered");
   }
 
+  /// Moves the document registered under `doc_id` to node-id base
+  /// `new_base`, keeping its share tree (stores are base-independent; the
+  /// registry re-offsets requests). Rejects a target range that would
+  /// overlap another document. Shard compaction uses this to pack a
+  /// shard's documents back against its range start.
+  Status RebaseDoc(uint64_t doc_id, int32_t new_base) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    Entry* target = nullptr;
+    for (Entry& e : entries_) {
+      if (e.doc_id == doc_id) {
+        target = &e;
+        break;
+      }
+    }
+    if (target == nullptr)
+      return Status::NotFound("doc id " + std::to_string(doc_id) +
+                              " is not registered");
+    if (new_base < 0)
+      return Status::InvalidArgument("doc base must be non-negative");
+    const int64_t size = static_cast<int64_t>(target->store->size());
+    if (static_cast<int64_t>(new_base) + size - 1 > INT32_MAX)
+      return Status::InvalidArgument("collection node-id space exhausted");
+    for (const Entry& e : entries_) {
+      if (e.doc_id == doc_id) continue;
+      const int64_t e_end = e.base + static_cast<int64_t>(e.store->size());
+      if (new_base < e_end &&
+          e.base < static_cast<int64_t>(new_base) + size)
+        return Status::InvalidArgument(
+            "doc node-id range overlaps an existing document");
+    }
+    target->base = new_base;
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.base < b.base; });
+    return Status::Ok();
+  }
+
+  /// One past the highest node id any registered document occupies (0 when
+  /// empty) — the registry's id-space high-water mark. The reclamation
+  /// tests assert this shrinks after a merge + compaction.
+  int64_t IdSpaceEnd() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (entries_.empty()) return 0;
+    const Entry& last = entries_.back();
+    return last.base + static_cast<int64_t>(last.store->size());
+  }
+
   // --------------------------------------------------------- ServerHandler
 
   Result<EvalResponse> HandleEval(const EvalRequest& req) override {
@@ -203,6 +250,35 @@ class ServerStoreRegistry : public ServerHandler {
   Result<AdminAck> HandleRemoveDoc(const RemoveDocRequest& req) override {
     RETURN_IF_ERROR(RemoveDoc(req.doc_id));
     return Ack();
+  }
+
+  Result<ExportDocResponse> HandleExportDoc(
+      const ExportDocRequest& req) override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.doc_id != req.doc_id) continue;
+      ExportDocResponse out;
+      out.base = e.base;
+      ByteWriter inner;
+      SaveServerStore(*e.store, &inner);
+      auto span = inner.span();
+      out.store_bytes.assign(span.begin(), span.end());
+      return out;
+    }
+    return Status::NotFound("doc id " + std::to_string(req.doc_id) +
+                            " is not registered");
+  }
+
+  Result<AdminAck> HandleRebaseDoc(const RebaseDocRequest& req) override {
+    RETURN_IF_ERROR(RebaseDoc(req.doc_id, req.new_base));
+    return Ack();
+  }
+
+  /// A registry's pong reports its inventory, so a probe doubles as a
+  /// cheap remote doc/node-count cross-check.
+  Result<PingResponse> HandlePing(const PingRequest& req) override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return PingResponse{req.nonce, entries_.size(), TotalNodesLocked()};
   }
 
  private:

@@ -391,4 +391,32 @@ Result<AdminAck> SocketEndpoint::RemoveDoc(const RemoveDocRequest& req) {
   return AdminAck::Deserialize(&r);
 }
 
+Result<ExportDocResponse> SocketEndpoint::ExportDoc(
+    const ExportDocRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> down,
+                   RoundTrip(MessageKind::kExportDoc, up.span()));
+  ByteReader r(down);
+  return ExportDocResponse::Deserialize(&r);
+}
+
+Result<AdminAck> SocketEndpoint::RebaseDoc(const RebaseDocRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> down,
+                   RoundTrip(MessageKind::kRebaseDoc, up.span()));
+  ByteReader r(down);
+  return AdminAck::Deserialize(&r);
+}
+
+Result<PingResponse> SocketEndpoint::Ping(const PingRequest& req) {
+  ByteWriter up;
+  req.Serialize(&up);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> down,
+                   RoundTrip(MessageKind::kPing, up.span()));
+  ByteReader r(down);
+  return PingResponse::Deserialize(&r);
+}
+
 }  // namespace polysse

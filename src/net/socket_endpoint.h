@@ -84,6 +84,11 @@ class SocketEndpoint final : public ServerEndpoint {
   Result<FetchResponse> Fetch(const FetchRequest& req) override;
   Result<AdminAck> AddDoc(const AddDocRequest& req) override;
   Result<AdminAck> RemoveDoc(const RemoveDocRequest& req) override;
+  Result<ExportDocResponse> ExportDoc(const ExportDocRequest& req) override;
+  Result<AdminAck> RebaseDoc(const RebaseDocRequest& req) override;
+  /// Real framed round trip — the inherited Probe() therefore measures an
+  /// actual network liveness check, not an in-process shortcut.
+  Result<PingResponse> Ping(const PingRequest& req) override;
 
   /// Pipelined submit/await: the request goes on the wire before Begin*
   /// returns; Await blocks until its tagged response arrives. On a

@@ -30,7 +30,7 @@ constexpr uint64_t kWakeMarker = ~0ull;
 
 bool IsRequestKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(MessageKind::kEval) &&
-         kind <= static_cast<uint8_t>(MessageKind::kRemoveDoc);
+         kind <= static_cast<uint8_t>(MessageKind::kPing);
 }
 
 /// Frames a dispatch outcome in the connection's protocol generation.

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/persistence.h"
 #include "core/protocol.h"
 #include "net/frame.h"
 #include "testing/deterministic_rng.h"
@@ -200,6 +201,135 @@ TEST(ProtocolFuzzTest, RemoveDocRequestAndAckSurviveCorruptBuffers) {
   ByteWriter wa;
   ack.Serialize(&wa);
   FuzzMessage<AdminAck>(wa.Take(), 0xA3);
+}
+
+// --------------------------- shard administration + health-probe drills --
+
+TEST(ProtocolFuzzTest, ExportDocMessagesSurviveCorruptBuffers) {
+  ExportDocRequest req;
+  req.doc_id = 17;
+  ByteWriter w;
+  req.Serialize(&w);
+  FuzzMessage<ExportDocRequest>(w.Take(), 0xD1);
+
+  ExportDocResponse resp;
+  resp.base = 1 << 20;
+  resp.store_bytes = {'P', 'S', 'S', 'E', 1, 1, 42, 42, 42, 42};
+  ByteWriter wr;
+  resp.Serialize(&wr);
+  FuzzMessage<ExportDocResponse>(wr.Take(), 0xD2);
+}
+
+TEST(ProtocolFuzzTest, RebaseDocRequestSurvivesCorruptBuffers) {
+  RebaseDocRequest req;
+  req.doc_id = 9;
+  req.new_base = 123456;
+  ByteWriter w;
+  req.Serialize(&w);
+  FuzzMessage<RebaseDocRequest>(w.Take(), 0xD3);
+}
+
+TEST(ProtocolFuzzTest, PingMessagesSurviveCorruptBuffers) {
+  PingRequest req;
+  req.nonce = 0x9e3779b97f4a7c15ull;
+  ByteWriter w;
+  req.Serialize(&w);
+  FuzzMessage<PingRequest>(w.Take(), 0xD4);
+
+  PingResponse resp;
+  resp.nonce = 0x9e3779b97f4a7c15ull;
+  resp.doc_count = 3;
+  resp.node_count = 4096;
+  ByteWriter wr;
+  resp.Serialize(&wr);
+  FuzzMessage<PingResponse>(wr.Take(), 0xD5);
+}
+
+// A base claiming to sit past the int32 node-id space is rejected while
+// decoding — no admin handler ever sees an id range it cannot represent.
+TEST(ProtocolFuzzTest, OutOfRangeBasesAreCorruption) {
+  ByteWriter w;
+  w.PutVarint64(static_cast<uint64_t>(INT32_MAX) + 1);
+  w.PutVarint64(0);  // empty store_bytes
+  ByteReader in(w.span());
+  auto r = ExportDocResponse::Deserialize(&in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+
+  ByteWriter wr;
+  wr.PutVarint64(5);  // doc_id
+  wr.PutVarint64(static_cast<uint64_t>(INT32_MAX) + 1);
+  ByteReader in2(wr.span());
+  auto r2 = RebaseDocRequest::Deserialize(&in2);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kCorruption);
+}
+
+// The v4 key file's shard table is attacker-visible persistence: a
+// hand-edited table with duplicate ids, overlapping ranges, an
+// impossible allocation offset or a document outside every shard must
+// be Corruption at load time — the routing invariants are enforced by
+// the decoder, not trusted from disk.
+std::vector<uint8_t> SerializeKey(const ClientSecretFile& key) {
+  ByteWriter w;
+  key.Serialize(&w);
+  return w.Take();
+}
+
+ClientSecretFile SeedShardedKey() {
+  ClientSecretFile key;
+  key.seed.fill(0x5A);
+  key.docs.push_back({1, 0, 10, "d1.0"});
+  key.docs.push_back({2, 1 << 20, 12, "d2.1"});
+  key.next_epoch = 2;
+  key.shards.push_back({0, 0, 1 << 20, 10});
+  key.shards.push_back({1, 1 << 20, 1 << 20, 12});
+  return key;
+}
+
+template <typename Mutate>
+void ExpectKeyRejected(Mutate mutate, const char* label) {
+  ClientSecretFile key = SeedShardedKey();
+  mutate(&key);
+  std::vector<uint8_t> bytes = SerializeKey(key);
+  ByteReader in(bytes);
+  auto r = ClientSecretFile::Deserialize(&in);
+  ASSERT_FALSE(r.ok()) << label;
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << label;
+}
+
+TEST(ProtocolFuzzTest, KeyFileShardTableInvariantsEnforcedOnLoad) {
+  // The untampered seed decodes (the drill exercises real rejections, not
+  // a decoder that fails everything).
+  std::vector<uint8_t> valid = SerializeKey(SeedShardedKey());
+  ByteReader in(valid);
+  ASSERT_TRUE(ClientSecretFile::Deserialize(&in).ok());
+
+  ExpectKeyRejected(
+      [](ClientSecretFile* key) { key->shards[1].shard_id = 0; },
+      "duplicate shard id");
+  ExpectKeyRejected(
+      [](ClientSecretFile* key) { key->shards[1].base = 5; },
+      "overlapping ranges");
+  ExpectKeyRejected(
+      [](ClientSecretFile* key) {
+        key->shards[1].next = key->shards[1].span + 1;
+      },
+      "next past span");
+  ExpectKeyRejected(
+      [](ClientSecretFile* key) { key->docs[1].base = 3 << 20; },
+      "document outside every shard");
+  ExpectKeyRejected(
+      [](ClientSecretFile* key) {
+        // Bogus shard id far outside anything the table names is fine by
+        // itself — but its range must still fit the id space.
+        key->shards.push_back({0xDEADBEEF, INT32_MAX - 5, 100, 0});
+      },
+      "range past the id space");
+}
+
+TEST(ProtocolFuzzTest, V4KeyFileSurvivesCorruptBuffers) {
+  FuzzMessage<ClientSecretFile>(SerializeKey(SeedShardedKey()), 0xD6);
 }
 
 // ------------------------------------------- tagged-frame (v2) drills --

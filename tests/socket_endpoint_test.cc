@@ -321,6 +321,40 @@ TEST(SocketEndpointTest, CollectionRegistryServedOverTcpWithLiveAddRemove) {
   EXPECT_EQ(SortedMatchPaths(again->matches), SortedMatchPaths(c_hits->matches));
 }
 
+TEST(SocketEndpointTest, ProbeIsARealFramedRoundTripOverTcp) {
+  // Probe() on a SocketEndpoint must exercise the actual wire — a live
+  // server answers with inventory counts, a stopped one turns the probe
+  // into Unavailable, and a nonce mismatch would be Corruption.
+  DeterministicPrf seed = DeterministicPrf::FromString("socket-probe");
+  auto col = FpCollection::Create(seed).value();
+  ASSERT_TRUE(col->Add(1, MakeDoc(309, 20)).ok());
+  ASSERT_TRUE(col->Add(2, MakeDoc(310, 25)).ok());
+
+  auto server = SocketServer::Listen(col->handler(0), 0);
+  ASSERT_TRUE(server.ok());
+  auto ep = SocketEndpoint::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(ep.ok());
+
+  const size_t up_before = (*ep)->counters().messages_up;
+  ASSERT_TRUE((*ep)->Probe().ok());
+  EXPECT_GT((*ep)->counters().messages_up, up_before)
+      << "a probe that does not cross the wire proves nothing";
+
+  // The raw Ping carries the registry's inventory and echoes the nonce.
+  PingRequest req;
+  req.nonce = 0xABCDEF0123456789ull;
+  auto pong = (*ep)->Ping(req);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->nonce, req.nonce);
+  EXPECT_EQ(pong->doc_count, 2u);
+  EXPECT_EQ(pong->node_count, col->total_nodes());
+
+  (*server)->Stop();
+  Status dead = (*ep)->Probe();
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.code(), StatusCode::kUnavailable);
+}
+
 TEST(SocketEndpointTest, ConnectToNothingFailsCleanly) {
   // Grab an ephemeral port, close it again, then connect to it.
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
