@@ -6,6 +6,7 @@
 #include "bigint/bigint.h"
 #include "core/sharing.h"
 #include "crypto/prf.h"
+#include "field/simd_eval.h"
 #include "nt/modular.h"
 #include "poly/fp_conv.h"
 #include "ring/fp_cyclotomic_ring.h"
@@ -120,6 +121,80 @@ void BM_ZPolyMulFast(benchmark::State& state) {
 }
 BENCHMARK(BM_ZPolyMulFast)->Arg(16)->Arg(64)->Arg(256);
 
+// ------------------------------------------- NTT vs. Karatsuba crossover --
+//
+// Same coefficient vectors through the middle and top convolution tiers on
+// an NTT-friendly modulus; the NTT crossover in BENCH.md and the default
+// NTT threshold in fp_conv.cc come from this pair.
+
+void BM_FpPolyMulKaratsuba(benchmark::State& state) {
+  const PrimeField field = PrimeField::Create(998244353).value();
+  const size_t n = static_cast<size_t>(state.range(0));
+  FpPoly a = RandomDensePoly(field, n, "ntt-a");
+  FpPoly b = RandomDensePoly(field, n, "ntt-b");
+  FpMulPath prev = SetFpMulPath(FpMulPath::kKaratsuba);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  SetFpMulPath(prev);
+  state.SetLabel("Karatsuba forced, p=998244353");
+}
+BENCHMARK(BM_FpPolyMulKaratsuba)->Arg(64)->Arg(128)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FpPolyMulNtt(benchmark::State& state) {
+  const PrimeField field = PrimeField::Create(998244353).value();
+  const size_t n = static_cast<size_t>(state.range(0));
+  FpPoly a = RandomDensePoly(field, n, "ntt-a");
+  FpPoly b = RandomDensePoly(field, n, "ntt-b");
+  FpMulPath prev = SetFpMulPath(FpMulPath::kFast);
+  size_t prev_t = SetFpNttThreshold(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  SetFpNttThreshold(prev_t);
+  SetFpMulPath(prev);
+  state.SetLabel("NTT forced, p=998244353");
+}
+BENCHMARK(BM_FpPolyMulNtt)->Arg(64)->Arg(128)->Arg(256)->Arg(1024)->Arg(4096);
+
+// ------------------------------------------------- batch share evaluation --
+//
+// The EvalRequest hot path: one coefficient vector evaluated at four points.
+// The SIMD row runs the AVX2 REDC lane kernel (one 4-point sweep); the
+// scalar row is the same work as four independent Montgomery Horner calls.
+// Their ratio is the batch-evaluation acceptance gate.
+
+void BM_BatchEval4Simd(benchmark::State& state) {
+  const PrimeField field = PrimeField::Create(998244353).value();
+  const size_t n = static_cast<size_t>(state.range(0));
+  FpPoly a = RandomDensePoly(field, n, "beval");
+  const std::vector<uint64_t> points = {2, 3, 5, 7};
+  std::vector<uint64_t> out(points.size());
+  for (auto _ : state) {
+    BatchHornerEval(field, a.coeffs(), points, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(BatchEvalUsesSimd(field) ? "AVX2 4-lane sweep"
+                                          : "scalar (no AVX2 on this host)");
+}
+BENCHMARK(BM_BatchEval4Simd)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BatchEval4Scalar(benchmark::State& state) {
+  const PrimeField field = PrimeField::Create(998244353).value();
+  const size_t n = static_cast<size_t>(state.range(0));
+  FpPoly a = RandomDensePoly(field, n, "beval");
+  const std::vector<uint64_t> points = {2, 3, 5, 7};
+  std::vector<uint64_t> out(points.size());
+  BatchEvalPath prev = SetBatchEvalPath(BatchEvalPath::kScalar);
+  for (auto _ : state) {
+    BatchHornerEval(field, a.coeffs(), points, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetBatchEvalPath(prev);
+  state.SetLabel("4x scalar Montgomery Horner");
+}
+BENCHMARK(BM_BatchEval4Scalar)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
 // ----------------------------------------------------------- F_p ring --
 
 void BM_FpRingMul(benchmark::State& state) {
@@ -133,7 +208,9 @@ void BM_FpRingMul(benchmark::State& state) {
   }
   state.SetLabel("p=" + std::to_string(p));
 }
-BENCHMARK(BM_FpRingMul)->Arg(11)->Arg(101)->Arg(1009);
+// 257 and 1009 contrast the cyclic-NTT shortcut (p-1 = 2^8) against a
+// same-magnitude modulus that must take Karatsuba + fold (1008 = 2^4 * 63).
+BENCHMARK(BM_FpRingMul)->Arg(11)->Arg(101)->Arg(257)->Arg(1009);
 
 void BM_FpRingEval(benchmark::State& state) {
   const uint64_t p = static_cast<uint64_t>(state.range(0));

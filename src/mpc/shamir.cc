@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "field/simd_eval.h"
 #include "poly/fp_poly.h"
 #include "util/check.h"
 
@@ -46,13 +47,17 @@ std::vector<ShamirShare> ShamirScheme::Share(uint64_t secret,
   coeffs[0] = field_.FromUInt64(secret);
   for (int i = 1; i < threshold_; ++i) coeffs[i] = field_.Uniform(rng);
 
+  // Batched multi-point Horner over all party points at once: the SIMD REDC
+  // kernel evaluates four parties per sweep, with scalar Montgomery Horner
+  // covering the remainder and non-qualifying moduli.
+  std::vector<uint64_t> xs(num_parties_);
+  for (int party = 1; party <= num_parties_; ++party)
+    xs[party - 1] = static_cast<uint64_t>(party);
+  std::vector<uint64_t> ys(num_parties_);
+  BatchHornerEval(field_, coeffs, xs, ys);
+
   std::vector<ShamirShare> shares(num_parties_);
-  for (int party = 1; party <= num_parties_; ++party) {
-    // Montgomery Horner: one conversion of x per party, a REDC multiply per
-    // coefficient instead of a hardware division.
-    uint64_t x = static_cast<uint64_t>(party);
-    shares[party - 1] = {x, field_.HornerEval(coeffs, x)};
-  }
+  for (int i = 0; i < num_parties_; ++i) shares[i] = {xs[i], ys[i]};
   return shares;
 }
 

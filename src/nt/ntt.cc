@@ -1,0 +1,126 @@
+#include "nt/ntt.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "nt/primes.h"
+#include "util/check.h"
+
+namespace polysse {
+
+uint64_t NttMaxLength(uint64_t p) {
+  if (p < 3 || (p & 1) == 0) return 1;
+  return 1ull << TwoAdicValuation(p);
+}
+
+Ntt::Ntt(uint64_t p, int log_max, uint64_t root)
+    : p_(p), mont_(p), log_max_(log_max), root_(root) {}
+
+std::shared_ptr<const Ntt> Ntt::ForPrime(uint64_t p) {
+  POLYSSE_CHECK(Montgomery::Valid(p));
+  static std::mutex mu;
+  static std::unordered_map<uint64_t, std::shared_ptr<const Ntt>>* cache =
+      new std::unordered_map<uint64_t, std::shared_ptr<const Ntt>>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(p);
+    if (it != cache->end()) return it->second;
+  }
+  // Build outside the lock: the primitive-root search (factorization of p-1)
+  // is the expensive part, and plans are value-identical per modulus, so a
+  // racing duplicate build is wasted work, not a correctness problem.
+  const int s = TwoAdicValuation(p);
+  const uint64_t g = SmallestPrimitiveRoot(p);
+  const uint64_t root = PowMod(g, (p - 1) >> s, p);
+  auto plan = std::shared_ptr<const Ntt>(new Ntt(p, s, root));
+  std::lock_guard<std::mutex> lock(mu);
+  return cache->emplace(p, std::move(plan)).first->second;
+}
+
+void Ntt::Transform(std::span<uint64_t> data, bool inverse) const {
+  const uint64_t n = data.size();
+  POLYSSE_CHECK(Supports(n));
+  if (n <= 1) return;
+  int log_n = 0;
+  while ((1ull << log_n) < n) ++log_n;
+
+  // Bit-reversal permutation so the butterflies can run in natural order.
+  for (uint64_t i = 0, j = 0; i < n; ++i) {
+    if (i < j) std::swap(data[i], data[j]);
+    uint64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j |= bit;
+  }
+
+  // w has order n; the inverse transform walks the roots backwards.
+  uint64_t w = PowMod(root_, 1ull << (log_max_ - log_n), p_);
+  if (inverse) w = PowMod(w, n - 1, p_);  // w^{n-1} = w^{-1}
+
+  // One shared twiddle table in Montgomery form: ws[k] = mont(w^k),
+  // k < n/2. Stage `len` reads it at stride n/len, so the sequential
+  // dependent-product chain is paid once, not once per stage.
+  std::vector<uint64_t> ws(n / 2);
+  const uint64_t wm = mont_.ToMont(w);
+  ws[0] = mont_.ToMont(1);
+  for (uint64_t k = 1; k < n / 2; ++k) ws[k] = mont_.Mul(ws[k - 1], wm);
+
+  for (uint64_t len = 2; len <= n; len <<= 1) {
+    const uint64_t half = len >> 1;
+    const uint64_t stride = n / len;
+    for (uint64_t start = 0; start < n; start += len) {
+      for (uint64_t k = 0; k < half; ++k) {
+        // Montgomery butterfly: twiddle in Montgomery form x plain data
+        // -> plain, so data never changes domain.
+        const uint64_t u = data[start + k];
+        const uint64_t v = mont_.Mul(data[start + k + half], ws[k * stride]);
+        const uint64_t s = u + v;  // p < 2^63: no wrap before the compare
+        data[start + k] = s >= p_ ? s - p_ : s;
+        data[start + k + half] = u >= v ? u - v : u + (p_ - v);
+      }
+    }
+  }
+
+  if (inverse) {
+    // Scale by n^{-1} = n^{p-2} (Fermat); one REDC per slot with the scale
+    // held in Montgomery form.
+    const uint64_t n_inv_m = mont_.ToMont(PowMod(n % p_, p_ - 2, p_));
+    for (uint64_t& x : data) x = mont_.Mul(n_inv_m, x);
+  }
+}
+
+std::vector<uint64_t> Ntt::Convolve(std::span<const uint64_t> a,
+                                    std::span<const uint64_t> b) const {
+  POLYSSE_CHECK(!a.empty() && !b.empty());
+  const uint64_t out_size = a.size() + b.size() - 1;
+  uint64_t n = 1;
+  while (n < out_size) n <<= 1;
+  POLYSSE_CHECK(Supports(n));
+  std::vector<uint64_t> fa(n, 0), fb(n, 0);
+  std::copy(a.begin(), a.end(), fa.begin());
+  std::copy(b.begin(), b.end(), fb.begin());
+  Transform(fa, /*inverse=*/false);
+  Transform(fb, /*inverse=*/false);
+  // Pointwise product of two plain-domain values: convert one side up, REDC
+  // brings the product straight back to plain.
+  for (uint64_t i = 0; i < n; ++i) fa[i] = mont_.Mul(mont_.ToMont(fa[i]), fb[i]);
+  Transform(fa, /*inverse=*/true);
+  fa.resize(out_size);
+  return fa;
+}
+
+std::vector<uint64_t> Ntt::CyclicConvolve(std::span<const uint64_t> a,
+                                          std::span<const uint64_t> b,
+                                          uint64_t n) const {
+  POLYSSE_CHECK(Supports(n) && a.size() <= n && b.size() <= n);
+  std::vector<uint64_t> fa(n, 0), fb(n, 0);
+  std::copy(a.begin(), a.end(), fa.begin());
+  std::copy(b.begin(), b.end(), fb.begin());
+  Transform(fa, /*inverse=*/false);
+  Transform(fb, /*inverse=*/false);
+  for (uint64_t i = 0; i < n; ++i) fa[i] = mont_.Mul(mont_.ToMont(fa[i]), fb[i]);
+  Transform(fa, /*inverse=*/true);
+  return fa;
+}
+
+}  // namespace polysse

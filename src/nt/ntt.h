@@ -1,0 +1,78 @@
+// Iterative radix-2 number-theoretic transform over F_p — the quasilinear
+// tier of the convolution dispatch in poly/fp_conv.cc. A length-N transform
+// exists whenever N is a power of two dividing p-1, so the usable range is
+// set by the 2-adic valuation of p-1 (TwoAdicValuation in nt/primes.h);
+// Karatsuba remains the fallback for moduli that are not NTT-friendly at the
+// requested size.
+//
+// Domain bookkeeping follows the library convention (nt/modular.h): data
+// stays in the PLAIN domain throughout — twiddle factors are stored in
+// Montgomery form, so every butterfly multiply is one REDC mapping
+// Montgomery x plain -> plain. Only the pointwise-product stage converts one
+// side up per slot.
+#ifndef POLYSSE_NT_NTT_H_
+#define POLYSSE_NT_NTT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nt/modular.h"
+
+namespace polysse {
+
+/// Largest power-of-two transform length F_p supports: 2^v2(p-1).
+/// (1 for p = 2 or any even "prime-like" input — i.e. no usable transform.)
+uint64_t NttMaxLength(uint64_t p);
+
+/// Per-modulus transform plan: the Montgomery context, the maximal
+/// 2-power-order root of unity (derived from the smallest primitive root),
+/// and the transform kernels. Plans are immutable and cached process-wide;
+/// ForPrime is thread-safe and O(1) after the first call per modulus.
+class Ntt {
+ public:
+  /// The cached plan for an odd prime p < 2^63. The one-time construction
+  /// factorizes p-1 for the primitive-root search, so callers should gate on
+  /// NttMaxLength(p) first and only ever ask for moduli they will use.
+  static std::shared_ptr<const Ntt> ForPrime(uint64_t p);
+
+  uint64_t modulus() const { return p_; }
+  /// Largest supported transform length (power of two).
+  uint64_t max_length() const { return 1ull << log_max_; }
+  /// True when a length-n transform exists: n a power of two <= max_length().
+  bool Supports(uint64_t n) const {
+    return n >= 1 && (n & (n - 1)) == 0 && n <= max_length();
+  }
+
+  /// In-place transform of data.size() = 2^k canonical coefficients
+  /// (forward: coefficients -> evaluations at the 2^k-th roots of unity;
+  /// inverse: back again, including the 1/N scaling). Requires Supports().
+  void Transform(std::span<uint64_t> data, bool inverse) const;
+
+  /// Linear convolution: the a.size()+b.size()-1 raw product coefficients of
+  /// two canonical coefficient vectors. Requires Supports(next power of two
+  /// >= a.size()+b.size()-1) and non-empty inputs.
+  std::vector<uint64_t> Convolve(std::span<const uint64_t> a,
+                                 std::span<const uint64_t> b) const;
+
+  /// Cyclic convolution of length n: the product in F_p[x]/(x^n - 1), with
+  /// no padding to linear length — this IS the reduction of
+  /// FpCyclotomicRing when n = p-1 is a power of two. Requires Supports(n)
+  /// and both operands of size <= n.
+  std::vector<uint64_t> CyclicConvolve(std::span<const uint64_t> a,
+                                       std::span<const uint64_t> b,
+                                       uint64_t n) const;
+
+ private:
+  Ntt(uint64_t p, int log_max, uint64_t root);
+
+  uint64_t p_;
+  Montgomery mont_;
+  int log_max_;    // v2(p-1)
+  uint64_t root_;  // order 2^log_max_ element of F_p^*, canonical form
+};
+
+}  // namespace polysse
+
+#endif  // POLYSSE_NT_NTT_H_

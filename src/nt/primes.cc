@@ -1,5 +1,8 @@
 #include "nt/primes.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "nt/modular.h"
 #include "util/check.h"
 
@@ -56,6 +59,90 @@ uint64_t NextPrime(uint64_t n) {
 uint64_t PrimeForAlphabet(uint64_t distinct_tags) {
   // Need {1..p-2} to hold `distinct_tags` values: p >= distinct_tags + 2.
   return NextPrime(distinct_tags + 2);
+}
+
+namespace {
+
+/// Pollard's rho (Brent cycle detection) on a composite n with no factors
+/// below 100: returns some nontrivial factor. The polynomial x^2 + c walks a
+/// pseudo-random orbit mod n; a cycle collision mod an unknown prime factor
+/// surfaces through gcd.
+uint64_t PollardRho(uint64_t n) {
+  if ((n & 1) == 0) return 2;
+  for (uint64_t c = 1;; ++c) {
+    uint64_t x = 2, y = 2, d = 1;
+    while (d == 1) {
+      x = AddMod(MulMod(x, x, n), c, n);
+      y = AddMod(MulMod(y, y, n), c, n);
+      y = AddMod(MulMod(y, y, n), c, n);
+      uint64_t diff = x > y ? x - y : y - x;
+      d = std::gcd(diff, n);
+    }
+    if (d != n) return d;  // d == n: orbit degenerated, retry with new c
+  }
+}
+
+void FactorInto(uint64_t n, std::vector<uint64_t>* out) {
+  if (n < 2) return;
+  if (IsPrime(n)) {
+    out->push_back(n);
+    return;
+  }
+  const uint64_t d = PollardRho(n);
+  FactorInto(d, out);
+  FactorInto(n / d, out);
+}
+
+}  // namespace
+
+std::vector<uint64_t> PrimeFactors(uint64_t n) {
+  POLYSSE_CHECK(n >= 2);
+  std::vector<uint64_t> factors;
+  // Strip small primes first; rho only sees hard cofactors.
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull, 41ull, 43ull, 47ull}) {
+    if (n % p == 0) {
+      factors.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  FactorInto(n, &factors);
+  std::sort(factors.begin(), factors.end());
+  factors.erase(std::unique(factors.begin(), factors.end()), factors.end());
+  return factors;
+}
+
+uint64_t SmallestPrimitiveRoot(uint64_t p) {
+  POLYSSE_CHECK(p >= 3 && (p & 1) == 1 && IsPrime(p));
+  const std::vector<uint64_t> qs = PrimeFactors(p - 1);
+  for (uint64_t g = 2;; ++g) {
+    POLYSSE_CHECK(g < p);  // a generator always exists below p
+    bool generates = true;
+    for (uint64_t q : qs) {
+      if (PowMod(g, (p - 1) / q, p) == 1) {
+        generates = false;
+        break;
+      }
+    }
+    if (generates) return g;
+  }
+}
+
+int TwoAdicValuation(uint64_t p) {
+  if (p < 3) return 0;
+  return __builtin_ctzll(p - 1);
+}
+
+uint64_t NextNttFriendlyPrime(uint64_t n, int k) {
+  POLYSSE_CHECK(k >= 1 && k < 62);
+  const uint64_t step = 1ull << k;
+  // First candidate >= max(n, step+1) in the class 1 mod 2^k.
+  uint64_t c = n <= step + 1 ? step + 1 : ((n - 2) / step + 1) * step + 1;
+  while (!IsPrime(c)) {
+    POLYSSE_CHECK(c < (1ull << 63));
+    c += step;
+  }
+  return c;
 }
 
 }  // namespace polysse

@@ -5,6 +5,7 @@
 #define POLYSSE_NT_PRIMES_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace polysse {
 
@@ -18,6 +19,25 @@ uint64_t NextPrime(uint64_t n);
 /// Smallest prime p such that an alphabet of `distinct_tags` tag names fits
 /// into {1, .., p-2} (the paper excludes 0 and p-1 as mapped values).
 uint64_t PrimeForAlphabet(uint64_t distinct_tags);
+
+/// Distinct prime factors of n >= 2, sorted ascending. Trial division over
+/// the small primes, then Pollard's rho with Miller-Rabin certification for
+/// whatever survives — complete for any 64-bit n, fast when n is smooth
+/// (the NTT-friendly case: p-1 = c * 2^k with small c).
+std::vector<uint64_t> PrimeFactors(uint64_t n);
+
+/// Smallest generator of F_p^* for an odd prime p: the least g whose
+/// g^{(p-1)/q} != 1 for every prime q | p-1. The NTT derives its
+/// 2^k-th roots of unity as g^{(p-1)/2^k}.
+uint64_t SmallestPrimitiveRoot(uint64_t p);
+
+/// 2-adic valuation of p-1: the largest k with 2^k | p-1, i.e. log2 of the
+/// longest radix-2 NTT the field F_p supports. 0 for p = 2.
+int TwoAdicValuation(uint64_t p);
+
+/// Smallest NTT-friendly prime p >= n with 2^k | p-1 (search steps through
+/// the residue class 1 mod 2^k). Test/bench helper for picking moduli.
+uint64_t NextNttFriendlyPrime(uint64_t n, int k);
 
 }  // namespace polysse
 

@@ -1,8 +1,10 @@
 #include "poly/fp_conv.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
+#include "nt/ntt.h"
 #include "poly/karatsuba.h"
 #include "util/check.h"
 
@@ -13,8 +15,18 @@ namespace {
 // the shorter operand. Tuned on the ring_ops microbench (see BENCH.md).
 constexpr size_t kDefaultKaratsubaThreshold = 24;
 
-FpMulPath g_mul_path = FpMulPath::kFast;
-size_t g_karatsuba_threshold = kDefaultKaratsubaThreshold;
+// Crossover between Karatsuba and the NTT, in coefficients of the shorter
+// operand. The NTT pays three N log N passes plus padding to a power of two,
+// which beats Karatsuba's recursion once operands reach the low hundreds of
+// coefficients (see BENCH.md's crossover table).
+constexpr size_t kDefaultNttThreshold = 128;
+
+// The knobs are flipped by tests that run against pooled executors, so they
+// are relaxed atomics: no ordering is promised between a flip and a multiply
+// on another thread, but every multiply reads one coherent value.
+std::atomic<FpMulPath> g_mul_path{FpMulPath::kFast};
+std::atomic<size_t> g_karatsuba_threshold{kDefaultKaratsubaThreshold};
+std::atomic<size_t> g_ntt_threshold{kDefaultNttThreshold};
 
 /// Schoolbook with the shorter operand converted to Montgomery form once:
 /// REDC(mont(a_i) * b_j) = a_i * b_j, so every inner product costs two word
@@ -57,20 +69,47 @@ struct FpKaratsubaOps {
   }
 };
 
+uint64_t NextPow2(uint64_t n) {
+  uint64_t v = 1;
+  while (v < n) v <<= 1;
+  return v;
+}
+
+/// The NTT tier engages when the shorter operand clears the threshold AND
+/// the modulus admits a transform covering the padded product.
+bool NttEligible(const PrimeField& field, size_t na, size_t nb) {
+  const size_t shorter = std::min(na, nb);
+  if (shorter < g_ntt_threshold.load(std::memory_order_relaxed)) return false;
+  return NttMaxLength(field.modulus()) >= NextPow2(na + nb - 1);
+}
+
 }  // namespace
 
 FpMulPath SetFpMulPath(FpMulPath path) {
-  return std::exchange(g_mul_path, path);
+  return g_mul_path.exchange(path, std::memory_order_relaxed);
 }
 
-FpMulPath GetFpMulPath() { return g_mul_path; }
+FpMulPath GetFpMulPath() { return g_mul_path.load(std::memory_order_relaxed); }
 
 size_t SetFpKaratsubaThreshold(size_t threshold) {
-  return std::exchange(g_karatsuba_threshold,
-                       threshold == 0 ? kDefaultKaratsubaThreshold : threshold);
+  return g_karatsuba_threshold.exchange(
+      threshold == 0 ? kDefaultKaratsubaThreshold : threshold,
+      std::memory_order_relaxed);
 }
 
-size_t GetFpKaratsubaThreshold() { return g_karatsuba_threshold; }
+size_t GetFpKaratsubaThreshold() {
+  return g_karatsuba_threshold.load(std::memory_order_relaxed);
+}
+
+size_t SetFpNttThreshold(size_t threshold) {
+  return g_ntt_threshold.exchange(
+      threshold == 0 ? kDefaultNttThreshold : threshold,
+      std::memory_order_relaxed);
+}
+
+size_t GetFpNttThreshold() {
+  return g_ntt_threshold.load(std::memory_order_relaxed);
+}
 
 std::vector<uint64_t> ConvolveSchoolbook(const PrimeField& field,
                                          std::span<const uint64_t> a,
@@ -85,11 +124,32 @@ std::vector<uint64_t> ConvolveSchoolbook(const PrimeField& field,
   return out;
 }
 
+std::vector<uint64_t> ConvolveKaratsuba(const PrimeField& field,
+                                        std::span<const uint64_t> a,
+                                        std::span<const uint64_t> b) {
+  if (a.empty() || b.empty()) return {};
+  return KaratsubaMul(FpKaratsubaOps{field}, a, b, GetFpKaratsubaThreshold());
+}
+
 std::vector<uint64_t> ConvolveFast(const PrimeField& field,
                                    std::span<const uint64_t> a,
                                    std::span<const uint64_t> b) {
   if (a.empty() || b.empty()) return {};
-  return KaratsubaMul(FpKaratsubaOps{field}, a, b, g_karatsuba_threshold);
+  if (NttEligible(field, a.size(), b.size()))
+    return Ntt::ForPrime(field.modulus())->Convolve(a, b);
+  return ConvolveKaratsuba(field, a, b);
+}
+
+std::optional<std::vector<uint64_t>> TryCyclicNttConvolve(
+    const PrimeField& field, std::span<const uint64_t> a,
+    std::span<const uint64_t> b, uint64_t n) {
+  if (GetFpMulPath() != FpMulPath::kFast) return std::nullopt;
+  if (a.empty() || b.empty() || a.size() > n || b.size() > n)
+    return std::nullopt;
+  if (n < GetFpNttThreshold()) return std::nullopt;
+  if ((n & (n - 1)) != 0 || NttMaxLength(field.modulus()) < n)
+    return std::nullopt;
+  return Ntt::ForPrime(field.modulus())->CyclicConvolve(a, b, n);
 }
 
 }  // namespace polysse

@@ -1,13 +1,16 @@
 // Coefficient-vector convolution kernels over F_p: the quadratic reference
-// and the fast path (Montgomery-converted schoolbook below a tuned
-// threshold, Karatsuba above it). FpPoly::operator* dispatches here; the
-// reference path and the knobs stay exported so the differential suite and
-// the bench harness can pit the two implementations against each other on
-// identical inputs.
+// and the three-tier fast path (Montgomery-converted schoolbook below the
+// Karatsuba threshold, Karatsuba above it, radix-2 NTT above the NTT
+// crossover when the modulus is NTT-friendly at the required transform
+// length). FpPoly::operator* dispatches here; the reference and Karatsuba
+// paths and the knobs stay exported so the differential suite and the bench
+// harness can pit all three implementations against each other on identical
+// inputs.
 #ifndef POLYSSE_POLY_FP_CONV_H_
 #define POLYSSE_POLY_FP_CONV_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -15,10 +18,14 @@
 
 namespace polysse {
 
-/// Which implementation FpPoly::operator* uses. kFast is the default;
-/// kReference forces the plain quadratic kernel so golden vectors can be
-/// asserted against both. Global, test-only, not thread-safe.
-enum class FpMulPath { kFast, kReference };
+/// Which implementation FpPoly::operator* uses. kFast is the default (full
+/// schoolbook -> Karatsuba -> NTT dispatch); kKaratsuba disables the NTT
+/// tier so the sub-quadratic path stays forceable; kReference forces the
+/// plain quadratic kernel so golden vectors can be asserted against every
+/// path. Global test/bench knob; reads and writes are relaxed atomics, so
+/// flipping it is safe against concurrent multiplies (each multiply sees
+/// one coherent path), but tests that flip it own the ordering.
+enum class FpMulPath { kFast, kKaratsuba, kReference };
 
 /// Sets the multiplication path; returns the previous one.
 FpMulPath SetFpMulPath(FpMulPath path);
@@ -27,9 +34,17 @@ FpMulPath GetFpMulPath();
 /// Karatsuba crossover in coefficient count: operand pairs whose shorter
 /// side is at or below the threshold multiply by Montgomery schoolbook.
 /// Returns the previous value; passing 0 restores the tuned default
-/// (values >= 1 are used as-is). Test/bench-only knob, not thread-safe.
+/// (values >= 1 are used as-is). Test/bench knob, atomic like the path.
 size_t SetFpKaratsubaThreshold(size_t threshold);
 size_t GetFpKaratsubaThreshold();
+
+/// NTT crossover in coefficient count: operand pairs whose shorter side is
+/// at or above the threshold take the NTT tier, provided the modulus admits
+/// a transform of the required length (2^v2(p-1) >= padded product size) —
+/// otherwise Karatsuba serves regardless of size. Same contract as the
+/// Karatsuba knob: 0 restores the tuned default, atomic.
+size_t SetFpNttThreshold(size_t threshold);
+size_t GetFpNttThreshold();
 
 /// Reference quadratic convolution in the plain domain (one hardware
 /// division per inner product). Returns the a.size()+b.size()-1 raw product
@@ -38,12 +53,30 @@ std::vector<uint64_t> ConvolveSchoolbook(const PrimeField& field,
                                          std::span<const uint64_t> a,
                                          std::span<const uint64_t> b);
 
-/// Fast convolution: Karatsuba above the threshold, schoolbook with a
-/// one-time Montgomery conversion of the shorter operand below it. Same
-/// contract as ConvolveSchoolbook.
+/// The sub-quadratic tier alone: Karatsuba above the threshold, schoolbook
+/// with a one-time Montgomery conversion of the shorter operand below it.
+/// Same contract as ConvolveSchoolbook. This is both the kKaratsuba forced
+/// path and the fallback when the modulus is not NTT-friendly.
+std::vector<uint64_t> ConvolveKaratsuba(const PrimeField& field,
+                                        std::span<const uint64_t> a,
+                                        std::span<const uint64_t> b);
+
+/// Full fast dispatch: NTT when the size clears the NTT threshold and the
+/// modulus supports the padded transform length, Karatsuba/schoolbook
+/// otherwise. Same contract as ConvolveSchoolbook.
 std::vector<uint64_t> ConvolveFast(const PrimeField& field,
                                    std::span<const uint64_t> a,
                                    std::span<const uint64_t> b);
+
+/// Cyclic convolution of length n — the product in F_p[x]/(x^n - 1) — via a
+/// no-padding NTT, for FpCyclotomicRing::Mul where n = p-1 is the ring's
+/// natural fold length. Engages only when the current path is kFast, n is a
+/// power of two the modulus supports, n clears the NTT threshold, and both
+/// operands fit in n coefficients; nullopt tells the caller to fall back to
+/// linear multiply + fold.
+std::optional<std::vector<uint64_t>> TryCyclicNttConvolve(
+    const PrimeField& field, std::span<const uint64_t> a,
+    std::span<const uint64_t> b, uint64_t n);
 
 }  // namespace polysse
 

@@ -1,6 +1,7 @@
 #include "poly/z_poly.h"
 
 #include <algorithm>
+#include <atomic>
 #include <ostream>
 #include <utility>
 
@@ -56,8 +57,10 @@ namespace {
 // default is tuned on the ring_ops microbench (see BENCH.md).
 constexpr size_t kDefaultZKaratsubaThreshold = 16;
 
-ZMulPath g_z_mul_path = ZMulPath::kFast;
-size_t g_z_karatsuba_threshold = kDefaultZKaratsubaThreshold;
+// Relaxed atomics for the same reason as the F_p knobs (fp_conv.cc): tests
+// flip them while pooled executors may be mid-multiply.
+std::atomic<ZMulPath> g_z_mul_path{ZMulPath::kFast};
+std::atomic<size_t> g_z_karatsuba_threshold{kDefaultZKaratsubaThreshold};
 
 std::vector<BigInt> ZConvSchoolbook(std::span<const BigInt> a,
                                     std::span<const BigInt> b) {
@@ -84,16 +87,23 @@ struct ZKaratsubaOps {
 
 }  // namespace
 
-ZMulPath SetZMulPath(ZMulPath path) { return std::exchange(g_z_mul_path, path); }
-
-ZMulPath GetZMulPath() { return g_z_mul_path; }
-
-size_t SetZKaratsubaThreshold(size_t threshold) {
-  return std::exchange(g_z_karatsuba_threshold,
-                       threshold == 0 ? kDefaultZKaratsubaThreshold : threshold);
+ZMulPath SetZMulPath(ZMulPath path) {
+  return g_z_mul_path.exchange(path, std::memory_order_relaxed);
 }
 
-size_t GetZKaratsubaThreshold() { return g_z_karatsuba_threshold; }
+ZMulPath GetZMulPath() {
+  return g_z_mul_path.load(std::memory_order_relaxed);
+}
+
+size_t SetZKaratsubaThreshold(size_t threshold) {
+  return g_z_karatsuba_threshold.exchange(
+      threshold == 0 ? kDefaultZKaratsubaThreshold : threshold,
+      std::memory_order_relaxed);
+}
+
+size_t GetZKaratsubaThreshold() {
+  return g_z_karatsuba_threshold.load(std::memory_order_relaxed);
+}
 
 ZPoly MulSchoolbook(const ZPoly& a, const ZPoly& b) {
   if (a.IsZero() || b.IsZero()) return ZPoly::Zero();
@@ -107,7 +117,7 @@ ZPoly ZPoly::operator*(const ZPoly& rhs) const {
   return ZPoly(KaratsubaMul(ZKaratsubaOps{},
                             std::span<const BigInt>(coeffs_),
                             std::span<const BigInt>(rhs.coeffs_),
-                            g_z_karatsuba_threshold));
+                            GetZKaratsubaThreshold()));
 }
 
 ZPoly ZPoly::operator-() const {

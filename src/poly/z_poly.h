@@ -87,8 +87,8 @@ class ZPoly {
 
 /// Which implementation ZPoly::operator* uses. kFast (the default) switches
 /// to Karatsuba above a size threshold; kReference forces the quadratic
-/// kernel so golden vectors can be asserted against both. Global, test-only
-/// knob — not thread-safe.
+/// kernel so golden vectors can be asserted against both. Global test knob;
+/// relaxed atomic, same contract as the F_p knobs in poly/fp_conv.h.
 enum class ZMulPath { kFast, kReference };
 
 /// Sets the multiplication path; returns the previous one.
@@ -96,7 +96,8 @@ ZMulPath SetZMulPath(ZMulPath path);
 ZMulPath GetZMulPath();
 
 /// Karatsuba crossover in coefficient count for ZPoly products. Returns the
-/// previous value; passing 0 restores the tuned default. Test/bench-only.
+/// previous value; passing 0 restores the tuned default. Test/bench knob,
+/// atomic like the path.
 size_t SetZKaratsubaThreshold(size_t threshold);
 size_t GetZKaratsubaThreshold();
 

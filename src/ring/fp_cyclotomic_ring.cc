@@ -1,5 +1,7 @@
 #include "ring/fp_cyclotomic_ring.h"
 
+#include "field/simd_eval.h"
+#include "poly/fp_conv.h"
 #include "util/check.h"
 
 namespace polysse {
@@ -39,6 +41,16 @@ FpPoly FpCyclotomicRing::Reduce(const FpPoly& a) const {
   return FpPoly::FromCanonical(field_, std::move(folded));
 }
 
+FpPoly FpCyclotomicRing::Mul(const Elem& a, const Elem& b) const {
+  if (!a.IsZero() && !b.IsZero()) {
+    if (auto folded = TryCyclicNttConvolve(field_, a.coeffs(), b.coeffs(),
+                                           DenseCoeffCount())) {
+      return FpPoly::FromCanonical(field_, std::move(*folded));
+    }
+  }
+  return Reduce(a * b);
+}
+
 Result<uint64_t> FpCyclotomicRing::QueryModulus(uint64_t e) const {
   if (field_.FromUInt64(e) == 0)
     return Status::InvalidArgument(
@@ -49,6 +61,14 @@ Result<uint64_t> FpCyclotomicRing::QueryModulus(uint64_t e) const {
 Result<uint64_t> FpCyclotomicRing::EvalAt(const Elem& a, uint64_t e) const {
   RETURN_IF_ERROR(QueryModulus(e).status());
   return a.Eval(e);
+}
+
+Result<std::vector<uint64_t>> FpCyclotomicRing::EvalAtMany(
+    const Elem& a, std::span<const uint64_t> points) const {
+  for (uint64_t e : points) RETURN_IF_ERROR(QueryModulus(e).status());
+  std::vector<uint64_t> out(points.size());
+  BatchHornerEval(field_, a.coeffs(), points, out);
+  return out;
 }
 
 Result<uint64_t> FpCyclotomicRing::SolveTag(const Elem& f, const Elem& g) const {

@@ -8,7 +8,9 @@
 #define POLYSSE_RING_FP_CYCLOTOMIC_RING_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "poly/fp_poly.h"
 #include "util/status.h"
@@ -43,7 +45,11 @@ class FpCyclotomicRing {
   Elem Add(const Elem& a, const Elem& b) const { return a + b; }
   Elem Sub(const Elem& a, const Elem& b) const { return a - b; }
   Elem Neg(const Elem& a) const { return -a; }
-  Elem Mul(const Elem& a, const Elem& b) const { return Reduce(a * b); }
+  /// Reduce(a * b), with a shortcut: when p-1 is a power of two the modulus
+  /// supports (p = 257, 65537, ...), x^{p-1}-1 is exactly the NTT's natural
+  /// cyclic length, so one length-(p-1) cyclic NTT convolution produces the
+  /// already-folded product — no padding to linear size, no separate fold.
+  Elem Mul(const Elem& a, const Elem& b) const;
 
   bool IsZero(const Elem& a) const { return a.IsZero(); }
   bool Equal(const Elem& a, const Elem& b) const { return a == b; }
@@ -54,6 +60,12 @@ class FpCyclotomicRing {
   Result<uint64_t> QueryModulus(uint64_t e) const;
   /// Evaluates a residue at e in {1..p-1}. Well-defined by Lemma 1.
   Result<uint64_t> EvalAt(const Elem& a, uint64_t e) const;
+  /// Evaluates one residue at every point of `points` in a single sweep —
+  /// the server-side EvalRequest hot path. Dispatches to the AVX2 REDC lane
+  /// kernel (field/simd_eval.h) when the CPU and modulus allow, scalar
+  /// Horner otherwise; answers are identical either way.
+  Result<std::vector<uint64_t>> EvalAtMany(
+      const Elem& a, std::span<const uint64_t> points) const;
 
   /// Uniform ring element: p-1 independent uniform coefficients. This is the
   /// client share distribution that makes 2-out-of-2 sharing perfectly hiding.

@@ -14,6 +14,7 @@
 #define POLYSSE_RING_Z_QUOTIENT_RING_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,20 @@ class ZQuotientRing {
   Result<uint64_t> QueryModulus(uint64_t e) const;
   /// f(e) mod r(e).
   Result<uint64_t> EvalAt(const Elem& a, uint64_t e) const;
+  /// EvalAt over every point of `points`. Scalar loop — each point has its
+  /// own modulus r(e), so no shared-modulus SIMD sweep applies here; exists
+  /// for interface parity with FpCyclotomicRing::EvalAtMany so generic
+  /// server code can batch over either ring.
+  Result<std::vector<uint64_t>> EvalAtMany(
+      const Elem& a, std::span<const uint64_t> points) const {
+    std::vector<uint64_t> out;
+    out.reserve(points.size());
+    for (uint64_t e : points) {
+      ASSIGN_OR_RETURN(uint64_t v, EvalAt(a, e));
+      out.push_back(v);
+    }
+    return out;
+  }
 
   /// Ring element with `deg r` uniform coefficients of `coeff_bits` bits.
   /// NOTE (documented limitation reproduced from the paper): additive shares

@@ -14,7 +14,9 @@
 
 #include "bigint/bigint.h"
 #include "field/prime_field.h"
+#include "field/simd_eval.h"
 #include "nt/modular.h"
+#include "nt/ntt.h"
 #include "poly/fp_conv.h"
 #include "poly/fp_poly.h"
 #include "poly/z_poly.h"
@@ -29,8 +31,10 @@ namespace {
 
 using testing::DeterministicRng;
 using testing::DeterministicRngTest;
+using testing::ScopedBatchEvalPath;
 using testing::ScopedFpKaratsubaThreshold;
 using testing::ScopedFpMulPath;
+using testing::ScopedFpNttThreshold;
 using testing::ScopedZKaratsubaThreshold;
 using testing::ScopedZMulPath;
 
@@ -180,6 +184,55 @@ TEST_F(ArithDifferentialTest, FpPolyOperatorPathsAgree) {
   }
 }
 
+// --------------------------------- NTT vs. Karatsuba vs. schoolbook in F_p --
+
+TEST_F(ArithDifferentialTest, NttConvolutionMatchesKaratsubaAndSchoolbook) {
+  // NTT-friendly moduli: p-1 divisible by a large power of two. With the NTT
+  // threshold forced to 1, every kFast product of nonzero size routes through
+  // the transform.
+  const uint64_t primes[] = {257, 65537, 998244353};
+  const ScopedFpNttThreshold ntt_guard(1);
+  int cases = 0;
+  for (uint64_t p : primes) {
+    const PrimeField f = PrimeField::Create(p).value();
+    ASSERT_GE(NttMaxLength(p), 256u) << p;
+    for (int iter = 0; iter < 60; ++iter) {
+      const size_t na = static_cast<size_t>(rng().UniformInt(1, 100));
+      const size_t nb = rng().UniformInt(0, 3) == 0
+                            ? static_cast<size_t>(rng().UniformInt(1, 3))
+                            : static_cast<size_t>(rng().UniformInt(1, 100));
+      const std::vector<uint64_t> a = AdversarialCoeffs(rng(), f, na);
+      const std::vector<uint64_t> b = AdversarialCoeffs(rng(), f, nb);
+      const std::vector<uint64_t> want = ConvolveSchoolbook(f, a, b);
+      EXPECT_EQ(ConvolveFast(f, a, b), want)
+          << "p=" << p << " na=" << na << " nb=" << nb;
+      EXPECT_EQ(ConvolveKaratsuba(f, a, b), want)
+          << "p=" << p << " na=" << na << " nb=" << nb;
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 180);
+}
+
+TEST_F(ArithDifferentialTest, NttIneligibleModuliFallBackToKaratsuba) {
+  // 1009-1 = 2^4 * 63 and 2^61-2 = 2 * (2^60-1): both have tiny two-adic
+  // valuation, so even with the threshold at 1 the dispatch must refuse the
+  // NTT for any nontrivial size and still produce correct products.
+  const ScopedFpNttThreshold ntt_guard(1);
+  for (uint64_t p : {1009ull, (1ull << 61) - 1}) {
+    const PrimeField f = PrimeField::Create(p).value();
+    for (int iter = 0; iter < 60; ++iter) {
+      const size_t na = static_cast<size_t>(rng().UniformInt(17, 100));
+      const size_t nb = static_cast<size_t>(rng().UniformInt(17, 100));
+      ASSERT_LT(NttMaxLength(p), 2 * std::max(na, nb)) << p;
+      const std::vector<uint64_t> a = AdversarialCoeffs(rng(), f, na);
+      const std::vector<uint64_t> b = AdversarialCoeffs(rng(), f, nb);
+      EXPECT_EQ(ConvolveFast(f, a, b), ConvolveSchoolbook(f, a, b))
+          << "p=" << p << " na=" << na << " nb=" << nb;
+    }
+  }
+}
+
 // --------------------------------------- Karatsuba vs. schoolbook in Z --
 
 ZPoly AdversarialZPoly(DeterministicRng& rng, size_t n) {
@@ -274,6 +327,28 @@ TEST_F(ArithDifferentialTest, FpRingMulMatchesReferencePipeline) {
   EXPECT_GE(cases, 360);
 }
 
+TEST_F(ArithDifferentialTest, CyclicNttRingMulMatchesReferencePipeline) {
+  // p = 257: p-1 = 256 = 2^8, so ring Mul takes the length-(p-1) cyclic NTT
+  // shortcut (no linear padding, no separate fold). Check against the full
+  // reference pipeline (schoolbook product + reference fold).
+  const FpCyclotomicRing ring = FpCyclotomicRing::Create(257).value();
+  const ScopedFpNttThreshold ntt_guard(1);
+  for (int iter = 0; iter < 80; ++iter) {
+    const FpPoly a = testing::RandomFpElem(ring, rng());
+    const FpPoly b = testing::RandomFpElem(ring, rng());
+    const FpPoly fast = ring.Mul(a, b);
+    FpPoly ref = FpPoly::Zero(ring.field());
+    {
+      const ScopedFpMulPath path(FpMulPath::kReference);
+      ref = ReferenceCyclotomicReduce(ring, a * b);
+    }
+    EXPECT_EQ(fast, ref) << "iter=" << iter;
+  }
+  // Zero-operand edges bypass the NTT entirely.
+  EXPECT_TRUE(ring.IsZero(ring.Mul(ring.Zero(), ring.One())));
+  EXPECT_TRUE(ring.Equal(ring.Mul(ring.One(), ring.One()), ring.One()));
+}
+
 TEST_F(ArithDifferentialTest, ZRingMulMatchesReferencePipeline) {
   for (const ZPoly& r :
        {ZPoly({1, 0, 1}), ZPoly({3, 1, 0, 0, 1}), ZPoly({7, 2, 1})}) {
@@ -308,6 +383,43 @@ TEST_F(ArithDifferentialTest, HornerEvalMatchesPlainHorner) {
       EXPECT_EQ(f.HornerEval(coeffs, x), plain) << "p=" << p;
     }
   }
+}
+
+TEST_F(ArithDifferentialTest, BatchHornerMatchesScalarHorner) {
+  // Every modulus class: SIMD-qualifying (odd < 2^31), too large, and p = 2
+  // (no Montgomery context at all). The batch sweep must agree with per-point
+  // scalar Horner on all of them, at sizes straddling the 4-lane boundary.
+  for (uint64_t p : {2ull, 5ull, 257ull, 1009ull, 65537ull, 998244353ull,
+                     (1ull << 61) - 1}) {
+    const PrimeField f = PrimeField::Create(p).value();
+    for (int iter = 0; iter < 60; ++iter) {
+      const std::vector<uint64_t> coeffs = AdversarialCoeffs(
+          rng(), f, static_cast<size_t>(rng().UniformInt(0, 80)));
+      const size_t npts = static_cast<size_t>(rng().UniformInt(0, 13));
+      std::vector<uint64_t> points(npts);
+      for (auto& x : points) x = AdversarialU64(rng(), p);
+      std::vector<uint64_t> batch(npts);
+      BatchHornerEval(f, coeffs, points, batch);
+      for (size_t i = 0; i < npts; ++i) {
+        EXPECT_EQ(batch[i], f.HornerEval(coeffs, points[i]))
+            << "p=" << p << " i=" << i << " x=" << points[i];
+      }
+    }
+  }
+}
+
+TEST_F(ArithDifferentialTest, BatchHornerScalarPathForcedByKnob) {
+  // With the knob at kScalar the SIMD kernel must not run; results are
+  // identical to kAuto by the test above, and BatchEvalUsesSimd reports it.
+  const PrimeField f = PrimeField::Create(998244353).value();
+  const ScopedBatchEvalPath guard(BatchEvalPath::kScalar);
+  EXPECT_FALSE(BatchEvalUsesSimd(f));
+  const std::vector<uint64_t> coeffs = AdversarialCoeffs(rng(), f, 50);
+  const std::vector<uint64_t> points = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<uint64_t> out(points.size());
+  BatchHornerEval(f, coeffs, points, out);
+  for (size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(out[i], f.HornerEval(coeffs, points[i])) << i;
 }
 
 // ---------------------------------------------- pinned edge regressions --

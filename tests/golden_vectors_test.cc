@@ -34,11 +34,12 @@ constexpr int kNameB = 4;
 
 TagMap Fig1Map() { return TagMap::FromExplicit(Fig1TagMapping()).value(); }
 
-// Every golden assertion runs under BOTH multiplication paths — the plain
-// reference kernels and the Montgomery/Karatsuba fast path (with the
-// crossover forced to 1 so even the tiny Fig. 1 polynomials take the
-// Karatsuba branch). An optimization that silently changes semantics fails
-// here against the paper's printed values, not against other code.
+// Every golden assertion runs under EVERY multiplication path — the plain
+// reference kernels, Karatsuba forced directly, and the full fast path with
+// each crossover forced to 1 so even the tiny Fig. 1 polynomials take first
+// the Karatsuba and then the NTT branch (p = 5 is NTT-friendly: 5-1 = 2^2).
+// An optimization that silently changes semantics fails here against the
+// paper's printed values, not against other code.
 template <typename Fn>
 void ForBothArithPaths(Fn&& check) {
   {
@@ -48,10 +49,27 @@ void ForBothArithPaths(Fn&& check) {
     check();
   }
   {
-    SCOPED_TRACE("fast path (Karatsuba forced on)");
+    SCOPED_TRACE("Karatsuba path (forced directly)");
+    testing::ScopedFpMulPath fp(FpMulPath::kKaratsuba);
+    testing::ScopedZMulPath z(ZMulPath::kFast);
+    testing::ScopedFpKaratsubaThreshold fp_t(1);
+    testing::ScopedZKaratsubaThreshold z_t(1);
+    check();
+  }
+  {
+    SCOPED_TRACE("fast path (Karatsuba crossover forced to 1, NTT off)");
     testing::ScopedFpMulPath fp(FpMulPath::kFast);
     testing::ScopedZMulPath z(ZMulPath::kFast);
     testing::ScopedFpKaratsubaThreshold fp_t(1);
+    testing::ScopedFpNttThreshold ntt_t(~size_t{0});
+    testing::ScopedZKaratsubaThreshold z_t(1);
+    check();
+  }
+  {
+    SCOPED_TRACE("fast path (NTT crossover forced to 1)");
+    testing::ScopedFpMulPath fp(FpMulPath::kFast);
+    testing::ScopedZMulPath z(ZMulPath::kFast);
+    testing::ScopedFpNttThreshold ntt_t(1);
     testing::ScopedZKaratsubaThreshold z_t(1);
     check();
   }

@@ -1,10 +1,14 @@
-// Unit tests for src/nt: modular kernels, extended gcd, Miller-Rabin.
+// Unit tests for src/nt: modular kernels, extended gcd, Miller-Rabin,
+// integer factorization / primitive roots, and the number-theoretic
+// transform.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <random>
+#include <vector>
 
 #include "nt/modular.h"
+#include "nt/ntt.h"
 #include "nt/primes.h"
 
 namespace polysse {
@@ -208,6 +212,130 @@ TEST_P(DensitySweep, NextPrimeIsPrimeAndMinimal) {
 INSTANTIATE_TEST_SUITE_P(Points, DensitySweep,
                          ::testing::Values(10, 50, 100, 256, 1000, 4096, 10000,
                                            65000, 100000));
+
+TEST(FactorTest, PrimeFactorsKnownValues) {
+  EXPECT_EQ(PrimeFactors(2), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(PrimeFactors(12), (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(PrimeFactors(65536), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(PrimeFactors(998244352),  // 2^23 * 7 * 17
+            (std::vector<uint64_t>{2, 7, 17}));
+  // A semiprime with two large factors exercises Pollard rho proper.
+  EXPECT_EQ(PrimeFactors(1000003ull * 1000033ull),
+            (std::vector<uint64_t>{1000003, 1000033}));
+}
+
+TEST(FactorTest, PrimeFactorsReconstituteTheInput) {
+  std::mt19937_64 rng(13);
+  for (int iter = 0; iter < 60; ++iter) {
+    const uint64_t n = 2 + rng() % 100000000;
+    // Every listed factor is a prime divisor, and dividing all of them out
+    // completely leaves 1 (the list is the full distinct-prime support).
+    uint64_t rest = n;
+    for (uint64_t q : PrimeFactors(n)) {
+      EXPECT_TRUE(IsPrime(q)) << q << " in factorization of " << n;
+      EXPECT_EQ(n % q, 0u) << q << " claimed to divide " << n;
+      while (rest % q == 0) rest /= q;
+    }
+    EXPECT_EQ(rest, 1u) << n;
+  }
+}
+
+TEST(PrimitiveRootTest, KnownValues) {
+  EXPECT_EQ(SmallestPrimitiveRoot(3), 2u);
+  EXPECT_EQ(SmallestPrimitiveRoot(5), 2u);
+  EXPECT_EQ(SmallestPrimitiveRoot(257), 3u);
+  EXPECT_EQ(SmallestPrimitiveRoot(65537), 3u);
+  EXPECT_EQ(SmallestPrimitiveRoot(998244353), 3u);
+  EXPECT_EQ(SmallestPrimitiveRoot((1ull << 61) - 1), 37u);
+}
+
+TEST(PrimitiveRootTest, RootHasFullOrder) {
+  for (uint64_t p : {5ull, 101ull, 1009ull, 65537ull, 998244353ull}) {
+    const uint64_t g = SmallestPrimitiveRoot(p);
+    EXPECT_EQ(PowMod(g, p - 1, p), 1u) << p;
+    for (uint64_t q : PrimeFactors(p - 1))
+      EXPECT_NE(PowMod(g, (p - 1) / q, p), 1u) << "g=" << g << " p=" << p;
+  }
+}
+
+TEST(NttFriendlinessTest, TwoAdicValuationAndMaxLength) {
+  EXPECT_EQ(TwoAdicValuation(2), 0);
+  EXPECT_EQ(TwoAdicValuation(3), 1);
+  EXPECT_EQ(TwoAdicValuation(5), 2);
+  EXPECT_EQ(TwoAdicValuation(257), 8);
+  EXPECT_EQ(TwoAdicValuation(65537), 16);
+  EXPECT_EQ(TwoAdicValuation(998244353), 23);
+  EXPECT_EQ(TwoAdicValuation(1009), 4);
+  EXPECT_EQ(TwoAdicValuation((1ull << 61) - 1), 1);
+  EXPECT_EQ(NttMaxLength(998244353), 1ull << 23);
+  EXPECT_EQ(NttMaxLength(65537), 1ull << 16);
+  EXPECT_EQ(NttMaxLength(1009), 16u);
+}
+
+TEST(NttFriendlinessTest, NextNttFriendlyPrime) {
+  // Smallest prime >= n with 2^k | p-1.
+  EXPECT_EQ(NextNttFriendlyPrime(2, 8), 257u);
+  EXPECT_EQ(NextNttFriendlyPrime(1000, 8), 3329u);
+  EXPECT_EQ(NextNttFriendlyPrime(900000000, 23), 998244353u);
+  uint64_t p = NextNttFriendlyPrime(1000000, 16);
+  EXPECT_TRUE(IsPrime(p));
+  EXPECT_GE(p, 1000000u);
+  EXPECT_EQ((p - 1) % (1ull << 16), 0u);
+}
+
+TEST(NttTest, TransformRoundTripsAtEverySupportedLength) {
+  std::mt19937_64 rng(17);
+  for (uint64_t p : {5ull, 257ull, 65537ull, 998244353ull}) {
+    auto ntt = Ntt::ForPrime(p);
+    ASSERT_NE(ntt, nullptr);
+    EXPECT_EQ(ntt->modulus(), p);
+    EXPECT_EQ(ntt->max_length(), NttMaxLength(p));
+    for (uint64_t n = 1; n <= ntt->max_length() && n <= 1024; n <<= 1) {
+      ASSERT_TRUE(ntt->Supports(n)) << "p=" << p << " n=" << n;
+      std::vector<uint64_t> data(n);
+      for (auto& v : data) v = rng() % p;
+      std::vector<uint64_t> orig = data;
+      ntt->Transform(data, /*inverse=*/false);
+      ntt->Transform(data, /*inverse=*/true);
+      EXPECT_EQ(data, orig) << "p=" << p << " n=" << n;
+    }
+    EXPECT_FALSE(ntt->Supports(3));
+    EXPECT_FALSE(ntt->Supports(2 * ntt->max_length()));
+  }
+}
+
+TEST(NttTest, ConvolveMatchesDirectSchoolbook) {
+  std::mt19937_64 rng(19);
+  const uint64_t p = 998244353;
+  auto ntt = Ntt::ForPrime(p);
+  for (int iter = 0; iter < 40; ++iter) {
+    const size_t na = 1 + rng() % 40, nb = 1 + rng() % 40;
+    std::vector<uint64_t> a(na), b(nb);
+    for (auto& v : a) v = rng() % p;
+    for (auto& v : b) v = rng() % p;
+    std::vector<uint64_t> want(na + nb - 1, 0);
+    for (size_t i = 0; i < na; ++i)
+      for (size_t j = 0; j < nb; ++j)
+        want[i + j] = AddMod(want[i + j], MulMod(a[i], b[j], p), p);
+    EXPECT_EQ(ntt->Convolve(a, b), want) << "na=" << na << " nb=" << nb;
+  }
+}
+
+TEST(NttTest, CyclicConvolveFoldsLikeLinearConvolvePlusWrap) {
+  std::mt19937_64 rng(23);
+  const uint64_t p = 257;
+  auto ntt = Ntt::ForPrime(p);
+  for (uint64_t n : {4ull, 16ull, 256ull}) {
+    std::vector<uint64_t> a(n), b(n);
+    for (auto& v : a) v = rng() % p;
+    for (auto& v : b) v = rng() % p;
+    std::vector<uint64_t> want(n, 0);
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < n; ++j)
+        want[(i + j) % n] = AddMod(want[(i + j) % n], MulMod(a[i], b[j], p), p);
+    EXPECT_EQ(ntt->CyclicConvolve(a, b, n), want) << "n=" << n;
+  }
+}
 
 }  // namespace
 }  // namespace polysse

@@ -1,0 +1,112 @@
+// Unit tests for the AVX2 multi-point Horner kernel (field/simd_eval.h).
+// ctest registers this binary twice: once plain and once with
+// POLYSSE_DISABLE_AVX2=1 in the environment, so every assertion is checked
+// with the SIMD kernel both enabled (on AVX2 hosts) and force-disabled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "field/prime_field.h"
+#include "field/simd_eval.h"
+#include "mpc/shamir.h"
+#include "ring/fp_cyclotomic_ring.h"
+#include "testing/deterministic_rng.h"
+#include "testing/mul_path_guards.h"
+
+namespace polysse {
+namespace {
+
+using testing::DeterministicRngTest;
+using testing::ScopedBatchEvalPath;
+
+bool Avx2Disabled() {
+  const char* env = std::getenv("POLYSSE_DISABLE_AVX2");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+TEST(SimdEvalDispatchTest, RespectsEnvAndModulusBounds) {
+  const PrimeField small = PrimeField::Create(998244353).value();
+  const PrimeField two = PrimeField::Create(2).value();
+  const PrimeField big = PrimeField::Create((1ull << 61) - 1).value();
+  // The even and >= 2^31 moduli never qualify, whatever the host supports.
+  EXPECT_FALSE(BatchEvalUsesSimd(two));
+  EXPECT_FALSE(BatchEvalUsesSimd(big));
+  if (Avx2Disabled()) {
+    EXPECT_FALSE(BatchEvalUsesSimd(small));
+  }
+  // Forcing the scalar knob always wins.
+  const ScopedBatchEvalPath guard(BatchEvalPath::kScalar);
+  EXPECT_FALSE(BatchEvalUsesSimd(small));
+}
+
+class SimdEvalTest : public DeterministicRngTest {};
+
+TEST_F(SimdEvalTest, MatchesScalarHornerAcrossSizes) {
+  for (uint64_t p : {5ull, 257ull, 65537ull, 998244353ull, 2147483647ull}) {
+    const PrimeField f = PrimeField::Create(p).value();
+    for (size_t ncoeffs : {size_t{0}, size_t{1}, size_t{7}, size_t{64}}) {
+      std::vector<uint64_t> coeffs(ncoeffs);
+      for (auto& c : coeffs) c = f.Uniform(rng());
+      // Point counts straddling every 4-lane boundary, plus empty.
+      for (size_t npts : {size_t{0}, size_t{1}, size_t{3}, size_t{4},
+                          size_t{5}, size_t{8}, size_t{11}}) {
+        std::vector<uint64_t> points(npts);
+        for (auto& x : points) x = rng().NextU64();  // unreduced on purpose
+        std::vector<uint64_t> out(npts);
+        BatchHornerEval(f, coeffs, points, out);
+        for (size_t i = 0; i < npts; ++i) {
+          EXPECT_EQ(out[i], f.HornerEval(coeffs, points[i]))
+              << "p=" << p << " ncoeffs=" << ncoeffs << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdEvalTest, InPlaceAliasedOutputIsAllowed) {
+  const PrimeField f = PrimeField::Create(65537).value();
+  std::vector<uint64_t> coeffs(33);
+  for (auto& c : coeffs) c = f.Uniform(rng());
+  std::vector<uint64_t> pts = {1, 2, 3, 4, 5, 6};
+  std::vector<uint64_t> want(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i)
+    want[i] = f.HornerEval(coeffs, pts[i]);
+  BatchHornerEval(f, coeffs, pts, pts);  // points double as output
+  EXPECT_EQ(pts, want);
+}
+
+TEST_F(SimdEvalTest, RingEvalAtManyMatchesEvalAt) {
+  const FpCyclotomicRing ring = FpCyclotomicRing::Create(257).value();
+  const FpPoly a = FpPoly(ring.field(), {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  std::vector<uint64_t> points;
+  for (uint64_t e = 1; e <= 10; ++e) points.push_back(e);
+  auto many = ring.EvalAtMany(a, points);
+  ASSERT_TRUE(many.ok()) << many.status().ToString();
+  ASSERT_EQ(many->size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ((*many)[i], ring.EvalAt(a, points[i]).value()) << i;
+  // Point 0 is rejected for the whole batch, exactly like EvalAt.
+  points.push_back(0);
+  EXPECT_FALSE(ring.EvalAtMany(a, points).ok());
+}
+
+TEST_F(SimdEvalTest, ShamirShareStillReconstructs) {
+  // Share() now routes through the batch kernel; shares must stay on the
+  // degree-(t-1) polynomial and reconstruct to the secret for party counts
+  // on both sides of the 4-lane boundary.
+  const PrimeField f = PrimeField::Create(65537).value();
+  ChaChaRng chacha = ChaChaRng::FromString("simd-eval-shamir");
+  for (int parties : {2, 3, 4, 5, 9}) {
+    const ShamirScheme scheme = ShamirScheme::Create(f, 2, parties).value();
+    const uint64_t secret = rng().NextU64() % f.modulus();
+    auto shares = scheme.Share(secret, chacha);
+    ASSERT_EQ(static_cast<int>(shares.size()), parties);
+    EXPECT_EQ(scheme.ReconstructChecked(shares).value(), secret)
+        << "parties=" << parties;
+  }
+}
+
+}  // namespace
+}  // namespace polysse

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 
+#include "field/simd_eval.h"
 #include "poly/fp_conv.h"
 #include "poly/z_poly.h"
 
@@ -46,6 +47,29 @@ class ScopedFpKaratsubaThreshold {
 
  private:
   size_t prev_;
+};
+
+class ScopedFpNttThreshold {
+ public:
+  explicit ScopedFpNttThreshold(size_t t) : prev_(SetFpNttThreshold(t)) {}
+  ~ScopedFpNttThreshold() { SetFpNttThreshold(prev_); }
+  ScopedFpNttThreshold(const ScopedFpNttThreshold&) = delete;
+  ScopedFpNttThreshold& operator=(const ScopedFpNttThreshold&) = delete;
+
+ private:
+  size_t prev_;
+};
+
+class ScopedBatchEvalPath {
+ public:
+  explicit ScopedBatchEvalPath(BatchEvalPath path)
+      : prev_(SetBatchEvalPath(path)) {}
+  ~ScopedBatchEvalPath() { SetBatchEvalPath(prev_); }
+  ScopedBatchEvalPath(const ScopedBatchEvalPath&) = delete;
+  ScopedBatchEvalPath& operator=(const ScopedBatchEvalPath&) = delete;
+
+ private:
+  BatchEvalPath prev_;
 };
 
 class ScopedZKaratsubaThreshold {
