@@ -1,0 +1,18 @@
+// Fixture: kGhost is declared but wired through nothing — every
+// protocol-completeness requirement fires for it, plus the range-gate
+// finding (kGhost is the highest value and socket_server.cc never names it).
+#ifndef FIXTURE_CORE_ENDPOINT_H_
+#define FIXTURE_CORE_ENDPOINT_H_
+
+#include <cstdint>
+
+namespace polysse {
+
+enum class MessageKind : uint8_t {
+  kEval = 1,
+  kGhost = 2,
+};
+
+}  // namespace polysse
+
+#endif  // FIXTURE_CORE_ENDPOINT_H_

@@ -1,0 +1,23 @@
+// Fixture: the known-bad alloc-bomb file — a resize sized by a
+// wire-decoded count with no remaining-bytes bound in between.
+#include "core/protocol.h"
+
+namespace polysse {
+
+void EvalRequest::Serialize(ByteWriter* out) const {
+  out->PutVarint64(node_ids.size());
+  for (int32_t id : node_ids) out->PutVarint64(static_cast<uint32_t>(id));
+}
+
+Result<EvalRequest> EvalRequest::Deserialize(ByteReader* in) {
+  EvalRequest out;
+  ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
+  out.node_ids.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(uint64_t id, in->GetVarint64());
+    out.node_ids[i] = static_cast<int32_t>(id);
+  }
+  return out;
+}
+
+}  // namespace polysse

@@ -1,0 +1,8 @@
+// Fixture: the socket client only ever puts kEval on the wire.
+#include "core/endpoint.h"
+
+namespace polysse {
+
+void SubmitAll() { Submit(MessageKind::kEval); }
+
+}  // namespace polysse

@@ -1,0 +1,12 @@
+// Fixture: the known-kind range gate still tops out at kEval, so the
+// higher-valued kGhost would be rejected as garbage on a real wire.
+#include "core/endpoint.h"
+
+namespace polysse {
+
+bool IsKnownKind(uint8_t kind) {
+  return kind >= static_cast<uint8_t>(MessageKind::kEval) &&
+         kind <= static_cast<uint8_t>(MessageKind::kEval);
+}
+
+}  // namespace polysse

@@ -1,0 +1,6 @@
+// Fixture: poly declares DEPS util only, so reaching up into net/ is a
+// layer-DAG violation.
+#include "net/socket_server.h"
+#include "util/bytes.h"
+
+namespace polysse {}  // namespace polysse

@@ -1,0 +1,21 @@
+// Fixture: bare atomic operations — every access here takes the implicit
+// seq_cst default instead of spelling out its ordering.
+#include <atomic>
+#include <cstddef>
+
+namespace polysse {
+
+std::atomic<size_t> g_hits{0};
+std::atomic<bool> g_stopped{false};
+
+size_t Hits() { return g_hits.load(); }
+
+void RecordHit() { g_hits.fetch_add(1); }
+
+void Stop() { g_stopped.store(true); }
+
+void Bump() { ++g_hits; }
+
+void Charge(size_t n) { g_hits += n; }
+
+}  // namespace polysse

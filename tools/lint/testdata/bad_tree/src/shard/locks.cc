@@ -1,0 +1,29 @@
+// Fixture: direct mutex lock/unlock outside src/util/ — the exception
+// paths between lock() and unlock() leak the mutex; RAII guards are the
+// repo rule.
+#include <mutex>
+
+namespace polysse {
+
+class Router {
+ public:
+  void Route() {
+    mu_.lock();
+    ++routes_;
+    mu_.unlock();
+  }
+  bool TryRoute() {
+    if (mu_.try_lock()) {
+      ++routes_;
+      mu_.unlock();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::mutex mu_;
+  int routes_ = 0;
+};
+
+}  // namespace polysse

@@ -1,0 +1,11 @@
+// Fixture: the fuzz battery drills EvalRequest but has never heard of
+// GhostRequest.
+#include "core/protocol.h"
+
+namespace polysse {
+namespace {
+
+void DrillEval() { FuzzMessage<EvalRequest>({}, 0); }
+
+}  // namespace
+}  // namespace polysse

@@ -1,0 +1,21 @@
+// Fixture: DispatchSerialized covers every declared kind.
+#include "core/endpoint.h"
+
+namespace polysse {
+
+Result<std::vector<uint8_t>> DispatchSerialized(
+    ServerHandler* handler, MessageKind kind,
+    std::span<const uint8_t> request_bytes) {
+  switch (kind) {
+    case MessageKind::kEval: {
+      return std::vector<uint8_t>{};
+    }
+    case MessageKind::kGhost: {
+      return std::vector<uint8_t>{};
+    }
+    default:
+      return Status::Corruption("unknown message kind");
+  }
+}
+
+}  // namespace polysse

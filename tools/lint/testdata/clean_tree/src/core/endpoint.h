@@ -1,0 +1,17 @@
+// Fixture: every MessageKind below is wired through codec, dispatch,
+// socket client, range gate and fuzz battery — zero findings expected.
+#ifndef FIXTURE_CLEAN_CORE_ENDPOINT_H_
+#define FIXTURE_CLEAN_CORE_ENDPOINT_H_
+
+#include <cstdint>
+
+namespace polysse {
+
+enum class MessageKind : uint8_t {
+  kEval = 1,
+  kGhost = 2,
+};
+
+}  // namespace polysse
+
+#endif  // FIXTURE_CLEAN_CORE_ENDPOINT_H_

@@ -1,0 +1,42 @@
+// Fixture: both codecs bound every wire-decoded count against the bytes
+// left before allocating — the alloc-bomb check stays quiet.
+#include "core/protocol.h"
+
+namespace polysse {
+
+void EvalRequest::Serialize(ByteWriter* out) const {
+  out->PutVarint64(node_ids.size());
+  for (int32_t id : node_ids) out->PutVarint64(static_cast<uint32_t>(id));
+}
+
+Result<EvalRequest> EvalRequest::Deserialize(ByteReader* in) {
+  EvalRequest out;
+  ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
+  if (!Plausible(n, *in)) return BadLen("EvalRequest.node_ids");
+  out.node_ids.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(uint64_t id, in->GetVarint64());
+    out.node_ids[i] = static_cast<int32_t>(id);
+  }
+  return out;
+}
+
+void GhostRequest::Serialize(ByteWriter* out) const {
+  out->PutVarint64(payload.size());
+  for (uint8_t b : payload) out->PutU8(b);
+}
+
+Result<GhostRequest> GhostRequest::Deserialize(ByteReader* in) {
+  GhostRequest out;
+  ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
+  if (n > in->remaining())
+    return Status::Corruption("GhostRequest: count exceeds remaining bytes");
+  out.payload.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(uint8_t b, in->GetU8());
+    out.payload.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace polysse

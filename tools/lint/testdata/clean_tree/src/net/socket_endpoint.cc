@@ -1,0 +1,11 @@
+// Fixture: the socket client puts every kind on the wire.
+#include "core/endpoint.h"
+
+namespace polysse {
+
+void SubmitAll() {
+  Submit(MessageKind::kEval);
+  Submit(MessageKind::kGhost);
+}
+
+}  // namespace polysse

@@ -1,0 +1,11 @@
+// Fixture: the known-kind range gate names the highest-valued kind.
+#include "core/endpoint.h"
+
+namespace polysse {
+
+bool IsKnownKind(uint8_t kind) {
+  return kind >= static_cast<uint8_t>(MessageKind::kEval) &&
+         kind <= static_cast<uint8_t>(MessageKind::kGhost);
+}
+
+}  // namespace polysse

@@ -1,0 +1,4 @@
+// Fixture: poly only reaches into layers its CMakeLists declares.
+#include "util/bytes.h"
+
+namespace polysse {}  // namespace polysse

@@ -1,0 +1,23 @@
+// Fixture: every atomic access spells out its memory order.
+#include <atomic>
+#include <cstddef>
+
+namespace polysse {
+
+std::atomic<size_t> g_hits{0};
+std::atomic<bool> g_stopped{false};
+
+size_t Hits() { return g_hits.load(std::memory_order_relaxed); }
+
+void RecordHit() { g_hits.fetch_add(1, std::memory_order_relaxed); }
+
+void Stop() { g_stopped.store(true, std::memory_order_release); }
+
+bool Stopped() { return g_stopped.load(std::memory_order_acquire); }
+
+size_t Swap(size_t next) {
+  return g_hits.exchange(next,
+                         std::memory_order_acq_rel);
+}
+
+}  // namespace polysse

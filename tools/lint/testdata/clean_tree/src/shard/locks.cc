@@ -1,0 +1,26 @@
+// Fixture: scoped RAII guards everywhere, plus one deliberately suppressed
+// direct unlock to prove the suppression syntax silences exactly one site.
+#include <mutex>
+
+namespace polysse {
+
+class Router {
+ public:
+  void Route() {
+    std::lock_guard<std::mutex> guard(mu_);
+    ++routes_;
+  }
+  void Drain() {
+    std::unique_lock<std::mutex> guard(mu_);
+    ++routes_;
+    // Handing the lock back early before a blocking wait is a considered
+    // exception here, not an accident.
+    guard.unlock();  // polysse-lint: allow(lock-discipline)
+  }
+
+ private:
+  std::mutex mu_;
+  int routes_ = 0;
+};
+
+}  // namespace polysse

@@ -1,0 +1,13 @@
+// Fixture: the fuzz battery drills every request codec.
+#include "core/protocol.h"
+
+namespace polysse {
+namespace {
+
+void DrillAll() {
+  FuzzMessage<EvalRequest>({}, 0);
+  FuzzMessage<GhostRequest>({}, 1);
+}
+
+}  // namespace
+}  // namespace polysse
