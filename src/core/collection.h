@@ -46,7 +46,7 @@
 #include "core/server_store.h"
 #include "core/sharing.h"
 #include "core/store_registry.h"
-#include "index/bloom_index.h"
+#include "crypto/bloom.h"
 #include "nt/primes.h"
 #include "util/thread_pool.h"
 #include "xpath/xpath.h"

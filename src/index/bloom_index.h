@@ -17,25 +17,17 @@
 #include <string>
 #include <vector>
 
+#include "crypto/bloom.h"
 #include "crypto/prf.h"
 #include "util/status.h"
 #include "xml/xml_node.h"
 
 namespace polysse {
 
-/// A fixed-size Bloom filter over keyed codewords.
-class BloomFilter {
- public:
-  explicit BloomFilter(size_t bits) : bits_(bits, false) {}
-
-  void Set(size_t position) { bits_[position % bits_.size()] = true; }
-  bool Test(size_t position) const { return bits_[position % bits_.size()]; }
-  size_t bit_count() const { return bits_.size(); }
-  size_t popcount() const;
-
- private:
-  std::vector<bool> bits_;
-};
+// BloomFilter, DocBloomFilter, and the two-level codeword derivations live
+// in crypto/bloom.h (pure keyed hashing, below both this index and the
+// collection pre-filter in the layer DAG); this header keeps the XML-aware
+// per-node index built on top of them.
 
 /// Per-node secure index over element text words.
 class BloomIndex {
@@ -71,12 +63,18 @@ class BloomIndex {
   size_t PersistedBytes() const;
 
   /// Goh's level-1 derivation, reusable outside the per-node index:
-  /// HMAC(seed, "bloom/<j>/<word>") for j in [0, num_hashes).
+  /// HMAC(seed, "bloom/<j>/<word>") for j in [0, num_hashes). Thin wrapper
+  /// over BloomWordTrapdoors (crypto/bloom.h), kept for API stability —
+  /// index_test pins the exact message bytes through this entry point.
   static std::vector<std::array<uint8_t, 32>> WordTrapdoors(
-      const DeterministicPrf& prf, int num_hashes, const std::string& word);
+      const DeterministicPrf& prf, int num_hashes, const std::string& word) {
+    return BloomWordTrapdoors(prf, num_hashes, word);
+  }
   /// Level-2 derivation: filter position of a trapdoor under `path`'s salt.
   static size_t Position(const std::array<uint8_t, 32>& trapdoor,
-                         const std::string& path);
+                         const std::string& path) {
+    return BloomPosition(trapdoor, path);
+  }
 
  private:
   struct NodeFilter {
@@ -93,50 +91,6 @@ class BloomIndex {
   DeterministicPrf prf_;
   Options options_;
   std::vector<NodeFilter> nodes_;
-};
-
-/// One whole-document Bloom filter over a word set (e.g. a document's
-/// distinct tags), salted per document so identical words set unlinkable
-/// bits across documents. The collection query path uses it as a
-/// pre-filter: a document whose filter rejects every queried word can
-/// never match (no false negatives), so it is skipped before the shared
-/// BFS frontier even forms; false positives only cost walk work.
-class DocBloomFilter {
- public:
-  struct Options {
-    size_t bits_per_doc = 512;  ///< filter size m
-    int num_hashes = 4;         ///< r independent codeword keys
-  };
-
-  /// Builds the filter for one document: `salt` must be unique per
-  /// document (the share prefix is a natural choice), `words` its indexed
-  /// word set.
-  static DocBloomFilter Build(const DeterministicPrf& seed,
-                              const std::string& salt,
-                              const std::vector<std::string>& words,
-                              const Options& options);
-
-  /// The query-side half of one word's test, computed once per query and
-  /// reused against every document's filter.
-  static std::vector<std::array<uint8_t, 32>> QueryTrapdoors(
-      const DeterministicPrf& seed, const std::string& word,
-      const Options& options);
-
-  /// False means the word is definitively absent from the document.
-  bool MayContain(
-      const std::vector<std::array<uint8_t, 32>>& trapdoors) const;
-
-  size_t bit_count() const { return filter_.bit_count(); }
-  /// How many trapdoors one membership test expects (the build-time r).
-  int num_hashes() const { return options_.num_hashes; }
-
- private:
-  DocBloomFilter(std::string salt, Options options, BloomFilter filter)
-      : salt_(std::move(salt)), options_(options), filter_(std::move(filter)) {}
-
-  std::string salt_;
-  Options options_;
-  BloomFilter filter_;
 };
 
 }  // namespace polysse
