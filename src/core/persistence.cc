@@ -54,6 +54,11 @@ Result<PolyTree<Ring>> LoadTree(const Ring& ring, ByteReader* in) {
   ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
   if (n == 0) return Status::Corruption("store with zero nodes");
   if (n > (1ull << 28)) return Status::Corruption("absurd node count");
+  // Every node costs at least two wire bytes (parent varint + polynomial),
+  // so a count past the bytes left is a corrupt length, not a tree — reject
+  // before the reserve turns it into a giant allocation.
+  if (n > in->remaining())
+    return Status::Corruption("store node count exceeds remaining bytes");
   PolyTree<Ring> tree;
   tree.nodes.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {

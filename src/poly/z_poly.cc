@@ -194,6 +194,11 @@ Result<ZPoly> ZPoly::Deserialize(ByteReader* in) {
   ASSIGN_OR_RETURN(uint64_t n, in->GetVarint64());
   if (n > (1ull << 32))
     return Status::Corruption("ZPoly: absurd coefficient count");
+  // Each serialized BigInt is at least one byte, so a coefficient count
+  // past the bytes left can only be a corrupt length — reject it before
+  // the reserve becomes a multi-gigabyte allocation bomb.
+  if (n > in->remaining())
+    return Status::Corruption("ZPoly: coefficient count exceeds remaining bytes");
   std::vector<BigInt> coeffs;
   coeffs.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
