@@ -5,6 +5,9 @@
 // like the arithmetic differential battery.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/persistence.h"
@@ -17,6 +20,35 @@ namespace polysse {
 namespace {
 
 using testing::DeterministicRng;
+
+// ---------------------------------------------------- replayable seeds --
+//
+// Every randomized drill derives its RNG seed from a fixed base plus its
+// case index, and stamps the seed into the test trace. A red CI run
+// therefore names the exact seed, and the failure replays locally with
+//
+//   POLYSSE_FUZZ_SEED=<seed> ./protocol_fuzz_test --gtest_filter=<Test>
+//
+// The override only changes the random-buffer rounds; the truncation /
+// bit-flip / length-bomb sweeps are exhaustive and seed-independent.
+
+constexpr uint64_t kFuzzSeedBase = 0x5EEDB10C2004ull;
+
+uint64_t FuzzCaseSeed(uint64_t case_index) {
+  if (const char* env = std::getenv("POLYSSE_FUZZ_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return kFuzzSeedBase + 0x9e3779b97f4a7c15ull * case_index;
+}
+
+std::string SeedNote(uint64_t seed) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "rng seed 0x%llx — replay with POLYSSE_FUZZ_SEED=0x%llx",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
 
 // ------------------------------------------------------- seed messages --
 
@@ -88,6 +120,7 @@ void Drill(const std::vector<uint8_t>& bytes, size_t* ok_count) {
 
 template <typename Msg>
 void FuzzMessage(const std::vector<uint8_t>& valid, uint64_t rng_seed) {
+  SCOPED_TRACE(SeedNote(rng_seed));
   size_t ok = 0;
 
   // Every truncation of a valid encoding.
@@ -130,15 +163,15 @@ void FuzzMessage(const std::vector<uint8_t>& valid, uint64_t rng_seed) {
 }
 
 TEST(ProtocolFuzzTest, EvalRequestSurvivesCorruptBuffers) {
-  FuzzMessage<EvalRequest>(SeedEvalRequest(), 0xE1);
+  FuzzMessage<EvalRequest>(SeedEvalRequest(), FuzzCaseSeed(0));
 }
 
 TEST(ProtocolFuzzTest, EvalResponseSurvivesCorruptBuffers) {
-  FuzzMessage<EvalResponse>(SeedEvalResponse(), 0xE2);
+  FuzzMessage<EvalResponse>(SeedEvalResponse(), FuzzCaseSeed(1));
 }
 
 TEST(ProtocolFuzzTest, FetchRequestSurvivesCorruptBuffers) {
-  FuzzMessage<FetchRequest>(SeedFetchRequest(), 0xF1);
+  FuzzMessage<FetchRequest>(SeedFetchRequest(), FuzzCaseSeed(2));
 }
 
 // Batched verification fetches made degenerate id lists a normal part of
@@ -150,7 +183,7 @@ TEST(ProtocolFuzzTest, FetchRequestEmptyNodeIdsSurvivesCorruptBuffers) {
   ByteWriter w;
   req.Serialize(&w);
   const std::vector<uint8_t> valid = w.Take();
-  FuzzMessage<FetchRequest>(valid, 0xF3);
+  FuzzMessage<FetchRequest>(valid, FuzzCaseSeed(3));
 
   ByteReader in(valid);
   auto back = FetchRequest::Deserialize(&in);
@@ -166,7 +199,7 @@ TEST(ProtocolFuzzTest, FetchRequestDuplicatedNodeIdsSurviveCorruptBuffers) {
   ByteWriter w;
   req.Serialize(&w);
   const std::vector<uint8_t> valid = w.Take();
-  FuzzMessage<FetchRequest>(valid, 0xF4);
+  FuzzMessage<FetchRequest>(valid, FuzzCaseSeed(4));
 
   ByteReader in(valid);
   auto back = FetchRequest::Deserialize(&in);
@@ -175,7 +208,7 @@ TEST(ProtocolFuzzTest, FetchRequestDuplicatedNodeIdsSurviveCorruptBuffers) {
 }
 
 TEST(ProtocolFuzzTest, FetchResponseSurvivesCorruptBuffers) {
-  FuzzMessage<FetchResponse>(SeedFetchResponse(), 0xF2);
+  FuzzMessage<FetchResponse>(SeedFetchResponse(), FuzzCaseSeed(5));
 }
 
 TEST(ProtocolFuzzTest, AddDocRequestSurvivesCorruptBuffers) {
@@ -185,7 +218,7 @@ TEST(ProtocolFuzzTest, AddDocRequestSurvivesCorruptBuffers) {
   req.store_bytes = {'P', 'S', 'S', 'E', 1, 1, 9, 9, 9};
   ByteWriter w;
   req.Serialize(&w);
-  FuzzMessage<AddDocRequest>(w.Take(), 0xA1);
+  FuzzMessage<AddDocRequest>(w.Take(), FuzzCaseSeed(6));
 }
 
 TEST(ProtocolFuzzTest, RemoveDocRequestAndAckSurviveCorruptBuffers) {
@@ -193,14 +226,14 @@ TEST(ProtocolFuzzTest, RemoveDocRequestAndAckSurviveCorruptBuffers) {
   req.doc_id = 7;
   ByteWriter w;
   req.Serialize(&w);
-  FuzzMessage<RemoveDocRequest>(w.Take(), 0xA2);
+  FuzzMessage<RemoveDocRequest>(w.Take(), FuzzCaseSeed(7));
 
   AdminAck ack;
   ack.doc_count = 3;
   ack.node_count = 999;
   ByteWriter wa;
   ack.Serialize(&wa);
-  FuzzMessage<AdminAck>(wa.Take(), 0xA3);
+  FuzzMessage<AdminAck>(wa.Take(), FuzzCaseSeed(8));
 }
 
 // --------------------------- shard administration + health-probe drills --
@@ -210,14 +243,14 @@ TEST(ProtocolFuzzTest, ExportDocMessagesSurviveCorruptBuffers) {
   req.doc_id = 17;
   ByteWriter w;
   req.Serialize(&w);
-  FuzzMessage<ExportDocRequest>(w.Take(), 0xD1);
+  FuzzMessage<ExportDocRequest>(w.Take(), FuzzCaseSeed(9));
 
   ExportDocResponse resp;
   resp.base = 1 << 20;
   resp.store_bytes = {'P', 'S', 'S', 'E', 1, 1, 42, 42, 42, 42};
   ByteWriter wr;
   resp.Serialize(&wr);
-  FuzzMessage<ExportDocResponse>(wr.Take(), 0xD2);
+  FuzzMessage<ExportDocResponse>(wr.Take(), FuzzCaseSeed(10));
 }
 
 TEST(ProtocolFuzzTest, RebaseDocRequestSurvivesCorruptBuffers) {
@@ -226,7 +259,7 @@ TEST(ProtocolFuzzTest, RebaseDocRequestSurvivesCorruptBuffers) {
   req.new_base = 123456;
   ByteWriter w;
   req.Serialize(&w);
-  FuzzMessage<RebaseDocRequest>(w.Take(), 0xD3);
+  FuzzMessage<RebaseDocRequest>(w.Take(), FuzzCaseSeed(11));
 }
 
 TEST(ProtocolFuzzTest, PingMessagesSurviveCorruptBuffers) {
@@ -234,7 +267,7 @@ TEST(ProtocolFuzzTest, PingMessagesSurviveCorruptBuffers) {
   req.nonce = 0x9e3779b97f4a7c15ull;
   ByteWriter w;
   req.Serialize(&w);
-  FuzzMessage<PingRequest>(w.Take(), 0xD4);
+  FuzzMessage<PingRequest>(w.Take(), FuzzCaseSeed(12));
 
   PingResponse resp;
   resp.nonce = 0x9e3779b97f4a7c15ull;
@@ -242,7 +275,7 @@ TEST(ProtocolFuzzTest, PingMessagesSurviveCorruptBuffers) {
   resp.node_count = 4096;
   ByteWriter wr;
   resp.Serialize(&wr);
-  FuzzMessage<PingResponse>(wr.Take(), 0xD5);
+  FuzzMessage<PingResponse>(wr.Take(), FuzzCaseSeed(13));
 }
 
 // A base claiming to sit past the int32 node-id space is rejected while
@@ -329,7 +362,7 @@ TEST(ProtocolFuzzTest, KeyFileShardTableInvariantsEnforcedOnLoad) {
 }
 
 TEST(ProtocolFuzzTest, V4KeyFileSurvivesCorruptBuffers) {
-  FuzzMessage<ClientSecretFile>(SerializeKey(SeedShardedKey()), 0xD6);
+  FuzzMessage<ClientSecretFile>(SerializeKey(SeedShardedKey()), FuzzCaseSeed(14));
 }
 
 // ------------------------------------------- tagged-frame (v2) drills --
@@ -374,7 +407,9 @@ TEST(TaggedFrameFuzzTest, OversizeLengthAnnouncementRejectedBeforeAlloc) {
 }
 
 TEST(TaggedFrameFuzzTest, RandomHeaderBytesNeverCrashTheDecoder) {
-  DeterministicRng rng(0x7A66);
+  const uint64_t seed = FuzzCaseSeed(15);
+  SCOPED_TRACE(SeedNote(seed));
+  DeterministicRng rng(seed);
   for (int round = 0; round < 2000; ++round) {
     std::vector<uint8_t> junk(rng.UniformInt(0, 12));
     for (uint8_t& b : junk) b = static_cast<uint8_t>(rng());
