@@ -13,6 +13,12 @@ function(polysse_add_layer name)
     target_include_directories(${_target}
       PUBLIC ${CMAKE_SOURCE_DIR}/src)
     target_link_libraries(${_target} PRIVATE polysse::build_flags)
+    if(POLYSSE_CLANG_TIDY)
+      # Layers only: tests and benches lean on gtest/benchmark macros that
+      # the curated profile was never tuned for.
+      set_target_properties(${_target} PROPERTIES
+        CXX_CLANG_TIDY "${POLYSSE_CLANG_TIDY_EXE}")
+    endif()
     set(_scope PUBLIC)
   else()
     add_library(${_target} INTERFACE)

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-stop static-analysis gate, same sequence CI's lint job runs:
+#
+#   1. polysse-lint selftest — each check still catches its known-bad fixture
+#   2. polysse-lint over the real tree — zero findings required
+#   3. clang-tidy build of every src/ layer (skipped with a notice when
+#      clang-tidy is not on PATH; CI always has it)
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== polysse-lint selftest =="
+python3 tools/lint/lint_selftest.py
+
+echo "== polysse-lint: repository tree =="
+python3 tools/lint/polysse_lint.py --root .
+echo "polysse-lint: clean"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (curated .clang-tidy profile, warnings are errors) =="
+  cmake -B build-tidy -S . \
+    -DPOLYSSE_CLANG_TIDY=ON \
+    -DPOLYSSE_BUILD_TESTS=OFF \
+    -DPOLYSSE_BUILD_BENCHES=OFF \
+    -DPOLYSSE_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tidy -j"$(nproc)"
+  echo "clang-tidy: clean"
+else
+  echo "== clang-tidy not on PATH — tidy build skipped (CI runs it) =="
+fi
